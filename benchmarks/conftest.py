@@ -1,0 +1,31 @@
+"""Benchmark fixtures.
+
+One world + dataset pair is built per benchmark session at ``BENCH_SCALE``
+(override with the ``REPRO_BENCH_SCALE`` environment variable) and every
+figure benchmark measures the cost of regenerating its figure from that
+dataset.  The per-figure shape assertions keep the benchmarks honest: a
+benchmark that regenerates the wrong figure is worthless however fast.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.collection.dataset import MigrationDataset
+from repro.collection.pipeline import collect_dataset
+from repro.simulation.world import World, build_world
+
+BENCH_SEED = 7
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+
+
+@pytest.fixture(scope="session")
+def bench_world() -> World:
+    return build_world(seed=BENCH_SEED, scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_world: World) -> MigrationDataset:
+    return collect_dataset(bench_world)

@@ -1,0 +1,46 @@
+"""Benchmarks for the extension analyses (retention, moderation, anonymize,
+sensitivity sweeps, bootstrap CIs)."""
+
+from repro.analysis.bootstrap import headline_intervals
+from repro.analysis.moderation import moderation_load
+from repro.analysis.retention import retention
+from repro.analysis.sensitivity import ordering_robust, toxicity_sweep
+from repro.collection.anonymize import Anonymizer
+
+
+def test_bench_retention(benchmark, bench_dataset):
+    result = benchmark(retention, bench_dataset)
+    assert result.pct_retained > 30.0
+
+
+def test_bench_moderation_load(benchmark, bench_dataset):
+    result = benchmark.pedantic(
+        lambda: moderation_load(bench_dataset), rounds=3, iterations=1
+    )
+    assert result.rows
+
+
+def test_bench_anonymize(benchmark, bench_dataset):
+    anonymizer = Anonymizer(key="bench-key")
+    release = benchmark.pedantic(
+        lambda: anonymizer.anonymize(bench_dataset), rounds=3, iterations=1
+    )
+    assert release.migrant_count == bench_dataset.migrant_count
+
+
+def test_bench_toxicity_sweep(benchmark, bench_dataset):
+    rows = benchmark.pedantic(
+        lambda: toxicity_sweep(bench_dataset, thresholds=(0.3, 0.5, 0.8)),
+        rounds=3,
+        iterations=1,
+    )
+    assert ordering_robust(rows)
+
+
+def test_bench_bootstrap_intervals(benchmark, bench_dataset):
+    intervals = benchmark.pedantic(
+        lambda: headline_intervals(bench_dataset, n_resamples=500),
+        rounds=3,
+        iterations=1,
+    )
+    assert intervals

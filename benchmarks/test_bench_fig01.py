@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Search-interest series (Figure 1).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig01(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F1"), bench_dataset)
+    assert result.notes["peak[Mastodon]"] == 100.0

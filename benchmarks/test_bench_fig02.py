@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Migration-tweet volume (Figure 2).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig02(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F2"), bench_dataset)
+    assert result.notes["post_takeover_share_pct"] > 80.0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Weekly instance activity (Figure 3).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig03(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F3"), bench_dataset)
+    assert result.notes["registrations_growth_x"] > 5.0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Top-30 instances (Figure 4).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig04(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F4"), bench_dataset)
+    assert result.rows[0][0] == "mastodon.social"

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate User-share concentration curve (Figure 5).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig05(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F5"), bench_dataset)
+    assert result.notes["share_top_25pct"] > 70.0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Instance-size quantile activity (Figure 6).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig06(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F6"), bench_dataset)
+    assert result.notes["single_user_instance_share_pct"] > 0.0

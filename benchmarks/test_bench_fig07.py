@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Cross-platform network-size CDFs (Figure 7).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig07(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F7"), bench_dataset)
+    assert result.notes["tw_median_followees"] > result.notes["ma_median_followees"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Followee-migration CDFs (Figure 8).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig08(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F8"), bench_dataset)
+    assert 0.0 < result.notes["mean_frac_migrated_pct"] < 30.0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Instance-switch chord matrix (Figure 9).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig09(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F9"), bench_dataset)
+    assert 0.0 < result.notes["pct_switched"] < 15.0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Switcher social pull (Figure 10).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig10(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F10"), bench_dataset)
+    assert result.notes["mean_pct_on_second"] > result.notes["mean_pct_on_first"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Daily cross-platform activity (Figure 11).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig11(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F11"), bench_dataset)
+    assert result.notes["twitter_retention_ratio"] > 0.6

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Tweet sources before/after (Figure 12).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig12(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F12"), bench_dataset)
+    assert result.notes["pct_users_crossposting"] > 1.0

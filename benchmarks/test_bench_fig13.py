@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Daily cross-poster users (Figure 13).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig13(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F13"), bench_dataset)
+    assert result.notes["mean_peak_window"] > result.notes["mean_pre_takeover"]

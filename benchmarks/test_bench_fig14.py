@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Content-similarity CDFs (Figure 14).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig14(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F14"), bench_dataset)
+    assert result.notes["pct_users_all_different"] > 50.0

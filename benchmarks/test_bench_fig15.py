@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Top hashtags per platform (Figure 15).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig15(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F15"), bench_dataset)
+    assert result.notes["mastodon_migration_tag_share_pct"] > result.notes["twitter_migration_tag_share_pct"]

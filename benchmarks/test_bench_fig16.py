@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Toxicity CDFs (Figure 16).
+
+Measures the analysis cost of the figure on the shared benchmark dataset
+and asserts the paper's qualitative shape holds.
+"""
+
+from repro.experiments.registry import get_experiment
+
+
+def test_bench_fig16(benchmark, bench_dataset):
+    result = benchmark(get_experiment("F16"), bench_dataset)
+    assert result.notes["pct_tweets_toxic"] > result.notes["pct_statuses_toxic"]

@@ -1,0 +1,112 @@
+"""Benchmarks for the collection pipeline's stages (Section 3).
+
+These measure the crawler-side costs — tweet search, handle matching,
+timeline crawls, followee sampling — against a small dedicated world, so the
+figure benchmarks' session dataset stays untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collection.followees import FolloweeCrawler, stratified_sample
+from repro.collection.handle_matching import HandleMatcher
+from repro.collection.instance_list import compile_instance_list
+from repro.collection.timelines import MastodonTimelineCrawler, TwitterTimelineCrawler
+from repro.collection.tweet_search import TweetCollector
+from repro.collection.weekly_activity import WeeklyActivityCrawler
+from repro.fediverse.api import MastodonClient
+from repro.simulation.world import build_world
+
+PIPELINE_SEED = 21
+PIPELINE_SCALE = 0.002
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(seed=PIPELINE_SEED, scale=PIPELINE_SCALE)
+
+
+@pytest.fixture(scope="module")
+def domains(world):
+    return compile_instance_list(world.directory())
+
+
+@pytest.fixture(scope="module")
+def collected(world, domains):
+    return TweetCollector(world.twitter_api()).collect(domains)
+
+
+@pytest.fixture(scope="module")
+def matched(world, collected, domains):
+    matcher = HandleMatcher(frozenset(domains))
+    matches = matcher.match_all(collected.users, collected.tweets_by_author())
+    from repro.collection.dataset import MatchedUser
+
+    return [
+        MatchedUser(
+            twitter_user_id=uid,
+            twitter_username=collected.users[uid].username,
+            mastodon_acct=m.mastodon_acct,
+            matched_via=m.matched_via,
+            verified=collected.users[uid].verified,
+            twitter_created_at=collected.users[uid].created_at,
+            twitter_followers=collected.users[uid].followers_count,
+            twitter_following=collected.users[uid].following_count,
+        )
+        for uid, m in sorted(matches.items())
+    ]
+
+
+def test_bench_tweet_search(benchmark, world, domains):
+    collected = benchmark.pedantic(
+        lambda: TweetCollector(world.twitter_api()).collect(domains),
+        rounds=3,
+        iterations=1,
+    )
+    assert collected.tweet_count > 100
+
+
+def test_bench_handle_matching(benchmark, collected, domains):
+    matcher = HandleMatcher(frozenset(domains))
+    by_author = collected.tweets_by_author()
+    matches = benchmark(matcher.match_all, collected.users, by_author)
+    assert matches
+
+
+def test_bench_twitter_timeline_crawl(benchmark, world, matched):
+    crawler = TwitterTimelineCrawler(world.twitter_api())
+    timelines, coverage = benchmark.pedantic(
+        lambda: crawler.crawl(matched), rounds=3, iterations=1
+    )
+    assert coverage.rate("ok") > 85.0
+
+
+def test_bench_mastodon_timeline_crawl(benchmark, world, matched):
+    def crawl():
+        return MastodonTimelineCrawler(MastodonClient(world.network)).crawl(matched)
+
+    accounts, timelines, coverage = benchmark.pedantic(crawl, rounds=3, iterations=1)
+    assert coverage.ok > 0
+
+
+def test_bench_followee_crawl(benchmark, world, matched):
+    sample = stratified_sample(matched, 0.10, np.random.default_rng(99))
+
+    def crawl():
+        crawler = FolloweeCrawler(
+            world.twitter_api(), MastodonClient(world.network)
+        )
+        return crawler.crawl(sample)
+
+    records = benchmark.pedantic(crawl, rounds=3, iterations=1)
+    assert records
+
+
+def test_bench_weekly_activity_crawl(benchmark, world, matched):
+    domains = sorted({m.mastodon_domain for m in matched})
+
+    def crawl():
+        return WeeklyActivityCrawler(MastodonClient(world.network)).crawl(domains)
+
+    activity = benchmark.pedantic(crawl, rounds=3, iterations=1)
+    assert activity

@@ -1,0 +1,65 @@
+"""Custom worlds: config overrides, ablations, dataset persistence.
+
+Usage::
+
+    python examples/custom_world.py [--scale 0.003]
+
+Demonstrates the parts of the public API a downstream study would use:
+
+1. overriding :class:`WorldConfig` fields (here: an ablated world with the
+   social-contagion term switched off);
+2. comparing an analysis across worlds;
+3. saving the collected dataset to JSON and reloading it (the analyses run
+   identically on a loaded dataset — no world required).
+"""
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro import MigrationDataset, build_world, collect_dataset
+from repro.analysis.social_influence import followee_migration
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.003)
+    parser.add_argument("--seed", type=int, default=5)
+    args = parser.parse_args()
+
+    print("Building the baseline world...")
+    baseline = collect_dataset(build_world(seed=args.seed, scale=args.scale))
+
+    print("Building the no-contagion ablation (contagion_weight=0)...")
+    ablated = collect_dataset(
+        build_world(seed=args.seed, scale=args.scale, contagion_weight=0.0)
+    )
+
+    base_result = followee_migration(baseline)
+    ablated_result = followee_migration(ablated)
+    print("\nSocial-contagion ablation (Figure 8 statistics):")
+    print(f"{'':>34} {'baseline':>10} {'ablated':>10}")
+    print(f"{'mean % followees migrated':>34} "
+          f"{base_result.mean_frac_migrated:>10.2f} "
+          f"{ablated_result.mean_frac_migrated:>10.2f}")
+    print(f"{'mean % moved before user':>34} "
+          f"{base_result.mean_pct_moved_before:>10.2f} "
+          f"{ablated_result.mean_pct_moved_before:>10.2f}")
+    print(f"{'mean % on same instance':>34} "
+          f"{base_result.mean_pct_same_instance:>10.2f} "
+          f"{ablated_result.mean_pct_same_instance:>10.2f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "dataset.json"
+        baseline.save(path)
+        size_kb = path.stat().st_size / 1024
+        restored = MigrationDataset.load(path)
+        print(f"\nDataset round-trip: {size_kb:.0f} KiB on disk, "
+              f"{restored.migrant_count} matched users after reload")
+        rerun = followee_migration(restored)
+        assert rerun.mean_frac_migrated == base_result.mean_frac_migrated
+        print("Analyses on the reloaded dataset match exactly.")
+
+
+if __name__ == "__main__":
+    main()

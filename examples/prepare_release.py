@@ -1,0 +1,62 @@
+"""Prepare the anonymized public dataset (the paper's §3.4 promise).
+
+Usage::
+
+    python examples/prepare_release.py [--scale 0.003] [--out release.json] \
+                                       [--key my-secret]
+
+Builds a world, collects the dataset, pseudonymises every user identifier
+(ids, usernames, handles — including handle mentions inside post text) with
+a keyed one-way hash, writes the release file, and then *proves* the release
+is analysis-complete by re-running the full headline report on the
+anonymized copy and diffing it against the original.
+"""
+
+import argparse
+
+from repro import MigrationDataset, build_world, collect_dataset
+from repro.analysis.report import headline_report
+from repro.collection.anonymize import Anonymizer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.003)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=str, default="release.json")
+    parser.add_argument("--key", type=str, default="rotate-me-before-release")
+    args = parser.parse_args()
+
+    print("Collecting the dataset...")
+    dataset = collect_dataset(build_world(seed=args.seed, scale=args.scale))
+    print(f"  {dataset.migrant_count} matched users, "
+          f"{len(dataset.collected_tweets)} collected tweets")
+
+    print("Anonymizing...")
+    anonymizer = Anonymizer(key=args.key)
+    release = anonymizer.anonymize(dataset)
+    release.save(args.out)
+    print(f"  wrote {args.out}")
+
+    print("Verifying the release supports every analysis...")
+    reloaded = MigrationDataset.load(args.out)
+    original = {r.key: r.measured for r in headline_report(dataset)}
+    released = {r.key: r.measured for r in headline_report(reloaded)}
+    worst = 0.0
+    for key, value in original.items():
+        drift = abs(released[key] - value)
+        worst = max(worst, drift)
+        marker = "" if drift < 1e-9 else f"  (drift {drift:.3f})"
+        if drift > 1e-9:
+            print(f"  {key}: {value:.2f} -> {released[key]:.2f}{marker}")
+    print(f"  {len(original)} statistics checked; max drift {worst:.4f} "
+          "(content statistics may drift slightly: handle tokens inside "
+          "announcement tweets are pseudonymised)")
+
+    sample = next(iter(reloaded.matched.values()))
+    print(f"\nSample released record: {sample.twitter_username} -> "
+          f"{sample.mastodon_acct}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""RQ3: cross-platform activity over time (Section 6.1, Figure 11).
+
+Migrants keep using both accounts: Mastodon activity grows continuously
+after the takeover while Twitter activity does not decrease in parallel.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class DailyVolumeResult:
+    """Figure 11: per-day post counts on each platform."""
+
+    tweets_per_day: list[tuple[_dt.date, int]]
+    statuses_per_day: list[tuple[_dt.date, int]]
+    total_tweets: int
+    total_statuses: int
+
+    def tweets_on(self, day: _dt.date) -> int:
+        for d, n in self.tweets_per_day:
+            if d == day:
+                return n
+        return 0
+
+    def statuses_on(self, day: _dt.date) -> int:
+        for d, n in self.statuses_per_day:
+            if d == day:
+                return n
+        return 0
+
+
+def daily_volume(dataset: MigrationDataset) -> DailyVolumeResult:
+    """Daily tweet/status volumes over the crawled timelines."""
+    if not dataset.twitter_timelines and not dataset.mastodon_timelines:
+        raise AnalysisError("no timelines in dataset")
+    tweet_days: dict[_dt.date, int] = {}
+    status_days: dict[_dt.date, int] = {}
+    total_tweets = 0
+    total_statuses = 0
+    for tweets in dataset.twitter_timelines.values():
+        for tweet in tweets:
+            tweet_days[tweet.created_date] = tweet_days.get(tweet.created_date, 0) + 1
+            total_tweets += 1
+    for statuses in dataset.mastodon_timelines.values():
+        for status in statuses:
+            status_days[status.created_date] = (
+                status_days.get(status.created_date, 0) + 1
+            )
+            total_statuses += 1
+    return DailyVolumeResult(
+        tweets_per_day=sorted(tweet_days.items()),
+        statuses_per_day=sorted(status_days.items()),
+        total_tweets=total_tweets,
+        total_statuses=total_statuses,
+    )
+
+
+@dataclass(frozen=True)
+class CollectedTweetVolumeResult:
+    """Figure 2: daily volume of the migration-tweet corpus itself."""
+
+    per_day: list[tuple[_dt.date, int]]
+    total: int
+    peak_day: _dt.date
+
+
+def collected_tweet_volume(dataset: MigrationDataset) -> CollectedTweetVolumeResult:
+    """The temporal distribution of the §3.1 corpus (Figure 2)."""
+    if not dataset.collected_tweets:
+        raise AnalysisError("no collected tweets in dataset")
+    days: dict[_dt.date, int] = {}
+    for tweet in dataset.collected_tweets:
+        days[tweet.created_date] = days.get(tweet.created_date, 0) + 1
+    per_day = sorted(days.items())
+    peak = max(per_day, key=lambda kv: kv[1])[0]
+    return CollectedTweetVolumeResult(
+        per_day=per_day, total=len(dataset.collected_tweets), peak_day=peak
+    )

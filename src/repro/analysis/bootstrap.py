@@ -1,0 +1,109 @@
+"""Bootstrap confidence intervals for the per-user statistics.
+
+The paper reports point estimates ("5.99% of each user's followees also
+migrate"); on a simulated substrate the honest comparison needs uncertainty.
+This module provides percentile-bootstrap CIs for any per-user sample, plus
+a convenience wrapper that attaches CIs to the headline per-user means.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.social_influence import followee_migration
+from repro.analysis.content import content_similarity
+from repro.analysis.toxicity import toxicity_analysis
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.2f} "
+            f"[{self.low:.2f}, {self.high:.2f}] @ {self.confidence:.0%}"
+        )
+
+
+def bootstrap_ci(
+    sample: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for ``statistic`` over ``sample``."""
+    values = np.asarray(list(sample), dtype=float)
+    if values.size == 0:
+        raise AnalysisError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 10:
+        raise AnalysisError("need at least 10 resamples")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, values.size, size=(n_resamples, values.size))
+    stats = np.apply_along_axis(statistic, 1, values[indices])
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=float(statistic(values)),
+        low=float(np.quantile(stats, alpha)),
+        high=float(np.quantile(stats, 1.0 - alpha)),
+        confidence=confidence,
+        n=int(values.size),
+    )
+
+
+def headline_intervals(
+    dataset: MigrationDataset,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> dict[str, BootstrapCI]:
+    """CIs (in percent) for the paper's headline per-user means."""
+    followees = followee_migration(dataset)
+    similarity = content_similarity(dataset)
+    tox = toxicity_analysis(dataset)
+    samples: dict[str, np.ndarray] = {
+        "mean_followees_migrated_pct": 100.0
+        * np.repeat(followees.frac_migrated.xs, _counts(followees.frac_migrated)),
+        "identical_statuses_pct": 100.0
+        * np.repeat(
+            similarity.identical_fraction.xs, _counts(similarity.identical_fraction)
+        ),
+        "similar_statuses_pct": 100.0
+        * np.repeat(
+            similarity.similar_fraction.xs, _counts(similarity.similar_fraction)
+        ),
+        "user_tweets_toxic_pct": 100.0
+        * np.repeat(
+            tox.twitter_toxic_fraction.xs, _counts(tox.twitter_toxic_fraction)
+        ),
+        "user_statuses_toxic_pct": 100.0
+        * np.repeat(
+            tox.mastodon_toxic_fraction.xs, _counts(tox.mastodon_toxic_fraction)
+        ),
+    }
+    return {
+        key: bootstrap_ci(sample, n_resamples=n_resamples, seed=seed)
+        for key, sample in samples.items()
+    }
+
+
+def _counts(ecdf) -> np.ndarray:
+    """Recover per-value multiplicities from an ECDF."""
+    cumulative = np.round(ecdf.ps * ecdf.n).astype(int)
+    return np.diff(np.concatenate([[0], cumulative]))

@@ -1,0 +1,100 @@
+"""RQ1: the centralization paradox (Section 4, Figures 4-5).
+
+Despite Mastodon's decentralised design, migrants concentrate on a few
+instances: the paper finds ~96% of users on the top 25% of instances, with
+mastodon.social receiving the largest share, and 21% of matched accounts
+predating the takeover.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from repro.util.clock import TAKEOVER_DATE
+from repro.util.stats import gini, share_of_top_fraction, top_share_curve
+
+
+@dataclass(frozen=True)
+class InstanceRow:
+    """One bar of Figure 4."""
+
+    domain: str
+    users_before: int  # accounts created before the takeover
+    users_after: int
+
+    @property
+    def total(self) -> int:
+        return self.users_before + self.users_after
+
+
+@dataclass(frozen=True)
+class TopInstancesResult:
+    """Figure 4: the top-k instances by migrated users."""
+
+    rows: list[InstanceRow]
+    total_users: int
+    total_instances: int
+    pre_takeover_share: float  # % of matched accounts created pre-takeover
+
+
+def top_instances(
+    dataset: MigrationDataset,
+    k: int = 30,
+    takeover: _dt.date = TAKEOVER_DATE,
+) -> TopInstancesResult:
+    """The Figure 4 histogram, accounts split by creation date."""
+    if not dataset.matched:
+        raise AnalysisError("no matched users in dataset")
+    before: dict[str, int] = {}
+    after: dict[str, int] = {}
+    n_before = 0
+    for uid, user in dataset.matched.items():
+        domain = user.mastodon_domain
+        join = dataset.mastodon_join_date(uid)
+        if join is not None and join < takeover:
+            before[domain] = before.get(domain, 0) + 1
+            n_before += 1
+        else:
+            after[domain] = after.get(domain, 0) + 1
+    totals = {
+        d: before.get(d, 0) + after.get(d, 0) for d in set(before) | set(after)
+    }
+    ranked = sorted(totals, key=lambda d: (-totals[d], d))[:k]
+    rows = [
+        InstanceRow(
+            domain=d, users_before=before.get(d, 0), users_after=after.get(d, 0)
+        )
+        for d in ranked
+    ]
+    with_account = sum(1 for uid in dataset.matched if uid in dataset.accounts)
+    return TopInstancesResult(
+        rows=rows,
+        total_users=len(dataset.matched),
+        total_instances=len(totals),
+        pre_takeover_share=100.0 * n_before / max(1, with_account),
+    )
+
+
+@dataclass(frozen=True)
+class ShareCurveResult:
+    """Figure 5: % of users on the top x% of instances."""
+
+    curve: list[tuple[float, float]]  # (top % of instances, % of users)
+    share_top_25pct: float
+    gini: float
+
+
+def user_share_curve(dataset: MigrationDataset) -> ShareCurveResult:
+    """The Figure 5 concentration curve over instance populations."""
+    populations = dataset.instance_populations()
+    if not populations:
+        raise AnalysisError("no instances in dataset")
+    sizes = list(populations.values())
+    return ShareCurveResult(
+        curve=top_share_curve(sizes),
+        share_top_25pct=share_of_top_fraction(sizes, 0.25),
+        gini=gini(sizes),
+    )

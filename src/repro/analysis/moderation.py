@@ -1,0 +1,101 @@
+"""Per-instance moderation load (extension).
+
+Section 6.3 closes on the moderation question: toxicity "might present
+challenges for Mastodon, where volunteer administrators are responsible for
+content moderation".  This extension quantifies that burden per instance:
+for every instance hosting matched migrants, the volume and share of toxic
+statuses its admins inherit, split by instance size — showing that even
+small, volunteer-run instances receive a non-trivial moderation stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from repro.nlp.toxicity import PerspectiveScorer
+from repro.util.stats import percent
+
+
+@dataclass(frozen=True)
+class InstanceModerationRow:
+    """One instance's moderation load."""
+
+    domain: str
+    users: int  # matched migrants on the instance
+    statuses: int
+    toxic_statuses: int
+
+    @property
+    def toxic_share_pct(self) -> float:
+        return percent(self.toxic_statuses, self.statuses)
+
+
+@dataclass(frozen=True)
+class ModerationResult:
+    """Moderation load across instances."""
+
+    rows: list[InstanceModerationRow]  # sorted by toxic volume, descending
+    pct_instances_with_toxic_content: float
+    small_instance_toxic_share_pct: float  # instances with <= small_cutoff users
+    large_instance_toxic_share_pct: float
+    small_cutoff: int
+
+
+def moderation_load(
+    dataset: MigrationDataset,
+    threshold: float = 0.5,
+    small_cutoff: int = 5,
+    scorer: PerspectiveScorer | None = None,
+) -> ModerationResult:
+    """Toxic-status volume per instance (admin's-eye view)."""
+    if not dataset.mastodon_timelines:
+        raise AnalysisError("no Mastodon timelines in dataset")
+    scorer = scorer if scorer is not None else PerspectiveScorer()
+    per_instance: dict[str, dict[str, int]] = {}
+    for uid, statuses in dataset.mastodon_timelines.items():
+        user = dataset.matched.get(uid)
+        if user is None:
+            continue
+        for status in statuses:
+            domain = status.account_acct.split("@", 1)[1]
+            bucket = per_instance.setdefault(
+                domain, {"users": 0, "statuses": 0, "toxic": 0}
+            )
+            bucket["statuses"] += 1
+            if scorer.score(status.text) > threshold:
+                bucket["toxic"] += 1
+    populations = dataset.instance_populations()
+    for domain, bucket in per_instance.items():
+        bucket["users"] = populations.get(domain, 0)
+    rows = sorted(
+        (
+            InstanceModerationRow(
+                domain=domain,
+                users=bucket["users"],
+                statuses=bucket["statuses"],
+                toxic_statuses=bucket["toxic"],
+            )
+            for domain, bucket in per_instance.items()
+        ),
+        key=lambda r: (-r.toxic_statuses, r.domain),
+    )
+    if not rows:
+        raise AnalysisError("no statuses attributable to instances")
+    with_toxic = sum(1 for r in rows if r.toxic_statuses > 0)
+    small = [r for r in rows if r.users <= small_cutoff]
+    large = [r for r in rows if r.users > small_cutoff]
+
+    def share(group: list[InstanceModerationRow]) -> float:
+        total = sum(r.statuses for r in group)
+        toxic = sum(r.toxic_statuses for r in group)
+        return percent(toxic, total)
+
+    return ModerationResult(
+        rows=rows,
+        pct_instances_with_toxic_content=percent(with_toxic, len(rows)),
+        small_instance_toxic_share_pct=share(small),
+        large_instance_toxic_share_pct=share(large),
+        small_cutoff=small_cutoff,
+    )

@@ -1,0 +1,166 @@
+"""Every headline number of the paper, computed from one dataset.
+
+:func:`headline_report` runs all analyses and returns a flat mapping of
+statistic name -> (paper value, measured value).  :func:`format_report`
+renders it as an aligned text table; the EXPERIMENTS.md document is
+generated from exactly this output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.centralization import top_instances, user_share_curve
+from repro.analysis.content import content_similarity
+from repro.analysis.instance_stats import instance_stats
+from repro.analysis.social_influence import followee_migration, platform_network_cdfs
+from repro.analysis.sources import top_sources
+from repro.analysis.switching import switch_matrix, switcher_influence
+from repro.analysis.toxicity import toxicity_analysis
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Headline:
+    """One paper statistic and its measured counterpart."""
+
+    key: str
+    description: str
+    paper: float
+    measured: float
+
+    @property
+    def delta(self) -> float:
+        return self.measured - self.paper
+
+
+def headline_report(dataset: MigrationDataset) -> list[Headline]:
+    """Compute every scalar the paper quotes, paired with its paper value."""
+    rows: list[Headline] = []
+
+    def add(key: str, description: str, paper: float, measured: float) -> None:
+        rows.append(
+            Headline(key=key, description=description, paper=paper, measured=measured)
+        )
+
+    matched = dataset.matched_users()
+    if not matched:
+        raise AnalysisError("empty dataset")
+    same = sum(1 for u in matched if u.same_username)
+    verified = sum(1 for u in matched if u.verified)
+    add("same_username_pct", "% matched users reusing their Twitter username",
+        72.0, 100.0 * same / len(matched))
+    add("verified_pct", "% matched users with legacy verification",
+        4.0, 100.0 * verified / len(matched))
+
+    tw_cov = dataset.twitter_coverage
+    add("twitter_timeline_ok_pct", "% Twitter timelines crawled", 94.88, tw_cov.rate("ok"))
+    add("twitter_suspended_pct", "% suspended", 0.08, tw_cov.rate("suspended"))
+    add("twitter_deleted_pct", "% deleted/deactivated", 2.26, tw_cov.rate("deleted"))
+    add("twitter_protected_pct", "% protected", 2.78, tw_cov.rate("protected"))
+    ma_cov = dataset.mastodon_coverage
+    add("mastodon_timeline_ok_pct", "% Mastodon timelines crawled", 79.22, ma_cov.rate("ok"))
+    add("mastodon_no_status_pct", "% with no statuses", 9.20, ma_cov.rate("no_statuses"))
+    add("mastodon_down_pct", "% on downed instances", 11.58, ma_cov.rate("instance_down"))
+
+    top = top_instances(dataset)
+    add("pre_takeover_accounts_pct", "% matched accounts created pre-takeover",
+        21.0, top.pre_takeover_share)
+
+    share = user_share_curve(dataset)
+    add("top25_share_pct", "% users on the top 25% of instances", 96.0,
+        share.share_top_25pct)
+
+    stats = instance_stats(dataset)
+    add("single_instance_share_pct", "% instances with exactly one user",
+        13.16, stats.single_user_instance_share)
+    add("cohort_share_pct", "% migrants in the fair-comparison cohort",
+        50.59, stats.cohort_share)
+    add("single_followers_uplift_pct", "single-user instance follower uplift",
+        64.88, stats.single_vs_rest_followers_pct)
+    add("single_followees_uplift_pct", "single-user instance followee uplift",
+        99.04, stats.single_vs_rest_followees_pct)
+    add("single_statuses_uplift_pct", "single-user instance status uplift",
+        121.14, stats.single_vs_rest_statuses_pct)
+
+    networks = platform_network_cdfs(dataset)
+    add("twitter_median_followers", "median Twitter followers", 744.0,
+        networks.twitter_followers.median)
+    add("twitter_median_followees", "median Twitter followees", 787.0,
+        networks.twitter_followees.median)
+    add("mastodon_median_followers", "median Mastodon followers", 38.0,
+        networks.mastodon_followers.median)
+    add("mastodon_median_followees", "median Mastodon followees", 48.0,
+        networks.mastodon_followees.median)
+    add("mastodon_no_followers_pct", "% with no Mastodon followers", 6.01,
+        networks.pct_no_mastodon_followers)
+    add("mastodon_no_followees_pct", "% following nobody on Mastodon", 3.6,
+        networks.pct_no_mastodon_followees)
+
+    followees = followee_migration(dataset)
+    add("mean_followees_migrated_pct", "mean % of followees that migrated",
+        5.99, followees.mean_frac_migrated)
+    add("no_followee_migrated_pct", "% users with no migrated followee",
+        3.94, followees.pct_users_no_followee_migrated)
+    add("first_mover_pct", "% users first in their ego network", 4.98,
+        followees.pct_users_first_mover)
+    add("last_mover_pct", "% users last in their ego network", 4.58,
+        followees.pct_users_last_mover)
+    add("moved_before_pct", "mean % of migrated followees moving earlier",
+        45.76, followees.mean_pct_moved_before)
+    add("same_instance_pct", "mean % of migrated followees on same instance",
+        14.72, followees.mean_pct_same_instance)
+
+    switches = switch_matrix(dataset)
+    add("switched_pct", "% users that switched instance", 4.09, switches.pct_switched)
+    add("switch_post_takeover_pct", "% switches after the takeover", 97.22,
+        switches.pct_post_takeover)
+    try:
+        influence = switcher_influence(dataset)
+    except AnalysisError:
+        influence = None
+    if influence is not None:
+        add("switch_first_instance_pct", "mean % followees on first instance",
+            11.4, influence.mean_pct_on_first)
+        add("switch_second_instance_pct", "mean % followees on second instance",
+            46.98, influence.mean_pct_on_second)
+        add("switch_second_before_pct", "mean % joining second before the user",
+            77.42, influence.mean_pct_second_before)
+
+    similarity = content_similarity(dataset)
+    add("identical_statuses_pct", "mean % identical statuses", 1.53,
+        similarity.mean_pct_identical)
+    add("similar_statuses_pct", "mean % similar statuses", 16.57,
+        similarity.mean_pct_similar)
+    add("all_different_pct", "% users posting completely different content",
+        84.45, similarity.pct_users_all_different)
+
+    sources = top_sources(dataset)
+    add("crossposter_users_pct", "% users using a cross-poster", 5.73,
+        sources.pct_users_crossposting)
+
+    tox = toxicity_analysis(dataset)
+    add("tweets_toxic_pct", "% tweets toxic", 5.49, tox.pct_tweets_toxic)
+    add("statuses_toxic_pct", "% statuses toxic", 2.80, tox.pct_statuses_toxic)
+    add("user_tweets_toxic_pct", "mean per-user % toxic tweets", 4.02,
+        tox.mean_user_pct_tweets_toxic)
+    add("user_statuses_toxic_pct", "mean per-user % toxic statuses", 2.07,
+        tox.mean_user_pct_statuses_toxic)
+    add("toxic_on_both_pct", "% users toxic on both platforms", 14.26,
+        tox.pct_users_toxic_on_both)
+
+    return rows
+
+
+def format_report(rows: list[Headline]) -> str:
+    """Render the headline table as aligned text."""
+    width = max(len(r.description) for r in rows)
+    lines = [f"{'statistic':<{width}}  {'paper':>9}  {'measured':>9}  {'delta':>8}"]
+    lines.append("-" * (width + 32))
+    for row in rows:
+        lines.append(
+            f"{row.description:<{width}}  {row.paper:>9.2f}  {row.measured:>9.2f}"
+            f"  {row.delta:>+8.2f}"
+        )
+    return "\n".join(lines)

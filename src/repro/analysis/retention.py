@@ -1,0 +1,88 @@
+"""Retention analysis (the paper's stated future work, Section 8).
+
+*"We would like to further investigate whether migrating users retain their
+Mastodon accounts or return to Twitter."*  This extension classifies each
+migrant by their end-of-window behaviour:
+
+- **retained** — still posting on Mastodon in the final week;
+- **dual** — posting on both platforms in the final week;
+- **returned** — stopped posting on Mastodon (no status in the final week)
+  while still tweeting;
+- **lurking** — no posts anywhere in the final week, Mastodon account alive;
+- **never engaged** — matched, but never posted a single status.
+
+The classification uses only crawled timelines, so it runs on a collected
+(or anonymised) dataset like every other analysis.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from repro.util.clock import SIM_END
+from repro.util.stats import Ecdf, percent
+
+
+@dataclass(frozen=True)
+class RetentionResult:
+    """End-of-window behaviour of migrants."""
+
+    pct_retained: float  # active on Mastodon in the final week
+    pct_dual: float  # active on both platforms in the final week
+    pct_returned: float  # tweeting but silent on Mastodon
+    pct_lurking: float  # silent on both
+    pct_never_engaged: float  # no status ever
+    days_active_cdf: Ecdf  # distinct Mastodon posting days per migrant
+    user_count: int
+
+
+def retention(
+    dataset: MigrationDataset,
+    window_end: _dt.date = SIM_END,
+    final_days: int = 7,
+) -> RetentionResult:
+    """Classify migrants by their final-week behaviour."""
+    if final_days < 1:
+        raise AnalysisError("final window must be at least one day")
+    if not dataset.matched:
+        raise AnalysisError("empty dataset")
+    cutoff = window_end - _dt.timedelta(days=final_days - 1)
+    retained = dual = returned = lurking = never = 0
+    days_active: list[int] = []
+    n = 0
+    for uid in dataset.matched:
+        statuses = dataset.mastodon_timelines.get(uid)
+        tweets = dataset.twitter_timelines.get(uid)
+        if statuses is None and uid not in dataset.accounts:
+            continue  # unreachable account: cannot classify
+        n += 1
+        status_days = {s.created_date for s in statuses or ()}
+        tweet_days = {t.created_date for t in tweets or ()}
+        days_active.append(len(status_days))
+        masto_final = any(d >= cutoff for d in status_days)
+        twitter_final = any(d >= cutoff for d in tweet_days)
+        if not status_days:
+            never += 1
+        elif masto_final and twitter_final:
+            dual += 1
+            retained += 1
+        elif masto_final:
+            retained += 1
+        elif twitter_final:
+            returned += 1
+        else:
+            lurking += 1
+    if n == 0:
+        raise AnalysisError("no classifiable users")
+    return RetentionResult(
+        pct_retained=percent(retained, n),
+        pct_dual=percent(dual, n),
+        pct_returned=percent(returned, n),
+        pct_lurking=percent(lurking, n),
+        pct_never_engaged=percent(never, n),
+        days_active_cdf=Ecdf.from_sample(days_active),
+        user_count=n,
+    )

@@ -1,0 +1,160 @@
+"""RQ2: social-network influence on migration (Section 5, Figures 7-8).
+
+Two analyses:
+
+- :func:`platform_network_cdfs` -- Figure 7: how large are migrants' social
+  networks on each platform (Twitter medians 744/787 in the paper, Mastodon
+  38/48, with 6.01% / 3.6% of Mastodon accounts having no followers /
+  followees);
+- :func:`followee_migration` -- Figure 8: what fraction of each migrant's
+  Twitter followees also migrated (5.99% on average), migrated *before* the
+  user (45.76% of migrated followees), and chose the *same instance*
+  (14.72% of migrated followees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from repro.util.stats import Ecdf, percent
+
+
+@dataclass(frozen=True)
+class PlatformNetworkResult:
+    """Figure 7: follower/followee CDFs on both platforms."""
+
+    twitter_followers: Ecdf
+    twitter_followees: Ecdf
+    mastodon_followers: Ecdf
+    mastodon_followees: Ecdf
+    pct_no_twitter_followers: float
+    pct_no_twitter_followees: float
+    pct_no_mastodon_followers: float
+    pct_no_mastodon_followees: float
+    pct_gained_on_mastodon: float  # users with more Mastodon than Twitter followers
+    median_gain_on_mastodon: float
+
+
+def platform_network_cdfs(dataset: MigrationDataset) -> PlatformNetworkResult:
+    """The Figure 7 comparison over all matched users with account records."""
+    tw_followers, tw_followees = [], []
+    ma_followers, ma_followees = [], []
+    gains = []
+    for uid, user in dataset.matched.items():
+        record = dataset.accounts.get(uid)
+        if record is None:
+            continue
+        tw_followers.append(user.twitter_followers)
+        tw_followees.append(user.twitter_following)
+        ma_followers.append(record.followers)
+        ma_followees.append(record.following)
+        if record.followers > user.twitter_followers:
+            gains.append(record.followers - user.twitter_followers)
+    if not tw_followers:
+        raise AnalysisError("no users with both profiles resolved")
+    n = len(tw_followers)
+    return PlatformNetworkResult(
+        twitter_followers=Ecdf.from_sample(tw_followers),
+        twitter_followees=Ecdf.from_sample(tw_followees),
+        mastodon_followers=Ecdf.from_sample(ma_followers),
+        mastodon_followees=Ecdf.from_sample(ma_followees),
+        pct_no_twitter_followers=percent(sum(1 for v in tw_followers if v == 0), n),
+        pct_no_twitter_followees=percent(sum(1 for v in tw_followees if v == 0), n),
+        pct_no_mastodon_followers=percent(sum(1 for v in ma_followers if v == 0), n),
+        pct_no_mastodon_followees=percent(sum(1 for v in ma_followees if v == 0), n),
+        pct_gained_on_mastodon=percent(len(gains), n),
+        median_gain_on_mastodon=float(np.median(gains)) if gains else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class FolloweeMigrationResult:
+    """Figure 8 plus the Section 5.2 scalars."""
+
+    #: CDF inputs: one value per sampled user.
+    frac_migrated: Ecdf  # fraction of followees that migrated (blue)
+    frac_migrated_before: Ecdf  # ... that migrated before the user (orange)
+    frac_same_instance: Ecdf  # ... that chose the user's instance (green)
+    mean_frac_migrated: float  # paper: 5.99%
+    pct_users_no_followee_migrated: float  # paper: 3.94%
+    pct_users_first_mover: float  # paper: 4.98%
+    pct_users_last_mover: float  # paper: 4.58%
+    mean_pct_moved_before: float  # of migrated followees; paper: 45.76%
+    mean_pct_same_instance: float  # of migrated followees; paper: 14.72%
+    #: Of users whose followees share their instance, % on mastodon.social
+    same_instance_top_domain_share: dict[str, float]
+    sample_size: int
+
+
+def followee_migration(dataset: MigrationDataset) -> FolloweeMigrationResult:
+    """The Figure 8 analysis over the §3.3 followee sample."""
+    if not dataset.followee_sample:
+        raise AnalysisError("no followee sample in dataset")
+    frac_migrated, frac_before, frac_same = [], [], []
+    pct_before_cond, pct_same_cond = [], []
+    first_movers = 0
+    last_movers = 0
+    none_migrated = 0
+    same_instance_domains: list[str] = []
+    n_users = 0
+    for uid, record in sorted(dataset.followee_sample.items()):
+        user = dataset.matched.get(uid)
+        join = dataset.mastodon_join_date(uid)
+        if user is None or join is None or not record.twitter_followees:
+            continue
+        n_users += 1
+        followees = record.twitter_followees
+        migrated = [f for f in followees if f in dataset.matched]
+        migrated_dates = [
+            dataset.mastodon_join_date(f)
+            for f in migrated
+            if dataset.mastodon_join_date(f) is not None
+        ]
+        before = [d for d in migrated_dates if d is not None and d < join]
+        same = [
+            f
+            for f in migrated
+            if dataset.matched[f].mastodon_domain == user.mastodon_domain
+        ]
+        n = len(followees)
+        frac_migrated.append(len(migrated) / n)
+        frac_before.append(len(before) / n)
+        frac_same.append(len(same) / n)
+        if not migrated:
+            none_migrated += 1
+        else:
+            pct_before_cond.append(percent(len(before), len(migrated_dates) or 1))
+            pct_same_cond.append(percent(len(same), len(migrated)))
+            if same:
+                same_instance_domains.append(user.mastodon_domain)
+            if migrated_dates:
+                if all(join <= d for d in migrated_dates):
+                    first_movers += 1
+                if all(join >= d for d in migrated_dates):
+                    last_movers += 1
+    if n_users == 0:
+        raise AnalysisError("followee sample has no usable users")
+    domain_share: dict[str, float] = {}
+    for domain in same_instance_domains:
+        domain_share[domain] = domain_share.get(domain, 0) + 1
+    domain_share = {
+        d: percent(c, len(same_instance_domains))
+        for d, c in sorted(domain_share.items(), key=lambda kv: -kv[1])[:10]
+    }
+    return FolloweeMigrationResult(
+        frac_migrated=Ecdf.from_sample(frac_migrated),
+        frac_migrated_before=Ecdf.from_sample(frac_before),
+        frac_same_instance=Ecdf.from_sample(frac_same),
+        mean_frac_migrated=100.0 * float(np.mean(frac_migrated)),
+        pct_users_no_followee_migrated=percent(none_migrated, n_users),
+        pct_users_first_mover=percent(first_movers, n_users),
+        pct_users_last_mover=percent(last_movers, n_users),
+        mean_pct_moved_before=float(np.mean(pct_before_cond)) if pct_before_cond else 0.0,
+        mean_pct_same_instance=float(np.mean(pct_same_cond)) if pct_same_cond else 0.0,
+        same_instance_top_domain_share=domain_share,
+        sample_size=n_users,
+    )

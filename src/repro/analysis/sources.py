@@ -1,0 +1,117 @@
+"""RQ3: tweet sources and cross-posting (Section 6.1, Figures 12-13).
+
+Figure 12 compares tweet counts per posting client before and after the
+takeover: the two Mastodon bridges grow by 1128.95% (Crossposter) and
+1732.26% (Moa).  Figure 13 tracks the number of distinct users of the
+bridges per day, which rises after the takeover and falls in late November
+when their elevated API access was revoked.  Overall 5.73% of migrants used
+a bridge at least once.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from repro.twitter.clients import CROSSPOSTER_NAMES
+from repro.util.clock import TAKEOVER_DATE
+from repro.util.stats import percent
+
+
+@dataclass(frozen=True)
+class SourceRow:
+    """One bar pair of Figure 12."""
+
+    source: str
+    before: int
+    after: int
+
+    @property
+    def total(self) -> int:
+        return self.before + self.after
+
+    @property
+    def growth_pct(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return 100.0 * (self.after - self.before) / self.before
+
+
+@dataclass(frozen=True)
+class SourcesResult:
+    """Figure 12 plus the cross-poster adoption scalars."""
+
+    rows: list[SourceRow]  # top-k by total volume
+    crossposter_rows: list[SourceRow]
+    pct_users_crossposting: float  # paper: 5.73%
+
+
+def top_sources(
+    dataset: MigrationDataset, k: int = 30, takeover: _dt.date = TAKEOVER_DATE
+) -> SourcesResult:
+    """Tweets per source before/after the takeover (Figure 12)."""
+    if not dataset.twitter_timelines:
+        raise AnalysisError("no Twitter timelines in dataset")
+    before: dict[str, int] = {}
+    after: dict[str, int] = {}
+    crossposting_users: set[int] = set()
+    for uid, tweets in dataset.twitter_timelines.items():
+        for tweet in tweets:
+            bucket = before if tweet.created_date < takeover else after
+            bucket[tweet.source] = bucket.get(tweet.source, 0) + 1
+            if tweet.source in CROSSPOSTER_NAMES:
+                crossposting_users.add(uid)
+    totals = {
+        s: before.get(s, 0) + after.get(s, 0) for s in set(before) | set(after)
+    }
+    ranked = sorted(totals, key=lambda s: (-totals[s], s))[:k]
+    rows = [
+        SourceRow(source=s, before=before.get(s, 0), after=after.get(s, 0))
+        for s in ranked
+    ]
+    cross_rows = [
+        SourceRow(source=s, before=before.get(s, 0), after=after.get(s, 0))
+        for s in sorted(CROSSPOSTER_NAMES)
+    ]
+    # Mastodon-side bridge use also counts as cross-posting adoption.
+    for uid, statuses in dataset.mastodon_timelines.items():
+        if any(s.application in CROSSPOSTER_NAMES for s in statuses):
+            crossposting_users.add(uid)
+    return SourcesResult(
+        rows=rows,
+        crossposter_rows=cross_rows,
+        pct_users_crossposting=percent(
+            len(crossposting_users), max(1, len(dataset.matched))
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class CrossposterDailyResult:
+    """Figure 13: distinct bridge users per day."""
+
+    users_per_day: list[tuple[_dt.date, int]]
+    peak_day: _dt.date
+    peak_users: int
+
+
+def crossposter_daily_users(dataset: MigrationDataset) -> CrossposterDailyResult:
+    """Daily distinct users posting via a bridge, on either platform."""
+    days: dict[_dt.date, set[int]] = {}
+    for uid, tweets in dataset.twitter_timelines.items():
+        for tweet in tweets:
+            if tweet.source in CROSSPOSTER_NAMES:
+                days.setdefault(tweet.created_date, set()).add(uid)
+    for uid, statuses in dataset.mastodon_timelines.items():
+        for status in statuses:
+            if status.application in CROSSPOSTER_NAMES:
+                days.setdefault(status.created_date, set()).add(uid)
+    if not days:
+        raise AnalysisError("no cross-poster usage in dataset")
+    series = sorted((day, len(users)) for day, users in days.items())
+    peak_day, peak_users = max(series, key=lambda kv: kv[1])
+    return CrossposterDailyResult(
+        users_per_day=series, peak_day=peak_day, peak_users=peak_users
+    )

@@ -1,0 +1,25 @@
+"""The paper's data-collection pipeline (Section 3).
+
+Five collectors, matching the paper's methodology step for step:
+
+1. :mod:`repro.collection.instance_list` -- compile the instance index
+   (instances.social's role, §3.1);
+2. :mod:`repro.collection.tweet_search` -- collect every tweet linking a
+   known instance or containing a migration keyword/hashtag (§3.1);
+3. :mod:`repro.collection.handle_matching` -- hierarchical Twitter->Mastodon
+   account matching: profile metadata first, then tweet text with the
+   identical-username requirement (§3.1);
+4. :mod:`repro.collection.timelines` -- crawl both platforms' timelines with
+   full failure accounting (§3.2);
+5. :mod:`repro.collection.followees` -- the rate-limit-driven 10% stratified
+   followee crawl (§3.3), plus :mod:`repro.collection.weekly_activity` for
+   the instance-activity crawl backing Figure 3.
+
+:func:`repro.collection.pipeline.collect_dataset` runs all of them and
+returns a :class:`repro.collection.dataset.MigrationDataset`.
+"""
+
+from repro.collection.dataset import MigrationDataset
+from repro.collection.pipeline import CollectionConfig, collect_dataset
+
+__all__ = ["MigrationDataset", "CollectionConfig", "collect_dataset"]

@@ -1,0 +1,165 @@
+"""Dataset anonymization (the paper's promised public release).
+
+Section 3.4: *"Upon acceptance of the paper, anonymized data will be made
+available to the public."*  This module produces that artefact: a
+:class:`MigrationDataset` whose user identifiers are pseudonymised while
+every analysis in :mod:`repro.analysis` still computes the same results.
+
+Pseudonymisation is keyed HMAC (BLAKE2b) so it is:
+
+- **deterministic** given the key — the same user maps to the same pseudonym
+  across the whole dataset (ids, handles, and handle mentions inside post
+  text), preserving relational structure;
+- **consistent across platforms** — a user who reused their Twitter username
+  on Mastodon keeps that property (both names map to the same pseudonym), so
+  the 72%-same-username statistic survives;
+- **one-way** without the key.
+
+Instance domains are *not* anonymised: they are public infrastructure and
+the unit of analysis for RQ1 (the paper names them throughout).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+from repro.collection.dataset import (
+    FolloweeRecord,
+    MastodonAccountRecord,
+    MatchedUser,
+    MigrationDataset,
+)
+from repro.collection.handle_matching import ACCT_RE, URL_RE
+from repro.fediverse.models import Status
+from repro.twitter.models import Tweet
+
+
+class Anonymizer:
+    """Keyed pseudonymisation of a collected dataset."""
+
+    def __init__(self, key: str) -> None:
+        if not key:
+            raise ValueError("anonymization key must be non-empty")
+        self._key = key.encode("utf-8")
+
+    # -- primitives --------------------------------------------------------------
+
+    def pseudo_user_id(self, user_id: int) -> int:
+        """A stable 53-bit pseudonymous id (JSON-safe integer range)."""
+        digest = hashlib.blake2b(
+            str(user_id).encode(), key=self._key, digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "big") >> 11
+
+    def pseudo_username(self, username: str) -> str:
+        """A stable pseudonym; case-insensitive equality is preserved."""
+        digest = hashlib.blake2b(
+            username.lower().encode(), key=self._key, digest_size=6
+        ).hexdigest()
+        return f"user_{digest}"
+
+    def pseudo_acct(self, acct: str) -> str:
+        username, domain = acct.split("@", 1)
+        return f"{self.pseudo_username(username)}@{domain}"
+
+    def scrub_text(self, text: str) -> str:
+        """Replace every handle mention inside post text."""
+
+        def replace_acct(match: re.Match) -> str:
+            return f"@{self.pseudo_username(match.group(1))}@{match.group(2)}"
+
+        def replace_url(match: re.Match) -> str:
+            return f"https://{match.group(1)}/@{self.pseudo_username(match.group(2))}"
+
+        return URL_RE.sub(replace_url, ACCT_RE.sub(replace_acct, text))
+
+    # -- dataset transform -----------------------------------------------------------
+
+    def anonymize(self, dataset: MigrationDataset) -> MigrationDataset:
+        """A pseudonymised copy; the input is left untouched."""
+        out = MigrationDataset()
+        out.instance_domains = list(dataset.instance_domains)
+        out.collected_tweets = [self._tweet(t) for t in dataset.collected_tweets]
+        out.collected_user_count = dataset.collected_user_count
+        out.matched = {
+            self.pseudo_user_id(uid): self._matched(m)
+            for uid, m in dataset.matched.items()
+        }
+        out.accounts = {
+            self.pseudo_user_id(uid): self._account(a)
+            for uid, a in dataset.accounts.items()
+        }
+        out.twitter_timelines = {
+            self.pseudo_user_id(uid): [self._tweet(t) for t in tweets]
+            for uid, tweets in dataset.twitter_timelines.items()
+        }
+        out.mastodon_timelines = {
+            self.pseudo_user_id(uid): [self._status(s) for s in statuses]
+            for uid, statuses in dataset.mastodon_timelines.items()
+        }
+        out.twitter_coverage = dataset.twitter_coverage
+        out.mastodon_coverage = dataset.mastodon_coverage
+        out.followee_sample = {
+            self.pseudo_user_id(uid): FolloweeRecord(
+                twitter_user_id=self.pseudo_user_id(uid),
+                twitter_followees=tuple(
+                    self.pseudo_user_id(f) for f in record.twitter_followees
+                ),
+                mastodon_following=tuple(
+                    self.pseudo_acct(a) for a in record.mastodon_following
+                ),
+            )
+            for uid, record in dataset.followee_sample.items()
+        }
+        out.weekly_activity = {
+            domain: [dict(row) for row in rows]
+            for domain, rows in dataset.weekly_activity.items()
+        }
+        out.trends = {term: list(series) for term, series in dataset.trends.items()}
+        return out
+
+    # -- record transforms ---------------------------------------------------------------
+
+    def _tweet(self, tweet: Tweet) -> Tweet:
+        return Tweet(
+            tweet_id=tweet.tweet_id,
+            author_id=self.pseudo_user_id(tweet.author_id),
+            created_at=tweet.created_at,
+            text=self.scrub_text(tweet.text),
+            source=tweet.source,
+            is_retweet=tweet.is_retweet,
+        )
+
+    def _status(self, status: Status) -> Status:
+        return Status(
+            status_id=status.status_id,
+            account_acct=self.pseudo_acct(status.account_acct),
+            created_at=status.created_at,
+            text=self.scrub_text(status.text),
+            application=status.application,
+            reblog_of_id=status.reblog_of_id,
+        )
+
+    def _matched(self, m: MatchedUser) -> MatchedUser:
+        return MatchedUser(
+            twitter_user_id=self.pseudo_user_id(m.twitter_user_id),
+            twitter_username=self.pseudo_username(m.twitter_username),
+            mastodon_acct=self.pseudo_acct(m.mastodon_acct),
+            matched_via=m.matched_via,
+            verified=m.verified,
+            twitter_created_at=m.twitter_created_at,
+            twitter_followers=m.twitter_followers,
+            twitter_following=m.twitter_following,
+        )
+
+    def _account(self, a: MastodonAccountRecord) -> MastodonAccountRecord:
+        return MastodonAccountRecord(
+            first_acct=self.pseudo_acct(a.first_acct),
+            first_created_at=a.first_created_at,
+            moved_to=self.pseudo_acct(a.moved_to) if a.moved_to else None,
+            second_created_at=a.second_created_at,
+            followers=a.followers,
+            following=a.following,
+            statuses=a.statuses,
+        )

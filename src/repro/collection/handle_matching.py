@@ -1,0 +1,143 @@
+"""Hierarchical Mastodon-handle matching (Section 3.1).
+
+Mastodon usernames appear in two written forms:
+
+- ``@alice@example.com`` (the acct form), and
+- ``https://example.com/@alice`` (the profile-URL form).
+
+The matcher searches, for each Twitter account that posted a collected tweet:
+
+1. the account's profile **metadata** -- display name, location, description,
+   URL field and the pinned tweet's text; a handle found here is trusted
+   as-is (people put *their own* handle in their bio);
+2. failing that, the **text of the account's collected tweets**; a handle
+   found here is only accepted when the Mastodon username is identical to
+   the Twitter username, because tweets routinely mention *other people's*
+   handles.
+
+Only handles on domains present in the instance index are considered.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.twitter.models import Tweet, TwitterUser
+
+#: ``@user@domain``.  The leading char class stops us matching the tail of an
+#: e-mail-like token; Mastodon usernames are word chars, dots and dashes.
+ACCT_RE = re.compile(
+    r"(?<![\w@])@([A-Za-z0-9_]+(?:[.-][A-Za-z0-9_]+)*)@"
+    r"([A-Za-z0-9-]+(?:\.[A-Za-z0-9-]+)+)"
+)
+
+#: ``https://domain/@user``.
+URL_RE = re.compile(
+    r"https?://([A-Za-z0-9-]+(?:\.[A-Za-z0-9-]+)+)/@"
+    r"([A-Za-z0-9_]+(?:[.-][A-Za-z0-9_]+)*)"
+)
+
+
+def extract_handles(text: str, known_domains: frozenset[str]) -> list[tuple[str, str]]:
+    """All ``(username, domain)`` handles in ``text`` on known instances.
+
+    Order of appearance is preserved; duplicates are removed.
+    """
+    found: list[tuple[str, str]] = []
+    seen: set[tuple[str, str]] = set()
+    for match in ACCT_RE.finditer(text):
+        handle = (match.group(1), match.group(2).lower())
+        if handle[1] in known_domains and handle not in seen:
+            seen.add(handle)
+            found.append(handle)
+    for match in URL_RE.finditer(text):
+        handle = (match.group(2), match.group(1).lower())
+        if handle[1] in known_domains and handle not in seen:
+            seen.add(handle)
+            found.append(handle)
+    return found
+
+
+@dataclass(frozen=True)
+class Match:
+    """One Twitter->Mastodon account mapping."""
+
+    twitter_user_id: int
+    twitter_username: str
+    mastodon_username: str
+    mastodon_domain: str
+    matched_via: str  # 'metadata' | 'tweet'
+
+    @property
+    def mastodon_acct(self) -> str:
+        return f"{self.mastodon_username}@{self.mastodon_domain}"
+
+    @property
+    def same_username(self) -> bool:
+        return self.twitter_username.lower() == self.mastodon_username.lower()
+
+
+class HandleMatcher:
+    """Runs the two-step hierarchical matching."""
+
+    def __init__(self, known_domains: frozenset[str]) -> None:
+        if not known_domains:
+            raise ValueError("the instance index is empty")
+        self._domains = frozenset(d.lower() for d in known_domains)
+
+    def match_metadata(self, user: TwitterUser, pinned_text: str = "") -> Match | None:
+        """Step 1: search profile metadata (and the pinned tweet's text)."""
+        fields = list(user.metadata_fields().values())
+        if pinned_text:
+            fields.append(pinned_text)
+        for field in fields:
+            if not field:
+                continue
+            handles = extract_handles(field, self._domains)
+            if handles:
+                username, domain = handles[0]
+                return Match(
+                    twitter_user_id=user.user_id,
+                    twitter_username=user.username,
+                    mastodon_username=username,
+                    mastodon_domain=domain,
+                    matched_via="metadata",
+                )
+        return None
+
+    def match_tweets(self, user: TwitterUser, tweets: list[Tweet]) -> Match | None:
+        """Step 2: search tweet text; require identical usernames."""
+        for tweet in tweets:
+            for username, domain in extract_handles(tweet.text, self._domains):
+                if username.lower() == user.username.lower():
+                    return Match(
+                        twitter_user_id=user.user_id,
+                        twitter_username=user.username,
+                        mastodon_username=username,
+                        mastodon_domain=domain,
+                        matched_via="tweet",
+                    )
+        return None
+
+    def match_user(
+        self, user: TwitterUser, tweets: list[Tweet], pinned_text: str = ""
+    ) -> Match | None:
+        """The full hierarchy: metadata first, tweet text as fallback."""
+        match = self.match_metadata(user, pinned_text=pinned_text)
+        if match is not None:
+            return match
+        return self.match_tweets(user, tweets)
+
+    def match_all(
+        self,
+        users: dict[int, TwitterUser],
+        tweets_by_author: dict[int, list[Tweet]],
+    ) -> dict[int, Match]:
+        """Match every author of a collected tweet; returns id->Match."""
+        matches: dict[int, Match] = {}
+        for user_id, user in users.items():
+            match = self.match_user(user, tweets_by_author.get(user_id, []))
+            if match is not None:
+                matches[user_id] = match
+        return matches

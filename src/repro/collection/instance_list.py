@@ -1,0 +1,33 @@
+"""Instance-index compilation (Section 3.1, first step).
+
+The paper seeds everything with a global list of Mastodon instances from
+instances.social (15,886 unique domains).  Here the directory service plays
+that role; the compiler normalises and deduplicates domains, exactly what a
+real pipeline must do with a scraped index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.fediverse.directory import InstanceDirectory
+
+
+def compile_instance_list(directory: InstanceDirectory) -> list[str]:
+    """The sorted, deduplicated list of known instance domains."""
+    return normalize_domains(directory.domains())
+
+
+def normalize_domains(domains: Iterable[str]) -> list[str]:
+    """Lowercase, strip and deduplicate a raw domain list (order: sorted)."""
+    cleaned: set[str] = set()
+    for domain in domains:
+        domain = domain.strip().lower().rstrip(".")
+        if domain.startswith("https://"):
+            domain = domain[len("https://") :]
+        if domain.startswith("http://"):
+            domain = domain[len("http://") :]
+        domain = domain.split("/")[0]
+        if "." in domain and " " not in domain:
+            cleaned.add(domain)
+    return sorted(cleaned)

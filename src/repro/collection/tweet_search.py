@@ -1,0 +1,92 @@
+"""Migration-tweet collection (Section 3.1).
+
+Two full-archive searches over the collection window (Oct 26 - Nov 21 2022):
+
+1. tweets containing a link to any known Mastodon instance, issued in
+   domain batches (the real API bounds query length, so ~20 domains per
+   query);
+2. tweets containing the migration keywords and hashtags.
+
+Results are merged and deduplicated; the authors' user objects are kept for
+the matcher.  The paper gathered 2,090,940 tweets from 1,024,577 users here.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from repro.twitter.api import TwitterAPI
+from repro.twitter.models import Tweet, TwitterUser
+from repro.twitter.search import SearchQuery, instance_link_query, migration_query
+from repro.util.clock import TWEET_COLLECTION_END, TWEET_COLLECTION_START
+
+#: Domains per instance-link query (the real query-length limit's effect).
+DOMAIN_BATCH = 20
+
+
+@dataclass
+class CollectedTweets:
+    """The §3.1 corpus: tweets plus their authors' user objects."""
+
+    tweets: list[Tweet] = field(default_factory=list)
+    users: dict[int, TwitterUser] = field(default_factory=dict)
+
+    @property
+    def tweet_count(self) -> int:
+        return len(self.tweets)
+
+    @property
+    def user_count(self) -> int:
+        return len(self.users)
+
+    def tweets_by_author(self) -> dict[int, list[Tweet]]:
+        by_author: dict[int, list[Tweet]] = {}
+        for tweet in self.tweets:
+            by_author.setdefault(tweet.author_id, []).append(tweet)
+        return by_author
+
+
+class TweetCollector:
+    """Runs the two searches and merges the results."""
+
+    def __init__(
+        self,
+        api: TwitterAPI,
+        since: _dt.date = TWEET_COLLECTION_START,
+        until: _dt.date = TWEET_COLLECTION_END,
+    ) -> None:
+        self._api = api
+        self._since = since
+        self._until = until
+
+    def collect(self, instance_domains: list[str]) -> CollectedTweets:
+        """Collect all migration-related tweets in the window."""
+        collected = CollectedTweets()
+        seen: set[int] = set()
+        for query in self._queries(instance_domains):
+            self._drain(query, collected, seen)
+        collected.tweets.sort(key=lambda t: t.tweet_id)
+        return collected
+
+    def _queries(self, instance_domains: list[str]) -> list[SearchQuery]:
+        queries = [migration_query(self._since, self._until)]
+        for start in range(0, len(instance_domains), DOMAIN_BATCH):
+            batch = tuple(instance_domains[start : start + DOMAIN_BATCH])
+            queries.append(instance_link_query(batch, self._since, self._until))
+        return queries
+
+    def _drain(
+        self, query: SearchQuery, collected: CollectedTweets, seen: set[int]
+    ) -> None:
+        token: str | None = None
+        while True:
+            page = self._api.search_all(query, next_token=token)
+            for tweet in page.tweets:
+                if tweet.tweet_id not in seen:
+                    seen.add(tweet.tweet_id)
+                    collected.tweets.append(tweet)
+            collected.users.update(page.users)
+            token = page.next_token
+            if token is None:
+                return

@@ -1,0 +1,46 @@
+"""The weekly-activity crawl (Section 3.1, Figure 3).
+
+The paper cross-checks its migrant counts against the weekly registrations,
+logins and statuses reported by the 2,879 instances migrants joined, via
+Mastodon's instance-activity endpoint.  Downed instances are skipped.
+"""
+
+from __future__ import annotations
+
+from repro.fediverse.api import MastodonClient
+from repro.fediverse.errors import InstanceDownError, InstanceNotFoundError
+
+
+class WeeklyActivityCrawler:
+    """Fetches weekly-activity rows per instance, tolerating downtime."""
+
+    def __init__(self, client: MastodonClient) -> None:
+        self._client = client
+        self.failed_domains: list[str] = []
+
+    def crawl(self, domains: list[str]) -> dict[str, list[dict]]:
+        activity: dict[str, list[dict]] = {}
+        self.failed_domains = []
+        for domain in domains:
+            try:
+                rows = self._client.instance_activity(domain)
+            except (InstanceDownError, InstanceNotFoundError):
+                self.failed_domains.append(domain)
+                continue
+            activity[domain] = rows
+        return activity
+
+
+def aggregate_weeks(activity: dict[str, list[dict]]) -> list[dict]:
+    """Sum per-instance rows into one row per week, sorted by week label."""
+    totals: dict[str, dict] = {}
+    for rows in activity.values():
+        for row in rows:
+            week = row["week"]
+            bucket = totals.setdefault(
+                week, {"week": week, "statuses": 0, "logins": 0, "registrations": 0}
+            )
+            bucket["statuses"] += row["statuses"]
+            bucket["logins"] += row["logins"]
+            bucket["registrations"] += row["registrations"]
+    return [totals[w] for w in sorted(totals)]

@@ -1,0 +1,26 @@
+"""Exception hierarchy shared across the reproduction package.
+
+Subsystem-specific errors (for example :class:`repro.twitter.errors.TwitterError`)
+derive from :class:`ReproError` so that callers can catch everything raised by
+this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The world simulator was driven into an invalid state."""
+
+
+class CollectionError(ReproError):
+    """The data-collection pipeline failed in an unrecoverable way."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to operate on unusable inputs."""

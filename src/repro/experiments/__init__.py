@@ -1,0 +1,23 @@
+"""One module per paper figure, plus a registry and a CLI runner.
+
+Every experiment consumes a collected :class:`MigrationDataset` and returns
+an :class:`ExperimentResult` — the figure's rows/series as printable data,
+with the figure's headline scalars in ``notes``.  The runner regenerates
+every figure in one pass::
+
+    repro-experiments --scale 0.01 --seed 7
+
+or programmatically::
+
+    from repro.experiments import run_all
+    results = run_all(dataset)
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiment_ids,
+    get_experiment,
+    run_all,
+)
+
+__all__ = ["ExperimentResult", "all_experiment_ids", "get_experiment", "run_all"]

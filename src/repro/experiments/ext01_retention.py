@@ -1,0 +1,35 @@
+"""Extension X1: retention — do migrants stay? (the paper's future work).
+
+Classifies every matched migrant by final-week behaviour: retained on
+Mastodon, dual-platform, returned to Twitter only, lurking, or never engaged.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.retention import retention
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+
+EXP_ID = "X1"
+TITLE = "Retention: end-of-window behaviour of migrants (extension)"
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = retention(dataset)
+    rows = [
+        ("retained on Mastodon (final week)", result.pct_retained),
+        ("... of which dual-platform", result.pct_dual),
+        ("returned to Twitter only", result.pct_returned),
+        ("lurking (silent on both)", result.pct_lurking),
+        ("never posted a status", result.pct_never_engaged),
+    ]
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["behaviour", "% of migrants"],
+        rows=rows,
+        notes={
+            "user_count": float(result.user_count),
+            "median_mastodon_posting_days": result.days_active_cdf.median,
+        },
+    )

@@ -1,0 +1,37 @@
+"""Extension X2: the moderation load volunteer admins inherit.
+
+Per-instance toxic-status volume over the crawled timelines — the concrete
+burden behind Section 6.3's closing concern about volunteer moderation.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.moderation import moderation_load
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+
+EXP_ID = "X2"
+TITLE = "Per-instance moderation load (extension)"
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = moderation_load(dataset)
+    rows = [
+        (row.domain, row.users, row.statuses, row.toxic_statuses,
+         row.toxic_share_pct)
+        for row in result.rows[:20]
+    ]
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["instance", "migrants", "statuses", "toxic", "toxic %"],
+        rows=rows,
+        notes={
+            "pct_instances_with_toxic_content": (
+                result.pct_instances_with_toxic_content
+            ),
+            "small_instance_toxic_share_pct": result.small_instance_toxic_share_pct,
+            "large_instance_toxic_share_pct": result.large_instance_toxic_share_pct,
+            "small_cutoff_users": float(result.small_cutoff),
+        },
+    )

@@ -1,0 +1,43 @@
+"""Figure 1: search interest for "Twitter alternatives" and rival platforms.
+
+Paper shape: near-zero interest before October 2022, a dominant spike on
+October 28 (the day after the takeover), smaller echoes at the layoffs and
+ultimatum; Mastodon's curve dwarfs Koo's and Hive Social's.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from repro.experiments.registry import ExperimentResult
+
+EXP_ID = "F1"
+TITLE = "Search interest over time (Google-Trends analogue)"
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    if not dataset.trends:
+        raise AnalysisError("dataset has no trends series")
+    terms = sorted(dataset.trends)
+    days = [day for day, __ in dataset.trends[terms[0]]]
+    by_term = {term: dict(dataset.trends[term]) for term in terms}
+    rows = [
+        tuple([day] + [by_term[term].get(day, 0) for term in terms]) for day in days
+    ]
+    notes: dict[str, float] = {}
+    for term in terms:
+        series = dataset.trends[term]
+        peak_day, peak = max(series, key=lambda kv: kv[1])
+        notes[f"peak[{term}]"] = float(peak)
+        notes[f"peak_doy[{term}]"] = float(
+            _dt.date.fromisoformat(peak_day).timetuple().tm_yday
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["day"] + terms,
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,33 @@
+"""Figure 2: daily volume of migration-related tweets.
+
+Paper shape: low volume on Oct 26, an explosion at the takeover (Oct 27-28),
+decay afterwards with bumps at the layoffs (Nov 04) and ultimatum (Nov 17).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.activity import collected_tweet_volume
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+from repro.util.clock import TAKEOVER_DATE
+
+EXP_ID = "F2"
+TITLE = "Temporal distribution of migration-related tweets"
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    volume = collected_tweet_volume(dataset)
+    rows = [(day.isoformat(), count) for day, count in volume.per_day]
+    pre = sum(c for d, c in volume.per_day if d < TAKEOVER_DATE)
+    post = volume.total - pre
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["day", "tweets"],
+        rows=rows,
+        notes={
+            "total_tweets": float(volume.total),
+            "peak_day_of_year": float(volume.peak_day.timetuple().tm_yday),
+            "post_takeover_share_pct": 100.0 * post / max(1, volume.total),
+        },
+    )

@@ -1,0 +1,36 @@
+"""Figure 4: the top 30 instances migrants joined, split pre/post takeover.
+
+Paper shape: mastodon.social dominates; the histogram decays sharply; 21%
+of the matched accounts were created before the acquisition.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.centralization import top_instances
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+
+EXP_ID = "F4"
+TITLE = "Top 30 Mastodon instances Twitter users migrated to"
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = top_instances(dataset, k=30)
+    rows = [
+        (row.domain, row.users_before, row.users_after, row.total)
+        for row in result.rows
+    ]
+    top_domain_share = (
+        100.0 * result.rows[0].total / result.total_users if result.rows else 0.0
+    )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["instance", "before", "after", "total"],
+        rows=rows,
+        notes={
+            "total_instances": float(result.total_instances),
+            "pre_takeover_share_pct": result.pre_takeover_share,
+            "top_instance_share_pct": top_domain_share,
+        },
+    )

@@ -1,0 +1,46 @@
+"""Figure 5: percentage of users on the top x% of instances.
+
+Paper shape: the curve saturates fast — ~96% of users sit on the top 25% of
+instances (the centralization paradox).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.centralization import user_share_curve
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+
+EXP_ID = "F5"
+TITLE = "Share of users on the top % of instances"
+
+#: Curve sample points (top % of instances).
+SAMPLE_POINTS = (1, 5, 10, 25, 50, 75, 100)
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = user_share_curve(dataset)
+    rows = []
+    for point in SAMPLE_POINTS:
+        share = _share_at(result.curve, point)
+        rows.append((f"top {point}%", share))
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["instances", "% of users"],
+        rows=rows,
+        notes={
+            "share_top_25pct": result.share_top_25pct,
+            "gini": result.gini,
+        },
+    )
+
+
+def _share_at(curve: list[tuple[float, float]], top_pct: float) -> float:
+    """The user share at the largest curve point <= ``top_pct``."""
+    best = 0.0
+    for pct, share in curve:
+        if pct <= top_pct:
+            best = share
+        else:
+            break
+    return best if best else curve[0][1]

@@ -1,0 +1,50 @@
+"""Figure 7: follower/followee CDFs on Twitter vs Mastodon.
+
+Paper shape: Twitter networks are orders of magnitude larger (medians
+744/787 vs 38/48); 6.01% of Mastodon accounts have no followers and 3.6%
+follow nobody, while almost every Twitter account has both.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.social_influence import platform_network_cdfs
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+
+EXP_ID = "F7"
+TITLE = "Follower/followee CDFs on Twitter and Mastodon"
+
+PERCENTILES = (0.10, 0.25, 0.50, 0.75, 0.90)
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = platform_network_cdfs(dataset)
+    rows = []
+    for q in PERCENTILES:
+        rows.append(
+            (
+                f"p{int(q * 100)}",
+                result.twitter_followers.quantile(q),
+                result.twitter_followees.quantile(q),
+                result.mastodon_followers.quantile(q),
+                result.mastodon_followees.quantile(q),
+            )
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=[
+            "percentile", "tw followers", "tw followees",
+            "ma followers", "ma followees",
+        ],
+        rows=rows,
+        notes={
+            "tw_median_followers": result.twitter_followers.median,
+            "tw_median_followees": result.twitter_followees.median,
+            "ma_median_followers": result.mastodon_followers.median,
+            "ma_median_followees": result.mastodon_followees.median,
+            "pct_no_ma_followers": result.pct_no_mastodon_followers,
+            "pct_no_ma_followees": result.pct_no_mastodon_followees,
+            "pct_gained_on_mastodon": result.pct_gained_on_mastodon,
+        },
+    )

@@ -1,0 +1,46 @@
+"""Figure 8: how much of each migrant's ego network moved with them.
+
+Paper shape: on average only 5.99% of a user's followees migrate; 45.76% of
+those moved before the user; 14.72% of migrated followees chose the exact
+same instance (network effect), heavily influenced by mastodon.social.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.social_influence import followee_migration
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+
+EXP_ID = "F8"
+TITLE = "Fraction of Twitter followees that migrated / moved first / co-located"
+
+CDF_POINTS = (0.0, 0.02, 0.05, 0.10, 0.20, 0.40, 0.60, 1.0)
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = followee_migration(dataset)
+    rows = []
+    for x in CDF_POINTS:
+        rows.append(
+            (
+                f"frac<={x:.2f}",
+                result.frac_migrated.evaluate(x),
+                result.frac_migrated_before.evaluate(x),
+                result.frac_same_instance.evaluate(x),
+            )
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["x", "P(migrated<=x)", "P(before<=x)", "P(same inst<=x)"],
+        rows=rows,
+        notes={
+            "mean_frac_migrated_pct": result.mean_frac_migrated,
+            "pct_no_followee_migrated": result.pct_users_no_followee_migrated,
+            "pct_first_mover": result.pct_users_first_mover,
+            "pct_last_mover": result.pct_users_last_mover,
+            "mean_pct_moved_before": result.mean_pct_moved_before,
+            "mean_pct_same_instance": result.mean_pct_same_instance,
+            "sample_size": float(result.sample_size),
+        },
+    )

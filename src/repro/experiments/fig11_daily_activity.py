@@ -1,0 +1,55 @@
+"""Figure 11: daily tweets vs statuses of migrated users.
+
+Paper shape: Mastodon activity grows continuously after the takeover while
+Twitter activity stays roughly flat — migrants run both accounts in
+parallel rather than abandoning Twitter.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.analysis.activity import daily_volume
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+from repro.util.clock import TAKEOVER_DATE
+
+EXP_ID = "F11"
+TITLE = "Daily tweets and statuses posted by migrated users"
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = daily_volume(dataset)
+    status_by_day = dict(result.statuses_per_day)
+    rows = [
+        (day.isoformat(), tweets, status_by_day.get(day, 0))
+        for day, tweets in result.tweets_per_day
+    ]
+    pre_t, post_t = _window_means(result.tweets_per_day)
+    pre_s, post_s = _window_means(result.statuses_per_day)
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["day", "tweets", "statuses"],
+        rows=rows,
+        notes={
+            "total_tweets": float(result.total_tweets),
+            "total_statuses": float(result.total_statuses),
+            "tweet_daily_mean_pre": pre_t,
+            "tweet_daily_mean_post": post_t,
+            "status_daily_mean_pre": pre_s,
+            "status_daily_mean_post": post_s,
+            # the paper's point: Twitter does NOT collapse post-takeover
+            "twitter_retention_ratio": post_t / pre_t if pre_t else 0.0,
+        },
+    )
+
+
+def _window_means(
+    series: list[tuple[_dt.date, int]],
+) -> tuple[float, float]:
+    pre = [n for day, n in series if day < TAKEOVER_DATE]
+    post = [n for day, n in series if day >= TAKEOVER_DATE]
+    pre_mean = sum(pre) / len(pre) if pre else 0.0
+    post_mean = sum(post) / len(post) if post else 0.0
+    return pre_mean, post_mean

@@ -1,0 +1,36 @@
+"""Figure 12: top tweet sources before/after the takeover.
+
+Paper shape: official clients dominate overall, but the two cross-posting
+bridges grow most — Mastodon-Twitter Crossposter by 1128.95% and Moa Bridge
+by 1732.26%.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sources import top_sources
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+
+EXP_ID = "F12"
+TITLE = "Top 30 tweet sources before/after the takeover"
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = top_sources(dataset, k=30)
+    rows = [
+        (row.source, row.before, row.after,
+         row.growth_pct if row.before else float("nan"))
+        for row in result.rows
+    ]
+    notes = {"pct_users_crossposting": result.pct_users_crossposting}
+    for row in result.crossposter_rows:
+        notes[f"growth_pct[{row.source}]"] = (
+            row.growth_pct if row.before else float("inf")
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["source", "before", "after", "growth %"],
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,44 @@
+"""Figure 13: daily users of cross-posting tools.
+
+Paper shape: bridge usage rises rapidly after the takeover, then declines
+toward the end of November when Twitter revoked the bridges' elevated API
+access.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sources import crossposter_daily_users
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+from repro.simulation.behavior import CROSSPOSTER_SHUTOFF
+from repro.util.clock import TAKEOVER_DATE
+
+EXP_ID = "F13"
+TITLE = "Daily users of cross-posting tools"
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = crossposter_daily_users(dataset)
+    rows = [(day.isoformat(), users) for day, users in result.users_per_day]
+    pre = [u for d, u in result.users_per_day if d < TAKEOVER_DATE]
+    peak_window = [
+        u
+        for d, u in result.users_per_day
+        if TAKEOVER_DATE <= d < CROSSPOSTER_SHUTOFF
+    ]
+    tail = [u for d, u in result.users_per_day if d >= CROSSPOSTER_SHUTOFF]
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["day", "cross-posting users"],
+        rows=rows,
+        notes={
+            "peak_users": float(result.peak_users),
+            "peak_day_of_year": float(result.peak_day.timetuple().tm_yday),
+            "mean_pre_takeover": sum(pre) / len(pre) if pre else 0.0,
+            "mean_peak_window": (
+                sum(peak_window) / len(peak_window) if peak_window else 0.0
+            ),
+            "mean_after_shutoff": sum(tail) / len(tail) if tail else 0.0,
+        },
+    )

@@ -1,0 +1,52 @@
+"""Figure 15: top 30 hashtags with per-platform frequencies.
+
+Paper shape: Twitter hashtags span Entertainment (#NowPlaying), Celebrities
+and Politics (#StandWithUkraine), while Mastodon is dominated by
+#fediverse, #TwitterMigration and other migration tags.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.hashtags import top_hashtags
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+from repro.util.text import normalize_hashtag
+
+EXP_ID = "F15"
+TITLE = "Top 30 hashtags on Twitter and Mastodon"
+
+#: Fediverse/migration tags (to quantify Mastodon's topical skew).
+MIGRATION_TAGS = frozenset(
+    normalize_hashtag(t)
+    for t in ("fediverse", "TwitterMigration", "Mastodon", "introduction",
+              "newhere", "FediTips", "mastodonmigration")
+)
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = top_hashtags(dataset, k=30)
+    rows = [(r.hashtag, r.twitter, r.mastodon, r.dominant_platform) for r in result.rows]
+    mastodon_total = sum(r.mastodon for r in result.rows)
+    mastodon_migration = sum(
+        r.mastodon for r in result.rows if r.hashtag in MIGRATION_TAGS
+    )
+    twitter_total = sum(r.twitter for r in result.rows)
+    twitter_migration = sum(
+        r.twitter for r in result.rows if r.hashtag in MIGRATION_TAGS
+    )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["hashtag", "twitter", "mastodon", "dominant"],
+        rows=rows,
+        notes={
+            "distinct_twitter": float(result.distinct_twitter),
+            "distinct_mastodon": float(result.distinct_mastodon),
+            "mastodon_migration_tag_share_pct": (
+                100.0 * mastodon_migration / mastodon_total if mastodon_total else 0.0
+            ),
+            "twitter_migration_tag_share_pct": (
+                100.0 * twitter_migration / twitter_total if twitter_total else 0.0
+            ),
+        },
+    )

@@ -1,0 +1,43 @@
+"""Figure 16: per-user toxic-post fractions on each platform.
+
+Paper shape: both platforms are mostly non-toxic, Twitter more toxic than
+Mastodon (5.49% vs 2.80% of posts; per-user means 4.02% vs 2.07%); 14.26%
+of users post at least one toxic item on both platforms.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.toxicity import toxicity_analysis
+from repro.collection.dataset import MigrationDataset
+from repro.experiments.registry import ExperimentResult
+
+EXP_ID = "F16"
+TITLE = "Per-user toxic post fractions on Twitter and Mastodon"
+
+CDF_POINTS = (0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+
+
+def run(dataset: MigrationDataset) -> ExperimentResult:
+    result = toxicity_analysis(dataset)
+    rows = []
+    for x in CDF_POINTS:
+        rows.append(
+            (
+                f"frac<={x:.2f}",
+                result.twitter_toxic_fraction.evaluate(x),
+                result.mastodon_toxic_fraction.evaluate(x),
+            )
+        )
+    return ExperimentResult(
+        exp_id=EXP_ID,
+        title=TITLE,
+        headers=["x", "P(twitter<=x)", "P(mastodon<=x)"],
+        rows=rows,
+        notes={
+            "pct_tweets_toxic": result.pct_tweets_toxic,
+            "pct_statuses_toxic": result.pct_statuses_toxic,
+            "mean_user_pct_tweets_toxic": result.mean_user_pct_tweets_toxic,
+            "mean_user_pct_statuses_toxic": result.mean_user_pct_statuses_toxic,
+            "pct_users_toxic_on_both": result.pct_users_toxic_on_both,
+        },
+    )

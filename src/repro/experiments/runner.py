@@ -1,0 +1,83 @@
+"""CLI runner: build a world, collect a dataset, regenerate every figure.
+
+Usage::
+
+    repro-experiments [--seed 7] [--scale 0.01] [--only F5,F8] \
+                      [--dataset path.json] [--save path.json] [--report]
+
+``--dataset`` loads a previously saved dataset (skipping the simulation);
+``--save`` stores the collected dataset for later reuse; ``--report`` also
+prints the paper-vs-measured headline table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.report import format_report, headline_report
+from repro.collection.dataset import MigrationDataset
+from repro.collection.pipeline import collect_dataset
+from repro.experiments.registry import all_experiment_ids, get_experiment
+from repro.simulation.world import build_world
+
+
+def build_dataset(seed: int, scale: float, verbose: bool = True) -> MigrationDataset:
+    """Build a world and run the collection pipeline."""
+    started = time.time()
+    world = build_world(seed=seed, scale=scale)
+    if verbose:
+        print(
+            f"[world] {len(world.migrants)} migrants, "
+            f"{world.twitter_store.tweet_count} tweets "
+            f"({time.time() - started:.1f}s)",
+            file=sys.stderr,
+        )
+    started = time.time()
+    dataset = collect_dataset(world)
+    if verbose:
+        print(
+            f"[collect] {dataset.migrant_count} matched users "
+            f"({time.time() - started:.1f}s)",
+            file=sys.stderr,
+        )
+    return dataset
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--only", type=str, default="",
+                        help="comma-separated experiment ids, e.g. F5,F8")
+    parser.add_argument("--dataset", type=str, default="",
+                        help="load a saved dataset instead of simulating")
+    parser.add_argument("--save", type=str, default="",
+                        help="save the collected dataset to this path")
+    parser.add_argument("--report", action="store_true",
+                        help="also print the paper-vs-measured headline table")
+    parser.add_argument("--extensions", action="store_true",
+                        help="include the X* extension experiments")
+    args = parser.parse_args(argv)
+
+    if args.dataset:
+        dataset = MigrationDataset.load(args.dataset)
+    else:
+        dataset = build_dataset(args.seed, args.scale)
+    if args.save:
+        dataset.save(args.save)
+
+    ids = [x.strip().upper() for x in args.only.split(",") if x.strip()]
+    ids = ids or all_experiment_ids(include_extensions=args.extensions)
+    for exp_id in ids:
+        result = get_experiment(exp_id)(dataset)
+        print(result.format())
+        print()
+    if args.report:
+        print(format_report(headline_report(dataset)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

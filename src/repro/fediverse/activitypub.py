@@ -1,0 +1,107 @@
+"""ActivityPub-style activities and addressing.
+
+Mastodon federates via ActivityPub [W3C 2018]: servers exchange JSON-LD
+activities addressed to actor inboxes.  The simulation keeps the activity
+*semantics* (who tells whom about what, and when) while dropping the wire
+format: activities are dataclasses routed by the
+:class:`repro.fediverse.network.FediverseNetwork`.
+
+Addressing uses the ``acct:`` form throughout: ``alice@mastodon.social``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from dataclasses import dataclass
+
+_ACCT_RE = re.compile(r"^@?(?P<username>[A-Za-z0-9_.\-]+)@(?P<domain>[A-Za-z0-9.\-]+)$")
+
+
+def make_acct(username: str, domain: str) -> str:
+    """Canonical ``user@domain`` handle (no leading ``@``)."""
+    return f"{username}@{domain}"
+
+
+def parse_acct(handle: str) -> tuple[str, str]:
+    """Split ``[@]user@domain`` into ``(username, domain)``.
+
+    Raises ``ValueError`` for anything that is not a well-formed handle.
+    """
+    match = _ACCT_RE.match(handle.strip())
+    if match is None:
+        raise ValueError(f"not a valid acct handle: {handle!r}")
+    return match.group("username"), match.group("domain").lower()
+
+
+def actor_url(username: str, domain: str) -> str:
+    """The profile URL form of a handle, ``https://domain/@username``."""
+    return f"https://{domain}/@{username}"
+
+
+@dataclass(frozen=True)
+class Activity:
+    """Base activity: ``actor`` (an acct handle) did something at ``published``."""
+
+    actor: str
+    published: _dt.datetime
+
+
+@dataclass(frozen=True)
+class Follow(Activity):
+    """``actor`` requests to follow ``target`` (an acct handle)."""
+
+    target: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ValueError("Follow requires a target")
+
+
+@dataclass(frozen=True)
+class Accept(Activity):
+    """``actor`` accepts a follow request from ``follower``."""
+
+    follower: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.follower:
+            raise ValueError("Accept requires a follower")
+
+
+@dataclass(frozen=True)
+class Create(Activity):
+    """``actor`` published the status with id ``status_id``."""
+
+    status_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.status_id < 0:
+            raise ValueError("Create requires a status id")
+
+
+@dataclass(frozen=True)
+class Announce(Activity):
+    """``actor`` boosted (reblogged) the status with id ``status_id``."""
+
+    status_id: int = -1
+    origin_domain: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status_id < 0:
+            raise ValueError("Announce requires a status id")
+
+
+@dataclass(frozen=True)
+class Move(Activity):
+    """``actor`` moved their account to ``target`` (an acct handle).
+
+    Mastodon's account-migration feature: followers' instances receive the
+    Move and transparently re-follow the new account.
+    """
+
+    target: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ValueError("Move requires a target account")

@@ -1,0 +1,133 @@
+"""Client-facing Mastodon API endpoints.
+
+The crawler of Sections 3.1-3.3 used three public endpoints per instance:
+
+- account statuses (``/api/v1/accounts/:id/statuses``);
+- account following (``/api/v1/accounts/:id/following``);
+- weekly activity (``/api/v1/instance/activity``).
+
+This client reproduces them, including the failure mode that cost the paper
+11.58% of its Mastodon timelines: an instance that is down at crawl time
+raises :class:`InstanceDownError` for every endpoint.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.fediverse.activitypub import parse_acct
+from repro.fediverse.errors import InstanceDownError
+from repro.fediverse.models import Account, Status
+from repro.fediverse.network import FediverseNetwork
+
+STATUSES_PAGE_SIZE = 40
+FOLLOWING_PAGE_SIZE = 80
+
+
+@dataclass(frozen=True)
+class StatusesPage:
+    statuses: list[Status]
+    max_id: int | None  # pass back to get the next (older) page
+
+
+class MastodonClient:
+    """A crawler's view of the fediverse, instance by instance."""
+
+    def __init__(self, network: FediverseNetwork) -> None:
+        self._network = network
+        self.request_count = 0
+
+    def _instance_up(self, domain: str):
+        instance = self._network.get_instance(domain)
+        if instance.down:
+            raise InstanceDownError(domain)
+        self.request_count += 1
+        return instance
+
+    # -- accounts --------------------------------------------------------------
+
+    def lookup_account(self, acct: str) -> Account:
+        """Resolve ``user@domain`` via the account's home instance."""
+        username, domain = parse_acct(acct)
+        instance = self._instance_up(domain)
+        return instance.get_account(username)
+
+    def account_summary(self, acct: str) -> dict:
+        """The account object a crawler sees: dates, move target, counts."""
+        username, domain = parse_acct(acct)
+        instance = self._instance_up(domain)
+        account = instance.get_account(username)
+        local = account.acct
+        return {
+            "acct": local,
+            "created_at": account.created_at,
+            "moved_to": account.moved_to,
+            "followers_count": len(instance.followers_of(local)),
+            "following_count": len(instance.following_of(local)),
+            "statuses_count": instance.status_count(username),
+            "last_status_at": account.last_status_at,
+        }
+
+    def account_statuses(
+        self,
+        acct: str,
+        max_id: int | None = None,
+        page_size: int | None = None,
+    ) -> StatusesPage:
+        """One page of an account's statuses, newest first.
+
+        The page size defaults to the *server's* limit — 40 on Mastodon,
+        20 on Pleroma — as a real crawler experiences it.
+        """
+        username, domain = parse_acct(acct)
+        instance = self._instance_up(domain)
+        if page_size is None:
+            page_size = instance.statuses_page_size
+        statuses = instance.statuses_of(username)
+        newest_first = list(reversed(statuses))
+        if max_id is not None:
+            newest_first = [s for s in newest_first if s.status_id < max_id]
+        page = newest_first[:page_size]
+        next_max_id = page[-1].status_id if len(page) == page_size else None
+        return StatusesPage(statuses=page, max_id=next_max_id)
+
+    def account_statuses_all(
+        self,
+        acct: str,
+        since: _dt.date | None = None,
+        until: _dt.date | None = None,
+    ) -> list[Status]:
+        """Every status of an account inside the window, oldest first."""
+        collected: list[Status] = []
+        max_id: int | None = None
+        while True:
+            page = self.account_statuses(acct, max_id=max_id)
+            collected.extend(page.statuses)
+            max_id = page.max_id
+            if max_id is None:
+                break
+        collected.reverse()  # back to chronological order
+        return [
+            s
+            for s in collected
+            if (since is None or s.created_date >= since)
+            and (until is None or s.created_date <= until)
+        ]
+
+    def account_following(self, acct: str) -> list[str]:
+        """The accts an account follows (paginated endpoint, drained)."""
+        username, domain = parse_acct(acct)
+        instance = self._instance_up(domain)
+        following = sorted(instance.following_of(instance.local_acct(username)))
+        # model pagination cost: one request per page
+        pages = max(0, (len(following) - 1) // FOLLOWING_PAGE_SIZE)
+        self.request_count += pages
+        return following
+
+    # -- instance-level ----------------------------------------------------------
+
+    def instance_activity(self, domain: str) -> list[dict[str, int | str]]:
+        """The weekly-activity endpoint's rows for one instance."""
+        instance = self._instance_up(domain)
+        return [row.as_dict() for row in instance.weekly_activity()]

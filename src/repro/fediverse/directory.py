@@ -1,0 +1,49 @@
+"""An ``instances.social``-style directory.
+
+Section 3.1 seeds the whole pipeline with "a comprehensive index of Mastodon
+instances" (15,886 domains).  The directory serves that role: it lists every
+known instance's metadata, including instances that never receive a migrant,
+so the collectors query a superset of the instances that matter — exactly the
+situation the paper's crawler faced.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.fediverse.models import InstanceInfo
+from repro.fediverse.network import FediverseNetwork
+
+
+class InstanceDirectory:
+    """A queryable index of instance metadata."""
+
+    def __init__(self, infos: Iterable[InstanceInfo]) -> None:
+        self._infos: dict[str, InstanceInfo] = {}
+        for info in infos:
+            if info.domain in self._infos:
+                raise ValueError(f"duplicate directory entry {info.domain}")
+            self._infos[info.domain] = info
+
+    @classmethod
+    def from_network(cls, network: FediverseNetwork) -> "InstanceDirectory":
+        return cls(instance.info() for instance in network.instances())
+
+    def list_instances(self) -> list[InstanceInfo]:
+        """All entries, sorted by domain for stable output."""
+        return [self._infos[d] for d in sorted(self._infos)]
+
+    def domains(self) -> list[str]:
+        return sorted(self._infos)
+
+    def get(self, domain: str) -> InstanceInfo | None:
+        return self._infos.get(domain.lower())
+
+    def by_topic(self, topic: str) -> list[InstanceInfo]:
+        return [info for info in self.list_instances() if info.topic == topic]
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def __contains__(self, domain: str) -> bool:
+        return domain.lower() in self._infos

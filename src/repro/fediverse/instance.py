@@ -1,0 +1,314 @@
+"""A single Mastodon instance.
+
+Each instance is an independent micro-blogging service (Section 2): it owns
+its local accounts and their statuses, maintains the three timelines, counts
+weekly activity, and participates in federation through activities delivered
+by the :class:`repro.fediverse.network.FediverseNetwork`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import zlib
+from collections.abc import Iterator
+
+from repro.fediverse.activitypub import make_acct, parse_acct
+from repro.fediverse.errors import AccountNotFoundError, DuplicateAccountError
+from repro.fediverse.models import Account, InstanceInfo, Status, WeeklyActivity
+from repro.fediverse.policy import ContentPolicy
+from repro.util.clock import iso_week
+from repro.util.ids import SnowflakeGenerator
+
+
+class MastodonInstance:
+    """One federated micro-blogging server.
+
+    Follow state is stored on the *followee's* home instance (who follows my
+    locals) and on the *follower's* home instance (whom do my locals follow),
+    mirroring how real Mastodon materialises both edges.
+    """
+
+    #: NodeInfo software name (Pleroma subclass overrides).
+    software = "mastodon"
+    #: the statuses endpoint's default page size
+    statuses_page_size = 40
+
+    def __init__(
+        self,
+        domain: str,
+        title: str = "",
+        topic: str = "general",
+        created_at: _dt.date = _dt.date(2016, 10, 6),
+        open_registrations: bool = True,
+    ) -> None:
+        self.domain = domain.lower()
+        self.title = title or self.domain
+        self.topic = topic
+        self.created_at = created_at
+        self.open_registrations = open_registrations
+        self.down = False
+        #: MRF-style federation filter (open by default)
+        self.policy = ContentPolicy()
+
+        shard = zlib.crc32(self.domain.encode()) & 0x3FF
+        self._ids = SnowflakeGenerator(shard=shard)
+        self._accounts: dict[str, Account] = {}  # local username (lower) -> Account
+        self._statuses: dict[int, Status] = {}  # local statuses by id
+        self._statuses_by_account: dict[str, list[int]] = {}  # acct -> local status ids
+        self._remote_statuses: dict[int, Status] = {}  # statuses pushed by federation
+        # follow edges seen from this instance:
+        self._following: dict[str, set[str]] = {}  # local acct -> accts they follow
+        self._followers: dict[str, set[str]] = {}  # local acct -> accts following them
+        self._followed_by_locals: dict[str, set[str]] = {}  # any acct -> local followers
+        # timelines:
+        self._home: dict[str, list[int]] = {}  # local acct -> status ids
+        self._local_timeline: list[int] = []
+        self._federated_timeline: list[int] = []
+        self._activity: dict[str, WeeklyActivity] = {}
+
+    # -- directory ---------------------------------------------------------
+
+    def info(self) -> InstanceInfo:
+        return InstanceInfo(
+            domain=self.domain,
+            title=self.title,
+            topic=self.topic,
+            open_registrations=self.open_registrations,
+            created_at=self.created_at,
+        )
+
+    # -- accounts ------------------------------------------------------------
+
+    def register(
+        self,
+        username: str,
+        display_name: str = "",
+        note: str = "",
+        when: _dt.datetime | None = None,
+    ) -> Account:
+        """Create a local account and count the registration."""
+        key = username.lower()
+        if key in self._accounts:
+            raise DuplicateAccountError(f"{username}@{self.domain} already exists")
+        when = when if when is not None else _dt.datetime(2022, 10, 1)
+        account = Account(
+            account_id=self._ids.next_id(when),
+            username=username,
+            domain=self.domain,
+            display_name=display_name or username,
+            created_at=when,
+            note=note,
+        )
+        self._accounts[key] = account
+        acct = account.acct
+        self._statuses_by_account[acct] = []
+        self._following[acct] = set()
+        self._followers[acct] = set()
+        self._home[acct] = []
+        self._week(when.date()).registrations += 1
+        return account
+
+    def get_account(self, username: str) -> Account:
+        try:
+            return self._accounts[username.lower()]
+        except KeyError:
+            raise AccountNotFoundError(f"{username}@{self.domain} not found") from None
+
+    def has_account(self, username: str) -> bool:
+        return username.lower() in self._accounts
+
+    def accounts(self) -> Iterator[Account]:
+        return iter(self._accounts.values())
+
+    @property
+    def user_count(self) -> int:
+        return len(self._accounts)
+
+    def active_user_count(self) -> int:
+        """Accounts that have not moved away."""
+        return sum(1 for account in self._accounts.values() if not account.has_moved)
+
+    # -- follows -------------------------------------------------------------
+
+    def record_following(self, local_acct: str, target_acct: str) -> bool:
+        """Record that a local account follows ``target_acct``."""
+        self._require_local(local_acct)
+        if local_acct == target_acct:
+            raise ValueError(f"{local_acct} cannot follow itself")
+        followees = self._following[local_acct]
+        if target_acct in followees:
+            return False
+        followees.add(target_acct)
+        self._followed_by_locals.setdefault(target_acct, set()).add(local_acct)
+        return True
+
+    def record_follower(self, local_acct: str, follower_acct: str) -> bool:
+        """Record that ``follower_acct`` (possibly remote) follows a local account."""
+        self._require_local(local_acct)
+        followers = self._followers[local_acct]
+        if follower_acct in followers:
+            return False
+        followers.add(follower_acct)
+        return True
+
+    def drop_following(self, local_acct: str, target_acct: str) -> None:
+        self._require_local(local_acct)
+        self._following[local_acct].discard(target_acct)
+        local_followers = self._followed_by_locals.get(target_acct)
+        if local_followers is not None:
+            local_followers.discard(local_acct)
+
+    def drop_follower(self, local_acct: str, follower_acct: str) -> None:
+        self._require_local(local_acct)
+        self._followers[local_acct].discard(follower_acct)
+
+    def following_of(self, local_acct: str) -> frozenset[str]:
+        self._require_local(local_acct)
+        return frozenset(self._following[local_acct])
+
+    def followers_of(self, local_acct: str) -> frozenset[str]:
+        self._require_local(local_acct)
+        return frozenset(self._followers[local_acct])
+
+    def remote_follower_domains(self, local_acct: str) -> set[str]:
+        """Domains subscribed to a local account's statuses."""
+        self._require_local(local_acct)
+        domains = set()
+        for follower in self._followers[local_acct]:
+            __, domain = parse_acct(follower)
+            if domain != self.domain:
+                domains.add(domain)
+        return domains
+
+    # -- statuses ------------------------------------------------------------
+
+    def post_status(
+        self,
+        username: str,
+        text: str,
+        when: _dt.datetime,
+        application: str = "Web",
+        reblog_of_id: int | None = None,
+    ) -> Status:
+        """Publish a status (or boost) by a local account.
+
+        The status lands on the local timeline and the home timelines of
+        local followers; federation to remote followers is the network's job
+        (it calls :meth:`receive_remote_status` on subscriber instances).
+        """
+        account = self.get_account(username)
+        status = Status(
+            status_id=self._ids.next_id(when),
+            account_acct=account.acct,
+            created_at=when,
+            text=text,
+            application=application,
+            reblog_of_id=reblog_of_id,
+        )
+        self._statuses[status.status_id] = status
+        self._statuses_by_account[account.acct].append(status.status_id)
+        account.last_status_at = when
+        self._local_timeline.append(status.status_id)
+        self._home[account.acct].append(status.status_id)
+        for follower in self._followers[account.acct]:
+            if follower in self._home:
+                self._home[follower].append(status.status_id)
+        self._week(when.date()).statuses += 1
+        return status
+
+    def receive_remote_status(self, status: Status) -> bool:
+        """Accept a federated status pushed by a remote instance.
+
+        The instance's content policy screens it first (defederation /
+        keyword rejection); admitted statuses join the federated timeline
+        and the home timelines of the author's local followers — the
+        Section 2 semantics: the federated timeline is the union of remote
+        statuses retrieved for all locals.  Returns whether it was admitted.
+        """
+        if not self.policy.admits(status):
+            return False
+        if status.status_id not in self._remote_statuses:
+            self._remote_statuses[status.status_id] = status
+            self._federated_timeline.append(status.status_id)
+        for acct in self._followed_by_locals.get(status.account_acct, ()):
+            self._home[acct].append(status.status_id)
+        return True
+
+    def get_status(self, status_id: int) -> Status:
+        status = self._statuses.get(status_id) or self._remote_statuses.get(status_id)
+        if status is None:
+            raise AccountNotFoundError(f"status {status_id} not on {self.domain}")
+        return status
+
+    def statuses_of(self, username: str) -> list[Status]:
+        """A local account's statuses in chronological order."""
+        account = self.get_account(username)
+        ids = self._statuses_by_account[account.acct]
+        return [self._statuses[i] for i in ids]
+
+    def status_count(self, username: str) -> int:
+        account = self.get_account(username)
+        return len(self._statuses_by_account[account.acct])
+
+    # -- timelines -----------------------------------------------------------
+
+    def home_timeline(self, username: str) -> list[Status]:
+        account = self.get_account(username)
+        return [self._lookup(i) for i in self._home[account.acct]]
+
+    def local_timeline(self) -> list[Status]:
+        return [self._statuses[i] for i in self._local_timeline]
+
+    def federated_timeline(self) -> list[Status]:
+        return [self._remote_statuses[i] for i in self._federated_timeline]
+
+    # -- activity ------------------------------------------------------------
+
+    def record_login(self, day: _dt.date) -> None:
+        self._week(day).logins += 1
+
+    def record_aggregate_activity(
+        self, day: _dt.date, statuses: int = 0, logins: int = 0, registrations: int = 0
+    ) -> None:
+        """Inject background load into the weekly counters.
+
+        The world simulates its tracked migrants individually but represents
+        the (much larger) untracked user base — Mastodon reported 1M+
+        sign-ups against the paper's 136k matched migrants — as aggregate
+        counter bumps.  Only the weekly-activity endpoint sees these.
+        """
+        if min(statuses, logins, registrations) < 0:
+            raise ValueError("aggregate activity must be non-negative")
+        week = self._week(day)
+        week.statuses += statuses
+        week.logins += logins
+        week.registrations += registrations
+
+    def weekly_activity(self) -> list[WeeklyActivity]:
+        """Rows of the weekly-activity endpoint, oldest week first."""
+        return [self._activity[w] for w in sorted(self._activity)]
+
+    # -- internals -----------------------------------------------------------
+
+    def _week(self, day: _dt.date) -> WeeklyActivity:
+        label = iso_week(day)
+        if label not in self._activity:
+            self._activity[label] = WeeklyActivity(week=label)
+        return self._activity[label]
+
+    def _require_local(self, acct: str) -> None:
+        username, domain = parse_acct(acct)
+        if domain != self.domain or username.lower() not in self._accounts:
+            raise AccountNotFoundError(f"{acct} is not a local account of {self.domain}")
+
+    def _lookup(self, status_id: int) -> Status:
+        status = self._statuses.get(status_id)
+        if status is None:
+            status = self._remote_statuses[status_id]
+        return status
+
+    def local_acct(self, username: str) -> str:
+        return make_acct(self.get_account(username).username, self.domain)
+
+    def __repr__(self) -> str:
+        return f"MastodonInstance({self.domain!r}, users={self.user_count})"

@@ -1,0 +1,102 @@
+"""Data model for the simulated fediverse."""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+from repro.fediverse.activitypub import actor_url, make_acct
+from repro.util.text import extract_hashtags
+
+
+@dataclass
+class Account:
+    """A Mastodon account, local to exactly one instance.
+
+    ``acct`` is the full handle (``alice@mastodon.social``); ``moved_to``
+    carries the handle of the successor account after an instance switch.
+    """
+
+    account_id: int
+    username: str
+    domain: str
+    display_name: str
+    created_at: _dt.datetime
+    note: str = ""
+    moved_to: str | None = None
+    last_status_at: _dt.datetime | None = None
+
+    def __post_init__(self) -> None:
+        if not self.username:
+            raise ValueError("username must be non-empty")
+        if not self.domain:
+            raise ValueError("domain must be non-empty")
+
+    @property
+    def acct(self) -> str:
+        return make_acct(self.username, self.domain)
+
+    @property
+    def url(self) -> str:
+        return actor_url(self.username, self.domain)
+
+    @property
+    def has_moved(self) -> bool:
+        return self.moved_to is not None
+
+    def account_age_days(self, on: _dt.date) -> int:
+        return (on - self.created_at.date()).days
+
+
+@dataclass
+class Status:
+    """A Mastodon status (or a boost when ``reblog_of_id`` is set)."""
+
+    status_id: int
+    account_acct: str
+    created_at: _dt.datetime
+    text: str
+    application: str = "Web"
+    reblog_of_id: int | None = None
+    hashtags: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.hashtags and not self.is_boost:
+            self.hashtags = extract_hashtags(self.text)
+
+    @property
+    def is_boost(self) -> bool:
+        return self.reblog_of_id is not None
+
+    @property
+    def created_date(self) -> _dt.date:
+        return self.created_at.date()
+
+
+@dataclass(frozen=True)
+class InstanceInfo:
+    """Directory metadata for one instance (the ``instances.social`` view)."""
+
+    domain: str
+    title: str
+    topic: str
+    open_registrations: bool
+    created_at: _dt.date
+
+
+@dataclass
+class WeeklyActivity:
+    """One row of the weekly-activity endpoint (§3.1, Figure 3)."""
+
+    week: str
+    statuses: int = 0
+    logins: int = 0
+    registrations: int = 0
+
+    def as_dict(self) -> dict[str, int | str]:
+        return {
+            "week": self.week,
+            "statuses": self.statuses,
+            "logins": self.logins,
+            "registrations": self.registrations,
+        }

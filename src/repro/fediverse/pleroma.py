@@ -1,0 +1,76 @@
+"""A Pleroma-flavoured instance.
+
+Section 2 of the paper: ActivityPub "makes Mastodon compatible with other
+decentralised micro-blogging implementations (notably, Pleroma)".  The
+substrate honours that: a :class:`PleromaInstance` joins the same
+:class:`~repro.fediverse.network.FediverseNetwork`, federates with Mastodon
+instances through the identical activity exchange, and is crawled by the
+same client — the protocol is the compatibility layer, exactly as in the
+real fediverse.
+
+Behavioural differences kept from the real software:
+
+- ``software`` identifies as ``pleroma`` (NodeInfo-style);
+- statuses default to Pleroma's smaller API page size (20 vs 40);
+- the MRF keyword filter ships enabled with a conservative default policy
+  (Pleroma exposes MRF prominently; the paper's companion work [11] studies
+  exactly this).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.fediverse.instance import MastodonInstance
+
+#: Pleroma's default statuses page size.
+PLEROMA_STATUSES_PAGE_SIZE = 20
+
+#: A conservative stock MRF keyword policy (operators customise it).
+DEFAULT_MRF_KEYWORDS: tuple[str, ...] = ("scum", "moron", "morons")
+
+
+class PleromaInstance(MastodonInstance):
+    """A Pleroma server: same protocol, different implementation defaults."""
+
+    software = "pleroma"
+    statuses_page_size = PLEROMA_STATUSES_PAGE_SIZE
+
+    def __init__(
+        self,
+        domain: str,
+        title: str = "",
+        topic: str = "general",
+        created_at: _dt.date = _dt.date(2017, 3, 1),
+        open_registrations: bool = True,
+        enable_default_mrf: bool = True,
+    ) -> None:
+        super().__init__(
+            domain,
+            title=title,
+            topic=topic,
+            created_at=created_at,
+            open_registrations=open_registrations,
+        )
+        if enable_default_mrf:
+            for keyword in DEFAULT_MRF_KEYWORDS:
+                self.policy.block_keyword(keyword)
+
+    def nodeinfo(self) -> dict:
+        """A NodeInfo-style software descriptor (what crawlers fingerprint)."""
+        return {
+            "software": {"name": self.software, "version": "2.4.x"},
+            "openRegistrations": self.open_registrations,
+            "usage": {"users": {"total": self.user_count}},
+        }
+
+
+def nodeinfo_for(instance: MastodonInstance) -> dict:
+    """NodeInfo for any instance (Pleroma overrides with richer detail)."""
+    if isinstance(instance, PleromaInstance):
+        return instance.nodeinfo()
+    return {
+        "software": {"name": instance.software, "version": "4.x"},
+        "openRegistrations": instance.open_registrations,
+        "usage": {"users": {"total": instance.user_count}},
+    }

@@ -1,0 +1,65 @@
+"""Instance-level content policies (MRF-style federation moderation).
+
+Mastodon and Pleroma let administrators filter what federates in: whole
+instances can be blocked ("defederation") and incoming statuses can be
+rejected by keyword — Pleroma calls this the Message Rewrite Facility.  The
+paper's moderation discussion (§6.3) and its companion work on Pleroma
+moderation revolve around exactly these controls, so the substrate supports
+them: a :class:`ContentPolicy` attached to an instance filters every status
+delivered by federation (local posts are never filtered — admins moderate
+those by hand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fediverse.models import Status
+from repro.util.text import tokenize
+
+
+@dataclass
+class ContentPolicy:
+    """What an instance refuses to federate in."""
+
+    #: remote instances whose content is rejected wholesale
+    blocked_domains: set[str] = field(default_factory=set)
+    #: statuses containing any of these (lowercase) words are rejected
+    blocked_keywords: set[str] = field(default_factory=set)
+    #: counters for the admin dashboard
+    rejected_by_domain: int = 0
+    rejected_by_keyword: int = 0
+
+    def block_domain(self, domain: str) -> None:
+        self.blocked_domains.add(domain.lower())
+
+    def block_keyword(self, keyword: str) -> None:
+        keyword = keyword.strip().lower()
+        if not keyword:
+            raise ValueError("keyword must be non-empty")
+        self.blocked_keywords.add(keyword)
+
+    def admits(self, status: Status) -> bool:
+        """Whether a federated status may enter this instance.
+
+        Rejections are counted so admins (and the moderation analysis) can
+        see what the policy absorbed.
+        """
+        origin = status.account_acct.split("@", 1)[1].lower()
+        if origin in self.blocked_domains:
+            self.rejected_by_domain += 1
+            return False
+        if self.blocked_keywords:
+            tokens = set(tokenize(status.text))
+            if tokens & self.blocked_keywords:
+                self.rejected_by_keyword += 1
+                return False
+        return True
+
+    @property
+    def total_rejected(self) -> int:
+        return self.rejected_by_domain + self.rejected_by_keyword
+
+    @property
+    def is_open(self) -> bool:
+        return not self.blocked_domains and not self.blocked_keywords

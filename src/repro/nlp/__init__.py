@@ -1,0 +1,28 @@
+"""Text substrate: synthetic posts, sentence embeddings, toxicity scoring.
+
+Substitutes for the paper's NLP dependencies:
+
+- :mod:`repro.nlp.generator` produces topic-conditioned synthetic posts
+  (the place of real tweets/statuses);
+- :mod:`repro.nlp.embeddings` is a deterministic feature-hashing sentence
+  encoder standing in for Sentence-BERT [Reimers & Gurevych 2019] — similar
+  texts share tokens and therefore score high cosine similarity;
+- :mod:`repro.nlp.toxicity` is a lexicon scorer standing in for Google
+  Jigsaw's Perspective API: a pure function of the text returning a
+  TOXICITY score in [0, 1].
+"""
+
+from repro.nlp.embeddings import HashingSentenceEncoder, cosine_similarity
+from repro.nlp.generator import PostGenerator
+from repro.nlp.toxicity import PerspectiveScorer
+from repro.nlp.vocabulary import TOPICS, Vocabulary, topic_names
+
+__all__ = [
+    "HashingSentenceEncoder",
+    "cosine_similarity",
+    "PostGenerator",
+    "PerspectiveScorer",
+    "TOPICS",
+    "Vocabulary",
+    "topic_names",
+]

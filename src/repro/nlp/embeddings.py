@@ -1,0 +1,81 @@
+"""A deterministic sentence encoder.
+
+Stand-in for the Sentence-BERT embeddings the paper uses for its
+content-similarity analysis (Section 6.1).  Texts are embedded by signed
+feature hashing of their tokens with sublinear term weighting, then
+L2-normalised, so cosine similarity behaves like a bag-of-words similarity:
+
+- identical texts  -> cosine 1.0;
+- texts sharing most tokens -> cosine close to 1;
+- topically unrelated texts -> cosine near 0.
+
+The paper thresholds cosine similarity at 0.7 for "similar" posts; the same
+threshold separates shared-token rewrites from unrelated posts here.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+
+import numpy as np
+
+from repro.util.text import tokenize
+
+DEFAULT_DIM = 256
+
+
+class HashingSentenceEncoder:
+    """Feature-hashing bag-of-words sentence embeddings."""
+
+    def __init__(self, dim: int = DEFAULT_DIM) -> None:
+        if dim < 8:
+            raise ValueError(f"embedding dimension too small: {dim}")
+        self.dim = dim
+
+    def _bucket(self, token: str) -> tuple[int, float]:
+        digest = zlib.crc32(token.encode("utf-8"))
+        index = digest % self.dim
+        sign = 1.0 if (digest >> 16) & 1 else -1.0
+        return index, sign
+
+    def encode(self, text: str) -> np.ndarray:
+        """The L2-normalised embedding of ``text`` (zero vector if empty)."""
+        vec = np.zeros(self.dim, dtype=np.float64)
+        counts = Counter(tokenize(text))
+        for token, count in counts.items():
+            index, sign = self._bucket(token)
+            vec[index] += sign * (1.0 + np.log(count))
+        norm = np.linalg.norm(vec)
+        if norm > 0:
+            vec /= norm
+        return vec
+
+    def encode_batch(self, texts: list[str]) -> np.ndarray:
+        """Row-stacked embeddings, shape ``(len(texts), dim)``."""
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.vstack([self.encode(t) for t in texts])
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0.0 when either is zero)."""
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def max_similarities(queries: np.ndarray, corpus: np.ndarray) -> np.ndarray:
+    """For each (already normalised) query row, its max cosine over the corpus.
+
+    Used per-user: queries are the user's Mastodon statuses, the corpus their
+    tweets; the result feeds the identical/similar thresholds of Figure 14.
+    """
+    if queries.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if corpus.size == 0:
+        return np.zeros(queries.shape[0], dtype=np.float64)
+    sims = queries @ corpus.T
+    return np.asarray(sims.max(axis=1), dtype=np.float64)

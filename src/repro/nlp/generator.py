@@ -1,0 +1,124 @@
+"""Synthetic post generation.
+
+Each post is a bag of topic words plus filler, optionally carrying hashtags
+drawn from the topic's pool, migration boilerplate, or planted toxic tokens.
+The generator is deterministic given its RNG stream, and its outputs are
+*real text*: the embeddings, hashtag extraction and toxicity scoring all
+operate on the generated strings, not on hidden labels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nlp.vocabulary import Topic, Vocabulary
+from repro.util.distributions import zipf_weights
+
+_TAG_WEIGHT_CACHE: dict[int, np.ndarray] = {}
+
+
+def _tag_weights(n: int) -> np.ndarray:
+    if n not in _TAG_WEIGHT_CACHE:
+        _TAG_WEIGHT_CACHE[n] = zipf_weights(n, 1.1)
+    return _TAG_WEIGHT_CACHE[n]
+
+
+class PostGenerator:
+    """Generates tweet/status texts conditioned on a topic mixture."""
+
+    def __init__(self, rng: np.random.Generator, vocabulary: Vocabulary | None = None) -> None:
+        self._rng = rng
+        self._vocab = vocabulary if vocabulary is not None else Vocabulary()
+        self._toxic_words = tuple(
+            word for word, weight in self._vocab.toxic.items() if weight >= 0.4
+        )
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocab
+
+    def pick_topic(self, mixture: np.ndarray) -> Topic:
+        """Draw a topic index from a per-user mixture over ``vocabulary.topics``."""
+        if len(mixture) != len(self._vocab.topics):
+            raise ValueError(
+                f"mixture has {len(mixture)} entries for {len(self._vocab.topics)} topics"
+            )
+        idx = int(self._rng.choice(len(mixture), p=mixture))
+        return self._vocab.topics[idx]
+
+    def generate(
+        self,
+        topic: Topic,
+        toxic: bool = False,
+        hashtag_prob: float = 0.45,
+        mention_migration: bool = False,
+        length_mean: float = 15.0,
+    ) -> str:
+        """One post's text.
+
+        ``toxic=True`` plants enough lexicon tokens that the Perspective-like
+        scorer crosses the 0.5 threshold; ``mention_migration=True`` appends a
+        migration hashtag (used for the Section 3.1 announcement tweets).
+        """
+        rng = self._rng
+        n_words = max(4, int(rng.poisson(length_mean)))
+        n_topic = max(2, int(round(n_words * 0.55)))
+        n_filler = n_words - n_topic
+        words = list(rng.choice(topic.words, size=n_topic))
+        words += list(rng.choice(self._vocab.filler, size=n_filler))
+        rng.shuffle(words)
+
+        if toxic:
+            planted = rng.choice(self._toxic_words, size=2, replace=False)
+            insert_at = rng.integers(0, len(words) + 1)
+            words[insert_at:insert_at] = list(planted)
+
+        text = " ".join(str(w) for w in words).capitalize()
+
+        tags: list[str] = []
+        if topic.hashtags and rng.random() < hashtag_prob:
+            k = 1 + int(rng.random() < 0.25)
+            k = min(k, len(topic.hashtags))
+            # tag popularity within a topic is itself skewed: the first tags
+            # in the pool (#fediverse, #TwitterMigration, ...) dominate
+            weights = _tag_weights(len(topic.hashtags))
+            chosen = rng.choice(len(topic.hashtags), size=k, replace=False, p=weights)
+            tags.extend(topic.hashtags[i] for i in chosen)
+        if mention_migration:
+            migration_tags = self._vocab.topic("fediverse").hashtags
+            tags.append(str(rng.choice(migration_tags)))
+        if tags:
+            text = text + " " + " ".join(f"#{t}" for t in tags)
+        return text
+
+    def migration_announcement(self, mastodon_handle: str, style: str) -> str:
+        """A tweet advertising a Mastodon account (the §3.1 discovery signal).
+
+        ``style`` selects how the handle is written: ``'acct'`` for the
+        ``@user@domain`` form, ``'url'`` for ``https://domain/@user``.
+        """
+        username, domain = mastodon_handle.split("@", 1)
+        if style == "acct":
+            handle_text = f"@{username}@{domain}"
+        elif style == "url":
+            handle_text = f"https://{domain}/@{username}"
+        else:
+            raise ValueError(f"unknown announcement style {style!r}")
+        templates = (
+            f"Find me on mastodon {handle_text} #TwitterMigration",
+            f"Good bye twitter, I moved to {handle_text}",
+            f"I am now posting at {handle_text} #Mastodon",
+            f"Bye bye twitter! Follow me at {handle_text} #ByeByeTwitter",
+            f"Joining the fediverse: {handle_text} #MastodonMigration",
+        )
+        return str(self._rng.choice(templates))
+
+    def profile_bio(self, topic: Topic, mastodon_handle: str | None = None) -> str:
+        """A short profile description, optionally embedding a Mastodon handle."""
+        rng = self._rng
+        words = rng.choice(topic.words, size=4, replace=False)
+        bio = " ".join(str(w) for w in words).capitalize()
+        if mastodon_handle is not None:
+            username, domain = mastodon_handle.split("@", 1)
+            bio += f" | @{username}@{domain}"
+        return bio

@@ -1,0 +1,66 @@
+"""A Perspective-API-like toxicity scorer.
+
+Stand-in for Google Jigsaw's Perspective API (Section 6.3).  The scorer is a
+pure function of the text: lexicon hits are accumulated with diminishing
+returns and squashed into [0, 1].  Calibration: a typical post carrying two
+strong lexicon tokens scores above the paper's 0.5 threshold, a post with a
+single mild token stays below it, and clean text scores near 0.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nlp.vocabulary import TOXIC_LEXICON
+from repro.util.text import tokenize
+
+#: Bigrams whose combination is more toxic than the parts.
+_TOXIC_BIGRAMS: dict[tuple[str, str], float] = {
+    ("shut", "up"): 0.45,
+    ("go", "away"): 0.2,
+}
+
+
+class PerspectiveScorer:
+    """Returns a TOXICITY attribute score in [0, 1] for any text."""
+
+    def __init__(self, lexicon: dict[str, float] | None = None) -> None:
+        self._lexicon = dict(TOXIC_LEXICON if lexicon is None else lexicon)
+
+    def score(self, text: str) -> float:
+        """The toxicity of ``text``.
+
+        Accumulates lexicon weights with a square-root damping on repeated
+        hits, then squashes with ``1 - exp(-x)`` scaled so that two strong
+        tokens (weight ~0.55 each) cross 0.5.
+        """
+        tokens = tokenize(text)
+        if not tokens:
+            return 0.0
+        raw = 0.0
+        hits = 0
+        for token in tokens:
+            weight = self._lexicon.get(token, 0.0)
+            if weight > 0.0:
+                hits += 1
+                raw += weight / math.sqrt(hits)
+        for pair, weight in _TOXIC_BIGRAMS.items():
+            for a, b in zip(tokens, tokens[1:]):
+                if (a, b) == pair:
+                    hits += 1
+                    raw += weight / math.sqrt(hits)
+        if hits == 0:
+            return 0.0
+        # length prior: a slur in a short post is more salient
+        length_factor = 1.0 + 1.0 / math.sqrt(len(tokens))
+        squashed = 1.0 - math.exp(-0.85 * raw * length_factor)
+        return min(1.0, squashed)
+
+    def is_toxic(self, text: str, threshold: float = 0.5) -> bool:
+        """Thresholded judgement (the paper uses 0.5 following [5, 22, 17])."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        return self.score(text) > threshold
+
+    def score_batch(self, texts: list[str]) -> list[float]:
+        return [self.score(t) for t in texts]

@@ -1,0 +1,243 @@
+"""Topic vocabulary for the synthetic post generator.
+
+Topics and hashtag pools are chosen so the hashtag analysis (Figure 15)
+reproduces the paper's qualitative finding: Twitter talk spans Entertainment,
+Celebrities and Politics, while Mastodon is dominated by Fediverse- and
+migration-related tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Topic:
+    """A topic: a pool of content words and a pool of hashtags."""
+
+    name: str
+    words: tuple[str, ...]
+    hashtags: tuple[str, ...]
+    #: Relative prevalence on each platform (mixed per-user at generation time).
+    twitter_weight: float = 1.0
+    mastodon_weight: float = 1.0
+
+
+TOPICS: tuple[Topic, ...] = (
+    Topic(
+        name="politics",
+        words=(
+            "election", "vote", "parliament", "policy", "government", "democracy",
+            "campaign", "debate", "senate", "bill", "rights", "protest", "reform",
+            "ukraine", "sanctions", "minister", "congress", "ballot", "coalition",
+            "manifesto", "referendum", "turnout", "lobbying", "diplomacy", "treaty",
+            "budget", "taxes", "welfare", "immigration", "healthcare", "housing",
+            "candidate", "incumbent", "opposition", "cabinet", "legislation",
+            "constituency", "polling", "mandate", "veto", "caucus",
+        ),
+        hashtags=(
+            "StandWithUkraine", "GeneralElectionNow", "Politics", "Election2022",
+            "Democracy", "Vote",
+        ),
+        twitter_weight=1.6,
+        mastodon_weight=0.5,
+    ),
+    Topic(
+        name="entertainment",
+        words=(
+            "song", "album", "playlist", "concert", "movie", "series", "episode",
+            "trailer", "premiere", "festival", "band", "singer", "show", "cinema",
+            "soundtrack", "streaming", "radio", "gig", "tour", "vinyl", "remix",
+            "chorus", "lyrics", "encore", "setlist", "sequel", "director",
+            "screenplay", "matinee", "documentary", "sitcom", "finale", "casting",
+            "orchestra", "ballad", "acoustic", "headliner", "boxoffice", "popcorn",
+        ),
+        hashtags=(
+            "NowPlaying", "BBC6Music", "Eurovision", "NewMusic", "FilmTwitter",
+            "TVTime",
+        ),
+        twitter_weight=1.7,
+        mastodon_weight=0.5,
+    ),
+    Topic(
+        name="celebrities",
+        words=(
+            "celebrity", "interview", "gossip", "redcarpet", "paparazzi", "fans",
+            "famous", "actress", "actor", "style", "awards", "glamour", "scandal",
+            "premiere", "fashion", "designer", "stylist", "couture", "runway",
+            "tabloid", "rumor", "engagement", "feud", "comeback", "spotlight",
+            "autograph", "fanbase", "publicist", "entourage", "gala",
+        ),
+        hashtags=("BarbaraHolzer", "Celebrity", "RedCarpet", "Oscars"),
+        twitter_weight=1.2,
+        mastodon_weight=0.2,
+    ),
+    Topic(
+        name="sports",
+        words=(
+            "match", "goal", "league", "season", "coach", "striker", "penalty",
+            "tournament", "fixture", "transfer", "stadium", "derby", "champions",
+            "keeper", "midfield", "defender", "offside", "corner", "freekick",
+            "halftime", "extratime", "playoffs", "standings", "relegation",
+            "hattrick", "assist", "referee", "lineup", "injury", "substitute",
+            "qualifier", "scoreline", "underdog",
+        ),
+        hashtags=("WorldCup2022", "PremierLeague", "F1", "NBA"),
+        twitter_weight=1.3,
+        mastodon_weight=0.4,
+    ),
+    Topic(
+        name="tech",
+        words=(
+            "software", "developer", "code", "release", "server", "protocol",
+            "opensource", "database", "kernel", "api", "framework", "deploy",
+            "cloud", "linux", "rust", "python", "bug", "patch", "security",
+            "compiler", "container", "latency", "throughput", "refactor",
+            "repository", "commit", "merge", "pipeline", "testing", "debugger",
+            "encryption", "firewall", "backend", "frontend", "terminal",
+            "scripting", "automation", "microservice", "observability", "cache",
+        ),
+        hashtags=("OpenSource", "Linux", "Programming", "InfoSec", "Python"),
+        twitter_weight=1.0,
+        mastodon_weight=1.3,
+    ),
+    Topic(
+        name="science",
+        words=(
+            "research", "paper", "dataset", "experiment", "climate", "physics",
+            "biology", "astronomy", "telescope", "genome", "preprint", "lab",
+            "conference", "peerreview", "hypothesis", "galaxy", "nebula",
+            "particle", "quantum", "enzyme", "protein", "fossil", "geology",
+            "ecology", "neuron", "synapse", "vaccine", "microscope", "sampling",
+            "statistics", "simulation", "fieldwork", "grant", "thesis", "citation",
+        ),
+        hashtags=("Science", "ClimateAction", "Astronomy", "AcademicChatter"),
+        twitter_weight=0.9,
+        mastodon_weight=1.2,
+    ),
+    Topic(
+        name="art",
+        words=(
+            "painting", "sketch", "illustration", "gallery", "exhibition",
+            "watercolor", "portrait", "canvas", "photography", "lens", "print",
+            "commission", "drawing", "charcoal", "pastel", "acrylic", "easel",
+            "composition", "palette", "texture", "gradient", "ceramics",
+            "sculpture", "etching", "linocut", "zine", "typography", "collage",
+            "aperture", "exposure", "darkroom", "negative", "framing",
+        ),
+        hashtags=("MastoArt", "Photography", "ArtistsOnTwitter", "Illustration"),
+        twitter_weight=0.8,
+        mastodon_weight=1.2,
+    ),
+    Topic(
+        name="gaming",
+        words=(
+            "game", "gamedev", "quest", "pixel", "console", "speedrun", "indie",
+            "multiplayer", "level", "boss", "patchnotes", "controller", "steam",
+            "roguelike", "sandbox", "shader", "sprite", "hitbox", "respawn",
+            "loot", "inventory", "sidequest", "dungeon", "checkpoint", "modding",
+            "playtest", "leaderboard", "frames", "physics", "tutorial", "crafting",
+            "metroidvania", "soulslike",
+        ),
+        hashtags=("GameDev", "IndieGame", "Gaming", "PixelArt"),
+        twitter_weight=0.9,
+        mastodon_weight=1.0,
+    ),
+    Topic(
+        name="news",
+        words=(
+            "breaking", "report", "headline", "coverage", "journalist", "sources",
+            "economy", "inflation", "market", "strike", "weather", "storm",
+            "newsroom", "deadline", "editorial", "correspondent", "briefing",
+            "exclusive", "investigation", "verdict", "testimony", "recession",
+            "earnings", "layoffs", "commodities", "currency", "outage",
+            "evacuation", "wildfire", "flooding", "heatwave", "forecast",
+        ),
+        hashtags=("BreakingNews", "Economy", "CostOfLiving", "News"),
+        twitter_weight=1.4,
+        mastodon_weight=0.6,
+    ),
+    Topic(
+        name="fediverse",
+        words=(
+            "mastodon", "instance", "fediverse", "federated", "timeline", "toot",
+            "server", "migration", "decentralized", "activitypub", "admin",
+            "moderation", "newhere", "community", "boost", "followers",
+            "defederation", "webfinger", "handle", "verification", "onboarding",
+            "hashtags", "threads", "birdsite", "crossposting", "selfhosting",
+            "donations", "uptime", "registrations", "local", "federation",
+            "contentwarning", "alttext", "discoverability", "interoperable",
+        ),
+        hashtags=(
+            "fediverse", "TwitterMigration", "Mastodon", "introduction",
+            "newhere", "FediTips", "mastodonmigration",
+        ),
+        twitter_weight=0.22,
+        mastodon_weight=3.2,
+    ),
+)
+
+#: Connective filler words mixed into every post regardless of topic.
+FILLER_WORDS: tuple[str, ...] = (
+    "today", "really", "think", "people", "great", "time", "just", "still",
+    "maybe", "thanks", "love", "check", "look", "made", "happy", "morning",
+    "week", "finally", "about", "sharing", "everyone", "little", "trying",
+    "yesterday", "tonight", "weekend", "honestly", "probably", "definitely",
+    "curious", "excited", "wondering", "reading", "watching", "listening",
+    "working", "learning", "enjoying", "remember", "favorite", "brilliant",
+    "lovely", "strange", "quiet", "busy", "slowly", "together", "somewhere",
+)
+
+#: Words with non-zero toxicity weight (mild, lexicon-style) used both by the
+#: generator (to plant toxic content) and by the Perspective-like scorer.
+TOXIC_LEXICON: dict[str, float] = {
+    "idiot": 0.55,
+    "idiots": 0.55,
+    "stupid": 0.45,
+    "moron": 0.6,
+    "morons": 0.6,
+    "trash": 0.35,
+    "garbage": 0.35,
+    "pathetic": 0.45,
+    "loser": 0.5,
+    "losers": 0.5,
+    "clown": 0.4,
+    "clowns": 0.4,
+    "disgusting": 0.45,
+    "awful": 0.25,
+    "terrible": 0.2,
+    "hate": 0.3,
+    "shut": 0.15,  # 'shut up' scores via bigram boost in the scorer
+    "dumb": 0.45,
+    "worst": 0.25,
+    "liar": 0.45,
+    "liars": 0.45,
+    "fraud": 0.4,
+    "scum": 0.65,
+    "useless": 0.35,
+}
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """The generator's full word inventory."""
+
+    topics: tuple[Topic, ...] = TOPICS
+    filler: tuple[str, ...] = FILLER_WORDS
+    toxic: dict[str, float] = field(default_factory=lambda: dict(TOXIC_LEXICON))
+
+    def topic(self, name: str) -> Topic:
+        for topic in self.topics:
+            if topic.name == name:
+                return topic
+        raise KeyError(f"no topic named {name!r}")
+
+    def topic_index(self, name: str) -> int:
+        for i, topic in enumerate(self.topics):
+            if topic.name == name:
+                return i
+        raise KeyError(f"no topic named {name!r}")
+
+
+def topic_names() -> list[str]:
+    return [topic.name for topic in TOPICS]

@@ -1,0 +1,28 @@
+"""The agent-based world that replays the 2022 Twitter->Mastodon migration.
+
+The simulator produces the *world being measured*: a Twitter population, a
+fediverse, and two months of posting/migration behaviour.  The collection
+pipeline (:mod:`repro.collection`) then measures that world exactly the way
+Section 3 of the paper measured the real one.
+
+Entry point::
+
+    from repro.simulation import build_world
+    world = build_world(seed=7, scale=0.01)
+"""
+
+from repro.simulation.config import WorldConfig
+from repro.simulation.events import EventTimeline
+from repro.simulation.trends import TrendsService
+from repro.simulation.validation import ValidationReport, validate
+from repro.simulation.world import World, build_world
+
+__all__ = [
+    "WorldConfig",
+    "EventTimeline",
+    "TrendsService",
+    "World",
+    "build_world",
+    "ValidationReport",
+    "validate",
+]

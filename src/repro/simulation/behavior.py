@@ -1,0 +1,125 @@
+"""Posting-behaviour primitives.
+
+Implements the content-side behaviours the timeline analyses (Section 6)
+measure: platform-specific topic mixes, paraphrased cross-platform posts,
+cross-poster mirroring (including its late-November die-off), and toxicity
+planting.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.nlp.generator import PostGenerator
+from repro.nlp.vocabulary import TOPICS, Vocabulary
+from repro.simulation.population import SimUser
+from repro.util.clock import TAKEOVER_DATE
+
+#: Twitter revoked the cross-posters' elevated API access in late November
+#: (the paper's Figure 13 shows the resulting decline).
+CROSSPOSTER_SHUTOFF = _dt.date(2022, 11, 24)
+
+_FEDIVERSE_INDEX = next(i for i, t in enumerate(TOPICS) if t.name == "fediverse")
+_MASTODON_TOPIC_WEIGHTS = np.array([t.mastodon_weight for t in TOPICS])
+
+
+def mastodon_topic_mixture(agent: SimUser, days_since_migration: int) -> np.ndarray:
+    """The user's topic mixture when posting on Mastodon.
+
+    Newly migrated users talk overwhelmingly about the migration and the
+    fediverse itself (Figure 15); the spike decays over the first weeks but
+    a platform-level bias toward fediverse topics remains.
+    """
+    base = agent.topic_mixture * _MASTODON_TOPIC_WEIGHTS
+    base = base / base.sum()
+    spike = max(0.15, 0.65 * (0.93 ** max(0, days_since_migration)))
+    mixture = base * (1.0 - spike)
+    mixture[_FEDIVERSE_INDEX] += spike
+    return mixture / mixture.sum()
+
+
+def twitter_daily_rate(agent: SimUser, day: _dt.date) -> float:
+    """Tweets/day.  Migrated users keep using Twitter (Figure 11): a mild
+    taper only, even after they migrate."""
+    rate = agent.tweet_rate
+    if agent.migrated and agent.migration_day is not None and day >= agent.migration_day:
+        rate *= 0.9
+    return rate
+
+
+def mastodon_daily_rate(agent: SimUser, day: _dt.date) -> float:
+    """Statuses/day; zero before migration, ramping in over the first days."""
+    if not agent.migrated or agent.migration_day is None or day < agent.migration_day:
+        return 0.0
+    if agent.status_rate <= 0.0:
+        return 0.0
+    days_in = (day - agent.migration_day).days
+    ramp = min(1.0, 0.45 + 0.11 * days_in)
+    return agent.status_rate * ramp
+
+
+def crossposter_active(rng: np.random.Generator, day: _dt.date) -> bool:
+    """Whether a cross-posting bridge still works on ``day``.
+
+    Before the takeover the bridges existed but few used them; after the
+    shut-off their success rate decays day by day.
+    """
+    if day < CROSSPOSTER_SHUTOFF:
+        return True
+    days_past = (day - CROSSPOSTER_SHUTOFF).days
+    return bool(rng.random() < max(0.05, 0.75 * (0.6**days_past)))
+
+
+def paraphrase(rng: np.random.Generator, text: str, vocabulary: Vocabulary) -> str:
+    """A light rewrite of ``text`` that keeps most tokens.
+
+    Drops ~15% of the words and appends a filler word, so the hashing
+    encoder's cosine similarity to the original stays above the paper's 0.7
+    "similar" threshold without being identical.
+    """
+    words = text.split()
+    if len(words) <= 3:
+        return text + " " + str(rng.choice(vocabulary.filler))
+    keep_mask = rng.random(len(words)) > 0.15
+    if keep_mask.sum() < max(3, int(0.7 * len(words))):
+        keep_mask[:] = True
+        keep_mask[int(rng.integers(0, len(words)))] = False
+    kept = [w for w, keep in zip(words, keep_mask) if keep]
+    kept.append(str(rng.choice(vocabulary.filler)))
+    return " ".join(kept)
+
+
+def is_toxic_post(rng: np.random.Generator, agent: SimUser, platform: str) -> bool:
+    """Whether the next post by ``agent`` on ``platform`` carries toxicity."""
+    if platform == "twitter":
+        return bool(rng.random() < agent.toxicity_twitter)
+    if platform == "mastodon":
+        return bool(rng.random() < agent.toxicity_mastodon)
+    raise ValueError(f"unknown platform {platform!r}")
+
+
+def chatter_volume_multiplier(day: _dt.date) -> float:
+    """How much migration chatter there is relative to the post-takeover peak."""
+    if day < TAKEOVER_DATE - _dt.timedelta(days=1):
+        return 0.05
+    return 1.0
+
+
+def make_post(
+    generator: PostGenerator,
+    rng: np.random.Generator,
+    agent: SimUser,
+    platform: str,
+    day_mixture: np.ndarray,
+) -> str:
+    """Generate one post's text for ``agent`` on ``platform``.
+
+    Mastodon posts carry hashtags more often: with no algorithmic feed,
+    tags are the platform's discoverability mechanism.
+    """
+    topic = generator.pick_topic(day_mixture)
+    toxic = is_toxic_post(rng, agent, platform)
+    hashtag_prob = 0.62 if platform == "mastodon" else 0.45
+    return generator.generate(topic, toxic=toxic, hashtag_prob=hashtag_prob)

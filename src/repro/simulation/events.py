@@ -1,0 +1,75 @@
+"""The event timeline driving migration pressure.
+
+The paper ties migration waves to three events: the takeover (Oct 27), the
+layoffs (Nov 04) and the "extremely hardcore" ultimatum resignations
+(Nov 17).  The timeline turns those into a daily *intensity* in [0, 1]:
+near zero before the takeover, spiking at each event, decaying geometrically
+between them.  Figure 2's tweet-volume curve and the migration hazard both
+follow this intensity.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.util.clock import LAYOFFS_DATE, TAKEOVER_DATE, ULTIMATUM_DATE, date_range
+
+
+@dataclass(frozen=True)
+class Shock:
+    """One news event: a spike of the given magnitude decaying at ``decay``/day."""
+
+    day: _dt.date
+    magnitude: float
+    decay: float = 0.82
+    label: str = ""
+
+    def intensity_on(self, when: _dt.date) -> float:
+        """This shock's contribution on ``when`` (zero before the event)."""
+        offset = (when - self.day).days
+        if offset < 0:
+            return 0.0
+        return self.magnitude * (self.decay**offset)
+
+
+#: The three paper events plus the pre-takeover rumour period.
+DEFAULT_SHOCKS: tuple[Shock, ...] = (
+    Shock(day=TAKEOVER_DATE - _dt.timedelta(days=1), magnitude=0.12, decay=0.5,
+          label="deal-closing rumours"),
+    Shock(day=TAKEOVER_DATE, magnitude=1.0, label="Musk takeover"),
+    Shock(day=LAYOFFS_DATE, magnitude=0.26, label="mass layoffs"),
+    Shock(day=ULTIMATUM_DATE, magnitude=0.30, label="hardcore ultimatum"),
+)
+
+
+class EventTimeline:
+    """Daily migration-pressure intensity over the study window."""
+
+    def __init__(
+        self,
+        shocks: tuple[Shock, ...] = DEFAULT_SHOCKS,
+        baseline: float = 0.006,
+    ) -> None:
+        if baseline < 0:
+            raise ValueError("baseline must be non-negative")
+        self._shocks = shocks
+        self._baseline = baseline
+
+    @property
+    def shocks(self) -> tuple[Shock, ...]:
+        return self._shocks
+
+    def intensity(self, day: _dt.date) -> float:
+        """Total intensity on ``day``, clipped to [0, 1]."""
+        total = self._baseline + sum(s.intensity_on(day) for s in self._shocks)
+        return min(1.0, total)
+
+    def series(self, start: _dt.date, end: _dt.date) -> list[tuple[_dt.date, float]]:
+        """The intensity for every day in ``[start, end]``."""
+        return [(day, self.intensity(day)) for day in date_range(start, end)]
+
+    def peak_day(self, start: _dt.date, end: _dt.date) -> _dt.date:
+        """The day of maximum intensity in the window."""
+        series = self.series(start, end)
+        return max(series, key=lambda pair: pair[1])[0]

@@ -1,0 +1,69 @@
+"""A Google-Trends-like interest service (Figure 1).
+
+Figure 1 plots normalised search interest (0-100) for "Twitter alternatives"
+and for the alternative platforms Mastodon, Koo and Hive Social.  The service
+derives each term's series from the event timeline: interest follows the
+event intensity scaled by a per-term responsiveness, plus term-specific noise,
+normalised to a 0-100 peak exactly like Google Trends output.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+import numpy as np
+
+from repro.simulation.events import EventTimeline
+from repro.util.clock import date_range
+
+#: Per-term responsiveness to the migration event (relative peak heights).
+DEFAULT_TERMS: dict[str, float] = {
+    "Twitter alternatives": 1.0,
+    "Mastodon": 0.95,
+    "Koo": 0.35,
+    "Hive Social": 0.45,
+}
+
+#: Pre-event ambient interest per term (Mastodon had a pre-2022 user base).
+AMBIENT: dict[str, float] = {
+    "Twitter alternatives": 0.01,
+    "Mastodon": 0.06,
+    "Koo": 0.02,
+    "Hive Social": 0.005,
+}
+
+
+class TrendsService:
+    """Produces normalised interest-over-time series."""
+
+    def __init__(
+        self,
+        timeline: EventTimeline,
+        rng: np.random.Generator,
+        terms: dict[str, float] | None = None,
+    ) -> None:
+        self._timeline = timeline
+        self._rng = rng
+        self._terms = dict(DEFAULT_TERMS if terms is None else terms)
+
+    def supported_terms(self) -> list[str]:
+        return sorted(self._terms)
+
+    def interest_over_time(
+        self, term: str, start: _dt.date, end: _dt.date
+    ) -> list[tuple[_dt.date, int]]:
+        """Daily interest for ``term``, normalised so the window max is 100."""
+        if term not in self._terms:
+            raise KeyError(f"unsupported term {term!r}")
+        responsiveness = self._terms[term]
+        ambient = AMBIENT.get(term, 0.01)
+        days = list(date_range(start, end))
+        raw = np.empty(len(days))
+        for i, day in enumerate(days):
+            noise = 1.0 + 0.15 * self._rng.standard_normal()
+            raw[i] = max(0.0, (ambient + responsiveness * self._timeline.intensity(day)) * noise)
+        peak = raw.max()
+        if peak == 0:
+            return [(day, 0) for day in days]
+        scaled = np.rint(100.0 * raw / peak).astype(int)
+        return list(zip(days, (int(v) for v in scaled)))

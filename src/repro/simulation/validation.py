@@ -1,0 +1,91 @@
+"""Ground-truth validation of a collection run.
+
+The real paper could never measure its own recall — nobody knows how many
+migrants its methodology missed (it cites Mastodon's 1M+ sign-ups as a hint).
+The simulator knows, so this module scores a collected dataset against the
+world's ground truth: matcher precision/recall, per-channel discovery rates,
+and where the losses come from.  Useful both as a methodology audit and as a
+regression guard for the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.collection.dataset import MigrationDataset
+from repro.errors import SimulationError
+from repro.simulation.world import World
+from repro.util.stats import percent
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """How well the §3 methodology recovered the simulated ground truth."""
+
+    ground_truth_migrants: int
+    matched: int
+    true_matches: int
+    #: % of matches pointing at a real migrant's real account
+    precision: float
+    #: % of ground-truth migrants the pipeline found
+    recall: float
+    #: % of matches whose advertised account is the migrant's actual first account
+    account_accuracy: float
+    #: recall per announcement channel
+    recall_bio_announcers: float
+    recall_tweet_announcers: float
+    #: why the missed migrants were missed
+    missed_total: int
+    missed_different_username: int  # tweet announcement, name mismatch
+    missed_no_collectable_signal: int  # announced outside the window, etc.
+
+    def summary(self) -> str:
+        return (
+            f"precision {self.precision:.1f}%  recall {self.recall:.1f}%  "
+            f"({self.true_matches}/{self.ground_truth_migrants} migrants found; "
+            f"bio channel {self.recall_bio_announcers:.1f}%, "
+            f"tweet channel {self.recall_tweet_announcers:.1f}%)"
+        )
+
+
+def validate(world: World, dataset: MigrationDataset) -> ValidationReport:
+    """Score ``dataset`` against ``world``'s ground truth."""
+    migrants = {a.user_id: a for a in world.migrants}
+    if not migrants:
+        raise SimulationError("the world has no migrants to validate against")
+
+    true_matches = 0
+    accurate_accounts = 0
+    for uid, matched in dataset.matched.items():
+        agent = migrants.get(uid)
+        if agent is None:
+            continue
+        true_matches += 1
+        if matched.mastodon_acct == agent.first_acct:
+            accurate_accounts += 1
+
+    bio = [a for a in migrants.values() if a.announce_via == "bio"]
+    tweet = [a for a in migrants.values() if a.announce_via == "tweet"]
+    bio_found = sum(1 for a in bio if a.user_id in dataset.matched)
+    tweet_found = sum(1 for a in tweet if a.user_id in dataset.matched)
+
+    missed = [a for a in migrants.values() if a.user_id not in dataset.matched]
+    missed_name = sum(
+        1
+        for a in missed
+        if a.announce_via == "tweet" and not a.same_username
+    )
+
+    return ValidationReport(
+        ground_truth_migrants=len(migrants),
+        matched=len(dataset.matched),
+        true_matches=true_matches,
+        precision=percent(true_matches, max(1, len(dataset.matched))),
+        recall=percent(true_matches, len(migrants)),
+        account_accuracy=percent(accurate_accounts, max(1, true_matches)),
+        recall_bio_announcers=percent(bio_found, max(1, len(bio))),
+        recall_tweet_announcers=percent(tweet_found, max(1, len(tweet))),
+        missed_total=len(missed),
+        missed_different_username=missed_name,
+        missed_no_collectable_signal=len(missed) - missed_name,
+    )

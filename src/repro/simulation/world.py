@@ -1,0 +1,644 @@
+"""The world: builds both platforms and replays the migration event.
+
+``World.simulate()`` runs in two phases:
+
+1. **Dynamics** (day by day over the study window): the contagion model
+   decides who migrates; migrators pick an instance (possibly self-hosting),
+   activate or create their Mastodon account, and wire up follows with
+   already-migrated neighbours; migrated users may later switch instance
+   under social pull.
+
+2. **Content materialisation** (after the dynamics): timelines are generated
+   retroactively for every migrant — tweets across the whole window,
+   announcement tweets on migration day, statuses after migration,
+   cross-posted mirrors and paraphrases — plus keyword chatter from
+   non-migrating users and aggregate background load on every instance.
+   Nothing in the dynamics depends on post *content*, so deferring content
+   keeps the daily loop linear in the number of agents.
+
+Finally, crawl-time failure states are planted: suspended / deactivated /
+protected Twitter accounts and downed instances, with the paper's rates.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import Counter
+
+import numpy as np
+
+from repro.fediverse.directory import InstanceDirectory
+from repro.fediverse.errors import DuplicateAccountError
+from repro.fediverse.network import FediverseNetwork
+from repro.nlp.generator import PostGenerator
+from repro.simulation.behavior import (
+    chatter_volume_multiplier,
+    crossposter_active,
+    make_post,
+    mastodon_daily_rate,
+    mastodon_topic_mixture,
+    paraphrase,
+    twitter_daily_rate,
+)
+from repro.simulation.config import WorldConfig
+from repro.simulation.contagion import ContagionModel
+from repro.simulation.events import EventTimeline
+from repro.simulation.instance_choice import InstanceChooser
+from repro.simulation.population import PopulationBuilder, SimUser, generate_instances, register_instances
+from repro.simulation.trends import TrendsService
+from repro.twitter.api import TwitterAPI
+from repro.twitter.graph import FollowGraph
+from repro.twitter.models import AccountState, Tweet
+from repro.twitter.store import TwitterStore
+from repro.util.clock import TAKEOVER_DATE, date_range
+from repro.util.ids import SnowflakeGenerator
+from repro.util.rng import RngTree
+
+from repro.simulation.switching import SwitchModel
+
+
+class World:
+    """A fully-built synthetic world ready for collection."""
+
+    def __init__(self, config: WorldConfig) -> None:
+        config.validate()
+        self.config = config
+        self.rng = RngTree(config.seed)
+
+        self.twitter_store = TwitterStore()
+        self.twitter_graph = FollowGraph()
+        self.network = FediverseNetwork()
+        self.timeline = EventTimeline()
+        self.trends = TrendsService(self.timeline, self.rng.stream("trends"))
+
+        self.instance_specs = generate_instances(config, self.rng.stream("instances"))
+        register_instances(self.network, self.instance_specs)
+        self._install_moderation_policies()
+        self._flagships = frozenset(
+            spec.domain for spec in self.instance_specs if spec.flagship
+        )
+
+        builder = PopulationBuilder(config, self.rng.stream("population"))
+        self.agents, self.candidate_ids, self.hub_ids, self.chatter_ids = builder.build(
+            self.twitter_store, self.twitter_graph
+        )
+
+        self._contagion = ContagionModel(
+            config, self.timeline, self.twitter_graph, self.rng.stream("contagion")
+        )
+        self._chooser = InstanceChooser(
+            config, self.instance_specs, self.rng.stream("choice")
+        )
+        self._switcher = SwitchModel(
+            config, self._flagships, self.rng.stream("switching")
+        )
+        self._generator = PostGenerator(self.rng.stream("text"))
+        self._tweet_ids = SnowflakeGenerator(shard=2)
+
+        self.migrated_ids: set[int] = set()
+        #: per-candidate count of migrated followees (incremental contagion state)
+        self._migrated_followee_count: dict[int, int] = {}
+        #: per-candidate Counter of migrated followees' current instances
+        self._followee_instances: dict[int, Counter] = {}
+        self._simulated = False
+
+    # -- public API ---------------------------------------------------------------
+
+    def simulate(self) -> None:
+        """Run the full event simulation (idempotence-guarded)."""
+        if self._simulated:
+            raise RuntimeError("world already simulated")
+        self._seed_pre_takeover_accounts()
+        for day in date_range(self.config.start, self.config.end):
+            self._run_migrations(day)
+            self._run_switches(day)
+        self._materialise_content()
+        self._inject_background_load()
+        self._plant_crawl_failures()
+        self._simulated = True
+
+    def twitter_api(self) -> TwitterAPI:
+        """A fresh API client (own rate-limit state) over the world's Twitter."""
+        return TwitterAPI(self.twitter_store, self.twitter_graph)
+
+    def directory(self) -> InstanceDirectory:
+        """The instances.social view at collection time (self-hosts included)."""
+        return InstanceDirectory.from_network(self.network)
+
+    @property
+    def migrants(self) -> list[SimUser]:
+        """Ground truth: every agent that migrated (matched or not)."""
+        return [a for a in self.agents.values() if a.migrated]
+
+    @property
+    def switchers(self) -> list[SimUser]:
+        return [a for a in self.agents.values() if a.switch_day is not None]
+
+    def _install_moderation_policies(self) -> None:
+        """Some admins run MRF keyword filters against the toxic lexicon.
+
+        Filtering applies to *federated* deliveries only, so authors'
+        timelines (what the crawler collects) are unaffected — this models
+        the real division of labour: remote filth is filtered at the border,
+        local filth is the admin's manual moderation queue (§6.3).
+        """
+        from repro.nlp.vocabulary import TOXIC_LEXICON
+
+        rng = self.rng.stream("moderation")
+        strong_words = [w for w, weight in TOXIC_LEXICON.items() if weight >= 0.45]
+        for instance in self.network.instances():
+            if rng.random() < self.config.moderated_instance_fraction:
+                for word in strong_words:
+                    instance.policy.block_keyword(word)
+
+    # -- phase 0: pre-takeover adopters ------------------------------------------------
+
+    def _seed_pre_takeover_accounts(self) -> None:
+        """Some candidates already own a (dormant) Mastodon account.
+
+        The paper finds 21% of matched accounts predate the takeover; we give
+        the same fraction of candidates a backdated account which activates
+        if/when they migrate.
+        """
+        rng = self.rng.stream("pre_takeover")
+        config = self.config
+        empty: Counter = Counter()
+        for user_id in self.candidate_ids:
+            agent = self.agents[user_id]
+            if rng.random() >= config.pre_takeover_account_fraction:
+                continue
+            age_days = int(rng.integers(35, 2000))
+            created = _dt.datetime.combine(
+                TAKEOVER_DATE - _dt.timedelta(days=age_days), _dt.time(15, 0)
+            )
+            domain = self._chooser.choose(agent, empty)
+            username = self._mastodon_username(agent, domain)
+            if username is None:
+                continue
+            instance = self.network.get_instance(domain)
+            instance.register(username, display_name=agent.username, when=created)
+            agent.pre_takeover_account = True
+            agent.mastodon_username = username
+            agent.first_username = username
+            agent.current_instance = domain
+            agent.first_instance = domain
+            agent.mastodon_created = created
+            self._chooser.record_population(domain)
+
+    # -- phase 1: daily dynamics ----------------------------------------------------------
+
+    def _run_migrations(self, day: _dt.date) -> None:
+        for user_id in self.candidate_ids:
+            agent = self.agents[user_id]
+            if agent.migrated:
+                continue
+            fraction = self._contagion_fraction(user_id)
+            hazard = self._contagion.hazard_given_fraction(agent, day, fraction)
+            if self._contagion_rng.random() >= hazard:
+                continue
+            self._migrate(agent, day)
+
+    @property
+    def _contagion_rng(self) -> np.random.Generator:
+        return self.rng.stream("contagion-decisions")
+
+    def _contagion_fraction(self, user_id: int) -> float:
+        degree = self.twitter_graph.followee_count(user_id)
+        if degree == 0:
+            return 0.0
+        return self._migrated_followee_count.get(user_id, 0) / degree
+
+    def _migrate(self, agent: SimUser, day: _dt.date) -> None:
+        when = _dt.datetime.combine(day, _dt.time(18, 0)) + _dt.timedelta(
+            seconds=int(self._contagion_rng.integers(0, 14_000))
+        )
+        if not agent.pre_takeover_account:
+            domain = self._choose_instance(agent)
+            username = self._mastodon_username(agent, domain)
+            if username is None:  # pathological collision; skip this user
+                return
+            self.network.get_instance(domain).register(
+                username, display_name=agent.username, when=when
+            )
+            agent.mastodon_username = username
+            agent.first_username = username
+            agent.current_instance = domain
+            agent.first_instance = domain
+            agent.mastodon_created = when
+            self._chooser.record_population(domain)
+        agent.migrated = True
+        agent.migration_day = day
+        self.migrated_ids.add(agent.user_id)
+        self._wire_mastodon_follows(agent, when)
+        if agent.self_hosted:
+            self._discover_follows(agent, when)
+        self._notify_followers(agent)
+
+    def _choose_instance(self, agent: SimUser) -> str:
+        if self._chooser.wants_self_host(agent):
+            domain = self._chooser.new_self_host_domain(agent)
+            if not self.network.has_instance(domain):
+                self.network.create_instance(
+                    domain,
+                    topic=agent.main_topic,
+                    created_at=self._today_hint(agent),
+                )
+                # running one's own server correlates with heavy use: the
+                # Figure 6 paradox (single-user instances, more statuses)
+                agent.status_rate *= self.config.self_host_activity_boost
+                agent.self_hosted = True
+                return domain
+        counts = self._followee_instances.get(agent.user_id, Counter())
+        return self._chooser.choose(agent, counts)
+
+    def _today_hint(self, agent: SimUser) -> _dt.date:
+        # self-hosted instances spin up the day their owner migrates
+        return agent.migration_day or TAKEOVER_DATE
+
+    def _mastodon_username(self, agent: SimUser, domain: str) -> str | None:
+        instance = self.network.get_instance(domain)
+        candidates = [agent.username] if agent.same_username else []
+        candidates += [f"{agent.username}_m", f"{agent.username}2", f"real{agent.username}"]
+        if not agent.same_username:
+            candidates.insert(0, f"{agent.username.split('_')[0]}tooter_{agent.user_id % 10_000}")
+        for name in candidates:
+            if not instance.has_account(name):
+                return name
+        return None
+
+    def _wire_mastodon_follows(self, agent: SimUser, when: _dt.datetime) -> None:
+        """Recreate the ego network on Mastodon among migrated neighbours.
+
+        A small share of migrants never re-follow anyone (the paper's 3.6%
+        following nobody / 6.01% with no followers): they still *receive*
+        follows from later migrants, but import nothing themselves.
+        """
+        acct = agent.mastodon_acct
+        assert acct is not None
+        rewire_rng = self.rng.stream("rewire")
+        # Self-hosters are the most dedicated users: they always import their
+        # follow list and stay discoverable (part of the Fig. 6 paradox).
+        agent.rewires_follows = agent.self_hosted or (
+            rewire_rng.random() >= self.config.no_rewire_fraction
+        )
+        agent.discoverable = agent.self_hosted or (
+            rewire_rng.random() >= self.config.undiscoverable_fraction
+        )
+        if agent.rewires_follows:
+            for followee_id in self.twitter_graph.followees_of(agent.user_id):
+                other = self.agents.get(followee_id)
+                if other is None or not other.migrated or other.mastodon_acct is None:
+                    continue
+                if other.discoverable:
+                    self.network.follow(acct, other.mastodon_acct, when)
+        if agent.discoverable:
+            for follower_id in self.twitter_graph.followers_of(agent.user_id):
+                other = self.agents.get(follower_id)
+                if other is None or not other.migrated or other.mastodon_acct is None:
+                    continue
+                if other.rewires_follows and other.mastodon_acct != acct:
+                    self.network.follow(other.mastodon_acct, acct, when)
+
+    def _discover_follows(self, agent: SimUser, when: _dt.datetime) -> None:
+        """Dedicated self-hosters build their network actively.
+
+        Beyond re-following their Twitter ego network, they discover accounts
+        through hashtags and directories — extra follows to random earlier
+        migrants, some of whom follow back.  This is half of the Figure 6
+        paradox: single-user instances, larger social networks.
+        """
+        rng = self.rng.stream("discovery")
+        pool = [
+            uid for uid in self.migrated_ids
+            if uid != agent.user_id and self.agents[uid].discoverable
+        ]
+        if not pool:
+            return
+        k = min(len(pool), int(8 + agent.engagement * 14))
+        picks = rng.choice(len(pool), size=k, replace=False)
+        acct = agent.mastodon_acct
+        assert acct is not None
+        for idx in picks:
+            other = self.agents[pool[int(idx)]]
+            if other.mastodon_acct is None or other.mastodon_acct == acct:
+                continue
+            self.network.follow(acct, other.mastodon_acct, when)
+            if rng.random() < 0.35:  # follow-backs
+                self.network.follow(other.mastodon_acct, acct, when)
+
+    def _notify_followers(self, agent: SimUser) -> None:
+        """Update incremental contagion state after ``agent`` migrated."""
+        domain = agent.current_instance
+        for follower_id in self.twitter_graph.followers_of(agent.user_id):
+            if follower_id in self.agents and self.agents[follower_id].role == "candidate":
+                self._migrated_followee_count[follower_id] = (
+                    self._migrated_followee_count.get(follower_id, 0) + 1
+                )
+                self._followee_instances.setdefault(follower_id, Counter())[domain] += 1
+
+    # -- switching ------------------------------------------------------------------------
+
+    def _run_switches(self, day: _dt.date) -> None:
+        for user_id in sorted(self.migrated_ids):
+            agent = self.agents[user_id]
+            if agent.switch_day is not None or agent.migration_day == day:
+                continue
+            counts = self._followee_instances.get(user_id, Counter())
+            target = self._switcher.propose_switch(agent, counts)
+            if target is not None:
+                self._switch(agent, target, day)
+
+    def _switch(self, agent: SimUser, target: str, day: _dt.date) -> None:
+        when = _dt.datetime.combine(day, _dt.time(20, 0))
+        instance = self.network.get_instance(target)
+        username = agent.mastodon_username
+        assert username is not None and agent.current_instance is not None
+        name = username
+        suffix = 0
+        while instance.has_account(name):
+            suffix += 1
+            name = f"{username}{suffix}"
+        instance.register(name, display_name=agent.username, when=when)
+        old_acct = agent.mastodon_acct
+        assert old_acct is not None
+        new_acct = f"{name}@{target}"
+        self.network.move_account(old_acct, new_acct, when)
+        old_domain = agent.current_instance
+        agent.mastodon_username = name
+        agent.second_instance = target
+        agent.current_instance = target
+        agent.switch_day = day
+        self._chooser.record_population(target)
+        # followers' instance counters track the move
+        for follower_id in self.twitter_graph.followers_of(agent.user_id):
+            counts = self._followee_instances.get(follower_id)
+            if counts is not None and counts.get(old_domain, 0) > 0:
+                counts[old_domain] -= 1
+                counts[target] += 1
+
+    # -- phase 2: content materialisation ---------------------------------------------------
+
+    def _materialise_content(self) -> None:
+        rng = self.rng.stream("content")
+        # migration order, so boosters find their earlier-migrated followees'
+        # statuses already materialised
+        ordered = sorted(
+            self.migrated_ids,
+            key=lambda uid: (self.agents[uid].migration_day, uid),
+        )
+        for user_id in ordered:
+            self._materialise_migrant(self.agents[user_id], rng)
+        self._materialise_chatter(rng)
+
+    def _materialise_migrant(self, agent: SimUser, rng: np.random.Generator) -> None:
+        """Generate one migrant's full two-platform timeline."""
+        config = self.config
+        generator = self._generator
+        recent_tweets: list[str] = []
+        for day in date_range(config.start, config.end):
+            n_tweets = int(rng.poisson(twitter_daily_rate(agent, day)))
+            day_tweets: list[str] = []
+            for k in range(n_tweets):
+                text = make_post(generator, rng, agent, "twitter", agent.topic_mixture)
+                source = agent.preferred_source
+                # bridges existed (quietly) before the takeover: long-time
+                # fediverse users mirrored the odd post, which is the small
+                # pre-takeover baseline Figure 12's growth factors divide by
+                if (
+                    agent.crossposter is not None
+                    and agent.pre_takeover_account
+                    and (agent.migration_day is None or day < agent.migration_day)
+                    and rng.random() < 0.05
+                ):
+                    source = agent.crossposter
+                self._add_tweet(agent, day, text, source=source, seq=k)
+                day_tweets.append(text)
+            if agent.migration_day == day and agent.announce_via == "tweet":
+                self._announce_by_tweet(agent, day)
+            elif agent.migration_day == day and rng.random() < 0.8:
+                self._announce_by_tweet(agent, day)  # bio users usually tweet too
+
+            n_statuses = int(rng.poisson(mastodon_daily_rate(agent, day)))
+            if n_statuses and agent.mastodon_acct is not None:
+                days_in = (day - agent.migration_day).days if agent.migration_day else 0
+                mixture = mastodon_topic_mixture(agent, days_in)
+                active_day = agent.switch_day is None or day < agent.switch_day
+                acct = agent.first_acct if active_day else agent.mastodon_acct
+                assert acct is not None
+                self.network.record_login(acct, day)
+                for k in range(n_statuses):
+                    self._add_status(agent, acct, day, k, mixture, recent_tweets, rng)
+            recent_tweets.extend(day_tweets)
+            if len(recent_tweets) > 30:
+                del recent_tweets[:-30]
+        if agent.migration_day is not None and agent.announce_via == "bio":
+            self._announce_in_bio(agent)
+
+    def _add_status(
+        self,
+        agent: SimUser,
+        acct: str,
+        day: _dt.date,
+        seq: int,
+        mixture: np.ndarray,
+        recent_tweets: list[str],
+        rng: np.random.Generator,
+    ) -> None:
+        config = self.config
+        when = _dt.datetime.combine(day, _dt.time(9, 0)) + _dt.timedelta(minutes=11 * seq)
+        crosspost = (
+            agent.crossposter is not None
+            and rng.random() < config.crosspost_mirror_rate
+            and crossposter_active(rng, day)
+        )
+        if crosspost:
+            text = make_post(self._generator, rng, agent, "mastodon", mixture)
+            self.network.post_status(acct, text, when, application=agent.crossposter)
+            # the bridge mirrors the status to Twitter verbatim
+            self._add_tweet(agent, day, text, source=agent.crossposter, seq=100 + seq)
+            return
+        if rng.random() < config.boost_rate:
+            boosted = self._boost_candidate(agent, rng)
+            if boosted is not None:
+                self.network.boost(acct, boosted, when)
+                return
+        if recent_tweets and agent.mirror_rate > 0 and rng.random() < agent.mirror_rate:
+            original = recent_tweets[int(rng.integers(0, len(recent_tweets)))]
+            text = paraphrase(rng, original, self._generator.vocabulary)
+        else:
+            text = make_post(self._generator, rng, agent, "mastodon", mixture)
+        self.network.post_status(acct, text, when, application="Web")
+
+    def _boost_candidate(self, agent: SimUser, rng: np.random.Generator):
+        """A recent status by a migrated followee, if any exists yet.
+
+        Content is materialised in migration order, so earlier migrants'
+        statuses already exist when later migrants boost.
+        """
+        followees = [
+            self.agents[f]
+            for f in self.twitter_graph.followees_of(agent.user_id)
+            if f in self.agents and self.agents[f].migrated
+        ]
+        rng.shuffle(followees)
+        for other in followees[:5]:
+            if other.first_instance is None:
+                continue
+            instance = self.network.get_instance(other.first_instance)
+            username = other.first_username or other.mastodon_username
+            if username is None or not instance.has_account(username):
+                continue
+            statuses = instance.statuses_of(username)
+            originals = [s for s in statuses if not s.is_boost]
+            if originals:
+                return originals[int(rng.integers(0, len(originals)))]
+        return None
+
+    def _add_tweet(
+        self, agent: SimUser, day: _dt.date, text: str, source: str, seq: int
+    ) -> Tweet:
+        when = _dt.datetime.combine(day, _dt.time(8, 0)) + _dt.timedelta(
+            minutes=min(13 * seq, 900), seconds=agent.user_id % 50
+        )
+        tweet = Tweet(
+            tweet_id=self._tweet_ids.next_id(when),
+            author_id=agent.user_id,
+            created_at=when,
+            text=text,
+            source=source,
+        )
+        self.twitter_store.add_tweet(tweet)
+        return tweet
+
+    def _announce_by_tweet(self, agent: SimUser, day: _dt.date) -> None:
+        handle = agent.first_acct
+        if handle is None:
+            return
+        text = self._generator.migration_announcement(handle, agent.announce_style)
+        self._add_tweet(agent, day, text, source=agent.preferred_source, seq=90)
+
+    def _announce_in_bio(self, agent: SimUser) -> None:
+        handle = agent.first_acct
+        if handle is None:
+            return
+        user = self.twitter_store.get_user(agent.user_id)
+        topic = self._generator.vocabulary.topic(agent.main_topic)
+        user.description = self._generator.profile_bio(topic, mastodon_handle=handle)
+
+    def _materialise_chatter(self, rng: np.random.Generator) -> None:
+        """Keyword tweets from users who never migrate (collection noise)."""
+        generator = self._generator
+        fediverse_topic = generator.vocabulary.topic("fediverse")
+        migrant_handles = [
+            a.first_acct for a in self.migrants if a.first_acct is not None
+        ]
+        for user_id in self.chatter_ids:
+            agent = self.agents[user_id]
+            n_posts = 1 + int(rng.poisson(1.0))
+            for k in range(n_posts):
+                offset = int(rng.integers(0, (self.config.end - self.config.start).days + 1))
+                day = self.config.start + _dt.timedelta(days=offset)
+                if rng.random() > chatter_volume_multiplier(day):
+                    continue
+                roll = rng.random()
+                if roll < 0.75 or not migrant_handles:
+                    text = generator.generate(
+                        fediverse_topic, hashtag_prob=0.85, mention_migration=True
+                    )
+                elif roll < 0.9:
+                    # link an instance root URL (no username -> unmatchable)
+                    spec = self.instance_specs[int(rng.integers(0, len(self.instance_specs)))]
+                    text = f"Everyone seems to be joining https://{spec.domain} these days"
+                else:
+                    # mention someone ELSE's handle (matcher must reject it)
+                    handle = migrant_handles[int(rng.integers(0, len(migrant_handles)))]
+                    username, domain = handle.split("@", 1)
+                    text = f"You should all follow @{username}@{domain} over on mastodon"
+                self._add_tweet(agent, day, text, source=agent.preferred_source, seq=k)
+
+    # -- phase 3: background load and failure injection ------------------------------------
+
+    def _inject_background_load(self) -> None:
+        """Aggregate registrations/logins/statuses for untracked users (Fig. 3)."""
+        config = self.config
+        rng = self.rng.stream("background")
+        total_migrants = max(1, len(self.migrants))
+        intensity_sum = sum(
+            self.timeline.intensity(day) for day in date_range(config.start, config.end)
+        )
+        daily_new = (
+            config.background_registration_multiplier * total_migrants / max(1.0, intensity_sum)
+        )
+        weights = np.array(
+            [max(spec.weight, 1e-6) for spec in self.instance_specs]
+        )
+        weights = weights / weights.sum()
+        base_logins = {
+            spec.domain: 20.0 * spec.weight * total_migrants for spec in self.instance_specs
+        }
+        for day in date_range(config.start, config.end):
+            intensity = self.timeline.intensity(day)
+            registrations = rng.poisson(daily_new * intensity * weights)
+            for spec, regs in zip(self.instance_specs, registrations):
+                instance = self.network.get_instance(spec.domain)
+                logins = int(
+                    rng.poisson(base_logins[spec.domain] * (0.15 + 0.85 * intensity))
+                )
+                statuses = int(logins * config.background_statuses_per_login)
+                instance.record_aggregate_activity(
+                    day,
+                    statuses=statuses,
+                    logins=logins,
+                    registrations=int(regs),
+                )
+
+    def _plant_crawl_failures(self) -> None:
+        """Account states and instance downtime, at the paper's §3.2 rates."""
+        config = self.config
+        rng = self.rng.stream("failures")
+        for agent in self.migrants:
+            roll = rng.random()
+            user = self.twitter_store.get_user(agent.user_id)
+            if roll < config.suspended_fraction:
+                user.state = AccountState.SUSPENDED
+            elif roll < config.suspended_fraction + config.deactivated_fraction:
+                user.state = AccountState.DEACTIVATED
+            elif roll < (
+                config.suspended_fraction
+                + config.deactivated_fraction
+                + config.protected_fraction
+            ):
+                user.state = AccountState.PROTECTED
+        # Downtime cost the paper 11.58% of Mastodon timelines (a share of
+        # *users*, not instances).  Small and mid-size instances, strained by
+        # the migration wave, go down until that user share is reached; the
+        # professionally-run flagships stay up.
+        populations = Counter()
+        for agent in self.migrants:
+            if agent.first_instance is not None:
+                populations[agent.first_instance] += 1
+        target_users = config.instance_down_fraction * sum(populations.values())
+        candidates = [
+            domain for domain in populations if domain not in self._flagships
+        ]
+        rng.shuffle(candidates)
+        downed_users = 0.0
+        for domain in candidates:
+            if downed_users >= target_users:
+                break
+            instance = self.network.get_instance(domain)
+            instance.down = True
+            downed_users += populations[domain]
+
+
+def build_world(seed: int = 7, scale: float = 0.01, **overrides) -> World:
+    """Build and simulate a world in one call.
+
+    ``overrides`` are :class:`WorldConfig` field overrides, e.g.
+    ``build_world(seed=1, scale=0.005, contagion_weight=0.0)`` for the
+    no-contagion ablation.
+    """
+    config = WorldConfig(seed=seed, scale=scale, **overrides)
+    world = World(config)
+    world.simulate()
+    return world

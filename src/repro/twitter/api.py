@@ -1,0 +1,186 @@
+"""The simulated Twitter API surface.
+
+Three endpoints, mirroring what Section 3 of the paper used:
+
+- ``search_all`` -- the full-archive Search API (``/2/tweets/search/all``),
+  paginated, with user expansions;
+- ``user_timeline`` -- per-user tweet retrieval inside a date window, which
+  fails for suspended / deactivated / protected accounts exactly as the
+  paper's crawl accounting reports;
+- ``following`` -- the Follows API (``/2/users/:id/following``), paginated
+  and subject to the 15-requests-per-15-minutes quota that forced the
+  paper's 10% subsample.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro.twitter.errors import (
+    NotFoundError,
+    ProtectedAccountError,
+    SuspendedAccountError,
+)
+from repro.twitter.graph import FollowGraph
+from repro.twitter.models import AccountState, Tweet, TwitterUser
+from repro.twitter.ratelimit import RateLimiter
+from repro.twitter.search import SearchQuery
+from repro.twitter.store import TwitterStore
+
+#: Page sizes of the real endpoints.
+SEARCH_PAGE_SIZE = 500
+FOLLOWING_PAGE_SIZE = 1000
+
+
+@dataclass(frozen=True)
+class SearchPage:
+    """One page of search results with author expansions."""
+
+    tweets: list[Tweet]
+    users: dict[int, TwitterUser]
+    next_token: str | None
+
+
+@dataclass(frozen=True)
+class FollowingPage:
+    """One page of a user's followees."""
+
+    user_ids: list[int]
+    next_token: str | None
+
+
+class TwitterAPI:
+    """Facade over the store, graph and rate limiter."""
+
+    def __init__(
+        self,
+        store: TwitterStore,
+        graph: FollowGraph,
+        limiter: RateLimiter | None = None,
+    ) -> None:
+        self._store = store
+        self._graph = graph
+        self.limiter = limiter if limiter is not None else RateLimiter()
+
+    # -- search -----------------------------------------------------------
+
+    def search_all(
+        self,
+        query: SearchQuery,
+        next_token: str | None = None,
+        page_size: int = SEARCH_PAGE_SIZE,
+    ) -> SearchPage:
+        """One page of full-archive search results (chronological order).
+
+        The pagination token encodes the archive scan position, so draining a
+        query costs one pass over the archive regardless of page count.
+        """
+        self.limiter.acquire("search", wait=True)
+        position = _decode_token(next_token)
+        matched: list[Tweet] = []
+        archive = self._store.tweet_ids_sorted
+        while position < len(archive) and len(matched) < page_size:
+            tweet = self._store.get_tweet(archive[position])
+            position += 1
+            if query.matches(tweet):
+                matched.append(tweet)
+        users = {
+            tweet.author_id: self._store.get_user(tweet.author_id) for tweet in matched
+        }
+        token = _encode_token(position) if position < len(archive) else None
+        return SearchPage(tweets=matched, users=users, next_token=token)
+
+    def search_all_pages(self, query: SearchQuery) -> list[Tweet]:
+        """Drain every page of a search (the collectors' common case)."""
+        tweets: list[Tweet] = []
+        token: str | None = None
+        while True:
+            page = self.search_all(query, next_token=token)
+            tweets.extend(page.tweets)
+            token = page.next_token
+            if token is None:
+                return tweets
+
+    # -- users and timelines ------------------------------------------------
+
+    def get_user(self, user_id: int) -> TwitterUser:
+        """User lookup; suspended and deactivated accounts are not visible."""
+        self.limiter.acquire("users", wait=True)
+        user = self._store.get_user(user_id)
+        if user.state is AccountState.DEACTIVATED:
+            raise NotFoundError(f"user {user_id} deactivated their account")
+        if user.state is AccountState.SUSPENDED:
+            raise SuspendedAccountError(f"user {user_id} is suspended")
+        return user
+
+    def user_timeline(
+        self, user_id: int, since: _dt.date, until: _dt.date
+    ) -> list[Tweet]:
+        """All of a user's tweets inside ``[since, until]``.
+
+        Raises the error matching the account state so the crawler can
+        account for coverage exactly as Section 3.2 does.
+        """
+        self.limiter.acquire("search", wait=True)
+        user = self._store.get_user(user_id)
+        if user.state is AccountState.DEACTIVATED:
+            raise NotFoundError(f"user {user_id} deactivated their account")
+        if user.state is AccountState.SUSPENDED:
+            raise SuspendedAccountError(f"user {user_id} is suspended")
+        if user.state is AccountState.PROTECTED:
+            raise ProtectedAccountError(f"user {user_id} protects their tweets")
+        return [
+            tweet
+            for tweet in self._store.tweets_by_author(user_id)
+            if since <= tweet.created_date <= until
+        ]
+
+    # -- follows ------------------------------------------------------------
+
+    def following(
+        self,
+        user_id: int,
+        next_token: str | None = None,
+        page_size: int = FOLLOWING_PAGE_SIZE,
+        wait: bool = True,
+    ) -> FollowingPage:
+        """One page of the accounts ``user_id`` follows."""
+        self.limiter.acquire("following", wait=wait)
+        user = self._store.get_user(user_id)
+        if user.state is AccountState.DEACTIVATED:
+            raise NotFoundError(f"user {user_id} deactivated their account")
+        if user.state is AccountState.SUSPENDED:
+            raise SuspendedAccountError(f"user {user_id} is suspended")
+        followees = sorted(self._graph.followees_of(user_id))
+        offset = _decode_token(next_token)
+        chunk = followees[offset : offset + page_size]
+        more = offset + page_size < len(followees)
+        token = _encode_token(offset + page_size) if more else None
+        return FollowingPage(user_ids=chunk, next_token=token)
+
+    def following_all(self, user_id: int, wait: bool = True) -> list[int]:
+        """Drain every page of a user's followees."""
+        ids: list[int] = []
+        token: str | None = None
+        while True:
+            page = self.following(user_id, next_token=token, wait=wait)
+            ids.extend(page.user_ids)
+            token = page.next_token
+            if token is None:
+                return ids
+
+
+def _encode_token(offset: int) -> str:
+    return f"t{offset}"
+
+
+def _decode_token(token: str | None) -> int:
+    if token is None:
+        return 0
+    if not token.startswith("t"):
+        raise ValueError(f"malformed pagination token {token!r}")
+    try:
+        return int(token[1:])
+    except ValueError:
+        raise ValueError(f"malformed pagination token {token!r}") from None

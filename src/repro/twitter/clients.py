@@ -1,0 +1,83 @@
+"""Tweet sources (posting clients).
+
+Figure 12 aggregates tweets by their ``source`` attribute and shows that the
+two well-known cross-posting bridges grow by an order of magnitude after the
+takeover.  The simulator assigns each tweet a source from this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TweetSource:
+    """A posting client."""
+
+    name: str
+    official: bool = False
+    crossposter: bool = False
+
+
+#: Official first-party clients, ordered roughly by real-world popularity.
+OFFICIAL_SOURCES: tuple[TweetSource, ...] = (
+    TweetSource("Twitter Web App", official=True),
+    TweetSource("Twitter for iPhone", official=True),
+    TweetSource("Twitter for Android", official=True),
+    TweetSource("Twitter for iPad", official=True),
+    TweetSource("TweetDeck", official=True),
+)
+
+#: The two Mastodon<->Twitter bridges called out in Section 6.1.
+CROSSPOSTER_SOURCES: tuple[TweetSource, ...] = (
+    TweetSource("Mastodon Twitter Crossposter", crossposter=True),
+    TweetSource("Moa Bridge", crossposter=True),
+)
+
+#: Third-party tools that appear in the long tail of Figure 12.
+THIRD_PARTY_SOURCES: tuple[TweetSource, ...] = (
+    TweetSource("Buffer"),
+    TweetSource("Hootsuite Inc."),
+    TweetSource("IFTTT"),
+    TweetSource("Tweetbot for iOS"),
+    TweetSource("Echofon"),
+    TweetSource("Twitterrific for iOS"),
+    TweetSource("Fenix 2"),
+    TweetSource("Talon Android"),
+    TweetSource("dlvr.it"),
+    TweetSource("Zapier.com"),
+    TweetSource("SocialFlow"),
+    TweetSource("Sprout Social"),
+    TweetSource("WordPress.com"),
+    TweetSource("Instagram"),
+    TweetSource("Curious Cat"),
+    TweetSource("Cheap Bots, Done Quick!"),
+    TweetSource("Twittascope"),
+    TweetSource("Tumblr"),
+    TweetSource("Medium"),
+    TweetSource("LinkedIn"),
+    TweetSource("Paper.li"),
+    TweetSource("Revue"),
+    TweetSource("Typefully"),
+    TweetSource("Chirpty"),
+    TweetSource("Podcasts App"),
+)
+
+ALL_SOURCES: tuple[TweetSource, ...] = (
+    OFFICIAL_SOURCES + CROSSPOSTER_SOURCES + THIRD_PARTY_SOURCES
+)
+
+_BY_NAME = {source.name: source for source in ALL_SOURCES}
+
+#: Names of the cross-posting bridges, for quick membership tests.
+CROSSPOSTER_NAMES: frozenset[str] = frozenset(s.name for s in CROSSPOSTER_SOURCES)
+
+
+def source_by_name(name: str) -> TweetSource:
+    """Look up a registered source; unknown names become generic sources."""
+    return _BY_NAME.get(name, TweetSource(name))
+
+
+def is_crossposter(source_name: str) -> bool:
+    """Whether ``source_name`` is one of the two cross-posting bridges."""
+    return source_name in CROSSPOSTER_NAMES

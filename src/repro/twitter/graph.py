@@ -1,0 +1,85 @@
+"""Directed follower graph.
+
+Edges point from follower to followee (``alice -> bob`` means alice follows
+bob).  The graph is the substrate for both the contagion model (a user's
+migration hazard depends on the migrated fraction of their followees) and the
+Follows API crawl of Section 3.3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class FollowGraph:
+    """Adjacency-set digraph keyed by integer user ids."""
+
+    def __init__(self) -> None:
+        self._followees: dict[int, set[int]] = {}
+        self._followers: dict[int, set[int]] = {}
+        self._edge_count = 0
+
+    def add_user(self, user_id: int) -> None:
+        """Register a node (idempotent)."""
+        self._followees.setdefault(user_id, set())
+        self._followers.setdefault(user_id, set())
+
+    def follow(self, follower: int, followee: int) -> bool:
+        """Add edge ``follower -> followee``; returns False if it existed."""
+        if follower == followee:
+            raise ValueError(f"user {follower} cannot follow themselves")
+        self.add_user(follower)
+        self.add_user(followee)
+        if followee in self._followees[follower]:
+            return False
+        self._followees[follower].add(followee)
+        self._followers[followee].add(follower)
+        self._edge_count += 1
+        return True
+
+    def unfollow(self, follower: int, followee: int) -> bool:
+        """Remove edge ``follower -> followee``; returns False if absent."""
+        if followee not in self._followees.get(follower, ()):
+            return False
+        self._followees[follower].discard(followee)
+        self._followers[followee].discard(follower)
+        self._edge_count -= 1
+        return True
+
+    def follows(self, follower: int, followee: int) -> bool:
+        return followee in self._followees.get(follower, ())
+
+    def followees_of(self, user_id: int) -> frozenset[int]:
+        """Accounts ``user_id`` follows."""
+        return frozenset(self._followees.get(user_id, ()))
+
+    def followers_of(self, user_id: int) -> frozenset[int]:
+        """Accounts following ``user_id``."""
+        return frozenset(self._followers.get(user_id, ()))
+
+    def followee_count(self, user_id: int) -> int:
+        return len(self._followees.get(user_id, ()))
+
+    def follower_count(self, user_id: int) -> int:
+        return len(self._followers.get(user_id, ()))
+
+    def users(self) -> Iterable[int]:
+        return self._followees.keys()
+
+    @property
+    def user_count(self) -> int:
+        return len(self._followees)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def to_networkx(self):
+        """Export as a ``networkx.DiGraph`` for structural analyses."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._followees)
+        for follower, followees in self._followees.items():
+            graph.add_edges_from((follower, f) for f in followees)
+        return graph

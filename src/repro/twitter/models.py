@@ -1,0 +1,101 @@
+"""Data model for the simulated Twitter service."""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.text import extract_hashtags, extract_urls
+
+
+class AccountState(enum.Enum):
+    """Lifecycle state of a Twitter account.
+
+    The timeline crawl of Section 3.2 could not retrieve 5.12% of users:
+    suspended (0.08%), deleted/deactivated (2.26%) or protected (2.78%).
+    """
+
+    ACTIVE = "active"
+    SUSPENDED = "suspended"
+    DEACTIVATED = "deactivated"
+    PROTECTED = "protected"
+
+
+@dataclass
+class TwitterUser:
+    """A Twitter account with the profile metadata the matcher inspects.
+
+    The handle matcher of Section 3.1 searches ``display_name``,
+    ``location``, ``description``, ``url`` and the pinned tweet's text for
+    Mastodon handles, so all of those fields are first-class here.
+    """
+
+    user_id: int
+    username: str
+    display_name: str
+    created_at: _dt.datetime
+    description: str = ""
+    location: str = ""
+    url: str = ""
+    pinned_tweet_id: int | None = None
+    verified: bool = False
+    state: AccountState = AccountState.ACTIVE
+    #: Public metrics as the API reports them on the user object.  The
+    #: ``following_count`` of tracked users matches the follow graph; the
+    #: ``followers_count`` is profile metadata (crawling full follower lists
+    #: for every user was infeasible for the paper too).
+    followers_count: int = 0
+    following_count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.username:
+            raise ValueError("username must be non-empty")
+        if self.username != self.username.strip():
+            raise ValueError(f"username has surrounding whitespace: {self.username!r}")
+
+    @property
+    def is_crawlable(self) -> bool:
+        """Whether the timeline crawler can read this account's tweets."""
+        return self.state is AccountState.ACTIVE
+
+    def account_age_days(self, on: _dt.date) -> int:
+        """Age of the account in days as of ``on``."""
+        return (on - self.created_at.date()).days
+
+    def metadata_fields(self) -> dict[str, str]:
+        """The profile fields scanned for Mastodon handles, in scan order."""
+        return {
+            "display_name": self.display_name,
+            "location": self.location,
+            "description": self.description,
+            "url": self.url,
+        }
+
+
+@dataclass
+class Tweet:
+    """A single tweet.
+
+    ``source`` is the posting client's display name (e.g. ``Twitter Web App``
+    or ``Moa Bridge``), which Figures 12-13 aggregate.
+    """
+
+    tweet_id: int
+    author_id: int
+    created_at: _dt.datetime
+    text: str
+    source: str
+    is_retweet: bool = False
+    hashtags: list[str] = field(default_factory=list)
+    urls: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.hashtags:
+            self.hashtags = extract_hashtags(self.text)
+        if not self.urls:
+            self.urls = extract_urls(self.text)
+
+    @property
+    def created_date(self) -> _dt.date:
+        return self.created_at.date()

@@ -1,0 +1,138 @@
+"""The search query language of the simulated Search API.
+
+Section 3.1 issues two kinds of full-archive searches:
+
+1. tweets containing a *link to* any of ~16k Mastodon instances
+   (``url:"mastodon.social"``-style domain matches), and
+2. tweets containing migration keywords/hashtags (``'bye bye twitter'``,
+   ``#TwitterMigration``, ...).
+
+Both are expressible as a :class:`SearchQuery`: a disjunction of phrase terms,
+hashtag terms and URL-domain terms, optionally restricted to an author and a
+date window.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from urllib.parse import urlparse
+
+from repro.util.text import normalize_hashtag
+
+from repro.twitter.models import Tweet
+
+
+def url_domain(url: str) -> str:
+    """The lowercase host of ``url`` (empty string when unparseable)."""
+    try:
+        host = urlparse(url).netloc
+    except ValueError:
+        return ""
+    return host.lower().split(":")[0]
+
+
+@dataclass(frozen=True)
+class SearchQuery:
+    """A disjunctive full-archive search.
+
+    A tweet matches when *any* of the phrase / hashtag / domain terms match,
+    and it falls inside the optional ``since``/``until`` window and author
+    restriction.  Phrases match case-insensitively as substrings of the tweet
+    text (the behaviour of Twitter's quoted-phrase operator is approximated);
+    hashtags match exactly against the tweet's extracted hashtags; domains
+    match any URL in the tweet whose host equals the domain or is a subdomain
+    of it.
+    """
+
+    phrases: tuple[str, ...] = ()
+    hashtags: tuple[str, ...] = ()
+    url_domains: tuple[str, ...] = ()
+    from_user_id: int | None = None
+    since: _dt.date | None = None
+    until: _dt.date | None = None
+    _lowered_phrases: tuple[str, ...] = field(init=False, repr=False, compare=False, default=())
+    _tag_set: frozenset[str] = field(init=False, repr=False, compare=False, default=frozenset())
+    _domain_set: frozenset[str] = field(init=False, repr=False, compare=False, default=frozenset())
+
+    def __post_init__(self) -> None:
+        if not (self.phrases or self.hashtags or self.url_domains or self.from_user_id):
+            raise ValueError("a search query needs at least one term")
+        object.__setattr__(self, "_lowered_phrases", tuple(p.lower() for p in self.phrases))
+        object.__setattr__(
+            self, "_tag_set", frozenset(normalize_hashtag(t.lstrip("#")) for t in self.hashtags)
+        )
+        object.__setattr__(
+            self, "_domain_set", frozenset(d.lower() for d in self.url_domains)
+        )
+
+    def _in_window(self, tweet: Tweet) -> bool:
+        day = tweet.created_date
+        if self.since is not None and day < self.since:
+            return False
+        if self.until is not None and day > self.until:
+            return False
+        return True
+
+    def _domain_matches(self, tweet: Tweet) -> bool:
+        if not self._domain_set:
+            return False
+        for url in tweet.urls:
+            host = url_domain(url)
+            if not host:
+                continue
+            if host in self._domain_set:
+                return True
+            # subdomain match: social.example.com matches example.com
+            parts = host.split(".")
+            for i in range(1, len(parts) - 1):
+                if ".".join(parts[i:]) in self._domain_set:
+                    return True
+        return False
+
+    def matches(self, tweet: Tweet) -> bool:
+        """Whether ``tweet`` satisfies this query."""
+        if not self._in_window(tweet):
+            return False
+        if self.from_user_id is not None and tweet.author_id != self.from_user_id:
+            return False
+        has_content_terms = bool(self._lowered_phrases or self._tag_set or self._domain_set)
+        if not has_content_terms:
+            return True  # pure from:user / window query
+        text = tweet.text.lower()
+        if any(phrase in text for phrase in self._lowered_phrases):
+            return True
+        if self._tag_set and any(
+            normalize_hashtag(tag) in self._tag_set for tag in tweet.hashtags
+        ):
+            return True
+        return self._domain_matches(tweet)
+
+
+#: Migration keywords of Section 3.1.
+MIGRATION_KEYWORDS: tuple[str, ...] = ("mastodon", "bye bye twitter", "good bye twitter")
+
+#: Migration hashtags of Section 3.1.
+MIGRATION_HASHTAGS: tuple[str, ...] = (
+    "Mastodon",
+    "MastodonMigration",
+    "ByeByeTwitter",
+    "GoodByeTwitter",
+    "TwitterMigration",
+    "MastodonSocial",
+    "RIPTwitter",
+)
+
+
+def migration_query(since: _dt.date, until: _dt.date) -> SearchQuery:
+    """The keyword/hashtag query of Section 3.1 over the collection window."""
+    return SearchQuery(
+        phrases=MIGRATION_KEYWORDS, hashtags=MIGRATION_HASHTAGS, since=since, until=until
+    )
+
+
+def instance_link_query(
+    domains: tuple[str, ...], since: _dt.date, until: _dt.date
+) -> SearchQuery:
+    """The instance-link query of Section 3.1 for a batch of instance domains."""
+    return SearchQuery(url_domains=domains, since=since, until=until)

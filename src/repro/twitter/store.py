@@ -1,0 +1,98 @@
+"""In-memory storage and indexes backing the simulated Twitter APIs."""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Iterable, Iterator
+
+from repro.twitter.errors import NotFoundError
+from repro.twitter.models import Tweet, TwitterUser
+
+
+class TwitterStore:
+    """Users, tweets and the indexes the Search API needs.
+
+    Tweets are kept in a single id-sorted list (snowflake ids sort
+    chronologically) plus a per-author index, so both full-archive scans and
+    timeline reads are cheap.
+    """
+
+    def __init__(self) -> None:
+        self._users_by_id: dict[int, TwitterUser] = {}
+        self._users_by_username: dict[str, int] = {}
+        self._tweets_by_id: dict[int, Tweet] = {}
+        self._tweet_ids_sorted: list[int] = []
+        self._tweets_by_author: dict[int, list[int]] = {}
+
+    # -- users ------------------------------------------------------------
+
+    def add_user(self, user: TwitterUser) -> None:
+        if user.user_id in self._users_by_id:
+            raise ValueError(f"duplicate user id {user.user_id}")
+        key = user.username.lower()
+        if key in self._users_by_username:
+            raise ValueError(f"duplicate username {user.username!r}")
+        self._users_by_id[user.user_id] = user
+        self._users_by_username[key] = user.user_id
+
+    def get_user(self, user_id: int) -> TwitterUser:
+        try:
+            return self._users_by_id[user_id]
+        except KeyError:
+            raise NotFoundError(f"no such user id {user_id}") from None
+
+    def get_user_by_username(self, username: str) -> TwitterUser:
+        try:
+            return self._users_by_id[self._users_by_username[username.lower()]]
+        except KeyError:
+            raise NotFoundError(f"no such username {username!r}") from None
+
+    def has_user(self, user_id: int) -> bool:
+        return user_id in self._users_by_id
+
+    def users(self) -> Iterator[TwitterUser]:
+        return iter(self._users_by_id.values())
+
+    @property
+    def user_count(self) -> int:
+        return len(self._users_by_id)
+
+    # -- tweets -----------------------------------------------------------
+
+    def add_tweet(self, tweet: Tweet) -> None:
+        if tweet.tweet_id in self._tweets_by_id:
+            raise ValueError(f"duplicate tweet id {tweet.tweet_id}")
+        if tweet.author_id not in self._users_by_id:
+            raise NotFoundError(f"tweet author {tweet.author_id} is not a known user")
+        self._tweets_by_id[tweet.tweet_id] = tweet
+        bisect.insort(self._tweet_ids_sorted, tweet.tweet_id)
+        self._tweets_by_author.setdefault(tweet.author_id, []).append(tweet.tweet_id)
+
+    def get_tweet(self, tweet_id: int) -> Tweet:
+        try:
+            return self._tweets_by_id[tweet_id]
+        except KeyError:
+            raise NotFoundError(f"no such tweet id {tweet_id}") from None
+
+    def tweets(self) -> Iterator[Tweet]:
+        """All tweets in chronological (id) order."""
+        for tweet_id in self._tweet_ids_sorted:
+            yield self._tweets_by_id[tweet_id]
+
+    @property
+    def tweet_ids_sorted(self) -> list[int]:
+        """Chronologically sorted tweet ids (the Search API's scan order)."""
+        return self._tweet_ids_sorted
+
+    def tweets_by_author(self, author_id: int) -> list[Tweet]:
+        """An author's tweets in chronological order."""
+        ids = self._tweets_by_author.get(author_id, [])
+        return [self._tweets_by_id[i] for i in sorted(ids)]
+
+    @property
+    def tweet_count(self) -> int:
+        return len(self._tweets_by_id)
+
+    def extend_tweets(self, tweets: Iterable[Tweet]) -> None:
+        for tweet in tweets:
+            self.add_tweet(tweet)

@@ -1,0 +1,43 @@
+"""Shared primitives: simulated time, seeded randomness, ids, statistics."""
+
+from repro.util.clock import (
+    SIM_END,
+    SIM_START,
+    TAKEOVER_DATE,
+    SimClock,
+    date_range,
+    day_index,
+    from_day_index,
+    iso_week,
+    parse_date,
+)
+from repro.util.ids import SnowflakeGenerator
+from repro.util.rng import RngTree
+from repro.util.stats import (
+    Ecdf,
+    gini,
+    lorenz_curve,
+    percent,
+    quantile_bucket_edges,
+    summarize,
+)
+
+__all__ = [
+    "SIM_START",
+    "SIM_END",
+    "TAKEOVER_DATE",
+    "SimClock",
+    "date_range",
+    "day_index",
+    "from_day_index",
+    "iso_week",
+    "parse_date",
+    "SnowflakeGenerator",
+    "RngTree",
+    "Ecdf",
+    "gini",
+    "lorenz_curve",
+    "percent",
+    "quantile_bucket_edges",
+    "summarize",
+]

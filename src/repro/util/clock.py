@@ -1,0 +1,105 @@
+"""Simulated time.
+
+The study window is October 01, 2022 -- November 30, 2022 (the timeline-crawl
+range of Section 3.2).  Key event dates from the paper:
+
+- ``TAKEOVER_DATE``  -- October 27, 2022, Musk's acquisition completes.
+- ``LAYOFFS_DATE``   -- November 04, 2022, half of the workforce is fired.
+- ``ULTIMATUM_DATE`` -- November 17, 2022, the "extremely hardcore" resignations.
+
+All timestamps in the package are timezone-naive UTC ``datetime`` objects and
+all day-level bookkeeping uses ``datetime.date``.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections.abc import Iterator
+
+SIM_START = _dt.date(2022, 10, 1)
+SIM_END = _dt.date(2022, 11, 30)
+
+TAKEOVER_DATE = _dt.date(2022, 10, 27)
+LAYOFFS_DATE = _dt.date(2022, 11, 4)
+ULTIMATUM_DATE = _dt.date(2022, 11, 17)
+
+#: Tweet-collection window of Section 3.1 (a day before the takeover onward).
+TWEET_COLLECTION_START = _dt.date(2022, 10, 26)
+TWEET_COLLECTION_END = _dt.date(2022, 11, 21)
+
+
+def parse_date(value: str | _dt.date) -> _dt.date:
+    """Parse an ISO ``YYYY-MM-DD`` string (dates pass through unchanged)."""
+    if isinstance(value, _dt.date):
+        return value
+    return _dt.date.fromisoformat(value)
+
+
+def day_index(day: _dt.date, origin: _dt.date = SIM_START) -> int:
+    """Number of days between ``origin`` and ``day`` (negative if earlier)."""
+    return (day - origin).days
+
+
+def from_day_index(index: int, origin: _dt.date = SIM_START) -> _dt.date:
+    """Inverse of :func:`day_index`."""
+    return origin + _dt.timedelta(days=index)
+
+
+def date_range(start: _dt.date, end: _dt.date) -> Iterator[_dt.date]:
+    """Yield every date from ``start`` to ``end`` inclusive."""
+    if end < start:
+        raise ValueError(f"end {end} precedes start {start}")
+    day = start
+    while day <= end:
+        yield day
+        day += _dt.timedelta(days=1)
+
+
+def iso_week(day: _dt.date) -> str:
+    """ISO-8601 week label, e.g. ``'2022-W43'`` (used by the weekly endpoint)."""
+    year, week, _ = day.isocalendar()
+    return f"{year}-W{week:02d}"
+
+
+def week_start(day: _dt.date) -> _dt.date:
+    """The Monday of ``day``'s ISO week."""
+    return day - _dt.timedelta(days=day.isoweekday() - 1)
+
+
+class SimClock:
+    """A day-resolution simulation clock.
+
+    The world simulator advances the clock one day at a time; substrates read
+    the current day when they need to stamp new objects.  Sub-day timestamps
+    are produced by :meth:`timestamp`, which spreads events across the day
+    deterministically by sequence number.
+    """
+
+    def __init__(self, start: _dt.date = SIM_START) -> None:
+        self._day = start
+        self._seq = 0
+
+    @property
+    def today(self) -> _dt.date:
+        return self._day
+
+    def advance(self, days: int = 1) -> _dt.date:
+        """Move the clock forward and return the new day."""
+        if days < 0:
+            raise ValueError("clock cannot move backwards")
+        self._day += _dt.timedelta(days=days)
+        return self._day
+
+    def timestamp(self, second_of_day: int | None = None) -> _dt.datetime:
+        """A datetime on the current day.
+
+        Without an explicit ``second_of_day`` the clock hands out strictly
+        increasing within-day offsets so that same-day events retain their
+        relative order.
+        """
+        if second_of_day is None:
+            second_of_day = self._seq % 86_400
+            self._seq += 17  # coprime with 86400: walks the whole day
+        second_of_day %= 86_400
+        base = _dt.datetime.combine(self._day, _dt.time.min)
+        return base + _dt.timedelta(seconds=second_of_day)

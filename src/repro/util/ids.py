@@ -1,0 +1,65 @@
+"""Snowflake-style identifiers.
+
+Both Twitter and Mastodon hand out 64-bit ids whose high bits encode the
+creation time, so ids sort chronologically.  The simulated services use the
+same scheme: 41 bits of milliseconds since a custom epoch, 10 bits of shard,
+12 bits of sequence.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from collections import defaultdict
+
+#: Twitter's snowflake epoch (2010-11-04T01:42:54.657Z), reused for both sides.
+SNOWFLAKE_EPOCH = _dt.datetime(2010, 11, 4, 1, 42, 54, 657000)
+
+_TIMESTAMP_SHIFT = 22
+_SHARD_SHIFT = 12
+_SEQUENCE_MASK = (1 << 12) - 1
+_SHARD_MASK = (1 << 10) - 1
+
+
+class SnowflakeGenerator:
+    """Generates chronologically sortable 64-bit ids.
+
+    Each service owns one generator per shard; ids generated for the same
+    timestamp are disambiguated by a rolling sequence number.
+    """
+
+    def __init__(self, shard: int = 0) -> None:
+        if not 0 <= shard <= _SHARD_MASK:
+            raise ValueError(f"shard must fit in 10 bits, got {shard}")
+        self._shard = shard
+        self._seq_by_millis: defaultdict[int, int] = defaultdict(int)
+
+    def next_id(self, when: _dt.datetime) -> int:
+        """A fresh id whose timestamp component encodes ``when``.
+
+        Unlike a live snowflake service, ids may be requested for arbitrary
+        (even out-of-order) timestamps, so the per-millisecond sequence is
+        tracked explicitly; a millisecond can host at most 4096 ids.
+        """
+        delta = when - SNOWFLAKE_EPOCH
+        # integer arithmetic: float total_seconds() loses sub-ms precision
+        millis = delta.days * 86_400_000 + delta.seconds * 1000 + delta.microseconds // 1000
+        if millis < 0:
+            raise ValueError(f"timestamp {when} precedes the snowflake epoch")
+        seq = self._seq_by_millis[millis]
+        if seq > _SEQUENCE_MASK:
+            raise OverflowError(f"sequence exhausted for millisecond {millis}")
+        self._seq_by_millis[millis] = seq + 1
+        return (millis << _TIMESTAMP_SHIFT) | (self._shard << _SHARD_SHIFT) | seq
+
+
+def snowflake_time(snowflake: int) -> _dt.datetime:
+    """Recover the creation datetime embedded in a snowflake id."""
+    if snowflake < 0:
+        raise ValueError("snowflake ids are non-negative")
+    millis = snowflake >> _TIMESTAMP_SHIFT
+    return SNOWFLAKE_EPOCH + _dt.timedelta(milliseconds=millis)
+
+
+def snowflake_shard(snowflake: int) -> int:
+    """Recover the shard component of a snowflake id."""
+    return (snowflake >> _SHARD_SHIFT) & _SHARD_MASK

@@ -1,0 +1,162 @@
+"""Empirical statistics used throughout the analyses.
+
+The paper reports CDFs, top-k% share curves, quantile splits and simple
+percentages; this module implements those primitives once so every analysis
+computes them the same way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """An empirical CDF over a sample.
+
+    ``xs`` are the sorted unique sample values and ``ps`` the cumulative
+    probabilities ``P(X <= x)``; both arrays have the same length.
+    """
+
+    xs: np.ndarray
+    ps: np.ndarray
+    n: int
+
+    @classmethod
+    def from_sample(cls, sample: Iterable[float]) -> "Ecdf":
+        values = np.asarray(sorted(sample), dtype=float)
+        if values.size == 0:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        xs, counts = np.unique(values, return_counts=True)
+        ps = np.cumsum(counts) / values.size
+        return cls(xs=xs, ps=ps, n=int(values.size))
+
+    def evaluate(self, x: float) -> float:
+        """``P(X <= x)`` for an arbitrary query point."""
+        idx = np.searchsorted(self.xs, x, side="right")
+        if idx == 0:
+            return 0.0
+        return float(self.ps[idx - 1])
+
+    def quantile(self, q: float) -> float:
+        """The smallest sample value ``x`` with ``P(X <= x) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        idx = int(np.searchsorted(self.ps, q, side="left"))
+        idx = min(idx, self.xs.size - 1)
+        return float(self.xs[idx])
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def series(self) -> list[tuple[float, float]]:
+        """``(x, P(X <= x))`` pairs suitable for plotting or printing."""
+        return [(float(x), float(p)) for x, p in zip(self.xs, self.ps)]
+
+
+def percent(part: float, whole: float) -> float:
+    """``part / whole`` as a percentage; 0.0 when the denominator is zero."""
+    if whole == 0:
+        return 0.0
+    return 100.0 * part / whole
+
+
+def lorenz_curve(sizes: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative population share vs. cumulative size share.
+
+    ``sizes`` are per-unit weights (e.g. users per instance).  Returns
+    ``(fraction_of_units, fraction_of_total)`` with units sorted ascending,
+    each array starting at 0.0 and ending at 1.0.
+    """
+    values = np.sort(np.asarray(sizes, dtype=float))
+    if values.size == 0:
+        raise ValueError("lorenz_curve requires at least one size")
+    if np.any(values < 0):
+        raise ValueError("sizes must be non-negative")
+    cum = np.concatenate([[0.0], np.cumsum(values)])
+    total = cum[-1]
+    if total == 0:
+        raise ValueError("total size is zero")
+    units = np.linspace(0.0, 1.0, values.size + 1)
+    return units, cum / total
+
+
+def top_share_curve(sizes: Sequence[float]) -> list[tuple[float, float]]:
+    """Share of the total held by the top x% largest units, for each rank.
+
+    This is the Figure-5 curve: point ``(p, s)`` means the largest ``p`` percent
+    of units hold ``s`` percent of the total.
+    """
+    values = np.sort(np.asarray(sizes, dtype=float))[::-1]
+    if values.size == 0:
+        raise ValueError("top_share_curve requires at least one size")
+    total = values.sum()
+    if total == 0:
+        raise ValueError("total size is zero")
+    cum = np.cumsum(values)
+    points = []
+    for rank, held in enumerate(cum, start=1):
+        points.append((100.0 * rank / values.size, 100.0 * held / total))
+    return points
+
+
+def share_of_top_fraction(sizes: Sequence[float], fraction: float) -> float:
+    """Percentage of the total held by the top ``fraction`` of units."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    values = np.sort(np.asarray(sizes, dtype=float))[::-1]
+    k = max(1, int(round(fraction * values.size)))
+    total = values.sum()
+    if total == 0:
+        raise ValueError("total size is zero")
+    return 100.0 * values[:k].sum() / total
+
+
+def gini(sizes: Sequence[float]) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, 1 = concentrated)."""
+    values = np.sort(np.asarray(sizes, dtype=float))
+    if values.size == 0:
+        raise ValueError("gini requires at least one value")
+    if np.any(values < 0):
+        raise ValueError("sizes must be non-negative")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    n = values.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * values).sum()) / (n * total) - (n + 1) / n)
+
+
+def quantile_bucket_edges(sample: Sequence[float], buckets: int) -> list[float]:
+    """Interior quantile edges splitting ``sample`` into ``buckets`` groups."""
+    if buckets < 2:
+        raise ValueError("need at least two buckets")
+    values = np.asarray(sample, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot bucket an empty sample")
+    qs = np.linspace(0, 1, buckets + 1)[1:-1]
+    return [float(v) for v in np.quantile(values, qs)]
+
+
+def assign_quantile_bucket(value: float, edges: Sequence[float]) -> int:
+    """Index of the quantile bucket ``value`` falls into (0-based)."""
+    return int(np.searchsorted(np.asarray(edges, dtype=float), value, side="right"))
+
+
+def summarize(sample: Iterable[float]) -> dict[str, float]:
+    """Mean/median/min/max/std and count for a numeric sample."""
+    values = np.asarray(list(sample), dtype=float)
+    if values.size == 0:
+        return {"n": 0, "mean": 0.0, "median": 0.0, "min": 0.0, "max": 0.0, "std": 0.0}
+    return {
+        "n": int(values.size),
+        "mean": float(values.mean()),
+        "median": float(np.median(values)),
+        "min": float(values.min()),
+        "max": float(values.max()),
+        "std": float(values.std()),
+    }

@@ -1,0 +1,30 @@
+"""Light text utilities shared by the NLP substrate and the collectors."""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+_HASHTAG_RE = re.compile(r"#(\w+)")
+_URL_RE = re.compile(r"https?://[^\s]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens, URLs stripped, hashtags kept as bare words."""
+    cleaned = _URL_RE.sub(" ", text.lower())
+    return _TOKEN_RE.findall(cleaned)
+
+
+def extract_hashtags(text: str) -> list[str]:
+    """Hashtags appearing in ``text`` (without the ``#``), original case kept."""
+    return _HASHTAG_RE.findall(text)
+
+
+def extract_urls(text: str) -> list[str]:
+    """All ``http(s)://`` URLs appearing in ``text``."""
+    return _URL_RE.findall(text)
+
+
+def normalize_hashtag(tag: str) -> str:
+    """Canonical (lowercase) form used when counting hashtag frequencies."""
+    return tag.lower()

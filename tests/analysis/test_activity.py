@@ -1,0 +1,87 @@
+"""Tests for repro.analysis.activity."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.activity import collected_tweet_volume, daily_volume
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from repro.util.clock import TAKEOVER_DATE
+from tests.conftest import make_status, make_tweet
+
+OCT28 = dt.date(2022, 10, 28)
+OCT29 = dt.date(2022, 10, 29)
+
+
+@pytest.fixture
+def dataset(tiny_dataset):
+    tiny_dataset.twitter_timelines = {
+        1: [make_tweet(1, 1, OCT28, "a"), make_tweet(2, 1, OCT29, "b")],
+        2: [make_tweet(3, 2, OCT28, "c")],
+    }
+    tiny_dataset.mastodon_timelines = {
+        1: [make_status(4, "alice@mastodon.social", OCT29, "d")],
+    }
+    tiny_dataset.collected_tweets = [
+        make_tweet(5, 1, dt.date(2022, 10, 26), "mastodon"),
+        make_tweet(6, 2, OCT28, "bye bye twitter"),
+        make_tweet(7, 3, OCT28, "#TwitterMigration"),
+    ]
+    return tiny_dataset
+
+
+class TestDailyVolume:
+    def test_counts_per_day(self, dataset):
+        result = daily_volume(dataset)
+        assert dict(result.tweets_per_day) == {OCT28: 2, OCT29: 1}
+        assert dict(result.statuses_per_day) == {OCT29: 1}
+
+    def test_totals(self, dataset):
+        result = daily_volume(dataset)
+        assert result.total_tweets == 3
+        assert result.total_statuses == 1
+
+    def test_accessors(self, dataset):
+        result = daily_volume(dataset)
+        assert result.tweets_on(OCT28) == 2
+        assert result.tweets_on(dt.date(2022, 7, 1)) == 0
+        assert result.statuses_on(OCT29) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            daily_volume(MigrationDataset())
+
+
+class TestCollectedVolume:
+    def test_peak_day(self, dataset):
+        result = collected_tweet_volume(dataset)
+        assert result.peak_day == OCT28
+        assert result.total == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            collected_tweet_volume(MigrationDataset())
+
+
+class TestOnSimulatedData:
+    def test_mastodon_grows_after_takeover(self, small_dataset):
+        result = daily_volume(small_dataset)
+        statuses = dict(result.statuses_per_day)
+        before = sum(v for d, v in statuses.items() if d < TAKEOVER_DATE)
+        after = sum(v for d, v in statuses.items() if d >= TAKEOVER_DATE)
+        assert after > 5 * max(1, before)
+
+    def test_twitter_does_not_collapse(self, small_dataset):
+        """Fig. 11: migrated users keep tweeting after the takeover."""
+        result = daily_volume(small_dataset)
+        tweets = dict(result.tweets_per_day)
+        pre_days = [v for d, v in tweets.items() if d < TAKEOVER_DATE]
+        post_days = [v for d, v in tweets.items() if d >= TAKEOVER_DATE]
+        pre_mean = sum(pre_days) / len(pre_days)
+        post_mean = sum(post_days) / len(post_days)
+        assert post_mean > 0.6 * pre_mean
+
+    def test_collected_volume_peaks_at_takeover(self, small_dataset):
+        result = collected_tweet_volume(small_dataset)
+        assert abs((result.peak_day - TAKEOVER_DATE).days) <= 3

@@ -1,0 +1,77 @@
+"""Tests for repro.analysis.bootstrap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bootstrap import BootstrapCI, bootstrap_ci, headline_intervals
+from repro.errors import AnalysisError
+
+
+class TestBootstrapCI:
+    def test_point_estimate_is_statistic(self):
+        ci = bootstrap_ci([1.0, 2.0, 3.0], seed=1)
+        assert ci.estimate == pytest.approx(2.0)
+
+    def test_interval_brackets_estimate(self):
+        ci = bootstrap_ci(list(range(50)), seed=1)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_degenerate_sample_collapses(self):
+        ci = bootstrap_ci([5.0] * 20, seed=1)
+        assert ci.low == ci.high == ci.estimate == 5.0
+
+    def test_deterministic_given_seed(self):
+        a = bootstrap_ci([1, 5, 9, 2, 8], seed=3)
+        b = bootstrap_ci([1, 5, 9, 2, 8], seed=3)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_wider_at_higher_confidence(self):
+        sample = list(np.random.default_rng(0).normal(size=60))
+        narrow = bootstrap_ci(sample, confidence=0.8, seed=1)
+        wide = bootstrap_ci(sample, confidence=0.99, seed=1)
+        assert (wide.high - wide.low) >= (narrow.high - narrow.low)
+
+    def test_median_statistic(self):
+        ci = bootstrap_ci([1, 2, 3, 100], statistic=np.median, seed=1)
+        assert ci.estimate == pytest.approx(2.5)
+
+    def test_contains(self):
+        ci = BootstrapCI(estimate=5, low=4, high=6, confidence=0.95, n=10)
+        assert ci.contains(5.5)
+        assert not ci.contains(7)
+
+    def test_str(self):
+        ci = BootstrapCI(estimate=5.0, low=4.0, high=6.0, confidence=0.95, n=10)
+        assert "[4.00, 6.00]" in str(ci)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([])
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0], confidence=1.5)
+        with pytest.raises(AnalysisError):
+            bootstrap_ci([1.0], n_resamples=2)
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                 min_size=2, max_size=50)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_interval_always_ordered_and_within_range(self, sample):
+        ci = bootstrap_ci(sample, n_resamples=200, seed=2)
+        assert ci.low <= ci.high
+        assert min(sample) - 1e-9 <= ci.low
+        assert ci.high <= max(sample) + 1e-9
+
+
+class TestHeadlineIntervals:
+    def test_intervals_bracket_report_values(self, small_dataset):
+        from repro.analysis.report import headline_report
+
+        report = {r.key: r.measured for r in headline_report(small_dataset)}
+        intervals = headline_intervals(small_dataset, n_resamples=300, seed=4)
+        for key, ci in intervals.items():
+            assert ci.low <= ci.high
+            assert ci.estimate == pytest.approx(report[key], abs=0.01), key

@@ -1,0 +1,77 @@
+"""Tests for repro.analysis.centralization."""
+
+import pytest
+
+from repro.analysis.centralization import top_instances, user_share_curve
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+
+
+class TestTopInstances:
+    def test_ranking(self, tiny_dataset):
+        result = top_instances(tiny_dataset)
+        assert result.rows[0].domain == "mastodon.social"
+        assert result.rows[0].total == 3
+        assert result.total_instances == 3
+        assert result.total_users == 5
+
+    def test_pre_post_split(self, tiny_dataset):
+        result = top_instances(tiny_dataset)
+        msoc = result.rows[0]
+        assert msoc.users_before == 1  # carol joined Oct 20
+        assert msoc.users_after == 2
+
+    def test_pre_takeover_share(self, tiny_dataset):
+        result = top_instances(tiny_dataset)
+        assert result.pre_takeover_share == pytest.approx(20.0)
+
+    def test_k_truncates(self, tiny_dataset):
+        result = top_instances(tiny_dataset, k=1)
+        assert len(result.rows) == 1
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(AnalysisError):
+            top_instances(MigrationDataset())
+
+    def test_user_without_account_record_counts_as_after(self, tiny_dataset):
+        del tiny_dataset.accounts[5]
+        result = top_instances(tiny_dataset)
+        art = next(r for r in result.rows if r.domain == "art.school")
+        assert art.users_after == 1
+
+
+class TestUserShareCurve:
+    def test_tiny_dataset_shares(self, tiny_dataset):
+        result = user_share_curve(tiny_dataset)
+        # 3 instances with sizes [3, 1, 1]: top 1/3 of instances hold 60%
+        first_point = result.curve[0]
+        assert first_point == (pytest.approx(100 / 3), pytest.approx(60.0))
+        assert result.curve[-1][1] == pytest.approx(100.0)
+
+    def test_share_top_25pct(self, tiny_dataset):
+        result = user_share_curve(tiny_dataset)
+        # top 25% of 3 instances rounds to 1 instance -> 60% of users
+        assert result.share_top_25pct == pytest.approx(60.0)
+
+    def test_gini_positive_for_skewed(self, tiny_dataset):
+        assert user_share_curve(tiny_dataset).gini > 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            user_share_curve(MigrationDataset())
+
+
+class TestOnSimulatedData(object):
+    def test_concentration_shape(self, small_dataset):
+        """The paper's core RQ1 claim: heavy concentration on top instances."""
+        result = user_share_curve(small_dataset)
+        assert result.share_top_25pct > 60.0
+        assert result.gini > 0.5
+
+    def test_mastodon_social_is_top(self, small_dataset):
+        result = top_instances(small_dataset)
+        assert result.rows[0].domain == "mastodon.social"
+
+    def test_pre_takeover_share_in_band(self, small_dataset):
+        result = top_instances(small_dataset)
+        assert 8.0 < result.pre_takeover_share < 35.0

@@ -1,0 +1,107 @@
+"""Tests for repro.analysis.content."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.content import content_similarity
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from tests.conftest import make_status, make_tweet
+
+DAY = dt.date(2022, 11, 5)
+
+UNIQUE_TWEET = "election vote parliament policy government debate today"
+UNIQUE_STATUS = "painting sketch gallery exhibition watercolor canvas print"
+
+
+@pytest.fixture
+def dataset(tiny_dataset):
+    tiny_dataset.twitter_timelines = {
+        # user 1: one mirrored status, one paraphrase, one unrelated
+        1: [
+            make_tweet(1, 1, DAY, UNIQUE_TWEET),
+            make_tweet(2, 1, DAY, "research dataset experiment climate physics biology telescope"),
+        ],
+        # user 4: completely different content
+        4: [make_tweet(3, 4, DAY, UNIQUE_TWEET)],
+    }
+    tiny_dataset.mastodon_timelines = {
+        1: [
+            make_status(10, "alice@mastodon.social", DAY, UNIQUE_TWEET),  # identical
+            make_status(
+                11, "alice@mastodon.social", DAY,
+                "research dataset experiment climate physics biology today",  # similar
+            ),
+            make_status(12, "alice@mastodon.social", DAY, UNIQUE_STATUS),  # different
+        ],
+        4: [make_status(13, "dave@tiny.host", DAY, UNIQUE_STATUS)],
+    }
+    return tiny_dataset
+
+
+class TestContentSimilarity:
+    def test_identical_fraction(self, dataset):
+        result = content_similarity(dataset)
+        # user1: 1/3 identical; user4: 0
+        assert result.mean_pct_identical == pytest.approx(100 * (1 / 3) / 2)
+
+    def test_similar_fraction_includes_identical(self, dataset):
+        result = content_similarity(dataset)
+        # user1: identical + paraphrase = 2/3 similar; user4: 0
+        assert result.mean_pct_similar == pytest.approx(100 * (2 / 3) / 2, abs=1.0)
+
+    def test_all_different_share(self, dataset):
+        result = content_similarity(dataset)
+        assert result.pct_users_all_different == pytest.approx(50.0)
+
+    def test_user_count(self, dataset):
+        assert content_similarity(dataset).user_count == 2
+
+    def test_users_without_both_timelines_skipped(self, dataset):
+        dataset.mastodon_timelines[5] = [
+            make_status(20, "erin@art.school", DAY, "solo status")
+        ]
+        result = content_similarity(dataset)
+        assert result.user_count == 2  # user 5 has no twitter timeline
+
+    def test_boosts_excluded(self, dataset):
+        from repro.fediverse.models import Status
+
+        boost = Status(
+            status_id=30,
+            account_acct="dave@tiny.host",
+            created_at=dt.datetime.combine(DAY, dt.time(9, 0)),
+            text=UNIQUE_TWEET,
+            reblog_of_id=1,
+        )
+        dataset.mastodon_timelines[4] = [boost]
+        result = content_similarity(dataset)
+        assert result.user_count == 1  # dave now has only a boost
+
+    def test_threshold_validated(self, dataset):
+        with pytest.raises(AnalysisError):
+            content_similarity(dataset, threshold=1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            content_similarity(MigrationDataset())
+
+    def test_higher_threshold_reduces_similar(self, dataset):
+        loose = content_similarity(dataset, threshold=0.3)
+        strict = content_similarity(dataset, threshold=0.95)
+        assert strict.mean_pct_similar <= loose.mean_pct_similar
+
+
+class TestOnSimulatedData:
+    def test_identical_rare(self, small_dataset):
+        result = content_similarity(small_dataset)
+        assert result.mean_pct_identical < 10.0
+
+    def test_similar_exceeds_identical(self, small_dataset):
+        result = content_similarity(small_dataset)
+        assert result.mean_pct_similar >= result.mean_pct_identical
+
+    def test_majority_post_differently(self, small_dataset):
+        result = content_similarity(small_dataset)
+        assert result.pct_users_all_different > 50.0

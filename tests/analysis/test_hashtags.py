@@ -1,0 +1,101 @@
+"""Tests for repro.analysis.hashtags."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.hashtags import top_hashtags
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from tests.conftest import make_status, make_tweet
+
+DAY = dt.date(2022, 11, 5)
+
+
+@pytest.fixture
+def dataset(tiny_dataset):
+    tiny_dataset.twitter_timelines = {
+        1: [
+            make_tweet(1, 1, DAY, "tune in #NowPlaying"),
+            make_tweet(2, 1, DAY, "more music #NowPlaying #BBC6Music"),
+        ],
+        2: [make_tweet(3, 2, DAY, "politics #StandWithUkraine")],
+    }
+    tiny_dataset.mastodon_timelines = {
+        1: [
+            make_status(4, "alice@mastodon.social", DAY, "hello #fediverse"),
+            make_status(5, "alice@mastodon.social", DAY, "wave two #TwitterMigration #fediverse"),
+        ],
+        2: [make_status(6, "bob@mastodon.social", DAY, "also #nowplaying here")],
+    }
+    return tiny_dataset
+
+
+class TestTopHashtags:
+    def test_joint_counting(self, dataset):
+        result = top_hashtags(dataset)
+        rows = {r.hashtag: r for r in result.rows}
+        assert rows["nowplaying"].twitter == 2
+        assert rows["nowplaying"].mastodon == 1
+        assert rows["fediverse"].mastodon == 2
+        assert rows["fediverse"].twitter == 0
+
+    def test_rank_by_total(self, dataset):
+        result = top_hashtags(dataset)
+        totals = [r.total for r in result.rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_case_normalised(self, dataset):
+        result = top_hashtags(dataset)
+        tags = [r.hashtag for r in result.rows]
+        assert "nowplaying" in tags
+        assert "NowPlaying" not in tags
+
+    def test_dominant_platform(self, dataset):
+        result = top_hashtags(dataset)
+        rows = {r.hashtag: r for r in result.rows}
+        assert rows["nowplaying"].dominant_platform == "twitter"
+        assert rows["fediverse"].dominant_platform == "mastodon"
+
+    def test_distinct_counts(self, dataset):
+        result = top_hashtags(dataset)
+        assert result.distinct_twitter == 3
+        assert result.distinct_mastodon == 3
+
+    def test_k_truncation(self, dataset):
+        assert len(top_hashtags(dataset, k=2).rows) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            top_hashtags(MigrationDataset())
+
+
+class TestOnSimulatedData:
+    def test_migration_tags_dominate_mastodon(self, small_dataset):
+        """Fig. 15's core contrast.
+
+        The Twitter corpus is several times larger (two months of tweets vs
+        weeks of statuses), so the comparison uses per-platform *shares*
+        rather than absolute counts, and asks for majority dominance.
+        """
+        result = top_hashtags(small_dataset, k=30)
+        rows = {r.hashtag: r for r in result.rows}
+        twitter_total = sum(r.twitter for r in result.rows) or 1
+        mastodon_total = sum(r.mastodon for r in result.rows) or 1
+        migration_tags = {"fediverse", "twittermigration", "mastodon",
+                          "introduction", "newhere", "mastodonmigration",
+                          "feditips"}
+        present = migration_tags & set(rows)
+        assert present
+        dominant = sum(
+            1
+            for tag in present
+            if rows[tag].mastodon / mastodon_total
+            > rows[tag].twitter / twitter_total
+        )
+        assert dominant > len(present) / 2
+
+    def test_twitter_has_diverse_tags(self, small_dataset):
+        result = top_hashtags(small_dataset, k=30)
+        twitter_led = [r for r in result.rows if r.dominant_platform == "twitter"]
+        assert len(twitter_led) >= 5

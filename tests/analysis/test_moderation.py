@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.moderation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.moderation import moderation_load
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from tests.conftest import make_status
+
+DAY = dt.date(2022, 11, 5)
+TOXIC = "utter moron and pathetic loser behaviour"
+CLEAN = "watercolor sketch of the harbor this morning"
+
+
+@pytest.fixture
+def dataset(tiny_dataset):
+    tiny_dataset.mastodon_timelines = {
+        1: [
+            make_status(1, "alice@mastodon.social", DAY, TOXIC),
+            make_status(2, "alice@mastodon.social", DAY, CLEAN),
+        ],
+        2: [make_status(3, "bob@mastodon.social", DAY, CLEAN)],
+        4: [make_status(4, "dave@tiny.host", DAY, TOXIC)],
+        5: [make_status(5, "erin@art.school", DAY, CLEAN)],
+    }
+    return tiny_dataset
+
+
+class TestModerationLoad:
+    def test_per_instance_rows(self, dataset):
+        result = moderation_load(dataset)
+        by_domain = {r.domain: r for r in result.rows}
+        assert by_domain["mastodon.social"].statuses == 3
+        assert by_domain["mastodon.social"].toxic_statuses == 1
+        assert by_domain["tiny.host"].toxic_statuses == 1
+        assert by_domain["art.school"].toxic_statuses == 0
+
+    def test_rows_sorted_by_toxic_volume(self, dataset):
+        result = moderation_load(dataset)
+        toxic = [r.toxic_statuses for r in result.rows]
+        assert toxic == sorted(toxic, reverse=True)
+
+    def test_users_column_uses_populations(self, dataset):
+        result = moderation_load(dataset)
+        by_domain = {r.domain: r for r in result.rows}
+        assert by_domain["mastodon.social"].users == 3
+        assert by_domain["tiny.host"].users == 1
+
+    def test_share_stats(self, dataset):
+        result = moderation_load(dataset, small_cutoff=2)
+        # small instances (<=2 users): tiny.host (1 toxic of 1),
+        # art.school (0 of 1) -> 50%; large: mastodon.social 1/3
+        assert result.small_instance_toxic_share_pct == pytest.approx(50.0)
+        assert result.large_instance_toxic_share_pct == pytest.approx(100 / 3)
+        assert result.pct_instances_with_toxic_content == pytest.approx(200 / 3)
+
+    def test_statuses_attributed_to_posting_instance(self, dataset):
+        """A switcher's post-move statuses land on the second instance."""
+        dataset.mastodon_timelines[2].append(
+            make_status(9, "bob@art.school", DAY, TOXIC)
+        )
+        result = moderation_load(dataset)
+        by_domain = {r.domain: r for r in result.rows}
+        assert by_domain["art.school"].toxic_statuses == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            moderation_load(MigrationDataset())
+
+
+class TestOnSimulatedData:
+    def test_many_instances_carry_load(self, small_dataset):
+        result = moderation_load(small_dataset)
+        assert result.pct_instances_with_toxic_content > 20.0
+
+    def test_small_instances_not_spared(self, small_dataset):
+        """The volunteer-moderation concern: small instances see toxic
+        content too (their share is nonzero)."""
+        result = moderation_load(small_dataset)
+        assert result.small_instance_toxic_share_pct >= 0.0
+        assert result.rows[0].toxic_statuses > 0

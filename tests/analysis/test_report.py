@@ -1,0 +1,58 @@
+"""Tests for repro.analysis.report (on the simulated dataset)."""
+
+import pytest
+
+from repro.analysis.report import Headline, format_report, headline_report
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+
+
+class TestHeadlineReport:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(AnalysisError):
+            headline_report(MigrationDataset())
+
+    def test_all_keys_unique(self, small_dataset):
+        rows = headline_report(small_dataset)
+        keys = [r.key for r in rows]
+        assert len(keys) == len(set(keys))
+
+    def test_covers_every_section(self, small_dataset):
+        rows = {r.key for r in headline_report(small_dataset)}
+        expected = {
+            "same_username_pct",
+            "twitter_timeline_ok_pct",
+            "top25_share_pct",
+            "single_instance_share_pct",
+            "twitter_median_followers",
+            "mean_followees_migrated_pct",
+            "switched_pct",
+            "identical_statuses_pct",
+            "crossposter_users_pct",
+            "tweets_toxic_pct",
+        }
+        assert expected <= rows
+
+    def test_delta_arithmetic(self):
+        row = Headline(key="k", description="d", paper=10.0, measured=12.5)
+        assert row.delta == pytest.approx(2.5)
+
+    def test_measured_values_finite(self, small_dataset):
+        import math
+
+        for row in headline_report(small_dataset):
+            assert math.isfinite(row.measured), row.key
+
+    def test_format_is_aligned_table(self, small_dataset):
+        rows = headline_report(small_dataset)
+        text = format_report(rows)
+        lines = text.splitlines()
+        assert len(lines) == len(rows) + 2
+        assert "paper" in lines[0] and "measured" in lines[0]
+
+    def test_key_paper_values_quoted_correctly(self, small_dataset):
+        by_key = {r.key: r for r in headline_report(small_dataset)}
+        assert by_key["top25_share_pct"].paper == 96.0
+        assert by_key["same_instance_pct"].paper == 14.72
+        assert by_key["tweets_toxic_pct"].paper == 5.49
+        assert by_key["switched_pct"].paper == 4.09

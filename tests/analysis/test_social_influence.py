@@ -1,0 +1,102 @@
+"""Tests for repro.analysis.social_influence."""
+
+import pytest
+
+from repro.analysis.social_influence import followee_migration, platform_network_cdfs
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+
+
+class TestPlatformNetworks:
+    def test_medians(self, tiny_dataset):
+        result = platform_network_cdfs(tiny_dataset)
+        assert result.twitter_followers.median == 80  # of [500,50,80,900,20]
+        assert result.mastodon_followers.median == 12
+
+    def test_zero_fractions(self, tiny_dataset):
+        result = platform_network_cdfs(tiny_dataset)
+        assert result.pct_no_mastodon_followers == pytest.approx(20.0)  # erin
+        assert result.pct_no_mastodon_followees == pytest.approx(20.0)  # carol
+        assert result.pct_no_twitter_followees == pytest.approx(20.0)  # erin
+
+    def test_gainers(self, tiny_dataset):
+        result = platform_network_cdfs(tiny_dataset)
+        # nobody has more Mastodon than Twitter followers in the tiny set
+        assert result.pct_gained_on_mastodon == 0.0
+
+    def test_user_without_account_skipped(self, tiny_dataset):
+        del tiny_dataset.accounts[5]
+        result = platform_network_cdfs(tiny_dataset)
+        assert result.twitter_followers.n == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            platform_network_cdfs(MigrationDataset())
+
+
+class TestFolloweeMigration:
+    def test_fractions_for_user1(self, tiny_dataset):
+        result = followee_migration(tiny_dataset)
+        # user 1 followees: 2, 3 migrated of 4 -> 0.5
+        assert result.frac_migrated.evaluate(0.5) > 0.0
+
+    def test_mean_fraction(self, tiny_dataset):
+        result = followee_migration(tiny_dataset)
+        # user1: 2/4, user2: 3/4, user4: 0/3 -> mean = (0.5+0.75+0)/3
+        assert result.mean_frac_migrated == pytest.approx(100 * (0.5 + 0.75 + 0) / 3)
+
+    def test_no_followee_migrated(self, tiny_dataset):
+        result = followee_migration(tiny_dataset)
+        assert result.pct_users_no_followee_migrated == pytest.approx(100 / 3)
+
+    def test_same_instance_fraction(self, tiny_dataset):
+        result = followee_migration(tiny_dataset)
+        # user1 (mastodon.social): followees 2 and 3 both matched on
+        # mastodon.social -> 100%; user2: followees 1 (social) and 3 (social)
+        # and 5 (art.school): bob is on mastodon.social -> 2/3
+        assert result.mean_pct_same_instance == pytest.approx(
+            (100.0 + 200 / 3) / 2
+        )
+
+    def test_moved_before(self, tiny_dataset):
+        result = followee_migration(tiny_dataset)
+        # user1 joined Oct 28; followee 2 joined Oct 28 (not before),
+        # followee 3 joined Oct 20 (before) -> 50%
+        # user2 joined Oct 28; followees 1 (same day), 3 (before), 5 (after)
+        # -> 1/3
+        assert result.mean_pct_moved_before == pytest.approx(
+            (50.0 + 100 / 3) / 2
+        )
+
+    def test_first_and_last_movers(self, tiny_dataset):
+        result = followee_migration(tiny_dataset)
+        # user4's followees never migrated -> excluded from both stats;
+        # user1 (Oct 28) vs dates [Oct 28, Oct 20]: joined at/after every
+        # followee -> a last mover (ties count, as in "none moved later");
+        # user2 (Oct 28) vs [Oct 28, Oct 20, Nov 1]: neither first nor last.
+        assert result.pct_users_first_mover == 0.0
+        assert result.pct_users_last_mover == pytest.approx(100 / 3)
+
+    def test_sample_size(self, tiny_dataset):
+        assert followee_migration(tiny_dataset).sample_size == 3
+
+    def test_no_sample_rejected(self, tiny_dataset):
+        tiny_dataset.followee_sample = {}
+        with pytest.raises(AnalysisError):
+            followee_migration(tiny_dataset)
+
+
+class TestOnSimulatedData:
+    def test_minority_of_followees_migrate(self, small_dataset):
+        result = followee_migration(small_dataset)
+        assert result.mean_frac_migrated < 30.0
+
+    def test_mastodon_networks_smaller_than_twitter(self, small_dataset):
+        result = platform_network_cdfs(small_dataset)
+        assert result.twitter_followees.median > result.mastodon_followees.median
+        assert result.twitter_followers.median > result.mastodon_followers.median
+
+    def test_same_instance_effect_present(self, small_dataset):
+        """RQ2: a visible share of migrated followees co-locate."""
+        result = followee_migration(small_dataset)
+        assert result.mean_pct_same_instance > 5.0

@@ -1,0 +1,107 @@
+"""Tests for repro.analysis.sources."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.sources import crossposter_daily_users, top_sources
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from tests.conftest import make_status, make_tweet
+
+BEFORE = dt.date(2022, 10, 20)
+AFTER = dt.date(2022, 11, 5)
+
+
+@pytest.fixture
+def dataset(tiny_dataset):
+    tiny_dataset.twitter_timelines = {
+        1: [
+            make_tweet(1, 1, BEFORE, "a", source="Twitter Web App"),
+            make_tweet(2, 1, AFTER, "b", source="Twitter Web App"),
+            make_tweet(3, 1, AFTER, "c", source="Moa Bridge"),
+        ],
+        2: [
+            make_tweet(4, 2, BEFORE, "d", source="Moa Bridge"),
+            make_tweet(5, 2, AFTER, "e", source="Moa Bridge"),
+        ],
+        3: [make_tweet(6, 3, AFTER, "f", source="TweetDeck")],
+    }
+    tiny_dataset.mastodon_timelines = {
+        4: [
+            make_status(
+                7, "dave@tiny.host", AFTER, "g",
+                application="Mastodon Twitter Crossposter",
+            )
+        ],
+        5: [make_status(8, "erin@art.school", AFTER, "h")],
+    }
+    return tiny_dataset
+
+
+class TestTopSources:
+    def test_before_after_split(self, dataset):
+        result = top_sources(dataset)
+        rows = {r.source: r for r in result.rows}
+        assert rows["Twitter Web App"].before == 1
+        assert rows["Twitter Web App"].after == 1
+        assert rows["Moa Bridge"].before == 1
+        assert rows["Moa Bridge"].after == 2
+
+    def test_growth_pct(self, dataset):
+        result = top_sources(dataset)
+        moa = next(r for r in result.crossposter_rows if r.source == "Moa Bridge")
+        assert moa.growth_pct == pytest.approx(100.0)
+
+    def test_crossposting_users_counted_on_both_platforms(self, dataset):
+        result = top_sources(dataset)
+        # users 1 and 2 bridge on Twitter; user 4 bridges on Mastodon
+        assert result.pct_users_crossposting == pytest.approx(100 * 3 / 5)
+
+    def test_k_truncation(self, dataset):
+        result = top_sources(dataset, k=1)
+        assert len(result.rows) == 1
+        assert result.rows[0].source == "Moa Bridge"  # 3 tweets total
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            top_sources(MigrationDataset())
+
+
+class TestCrossposterDaily:
+    def test_distinct_users_per_day(self, dataset):
+        result = crossposter_daily_users(dataset)
+        series = dict(result.users_per_day)
+        assert series[BEFORE] == 1  # user 2
+        assert series[AFTER] == 3  # users 1, 2 (twitter) + 4 (mastodon)
+
+    def test_peak(self, dataset):
+        result = crossposter_daily_users(dataset)
+        assert result.peak_day == AFTER
+        assert result.peak_users == 3
+
+    def test_no_usage_rejected(self, tiny_dataset):
+        tiny_dataset.twitter_timelines = {
+            1: [make_tweet(1, 1, AFTER, "x", source="Twitter Web App")]
+        }
+        tiny_dataset.mastodon_timelines = {}
+        with pytest.raises(AnalysisError):
+            crossposter_daily_users(tiny_dataset)
+
+
+class TestOnSimulatedData:
+    def test_bridges_grow_after_takeover(self, small_dataset):
+        result = top_sources(small_dataset)
+        for row in result.crossposter_rows:
+            if row.before:
+                assert row.growth_pct > 100.0
+            else:
+                assert row.after >= 0
+
+    def test_adoption_rate_in_band(self, small_dataset):
+        result = top_sources(small_dataset)
+        assert 1.0 < result.pct_users_crossposting < 15.0
+
+    def test_official_clients_dominate(self, small_dataset):
+        result = top_sources(small_dataset)
+        assert result.rows[0].source == "Twitter Web App"

@@ -1,0 +1,80 @@
+"""Tests for repro.analysis.switching."""
+
+import pytest
+
+from repro.analysis.switching import switch_matrix, switcher_influence
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+
+
+class TestSwitchMatrix:
+    def test_counts(self, tiny_dataset):
+        result = switch_matrix(tiny_dataset)
+        assert result.matrix == {("mastodon.social", "art.school"): 1}
+        assert result.switcher_count == 1
+
+    def test_pct_switched(self, tiny_dataset):
+        result = switch_matrix(tiny_dataset)
+        assert result.pct_switched == pytest.approx(20.0)
+
+    def test_post_takeover_share(self, tiny_dataset):
+        result = switch_matrix(tiny_dataset)
+        assert result.pct_post_takeover == 100.0
+
+    def test_top_sources_and_targets(self, tiny_dataset):
+        result = switch_matrix(tiny_dataset)
+        assert result.top_sources == [("mastodon.social", 1)]
+        assert result.top_targets == [("art.school", 1)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            switch_matrix(MigrationDataset())
+
+
+class TestSwitcherInfluence:
+    def test_fractions(self, tiny_dataset):
+        result = switcher_influence(tiny_dataset)
+        # switcher is user 2; migrated followees: 1 (social), 3 (social),
+        # 5 (art.school). On first instance: 2/3, on second: 1/3.
+        assert result.mean_pct_on_first == pytest.approx(200 / 3)
+        assert result.mean_pct_on_second == pytest.approx(100 / 3)
+
+    def test_before_fraction(self, tiny_dataset):
+        result = switcher_influence(tiny_dataset)
+        # erin joined art.school Nov 1, before the Nov 10 switch -> 100%
+        assert result.mean_pct_second_before == pytest.approx(100.0)
+
+    def test_counts_followees_who_switched_to_target(self, tiny_dataset):
+        """A followee who reached the instance via their own switch counts."""
+        from tests.conftest import make_account
+        import datetime as dt
+
+        tiny_dataset.accounts[3] = make_account(
+            "carol@mastodon.social",
+            dt.date(2022, 10, 20),
+            moved_to="carol@art.school",
+            moved_on=dt.date(2022, 11, 5),
+        )
+        result = switcher_influence(tiny_dataset)
+        # carol now counts on both first (as origin) and second instance
+        assert result.mean_pct_on_second == pytest.approx(200 / 3)
+
+    def test_no_switchers_with_data_rejected(self, tiny_dataset):
+        tiny_dataset.followee_sample.pop(2)
+        with pytest.raises(AnalysisError):
+            switcher_influence(tiny_dataset)
+
+
+class TestOnSimulatedData:
+    def test_switch_rate_in_band(self, small_dataset):
+        result = switch_matrix(small_dataset)
+        assert 0.0 < result.pct_switched < 15.0
+
+    def test_switches_post_takeover(self, small_dataset):
+        result = switch_matrix(small_dataset)
+        assert result.pct_post_takeover > 80.0
+
+    def test_social_pull_visible(self, small_dataset):
+        """Fig. 10's signature: followees cluster on the second instance."""
+        result = switcher_influence(small_dataset)
+        assert result.mean_pct_on_second > result.mean_pct_on_first

@@ -1,0 +1,83 @@
+"""Tests for repro.analysis.toxicity."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.toxicity import toxicity_analysis
+from repro.collection.dataset import MigrationDataset
+from repro.errors import AnalysisError
+from tests.conftest import make_status, make_tweet
+
+DAY = dt.date(2022, 11, 5)
+TOXIC = "what a moron and a loser this is"
+CLEAN = "lovely concert tonight with the band"
+
+
+@pytest.fixture
+def dataset(tiny_dataset):
+    tiny_dataset.twitter_timelines = {
+        1: [make_tweet(1, 1, DAY, TOXIC), make_tweet(2, 1, DAY, CLEAN)],
+        2: [make_tweet(3, 2, DAY, CLEAN)],
+    }
+    tiny_dataset.mastodon_timelines = {
+        1: [make_status(4, "alice@mastodon.social", DAY, TOXIC)],
+        2: [
+            make_status(5, "bob@mastodon.social", DAY, CLEAN),
+            make_status(6, "bob@mastodon.social", DAY, CLEAN),
+        ],
+    }
+    return tiny_dataset
+
+
+class TestToxicityAnalysis:
+    def test_corpus_rates(self, dataset):
+        result = toxicity_analysis(dataset)
+        assert result.pct_tweets_toxic == pytest.approx(100 / 3)
+        assert result.pct_statuses_toxic == pytest.approx(100 / 3)
+
+    def test_per_user_means(self, dataset):
+        result = toxicity_analysis(dataset)
+        assert result.mean_user_pct_tweets_toxic == pytest.approx(
+            100 * (0.5 + 0.0) / 2
+        )
+        assert result.mean_user_pct_statuses_toxic == pytest.approx(50.0)
+
+    def test_toxic_on_both(self, dataset):
+        result = toxicity_analysis(dataset)
+        # only user 1 is toxic on both platforms, of 2 users with both
+        assert result.pct_users_toxic_on_both == pytest.approx(50.0)
+
+    def test_cdfs(self, dataset):
+        result = toxicity_analysis(dataset)
+        assert result.twitter_toxic_fraction.evaluate(0.0) == pytest.approx(0.5)
+        assert result.mastodon_toxic_fraction.evaluate(0.99) == pytest.approx(0.5)
+
+    def test_threshold_validated(self, dataset):
+        with pytest.raises(AnalysisError):
+            toxicity_analysis(dataset, threshold=0.0)
+
+    def test_higher_threshold_fewer_toxic(self, dataset):
+        strict = toxicity_analysis(dataset, threshold=0.8)
+        loose = toxicity_analysis(dataset, threshold=0.3)
+        assert strict.pct_tweets_toxic <= loose.pct_tweets_toxic
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            toxicity_analysis(MigrationDataset())
+
+
+class TestOnSimulatedData:
+    def test_twitter_more_toxic_than_mastodon(self, small_dataset):
+        """Fig. 16's headline ordering."""
+        result = toxicity_analysis(small_dataset)
+        assert result.pct_tweets_toxic > result.pct_statuses_toxic
+
+    def test_rates_are_small(self, small_dataset):
+        result = toxicity_analysis(small_dataset)
+        assert result.pct_tweets_toxic < 15.0
+        assert result.pct_statuses_toxic < 10.0
+
+    def test_some_users_toxic_on_both(self, small_dataset):
+        result = toxicity_analysis(small_dataset)
+        assert 0.0 < result.pct_users_toxic_on_both < 50.0

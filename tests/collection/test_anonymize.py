@@ -1,0 +1,123 @@
+"""Tests for repro.collection.anonymize."""
+
+import pytest
+
+from repro.collection.anonymize import Anonymizer
+
+
+@pytest.fixture
+def anonymizer():
+    return Anonymizer(key="test-key")
+
+
+class TestPrimitives:
+    def test_key_required(self):
+        with pytest.raises(ValueError):
+            Anonymizer(key="")
+
+    def test_user_id_stable_and_key_dependent(self, anonymizer):
+        assert anonymizer.pseudo_user_id(42) == anonymizer.pseudo_user_id(42)
+        assert anonymizer.pseudo_user_id(42) != anonymizer.pseudo_user_id(43)
+        other = Anonymizer(key="other-key")
+        assert anonymizer.pseudo_user_id(42) != other.pseudo_user_id(42)
+
+    def test_user_id_json_safe(self, anonymizer):
+        for uid in (1, 10**15, 999):
+            assert 0 <= anonymizer.pseudo_user_id(uid) < 2**53
+
+    def test_username_case_insensitive_identity(self, anonymizer):
+        """'alice' and 'Alice' map together: same-username stats survive."""
+        assert anonymizer.pseudo_username("Alice") == anonymizer.pseudo_username(
+            "alice"
+        )
+
+    def test_acct_keeps_domain(self, anonymizer):
+        pseudo = anonymizer.pseudo_acct("alice@mastodon.social")
+        assert pseudo.endswith("@mastodon.social")
+        assert "alice" not in pseudo
+
+    def test_scrub_text_replaces_handles(self, anonymizer):
+        text = "find me @alice@mastodon.social or https://art.school/@alice"
+        scrubbed = anonymizer.scrub_text(text)
+        assert "alice" not in scrubbed
+        assert "@mastodon.social" in scrubbed
+        assert "https://art.school/@user_" in scrubbed
+
+    def test_scrub_text_is_consistent(self, anonymizer):
+        a = anonymizer.scrub_text("see @bob@x.social")
+        b = anonymizer.scrub_text("ping @bob@x.social today")
+        pseudo = anonymizer.pseudo_username("bob")
+        assert pseudo in a and pseudo in b
+
+    def test_scrub_leaves_plain_text_alone(self, anonymizer):
+        assert anonymizer.scrub_text("no handles here #tag") == "no handles here #tag"
+
+
+class TestDatasetTransform:
+    def test_structure_preserved(self, anonymizer, tiny_dataset):
+        out = anonymizer.anonymize(tiny_dataset)
+        assert len(out.matched) == len(tiny_dataset.matched)
+        assert len(out.accounts) == len(tiny_dataset.accounts)
+        assert out.instance_populations() == tiny_dataset.instance_populations()
+        assert len(out.switchers()) == len(tiny_dataset.switchers())
+
+    def test_input_untouched(self, anonymizer, tiny_dataset):
+        anonymizer.anonymize(tiny_dataset)
+        assert 1 in tiny_dataset.matched
+        assert tiny_dataset.matched[1].twitter_username == "alice"
+
+    def test_identifiers_gone(self, anonymizer, tiny_dataset):
+        out = anonymizer.anonymize(tiny_dataset)
+        names = {m.twitter_username for m in out.matched.values()}
+        assert not names & {"alice", "bob", "carol", "dave", "erin"}
+        assert 1 not in out.matched
+
+    def test_same_username_property_preserved(self, anonymizer, tiny_dataset):
+        before = sorted(m.same_username for m in tiny_dataset.matched.values())
+        after = sorted(m.same_username for m in anonymizer.anonymize(
+            tiny_dataset).matched.values())
+        assert before == after
+
+    def test_followee_relations_preserved(self, anonymizer, tiny_dataset):
+        out = anonymizer.anonymize(tiny_dataset)
+        pseudo1 = anonymizer.pseudo_user_id(1)
+        record = out.followee_sample[pseudo1]
+        assert anonymizer.pseudo_user_id(2) in record.twitter_followees
+        assert anonymizer.pseudo_user_id(100) in record.twitter_followees
+
+    def test_moved_to_pseudonymised(self, anonymizer, tiny_dataset):
+        out = anonymizer.anonymize(tiny_dataset)
+        pseudo2 = anonymizer.pseudo_user_id(2)
+        record = out.accounts[pseudo2]
+        assert record.moved_to is not None
+        assert record.moved_to.endswith("@art.school")
+        assert "bob" not in record.moved_to
+
+
+class TestAnalysisInvariance:
+    def test_headline_report_survives_anonymization(
+        self, anonymizer, small_dataset
+    ):
+        """The promised public dataset must support every paper analysis.
+
+        Content-based statistics may shift by a hair (handle tokens inside
+        announcement tweets change), everything else must match exactly.
+        """
+        from repro.analysis.report import headline_report
+
+        original = {r.key: r.measured for r in headline_report(small_dataset)}
+        anonymized = {
+            r.key: r.measured
+            for r in headline_report(anonymizer.anonymize(small_dataset))
+        }
+        assert original.keys() == anonymized.keys()
+        content_keys = {
+            "identical_statuses_pct",
+            "similar_statuses_pct",
+            "all_different_pct",
+            "tweets_toxic_pct",
+            "user_tweets_toxic_pct",
+        }
+        for key, value in original.items():
+            tolerance = 2.0 if key in content_keys else 1e-9
+            assert abs(anonymized[key] - value) <= tolerance, key

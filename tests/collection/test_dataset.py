@@ -1,0 +1,100 @@
+"""Tests for repro.collection.dataset: views and JSON round-tripping."""
+
+import datetime as dt
+
+import pytest
+
+from repro.collection.dataset import CrawlCoverage, MigrationDataset
+from tests.conftest import make_status, make_tweet
+
+
+class TestCoverage:
+    def test_attempted_sums_outcomes(self):
+        coverage = CrawlCoverage(ok=5, suspended=1, deleted=2, protected=1,
+                                 no_statuses=3, instance_down=4)
+        assert coverage.attempted == 16
+
+    def test_rate(self):
+        coverage = CrawlCoverage(ok=3, deleted=1)
+        assert coverage.rate("ok") == 75.0
+        assert coverage.rate("deleted") == 25.0
+
+    def test_rate_of_empty(self):
+        assert CrawlCoverage().rate("ok") == 0.0
+
+
+class TestViews:
+    def test_instance_populations(self, tiny_dataset):
+        pops = tiny_dataset.instance_populations()
+        assert pops == {"mastodon.social": 3, "tiny.host": 1, "art.school": 1}
+
+    def test_switchers(self, tiny_dataset):
+        assert tiny_dataset.switchers() == [2]
+
+    def test_join_date(self, tiny_dataset):
+        assert tiny_dataset.mastodon_join_date(1) == dt.date(2022, 10, 28)
+        assert tiny_dataset.mastodon_join_date(999) is None
+
+    def test_matched_users_sorted(self, tiny_dataset):
+        users = tiny_dataset.matched_users()
+        assert [u.twitter_user_id for u in users] == [1, 2, 3, 4, 5]
+
+    def test_matched_user_properties(self, tiny_dataset):
+        alice = tiny_dataset.matched[1]
+        assert alice.mastodon_username == "alice"
+        assert alice.mastodon_domain == "mastodon.social"
+        assert alice.same_username
+
+    def test_account_record_properties(self, tiny_dataset):
+        bob = tiny_dataset.accounts[2]
+        assert bob.first_domain == "mastodon.social"
+        assert bob.second_domain == "art.school"
+        assert bob.switched
+
+
+class TestSerialization:
+    def fill(self, ds: MigrationDataset) -> MigrationDataset:
+        day = dt.date(2022, 10, 28)
+        ds.instance_domains = ["mastodon.social"]
+        ds.collected_tweets = [make_tweet(1, 1, day, "bye bye twitter")]
+        ds.twitter_timelines = {1: [make_tweet(2, 1, day, "hello #world")]}
+        ds.mastodon_timelines = {
+            1: [make_status(3, "alice@mastodon.social", day, "first toot")]
+        }
+        ds.weekly_activity = {
+            "mastodon.social": [
+                {"week": "2022-W43", "statuses": 5, "logins": 2, "registrations": 1}
+            ]
+        }
+        ds.trends = {"Mastodon": [("2022-10-28", 100)]}
+        return ds
+
+    def test_roundtrip(self, tiny_dataset):
+        ds = self.fill(tiny_dataset)
+        restored = MigrationDataset.from_json(ds.to_json())
+        assert restored.instance_domains == ds.instance_domains
+        assert restored.matched.keys() == ds.matched.keys()
+        assert restored.matched[1] == ds.matched[1]
+        assert restored.accounts[2] == ds.accounts[2]
+        assert restored.twitter_timelines[1][0].text == "hello #world"
+        assert restored.mastodon_timelines[1][0].text == "first toot"
+        assert restored.followee_sample[1].twitter_followees == (2, 3, 100, 101)
+        assert restored.weekly_activity == ds.weekly_activity
+        assert restored.trends == {"Mastodon": [("2022-10-28", 100)]}
+        assert restored.twitter_coverage == ds.twitter_coverage
+
+    def test_restored_tweet_hashtags_rebuilt(self, tiny_dataset):
+        ds = self.fill(tiny_dataset)
+        restored = MigrationDataset.from_json(ds.to_json())
+        assert restored.twitter_timelines[1][0].hashtags == ["world"]
+
+    def test_file_roundtrip(self, tiny_dataset, tmp_path):
+        ds = self.fill(tiny_dataset)
+        path = tmp_path / "dataset.json"
+        ds.save(path)
+        restored = MigrationDataset.load(path)
+        assert restored.migrant_count == ds.migrant_count
+
+    def test_version_check(self):
+        with pytest.raises(ValueError):
+            MigrationDataset.from_json('{"version": 99}')

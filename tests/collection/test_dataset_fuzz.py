@@ -1,0 +1,125 @@
+"""Property-based serialization fuzz for the dataset container."""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collection.dataset import (
+    CrawlCoverage,
+    FolloweeRecord,
+    MastodonAccountRecord,
+    MatchedUser,
+    MigrationDataset,
+)
+from repro.fediverse.models import Status
+from repro.twitter.models import Tweet
+
+text_st = st.text(max_size=120)
+day_st = st.dates(min_value=dt.date(2022, 10, 1), max_value=dt.date(2022, 11, 30))
+uid_st = st.integers(min_value=1, max_value=10**12)
+domain_st = st.sampled_from(["a.social", "b.town", "c.zone"])
+username_st = st.from_regex(r"[a-z][a-z0-9_]{0,10}", fullmatch=True)
+
+
+@st.composite
+def tweets(draw):
+    return Tweet(
+        tweet_id=draw(uid_st),
+        author_id=draw(uid_st),
+        created_at=dt.datetime.combine(draw(day_st), dt.time(12, 0)),
+        text=draw(text_st),
+        source=draw(st.sampled_from(["Twitter Web App", "Moa Bridge"])),
+        is_retweet=draw(st.booleans()),
+    )
+
+
+@st.composite
+def statuses(draw):
+    return Status(
+        status_id=draw(uid_st),
+        account_acct=f"{draw(username_st)}@{draw(domain_st)}",
+        created_at=dt.datetime.combine(draw(day_st), dt.time(9, 0)),
+        text=draw(text_st),
+        application=draw(st.sampled_from(["Web", "Mastodon Twitter Crossposter"])),
+        reblog_of_id=draw(st.one_of(st.none(), uid_st)),
+    )
+
+
+@st.composite
+def datasets(draw):
+    ds = MigrationDataset()
+    ds.instance_domains = draw(st.lists(domain_st, max_size=3, unique=True))
+    ds.collected_tweets = draw(st.lists(tweets(), max_size=5))
+    ds.collected_user_count = draw(st.integers(0, 1000))
+    uid = draw(uid_st)
+    username = draw(username_st)
+    ds.matched[uid] = MatchedUser(
+        twitter_user_id=uid,
+        twitter_username=username,
+        mastodon_acct=f"{username}@{draw(domain_st)}",
+        matched_via=draw(st.sampled_from(["metadata", "tweet"])),
+        verified=draw(st.booleans()),
+        twitter_created_at=dt.datetime(2015, 1, 1),
+        twitter_followers=draw(st.integers(0, 10**6)),
+        twitter_following=draw(st.integers(0, 10**6)),
+    )
+    ds.accounts[uid] = MastodonAccountRecord(
+        first_acct=ds.matched[uid].mastodon_acct,
+        first_created_at=dt.datetime(2022, 10, 28, 10, 0),
+        moved_to=draw(st.one_of(st.none(), st.just(f"{username}@b.town"))),
+        second_created_at=draw(
+            st.one_of(st.none(), st.just(dt.datetime(2022, 11, 10, 10, 0)))
+        ),
+        followers=draw(st.integers(0, 10**4)),
+        following=draw(st.integers(0, 10**4)),
+        statuses=draw(st.integers(0, 10**4)),
+    )
+    ds.twitter_timelines = {uid: draw(st.lists(tweets(), max_size=4))}
+    ds.mastodon_timelines = {uid: draw(st.lists(statuses(), max_size=4))}
+    ds.twitter_coverage = CrawlCoverage(ok=draw(st.integers(0, 50)))
+    ds.followee_sample = {
+        uid: FolloweeRecord(
+            twitter_user_id=uid,
+            twitter_followees=tuple(draw(st.lists(uid_st, max_size=5))),
+            mastodon_following=tuple(
+                f"{draw(username_st)}@{draw(domain_st)}" for __ in range(2)
+            ),
+        )
+    }
+    ds.weekly_activity = {
+        draw(domain_st): [
+            {"week": "2022-W43", "statuses": 1, "logins": 2, "registrations": 3}
+        ]
+    }
+    ds.trends = {"Mastodon": [("2022-10-28", draw(st.integers(0, 100)))]}
+    return ds
+
+
+@given(datasets())
+@settings(max_examples=40, deadline=None)
+def test_json_roundtrip_preserves_everything(ds):
+    restored = MigrationDataset.from_json(ds.to_json())
+    assert restored.instance_domains == ds.instance_domains
+    assert restored.collected_user_count == ds.collected_user_count
+    assert restored.matched == ds.matched
+    assert restored.accounts == ds.accounts
+    assert restored.twitter_coverage == ds.twitter_coverage
+    assert restored.followee_sample == ds.followee_sample
+    assert restored.weekly_activity == ds.weekly_activity
+    assert restored.trends == ds.trends
+    assert [t.text for ts in restored.twitter_timelines.values() for t in ts] == [
+        t.text for ts in ds.twitter_timelines.values() for t in ts
+    ]
+    assert [s.text for ss in restored.mastodon_timelines.values() for s in ss] == [
+        s.text for ss in ds.mastodon_timelines.values() for s in ss
+    ]
+
+
+@given(datasets())
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_is_stable(ds):
+    """Serialise -> parse -> serialise produces identical JSON."""
+    once = ds.to_json()
+    twice = MigrationDataset.from_json(once).to_json()
+    assert once == twice

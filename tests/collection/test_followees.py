@@ -1,0 +1,130 @@
+"""Tests for repro.collection.followees."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.collection.followees import (
+    FolloweeCrawler,
+    budgeted_fraction,
+    stratified_sample,
+)
+from repro.fediverse.api import MastodonClient
+from repro.fediverse.network import FediverseNetwork
+from repro.twitter.api import TwitterAPI
+from repro.twitter.graph import FollowGraph
+from repro.twitter.models import AccountState, TwitterUser
+from repro.twitter.store import TwitterStore
+from tests.conftest import make_matched
+
+
+def matched_population(n: int = 100):
+    return [
+        make_matched(uid, f"user{uid}", f"user{uid}@m.social", following=uid * 10)
+        for uid in range(1, n + 1)
+    ]
+
+
+class TestStratifiedSample:
+    def test_size_close_to_fraction(self):
+        sample = stratified_sample(matched_population(), 0.10, np.random.default_rng(1))
+        assert 8 <= len(sample) <= 12
+
+    def test_half_above_half_below_median(self):
+        population = matched_population(200)
+        sample = stratified_sample(population, 0.10, np.random.default_rng(1))
+        median = float(np.median([u.twitter_following for u in population]))
+        above = sum(1 for u in sample if u.twitter_following > median)
+        below = len(sample) - above
+        assert abs(above - below) <= 2
+
+    def test_empty_population(self):
+        assert stratified_sample([], 0.10, np.random.default_rng(1)) == []
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            stratified_sample(matched_population(), 0.0, np.random.default_rng(1))
+
+    def test_full_fraction_returns_everyone(self):
+        population = matched_population(20)
+        sample = stratified_sample(population, 1.0, np.random.default_rng(1))
+        assert len(sample) == 20
+
+    def test_no_duplicates(self):
+        sample = stratified_sample(matched_population(), 0.2, np.random.default_rng(2))
+        ids = [u.twitter_user_id for u in sample]
+        assert len(ids) == len(set(ids))
+
+    def test_deterministic_given_rng(self):
+        s1 = stratified_sample(matched_population(), 0.1, np.random.default_rng(5))
+        s2 = stratified_sample(matched_population(), 0.1, np.random.default_rng(5))
+        assert [u.twitter_user_id for u in s1] == [u.twitter_user_id for u in s2]
+
+
+class TestBudgetedFraction:
+    def test_small_population_not_binding(self):
+        api = TwitterAPI(TwitterStore(), FollowGraph())
+        assert budgeted_fraction(api, 100) == 0.10
+
+    def test_huge_population_shrinks_fraction(self):
+        api = TwitterAPI(TwitterStore(), FollowGraph())
+        # budget over 14 days ≈ 20k requests; 10M users -> ~0.002
+        fraction = budgeted_fraction(api, 10_000_000)
+        assert fraction < 0.10
+
+    def test_zero_users(self):
+        api = TwitterAPI(TwitterStore(), FollowGraph())
+        assert budgeted_fraction(api, 0) == 0.10
+
+
+class TestFolloweeCrawler:
+    @pytest.fixture
+    def services(self):
+        store = TwitterStore()
+        graph = FollowGraph()
+        for uid in (1, 2, 3, 4):
+            store.add_user(
+                TwitterUser(
+                    user_id=uid, username=f"u{uid}", display_name=f"U{uid}",
+                    created_at=dt.datetime(2015, 1, 1),
+                )
+            )
+        graph.follow(1, 2)
+        graph.follow(1, 3)
+        store.get_user(4).state = AccountState.SUSPENDED
+        net = FediverseNetwork()
+        inst = net.create_instance("m.social")
+        inst.register("u1", when=dt.datetime(2022, 10, 28))
+        inst.register("u9", when=dt.datetime(2022, 10, 28))
+        net.follow("u1@m.social", "u9@m.social", dt.datetime(2022, 10, 29))
+        return TwitterAPI(store, graph), MastodonClient(net)
+
+    def test_crawl_records_both_platforms(self, services):
+        api, client = services
+        crawler = FolloweeCrawler(api, client)
+        records = crawler.crawl([make_matched(1, "u1", "u1@m.social")])
+        assert records[1].twitter_followees == (2, 3)
+        assert records[1].mastodon_following == ("u9@m.social",)
+
+    def test_twitter_failure_drops_user(self, services):
+        api, client = services
+        crawler = FolloweeCrawler(api, client)
+        records = crawler.crawl([make_matched(4, "u4", "u4@m.social")])
+        assert records == {}
+
+    def test_mastodon_failure_keeps_twitter_side(self, services):
+        api, client = services
+        crawler = FolloweeCrawler(api, client)
+        records = crawler.crawl([make_matched(1, "u1", "ghost@m.social")])
+        assert records[1].twitter_followees == (2, 3)
+        assert records[1].mastodon_following == ()
+
+    def test_current_accts_override(self, services):
+        api, client = services
+        crawler = FolloweeCrawler(api, client)
+        records = crawler.crawl(
+            [make_matched(1, "u1", "ghost@m.social")],
+            current_accts={1: "u1@m.social"},
+        )
+        assert records[1].mastodon_following == ("u9@m.social",)

@@ -1,0 +1,160 @@
+"""Tests for repro.collection.handle_matching."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collection.handle_matching import HandleMatcher, extract_handles
+from repro.twitter.models import Tweet, TwitterUser
+
+DOMAINS = frozenset({"mastodon.social", "fosstodon.org", "art.school"})
+
+
+def user(username: str = "alice", description: str = "", url: str = "",
+         location: str = "", display_name: str = "") -> TwitterUser:
+    return TwitterUser(
+        user_id=1,
+        username=username,
+        display_name=display_name or username.title(),
+        created_at=dt.datetime(2015, 1, 1),
+        description=description,
+        url=url,
+        location=location,
+    )
+
+
+def tweet(text: str, author: int = 1, tid: int = 1) -> Tweet:
+    return Tweet(
+        tweet_id=tid,
+        author_id=author,
+        created_at=dt.datetime(2022, 10, 28),
+        text=text,
+        source="Twitter Web App",
+    )
+
+
+class TestExtractHandles:
+    def test_acct_form(self):
+        assert extract_handles("find me @alice@mastodon.social !", DOMAINS) == [
+            ("alice", "mastodon.social")
+        ]
+
+    def test_url_form(self):
+        assert extract_handles(
+            "profile: https://fosstodon.org/@dev_bob", DOMAINS
+        ) == [("dev_bob", "fosstodon.org")]
+
+    def test_unknown_domain_ignored(self):
+        assert extract_handles("@alice@not-an-instance.com", DOMAINS) == []
+
+    def test_email_not_matched(self):
+        assert extract_handles("mail me at alice@mastodon.social", DOMAINS) == []
+
+    def test_both_forms_deduplicated(self):
+        text = "@alice@mastodon.social or https://mastodon.social/@alice"
+        assert extract_handles(text, DOMAINS) == [("alice", "mastodon.social")]
+
+    def test_multiple_handles_order_preserved(self):
+        text = "@a@mastodon.social then @b@art.school"
+        assert extract_handles(text, DOMAINS) == [
+            ("a", "mastodon.social"),
+            ("b", "art.school"),
+        ]
+
+    def test_domain_case_normalised(self):
+        assert extract_handles("@alice@MASTODON.SOCIAL", DOMAINS) == [
+            ("alice", "mastodon.social")
+        ]
+
+    def test_dotted_username(self):
+        handles = extract_handles("@a.b@mastodon.social", DOMAINS)
+        assert handles == [("a.b", "mastodon.social")]
+
+    @given(st.text(max_size=200))
+    def test_never_raises(self, text):
+        extract_handles(text, DOMAINS)
+
+
+class TestMatcher:
+    def test_empty_index_rejected(self):
+        with pytest.raises(ValueError):
+            HandleMatcher(frozenset())
+
+    def test_metadata_match_from_bio(self):
+        matcher = HandleMatcher(DOMAINS)
+        match = matcher.match_metadata(
+            user(description="painter | @zoe@art.school")
+        )
+        assert match is not None
+        assert match.mastodon_acct == "zoe@art.school"
+        assert match.matched_via == "metadata"
+
+    def test_metadata_match_from_url_field(self):
+        matcher = HandleMatcher(DOMAINS)
+        match = matcher.match_metadata(user(url="https://art.school/@zoe"))
+        assert match is not None
+        assert match.mastodon_username == "zoe"
+
+    def test_metadata_match_from_pinned_tweet(self):
+        matcher = HandleMatcher(DOMAINS)
+        match = matcher.match_metadata(
+            user(), pinned_text="moved to @alice@mastodon.social"
+        )
+        assert match is not None
+        assert match.matched_via == "metadata"
+
+    def test_metadata_match_does_not_require_same_username(self):
+        matcher = HandleMatcher(DOMAINS)
+        match = matcher.match_metadata(
+            user(username="alice", description="@completely_different@art.school")
+        )
+        assert match is not None
+        assert not match.same_username
+
+    def test_tweet_match_requires_identical_username(self):
+        matcher = HandleMatcher(DOMAINS)
+        me = user(username="alice")
+        accepted = matcher.match_tweets(me, [tweet("now at @alice@mastodon.social")])
+        assert accepted is not None and accepted.matched_via == "tweet"
+        rejected = matcher.match_tweets(me, [tweet("follow @bob@mastodon.social")])
+        assert rejected is None
+
+    def test_tweet_match_username_case_insensitive(self):
+        matcher = HandleMatcher(DOMAINS)
+        match = matcher.match_tweets(
+            user(username="Alice"), [tweet("im @alice@mastodon.social")]
+        )
+        assert match is not None
+
+    def test_hierarchy_prefers_metadata(self):
+        matcher = HandleMatcher(DOMAINS)
+        me = user(username="alice", description="@alice@art.school")
+        match = matcher.match_user(me, [tweet("see @alice@mastodon.social")])
+        assert match is not None
+        assert match.mastodon_domain == "art.school"
+        assert match.matched_via == "metadata"
+
+    def test_no_signal_no_match(self):
+        matcher = HandleMatcher(DOMAINS)
+        assert matcher.match_user(user(), [tweet("just vibes")]) is None
+
+    def test_match_all(self):
+        matcher = HandleMatcher(DOMAINS)
+        users = {
+            1: user(username="alice", description="@alice@mastodon.social"),
+            2: user(username="bob"),
+        }
+        users[2].user_id = 2
+        tweets = {2: [tweet("i am @bob@fosstodon.org now", author=2, tid=9)]}
+        matches = matcher.match_all(users, tweets)
+        assert set(matches) == {1, 2}
+        assert matches[2].mastodon_domain == "fosstodon.org"
+
+    def test_same_username_property(self):
+        matcher = HandleMatcher(DOMAINS)
+        match = matcher.match_metadata(
+            user(username="Alice", description="@alice@mastodon.social")
+        )
+        assert match is not None and match.same_username

@@ -1,0 +1,34 @@
+"""Tests for repro.collection.instance_list."""
+
+from repro.collection.instance_list import compile_instance_list, normalize_domains
+from repro.fediverse.directory import InstanceDirectory
+from repro.fediverse.network import FediverseNetwork
+
+
+class TestNormalizeDomains:
+    def test_lowercases_and_strips(self):
+        assert normalize_domains(["  Mastodon.Social  "]) == ["mastodon.social"]
+
+    def test_strips_scheme_and_path(self):
+        assert normalize_domains(["https://fosstodon.org/about"]) == ["fosstodon.org"]
+
+    def test_deduplicates(self):
+        assert normalize_domains(["a.com", "A.COM", "http://a.com"]) == ["a.com"]
+
+    def test_drops_garbage(self):
+        assert normalize_domains(["not a domain", "nodots"]) == []
+
+    def test_sorted_output(self):
+        assert normalize_domains(["z.org", "a.org"]) == ["a.org", "z.org"]
+
+    def test_trailing_dot_stripped(self):
+        assert normalize_domains(["example.com."]) == ["example.com"]
+
+
+class TestCompile:
+    def test_compiles_from_directory(self):
+        net = FediverseNetwork()
+        net.create_instance("b.social")
+        net.create_instance("a.social")
+        domains = compile_instance_list(InstanceDirectory.from_network(net))
+        assert domains == ["a.social", "b.social"]

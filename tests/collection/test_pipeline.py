@@ -1,0 +1,97 @@
+"""Integration tests for the full collection pipeline (shared dataset)."""
+
+from repro.collection.dataset import MigrationDataset
+from repro.simulation.world import World
+from repro.util.clock import TWEET_COLLECTION_END, TWEET_COLLECTION_START
+
+
+class TestPipelineOutput:
+    def test_matches_are_real_migrants(
+        self, small_world: World, small_dataset: MigrationDataset
+    ):
+        """Every matched user must be a ground-truth migrant (no false
+        positives from chatter mentioning other people's handles)."""
+        truth = {a.user_id for a in small_world.migrants}
+        assert set(small_dataset.matched) <= truth
+
+    def test_matches_point_at_the_right_account(
+        self, small_world: World, small_dataset: MigrationDataset
+    ):
+        for uid, matched in small_dataset.matched.items():
+            agent = small_world.agents[uid]
+            assert matched.mastodon_acct == agent.first_acct
+
+    def test_recall_is_substantial(
+        self, small_world: World, small_dataset: MigrationDataset
+    ):
+        """The methodology misses some migrants (like the paper) but must
+        find the clear majority of them."""
+        recall = len(small_dataset.matched) / len(small_world.migrants)
+        assert 0.5 < recall < 1.0
+
+    def test_collected_tweets_inside_window(self, small_dataset: MigrationDataset):
+        for tweet in small_dataset.collected_tweets:
+            assert TWEET_COLLECTION_START <= tweet.created_date <= TWEET_COLLECTION_END
+
+    def test_more_authors_than_matches(self, small_dataset: MigrationDataset):
+        """Chatter inflates the author pool well beyond matched migrants
+        (paper: 1.02M authors vs 136k matches)."""
+        assert small_dataset.collected_user_count > small_dataset.migrant_count
+
+    def test_timeline_coverage_accounting_consistent(
+        self, small_dataset: MigrationDataset
+    ):
+        assert (
+            small_dataset.twitter_coverage.attempted == small_dataset.migrant_count
+        )
+        assert len(small_dataset.twitter_timelines) == small_dataset.twitter_coverage.ok
+
+    def test_mastodon_timelines_only_for_resolved_accounts(
+        self, small_dataset: MigrationDataset
+    ):
+        assert set(small_dataset.mastodon_timelines) <= set(small_dataset.accounts)
+
+    def test_followee_sample_size(self, small_dataset: MigrationDataset):
+        """~10% stratified sample plus the switcher boost."""
+        n = small_dataset.migrant_count
+        sample = len(small_dataset.followee_sample)
+        switchers = len(small_dataset.switchers())
+        assert sample >= int(0.06 * n)
+        assert sample <= int(0.16 * n) + switchers + 1
+
+    def test_followee_sample_is_subset_of_matched(
+        self, small_dataset: MigrationDataset
+    ):
+        assert set(small_dataset.followee_sample) <= set(small_dataset.matched)
+
+    def test_switchers_present_in_followee_sample(
+        self, small_dataset: MigrationDataset
+    ):
+        sampled = set(small_dataset.followee_sample)
+        for uid in small_dataset.switchers():
+            assert uid in sampled
+
+    def test_weekly_activity_covers_matched_instances(
+        self, small_dataset: MigrationDataset
+    ):
+        populated = set(small_dataset.instance_populations())
+        crawled = set(small_dataset.weekly_activity)
+        # downed instances are missing, but the rest must be covered
+        assert crawled <= populated | {
+            r.second_domain for r in small_dataset.accounts.values() if r.switched
+        }
+        assert len(crawled) >= 0.5 * len(populated)
+
+    def test_trends_series_present(self, small_dataset: MigrationDataset):
+        assert "Mastodon" in small_dataset.trends
+        assert all(len(series) > 30 for series in small_dataset.trends.values())
+
+    def test_serialization_roundtrip_of_real_dataset(
+        self, small_dataset: MigrationDataset, tmp_path
+    ):
+        path = tmp_path / "real.json"
+        small_dataset.save(path)
+        restored = MigrationDataset.load(path)
+        assert restored.migrant_count == small_dataset.migrant_count
+        assert len(restored.collected_tweets) == len(small_dataset.collected_tweets)
+        assert restored.instance_populations() == small_dataset.instance_populations()

@@ -1,0 +1,69 @@
+"""Failure-injection tests: the pipeline must degrade, not die."""
+
+import pytest
+
+from repro.collection.pipeline import collect_dataset
+from repro.simulation.world import build_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(seed=23, scale=0.0008)
+
+
+class TestTotalDowntime:
+    def test_every_instance_down(self, world):
+        """With the whole fediverse unreachable the pipeline still returns:
+        matches happen (Twitter side), Mastodon coverage shows 100% loss."""
+        was_down = {i.domain: i.down for i in world.network.instances()}
+        for instance in world.network.instances():
+            instance.down = True
+        try:
+            dataset = collect_dataset(world)
+        finally:
+            for instance in world.network.instances():
+                instance.down = was_down[instance.domain]
+        assert dataset.migrant_count > 0
+        assert dataset.mastodon_coverage.ok == 0
+        assert dataset.mastodon_coverage.instance_down == dataset.migrant_count
+        assert dataset.accounts == {}
+        assert dataset.weekly_activity == {}
+
+    def test_analyses_fail_loud_without_mastodon_data(self, world):
+        """Analyses on a Mastodon-less dataset raise AnalysisError rather
+        than emitting nonsense."""
+        from repro.analysis.content import content_similarity
+        from repro.errors import AnalysisError
+
+        was_down = {i.domain: i.down for i in world.network.instances()}
+        for instance in world.network.instances():
+            instance.down = True
+        try:
+            dataset = collect_dataset(world)
+        finally:
+            for instance in world.network.instances():
+                instance.down = was_down[instance.domain]
+        with pytest.raises(AnalysisError):
+            content_similarity(dataset)
+
+
+class TestAllAccountsGone:
+    def test_every_twitter_account_deactivated(self, world):
+        from repro.twitter.models import AccountState
+
+        original = {}
+        for agent in world.migrants:
+            user = world.twitter_store.get_user(agent.user_id)
+            original[agent.user_id] = user.state
+            user.state = AccountState.DEACTIVATED
+        try:
+            dataset = collect_dataset(world)
+        finally:
+            for uid, state in original.items():
+                world.twitter_store.get_user(uid).state = state
+        # matching still works (search returns archived tweets), but no
+        # timeline can be crawled
+        assert dataset.migrant_count > 0
+        assert dataset.twitter_coverage.ok == 0
+        assert dataset.twitter_coverage.deleted == dataset.migrant_count
+        assert dataset.twitter_timelines == {}

@@ -1,0 +1,129 @@
+"""Tests for repro.collection.timelines."""
+
+import datetime as dt
+
+import pytest
+
+from repro.collection.timelines import MastodonTimelineCrawler, TwitterTimelineCrawler
+from repro.fediverse.api import MastodonClient
+from repro.fediverse.network import FediverseNetwork
+from repro.twitter.api import TwitterAPI
+from repro.twitter.graph import FollowGraph
+from repro.twitter.models import AccountState, Tweet, TwitterUser
+from repro.twitter.store import TwitterStore
+from tests.conftest import make_matched
+
+WHEN = dt.datetime(2022, 10, 28, 12, 0)
+SINCE, UNTIL = dt.date(2022, 10, 1), dt.date(2022, 11, 30)
+
+
+@pytest.fixture
+def twitter():
+    store = TwitterStore()
+    graph = FollowGraph()
+    states = {
+        1: AccountState.ACTIVE,
+        2: AccountState.SUSPENDED,
+        3: AccountState.DEACTIVATED,
+        4: AccountState.PROTECTED,
+    }
+    for uid, state in states.items():
+        store.add_user(
+            TwitterUser(
+                user_id=uid, username=f"user{uid}", display_name=f"User {uid}",
+                created_at=dt.datetime(2015, 1, 1), state=state,
+            )
+        )
+    store.add_tweet(
+        Tweet(tweet_id=1, author_id=1, created_at=WHEN, text="hi", source="s")
+    )
+    return TwitterAPI(store, graph)
+
+
+class TestTwitterCrawl:
+    def test_coverage_accounting(self, twitter):
+        crawler = TwitterTimelineCrawler(twitter, SINCE, UNTIL)
+        matched = [make_matched(uid, f"user{uid}", f"user{uid}@m.social")
+                   for uid in (1, 2, 3, 4)]
+        timelines, coverage = crawler.crawl(matched)
+        assert coverage.ok == 1
+        assert coverage.suspended == 1
+        assert coverage.deleted == 1
+        assert coverage.protected == 1
+        assert coverage.attempted == 4
+        assert set(timelines) == {1}
+        assert coverage.rate("ok") == 25.0
+
+
+@pytest.fixture
+def fediverse():
+    net = FediverseNetwork()
+    main = net.create_instance("main.social")
+    dark = net.create_instance("dark.site")
+    second = net.create_instance("second.place")
+    main.register("alice", when=WHEN)
+    main.register("lurker", when=WHEN)
+    dark.register("ghost", when=WHEN)
+    second.register("bob", when=WHEN + dt.timedelta(days=5))
+    main.register("bob", when=WHEN)
+    for i in range(3):
+        net.post_status("alice@main.social", f"post {i}", WHEN + dt.timedelta(hours=i))
+    net.post_status("bob@main.social", "before move", WHEN + dt.timedelta(hours=1))
+    net.move_account("bob@main.social", "bob@second.place", WHEN + dt.timedelta(days=5))
+    net.post_status("bob@second.place", "after move", WHEN + dt.timedelta(days=6))
+    dark.down = True
+    return net, MastodonClient(net)
+
+
+class TestMastodonCrawl:
+    def matched(self):
+        return [
+            make_matched(1, "alice", "alice@main.social"),
+            make_matched(2, "lurker", "lurker@main.social"),
+            make_matched(3, "ghost", "ghost@dark.site"),
+            make_matched(4, "bob", "bob@main.social"),
+        ]
+
+    def test_coverage_accounting(self, fediverse):
+        __, client = fediverse
+        crawler = MastodonTimelineCrawler(client, SINCE, UNTIL)
+        accounts, timelines, coverage = crawler.crawl(self.matched())
+        assert coverage.ok == 2  # alice + bob
+        assert coverage.no_statuses == 1  # lurker
+        assert coverage.instance_down == 1  # ghost
+        assert 3 not in accounts
+
+    def test_move_followed_and_merged(self, fediverse):
+        __, client = fediverse
+        crawler = MastodonTimelineCrawler(client, SINCE, UNTIL)
+        accounts, timelines, __ = crawler.crawl(self.matched())
+        record = accounts[4]
+        assert record.moved_to == "bob@second.place"
+        assert record.switched
+        assert record.second_domain == "second.place"
+        texts = [s.text for s in timelines[4]]
+        assert texts == ["before move", "after move"]
+
+    def test_statuses_counts_include_successor(self, fediverse):
+        __, client = fediverse
+        crawler = MastodonTimelineCrawler(client, SINCE, UNTIL)
+        accounts, __, __ = crawler.crawl(self.matched())
+        assert accounts[4].statuses == 2
+
+    def test_unmoved_account_record(self, fediverse):
+        __, client = fediverse
+        crawler = MastodonTimelineCrawler(client, SINCE, UNTIL)
+        accounts, __, __ = crawler.crawl(self.matched())
+        record = accounts[1]
+        assert not record.switched
+        assert record.second_domain is None
+        assert record.first_created_at == WHEN
+
+    def test_successor_down_treated_as_unmoved(self, fediverse):
+        net, client = fediverse
+        net.get_instance("second.place").down = True
+        crawler = MastodonTimelineCrawler(client, SINCE, UNTIL)
+        accounts, timelines, __ = crawler.crawl(self.matched())
+        record = accounts[4]
+        assert record.moved_to is None
+        assert [s.text for s in timelines[4]] == ["before move"]

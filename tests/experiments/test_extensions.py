@@ -1,0 +1,58 @@
+"""Tests for the X* extension experiments and registry integration."""
+
+import pytest
+
+from repro.experiments.registry import (
+    all_experiment_ids,
+    extension_ids,
+    get_experiment,
+    run_all,
+)
+
+
+class TestRegistryIntegration:
+    def test_default_ids_are_paper_figures_only(self):
+        assert all_experiment_ids() == [f"F{i}" for i in range(1, 17)]
+
+    def test_extensions_listed(self):
+        assert extension_ids() == ["X1", "X2", "X3"]
+
+    def test_extended_ids_include_both(self):
+        ids = all_experiment_ids(include_extensions=True)
+        assert set(ids) == {f"F{i}" for i in range(1, 17)} | {"X1", "X2", "X3"}
+
+    def test_extensions_resolvable(self):
+        assert get_experiment("x1")
+        assert get_experiment("X2")
+
+
+class TestExtensionResults:
+    def test_x1_retention(self, small_dataset):
+        result = get_experiment("X1")(small_dataset)
+        assert result.exp_id == "X1"
+        shares = dict((label, value) for label, value in result.rows)
+        # retained + returned + lurking + never = 100 (dual is a sub-share)
+        total = (
+            shares["retained on Mastodon (final week)"]
+            + shares["returned to Twitter only"]
+            + shares["lurking (silent on both)"]
+            + shares["never posted a status"]
+        )
+        assert total == pytest.approx(100.0)
+
+    def test_x2_moderation(self, small_dataset):
+        result = get_experiment("X2")(small_dataset)
+        assert result.rows
+        assert result.notes["pct_instances_with_toxic_content"] > 0.0
+        # rows are (domain, users, statuses, toxic, share); toxic <= statuses
+        for __, __, statuses, toxic, __ in result.rows:
+            assert 0 <= toxic <= statuses
+
+    def test_x3_network_structure(self, small_dataset):
+        result = get_experiment("X3")(small_dataset)
+        assert result.rows
+        assert result.notes["pct_edges_into_migrants"] > 0.0
+
+    def test_run_all_with_extensions(self, small_dataset):
+        results = run_all(small_dataset, include_extensions=True)
+        assert len(results) == 19

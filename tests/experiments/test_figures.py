@@ -1,0 +1,124 @@
+"""Every figure experiment runs on the shared dataset and reproduces shape.
+
+These are the repository's core acceptance tests: one test per paper figure
+asserting the *qualitative* finding (who wins, direction of effects), since
+absolute numbers depend on scale.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.experiments.registry import all_experiment_ids, get_experiment
+from repro.util.clock import TAKEOVER_DATE
+
+
+@pytest.fixture(scope="module")
+def results(small_dataset):
+    return {
+        exp_id: get_experiment(exp_id)(small_dataset)
+        for exp_id in all_experiment_ids()
+    }
+
+
+class TestAllFigures:
+    def test_every_experiment_produces_rows(self, results):
+        for exp_id, result in results.items():
+            assert result.rows, f"{exp_id} produced no rows"
+            assert result.exp_id == exp_id
+            width = len(result.headers)
+            assert all(len(row) == width for row in result.rows), exp_id
+
+    def test_every_experiment_formats(self, results):
+        for result in results.values():
+            assert result.format()
+
+
+class TestFigureShapes:
+    def test_f1_search_interest_spikes_at_takeover(self, results):
+        notes = results["F1"].notes
+        takeover_doy = TAKEOVER_DATE.timetuple().tm_yday
+        assert abs(notes["peak_doy[Twitter alternatives]"] - takeover_doy) <= 4
+
+    def test_f2_tweet_volume_peaks_after_takeover(self, results):
+        notes = results["F2"].notes
+        assert notes["post_takeover_share_pct"] > 80.0
+        takeover_doy = TAKEOVER_DATE.timetuple().tm_yday
+        assert abs(notes["peak_day_of_year"] - takeover_doy) <= 3
+
+    def test_f3_registrations_jump(self, results):
+        notes = results["F3"].notes
+        assert notes["registrations_growth_x"] > 5.0
+        assert notes["statuses_growth_x"] > 1.2
+
+    def test_f4_mastodon_social_leads(self, results):
+        rows = results["F4"].rows
+        assert rows[0][0] == "mastodon.social"
+        totals = [row[3] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_f4_some_accounts_predate_takeover(self, results):
+        notes = results["F4"].notes
+        assert 5.0 < notes["pre_takeover_share_pct"] < 40.0
+
+    def test_f5_concentration(self, results):
+        notes = results["F5"].notes
+        assert notes["share_top_25pct"] > 60.0
+
+    def test_f6_single_user_instances_exist(self, results):
+        notes = results["F6"].notes
+        assert notes["single_user_instance_share_pct"] > 0.0
+
+    def test_f7_twitter_networks_larger(self, results):
+        notes = results["F7"].notes
+        assert notes["tw_median_followers"] > notes["ma_median_followers"]
+        assert notes["tw_median_followees"] > notes["ma_median_followees"]
+
+    def test_f8_minority_of_followees_migrate(self, results):
+        notes = results["F8"].notes
+        assert notes["mean_frac_migrated_pct"] < 30.0
+        assert notes["mean_pct_same_instance"] > 0.0
+
+    def test_f9_switching_rare_and_post_takeover(self, results):
+        notes = results["F9"].notes
+        assert notes["pct_switched"] < 15.0
+        assert notes["pct_post_takeover"] > 80.0
+
+    def test_f10_second_instance_pull(self, results):
+        notes = results["F10"].notes
+        assert notes["mean_pct_on_second"] > notes["mean_pct_on_first"]
+        assert notes["mean_pct_second_before"] > 50.0
+
+    def test_f11_both_platforms_active(self, results):
+        notes = results["F11"].notes
+        assert notes["twitter_retention_ratio"] > 0.6
+        assert notes["status_daily_mean_post"] > notes["status_daily_mean_pre"]
+
+    def test_f12_crossposters_grow_most(self, results):
+        notes = results["F12"].notes
+        growth_keys = [k for k in notes if k.startswith("growth_pct[")]
+        assert growth_keys
+        assert any(notes[k] > 100.0 for k in growth_keys)
+
+    def test_f13_crossposter_usage_rises_then_falls(self, results):
+        notes = results["F13"].notes
+        assert notes["mean_peak_window"] > notes["mean_pre_takeover"]
+        assert notes["mean_after_shutoff"] < notes["mean_peak_window"]
+
+    def test_f14_content_mostly_different(self, results):
+        notes = results["F14"].notes
+        assert notes["mean_pct_identical"] < notes["mean_pct_similar"]
+        assert notes["pct_users_all_different"] > 50.0
+
+    def test_f15_mastodon_dominated_by_migration_tags(self, results):
+        notes = results["F15"].notes
+        assert (
+            notes["mastodon_migration_tag_share_pct"]
+            > notes["twitter_migration_tag_share_pct"]
+        )
+        assert notes["mastodon_migration_tag_share_pct"] > 15.0
+
+    def test_f16_twitter_more_toxic(self, results):
+        notes = results["F16"].notes
+        assert notes["pct_tweets_toxic"] > notes["pct_statuses_toxic"]
+        assert notes["pct_tweets_toxic"] < 15.0

@@ -1,0 +1,47 @@
+"""Tests for the experiment registry and result formatting."""
+
+import pytest
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiment_ids,
+    get_experiment,
+)
+
+
+class TestRegistry:
+    def test_sixteen_experiments(self):
+        ids = all_experiment_ids()
+        assert ids == [f"F{i}" for i in range(1, 17)]
+
+    def test_lookup_case_insensitive(self):
+        assert get_experiment("f5") is get_experiment("F5")
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("F99")
+
+
+class TestResultFormatting:
+    def result(self):
+        return ExperimentResult(
+            exp_id="F0",
+            title="demo",
+            headers=["name", "value"],
+            rows=[("alpha", 1.5), ("beta", 2)],
+            notes={"mean": 1.75},
+        )
+
+    def test_format_contains_everything(self):
+        text = self.result().format()
+        assert "F0: demo" in text
+        assert "alpha" in text and "1.50" in text
+        assert "mean = 1.75" in text
+
+    def test_row_truncation(self):
+        result = ExperimentResult(
+            exp_id="F0", title="t", headers=["i"],
+            rows=[(i,) for i in range(100)],
+        )
+        text = result.format(max_rows=5)
+        assert "95 more rows" in text

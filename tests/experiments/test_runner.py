@@ -1,0 +1,56 @@
+"""Tests for the CLI runner (repro-experiments)."""
+
+import pytest
+
+from repro.experiments.runner import main
+
+
+@pytest.fixture(scope="module")
+def saved_dataset(small_dataset_path):
+    return small_dataset_path
+
+
+@pytest.fixture(scope="module")
+def small_dataset_path(tmp_path_factory):
+    # reuse the session dataset through a fresh save to avoid a second build
+    from repro.collection.pipeline import collect_dataset
+    from repro.simulation.world import build_world
+
+    dataset = collect_dataset(build_world(seed=11, scale=0.002))
+    path = tmp_path_factory.mktemp("runner") / "dataset.json"
+    dataset.save(path)
+    return str(path)
+
+
+class TestRunner:
+    def test_runs_selected_experiments_from_saved_dataset(
+        self, saved_dataset, capsys
+    ):
+        code = main(["--dataset", saved_dataset, "--only", "F5,F9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "F5:" in out and "F9:" in out
+        assert "F14:" not in out
+
+    def test_report_flag(self, saved_dataset, capsys):
+        code = main(["--dataset", saved_dataset, "--only", "F5", "--report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "measured" in out
+
+    def test_extension_selection(self, saved_dataset, capsys):
+        code = main(["--dataset", saved_dataset, "--only", "X1"])
+        assert code == 0
+        assert "Retention" in capsys.readouterr().out
+
+    def test_save_roundtrip(self, saved_dataset, tmp_path, capsys):
+        out_path = tmp_path / "resaved.json"
+        code = main(
+            ["--dataset", saved_dataset, "--only", "F5", "--save", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+
+    def test_unknown_experiment(self, saved_dataset):
+        with pytest.raises(KeyError):
+            main(["--dataset", saved_dataset, "--only", "F99"])

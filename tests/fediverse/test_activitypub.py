@@ -1,0 +1,86 @@
+"""Tests for repro.fediverse.activitypub."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fediverse.activitypub import (
+    Accept,
+    Announce,
+    Create,
+    Follow,
+    Move,
+    actor_url,
+    make_acct,
+    parse_acct,
+)
+
+WHEN = dt.datetime(2022, 10, 28, 12, 0)
+
+
+class TestAddressing:
+    def test_make_acct(self):
+        assert make_acct("alice", "mastodon.social") == "alice@mastodon.social"
+
+    def test_parse_basic(self):
+        assert parse_acct("alice@mastodon.social") == ("alice", "mastodon.social")
+
+    def test_parse_leading_at(self):
+        assert parse_acct("@alice@mastodon.social") == ("alice", "mastodon.social")
+
+    def test_parse_lowercases_domain_only(self):
+        username, domain = parse_acct("Alice@Mastodon.Social")
+        assert username == "Alice"
+        assert domain == "mastodon.social"
+
+    def test_parse_dots_and_dashes(self):
+        assert parse_acct("a.b-c_d@sub.example-x.com") == ("a.b-c_d", "sub.example-x.com")
+
+    @pytest.mark.parametrize(
+        "bad", ["alice", "@alice", "alice@", "@@x", "a b@x.com", ""]
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_acct(bad)
+
+    def test_actor_url(self):
+        assert actor_url("alice", "m.social") == "https://m.social/@alice"
+
+
+username_st = st.from_regex(r"[A-Za-z0-9_]{1,12}", fullmatch=True)
+domain_st = st.from_regex(r"[a-z0-9]{1,10}\.[a-z]{2,5}", fullmatch=True)
+
+
+@given(username=username_st, domain=domain_st)
+def test_make_parse_roundtrip(username, domain):
+    """Property: parse(make(u, d)) == (u, d)."""
+    assert parse_acct(make_acct(username, domain)) == (username, domain)
+
+
+class TestActivities:
+    def test_follow_requires_target(self):
+        with pytest.raises(ValueError):
+            Follow(actor="a@x.com", published=WHEN)
+
+    def test_accept_requires_follower(self):
+        with pytest.raises(ValueError):
+            Accept(actor="a@x.com", published=WHEN)
+
+    def test_create_requires_status(self):
+        with pytest.raises(ValueError):
+            Create(actor="a@x.com", published=WHEN)
+
+    def test_announce_requires_status(self):
+        with pytest.raises(ValueError):
+            Announce(actor="a@x.com", published=WHEN)
+
+    def test_move_requires_target(self):
+        with pytest.raises(ValueError):
+            Move(actor="a@x.com", published=WHEN)
+
+    def test_valid_activities_freeze(self):
+        follow = Follow(actor="a@x.com", published=WHEN, target="b@y.com")
+        with pytest.raises(AttributeError):
+            follow.target = "c@z.com"  # type: ignore[misc]

@@ -1,0 +1,50 @@
+"""Tests for repro.fediverse.directory."""
+
+import datetime as dt
+
+import pytest
+
+from repro.fediverse.directory import InstanceDirectory
+from repro.fediverse.models import InstanceInfo
+from repro.fediverse.network import FediverseNetwork
+
+
+def info(domain: str, topic: str = "general") -> InstanceInfo:
+    return InstanceInfo(
+        domain=domain,
+        title=domain,
+        topic=topic,
+        open_registrations=True,
+        created_at=dt.date(2020, 1, 1),
+    )
+
+
+class TestDirectory:
+    def test_list_sorted(self):
+        directory = InstanceDirectory([info("b.com"), info("a.com")])
+        assert [i.domain for i in directory.list_instances()] == ["a.com", "b.com"]
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            InstanceDirectory([info("a.com"), info("a.com")])
+
+    def test_contains_and_get(self):
+        directory = InstanceDirectory([info("a.com")])
+        assert "a.com" in directory
+        assert "A.COM" in directory
+        assert directory.get("a.com") is not None
+        assert directory.get("z.com") is None
+
+    def test_by_topic(self):
+        directory = InstanceDirectory([info("a.com", "tech"), info("b.com", "art")])
+        assert [i.domain for i in directory.by_topic("tech")] == ["a.com"]
+
+    def test_len(self):
+        assert len(InstanceDirectory([info("a.com")])) == 1
+
+    def test_from_network(self):
+        net = FediverseNetwork()
+        net.create_instance("x.social", topic="tech")
+        net.create_instance("y.social")
+        directory = InstanceDirectory.from_network(net)
+        assert directory.domains() == ["x.social", "y.social"]

@@ -1,0 +1,104 @@
+"""Tests for repro.nlp.embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.embeddings import (
+    HashingSentenceEncoder,
+    cosine_similarity,
+    max_similarities,
+)
+
+words = st.lists(
+    st.sampled_from("alpha beta gamma delta epsilon zeta eta theta".split()),
+    min_size=1,
+    max_size=20,
+)
+
+
+@pytest.fixture
+def encoder():
+    return HashingSentenceEncoder()
+
+
+class TestEncoder:
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            HashingSentenceEncoder(dim=4)
+
+    def test_empty_text_is_zero_vector(self, encoder):
+        assert np.linalg.norm(encoder.encode("")) == 0.0
+
+    def test_nonempty_is_unit_norm(self, encoder):
+        vec = encoder.encode("hello world")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_identical_texts_cosine_one(self, encoder):
+        a = encoder.encode("the quick brown fox")
+        b = encoder.encode("the quick brown fox")
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_word_order_invariant(self, encoder):
+        a = encoder.encode("brown fox quick the")
+        b = encoder.encode("the quick brown fox")
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_disjoint_texts_near_zero(self, encoder):
+        a = encoder.encode("astronomy telescope nebula galaxy")
+        b = encoder.encode("football penalty referee stadium")
+        assert abs(cosine_similarity(a, b)) < 0.5
+
+    def test_paraphrase_stays_above_similarity_threshold(self, encoder):
+        """Dropping ~15% of tokens must keep cosine > 0.7 (Fig. 14 contract)."""
+        original = "election vote parliament policy government democracy campaign debate today really"
+        shortened = "election vote parliament policy government democracy campaign today"
+        sim = cosine_similarity(encoder.encode(original), encoder.encode(shortened))
+        assert sim > 0.7
+
+    def test_batch_shape(self, encoder):
+        batch = encoder.encode_batch(["a b", "c d", "e"])
+        assert batch.shape == (3, encoder.dim)
+
+    def test_empty_batch(self, encoder):
+        assert encoder.encode_batch([]).shape == (0, encoder.dim)
+
+
+class TestCosine:
+    def test_zero_vector_similarity_zero(self):
+        assert cosine_similarity(np.zeros(8), np.ones(8)) == 0.0
+
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_bounded(self, a, b):
+        enc = HashingSentenceEncoder()
+        sim = cosine_similarity(enc.encode(" ".join(a)), enc.encode(" ".join(b)))
+        assert -1.0 - 1e-9 <= sim <= 1.0 + 1e-9
+
+    @given(words)
+    @settings(max_examples=60)
+    def test_self_similarity_is_one(self, tokens):
+        enc = HashingSentenceEncoder()
+        vec = enc.encode(" ".join(tokens))
+        assert cosine_similarity(vec, vec) == pytest.approx(1.0)
+
+
+class TestMaxSimilarities:
+    def test_per_query_max(self):
+        enc = HashingSentenceEncoder()
+        corpus = enc.encode_batch(["alpha beta gamma", "delta epsilon zeta"])
+        queries = enc.encode_batch(["alpha beta gamma", "unrelated words here"])
+        sims = max_similarities(queries, corpus)
+        assert sims[0] == pytest.approx(1.0)
+        assert sims[1] < 0.9
+
+    def test_empty_corpus(self):
+        enc = HashingSentenceEncoder()
+        queries = enc.encode_batch(["x y"])
+        sims = max_similarities(queries, np.zeros((0, enc.dim)))
+        assert sims.tolist() == [0.0]
+
+    def test_empty_queries(self):
+        enc = HashingSentenceEncoder()
+        assert max_similarities(np.zeros((0, enc.dim)), enc.encode_batch(["x"])).size == 0

@@ -1,0 +1,84 @@
+"""Tests for repro.nlp.toxicity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.toxicity import PerspectiveScorer
+
+
+@pytest.fixture
+def scorer():
+    return PerspectiveScorer()
+
+
+class TestScore:
+    def test_empty_text(self, scorer):
+        assert scorer.score("") == 0.0
+
+    def test_clean_text_scores_zero(self, scorer):
+        assert scorer.score("lovely painting of a quiet meadow") == 0.0
+
+    def test_two_strong_tokens_cross_half(self, scorer):
+        text = "you are a moron and a loser honestly just leave the room today"
+        assert scorer.score(text) > 0.5
+
+    def test_single_mild_token_stays_below_half(self, scorer):
+        text = "that movie was awful but the soundtrack made the evening fine"
+        assert scorer.score(text) < 0.5
+
+    def test_shut_up_bigram_boost(self, scorer):
+        base = scorer.score("please just be quiet about the game tonight thanks")
+        boosted = scorer.score("please just shut up about the game tonight thanks")
+        assert boosted > base
+
+    def test_short_posts_more_salient(self, scorer):
+        short = scorer.score("total moron")
+        long = scorer.score(
+            "total moron " + " ".join(["word"] * 40)
+        )
+        assert short > long
+
+    def test_case_insensitive(self, scorer):
+        assert scorer.score("MORON LOSER") == scorer.score("moron loser")
+
+    def test_custom_lexicon(self):
+        scorer = PerspectiveScorer(lexicon={"banana": 0.9})
+        assert scorer.score("banana banana") > 0.5
+        assert scorer.score("moron") == 0.0
+
+
+class TestIsToxic:
+    def test_threshold_validation(self, scorer):
+        with pytest.raises(ValueError):
+            scorer.is_toxic("x", threshold=1.5)
+
+    def test_paper_default_threshold(self, scorer):
+        assert scorer.is_toxic("what a pathetic disgusting clown show")
+        assert not scorer.is_toxic("what a wonderful show")
+
+    def test_higher_threshold_is_stricter(self, scorer):
+        text = "honestly these liars and their garbage takes"
+        assert scorer.is_toxic(text, threshold=0.3)
+        # the same text may pass a 0.8 threshold used by some papers
+        assert scorer.score(text) == scorer.score(text)  # pure function
+
+
+class TestBatch:
+    def test_score_batch(self, scorer):
+        scores = scorer.score_batch(["nice day", "moron loser idiot"])
+        assert scores[0] < scores[1]
+
+
+@given(st.text(max_size=400))
+@settings(max_examples=80)
+def test_score_always_in_unit_interval(text):
+    score = PerspectiveScorer().score(text)
+    assert 0.0 <= score <= 1.0
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=40)
+def test_score_is_pure(text):
+    scorer = PerspectiveScorer()
+    assert scorer.score(text) == scorer.score(text)

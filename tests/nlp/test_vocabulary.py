@@ -1,0 +1,65 @@
+"""Tests for repro.nlp.vocabulary."""
+
+import pytest
+
+from repro.nlp.vocabulary import TOPICS, TOXIC_LEXICON, Vocabulary, topic_names
+
+
+class TestTopics:
+    def test_topic_names_unique(self):
+        names = topic_names()
+        assert len(names) == len(set(names))
+
+    def test_fediverse_topic_exists(self):
+        vocab = Vocabulary()
+        topic = vocab.topic("fediverse")
+        assert "TwitterMigration" in topic.hashtags
+
+    def test_paper_hashtags_present(self):
+        all_tags = {t for topic in TOPICS for t in topic.hashtags}
+        # the tags the paper's Figure 15 discussion calls out
+        for tag in ("NowPlaying", "BBC6Music", "StandWithUkraine",
+                    "GeneralElectionNow", "fediverse", "BarbaraHolzer"):
+            assert tag in all_tags
+
+    def test_platform_weights_positive(self):
+        assert all(t.twitter_weight > 0 and t.mastodon_weight > 0 for t in TOPICS)
+
+    def test_fediverse_is_mastodon_skewed(self):
+        vocab = Vocabulary()
+        topic = vocab.topic("fediverse")
+        assert topic.mastodon_weight > topic.twitter_weight
+
+    def test_entertainment_is_twitter_skewed(self):
+        vocab = Vocabulary()
+        topic = vocab.topic("entertainment")
+        assert topic.twitter_weight > topic.mastodon_weight
+
+    def test_unknown_topic(self):
+        with pytest.raises(KeyError):
+            Vocabulary().topic("astrology")
+
+    def test_topic_index(self):
+        vocab = Vocabulary()
+        idx = vocab.topic_index("tech")
+        assert TOPICS[idx].name == "tech"
+        with pytest.raises(KeyError):
+            vocab.topic_index("nope")
+
+    def test_word_pools_large_enough(self):
+        """Pools must be big enough that unrelated posts rarely collide
+        above the 0.7 similarity threshold."""
+        assert all(len(t.words) >= 25 for t in TOPICS)
+
+    def test_topic_words_do_not_contain_toxic_tokens(self):
+        """Clean posts must score ~0: no lexicon words in topic pools."""
+        for topic in TOPICS:
+            assert not set(topic.words) & set(TOXIC_LEXICON)
+
+
+class TestToxicLexicon:
+    def test_weights_in_range(self):
+        assert all(0 < w <= 1 for w in TOXIC_LEXICON.values())
+
+    def test_has_strong_tokens(self):
+        assert any(w >= 0.5 for w in TOXIC_LEXICON.values())

@@ -1,0 +1,136 @@
+"""Tests for repro.simulation.behavior."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.nlp.embeddings import HashingSentenceEncoder, cosine_similarity
+from repro.nlp.vocabulary import TOPICS, Vocabulary
+from repro.simulation.behavior import (
+    CROSSPOSTER_SHUTOFF,
+    chatter_volume_multiplier,
+    crossposter_active,
+    mastodon_daily_rate,
+    mastodon_topic_mixture,
+    paraphrase,
+    twitter_daily_rate,
+)
+from repro.util.clock import TAKEOVER_DATE
+from tests.simulation.test_contagion import agent
+
+FEDIVERSE_IDX = next(i for i, t in enumerate(TOPICS) if t.name == "fediverse")
+
+
+class TestTopicMixture:
+    def test_fresh_migrant_dominated_by_fediverse(self):
+        mixture = mastodon_topic_mixture(agent(), days_since_migration=0)
+        assert mixture[FEDIVERSE_IDX] == max(mixture)
+        assert mixture.sum() == pytest.approx(1.0)
+
+    def test_spike_decays_with_time(self):
+        early = mastodon_topic_mixture(agent(), 0)[FEDIVERSE_IDX]
+        late = mastodon_topic_mixture(agent(), 30)[FEDIVERSE_IDX]
+        assert late < early
+
+    def test_always_a_distribution(self):
+        for days in (0, 5, 20, 60):
+            mixture = mastodon_topic_mixture(agent(), days)
+            assert mixture.sum() == pytest.approx(1.0)
+            assert np.all(mixture >= 0)
+
+
+class TestRates:
+    def test_twitter_rate_persists_after_migration(self):
+        """Figure 11: migrated users keep tweeting (mild taper only)."""
+        a = agent()
+        before = twitter_daily_rate(a, dt.date(2022, 10, 20))
+        a.migrated = True
+        a.migration_day = dt.date(2022, 10, 28)
+        after = twitter_daily_rate(a, dt.date(2022, 11, 20))
+        assert after > 0.7 * before
+
+    def test_mastodon_rate_zero_before_migration(self):
+        a = agent()
+        assert mastodon_daily_rate(a, dt.date(2022, 11, 1)) == 0.0
+        a.migrated = True
+        a.migration_day = dt.date(2022, 11, 10)
+        assert mastodon_daily_rate(a, dt.date(2022, 11, 5)) == 0.0
+
+    def test_mastodon_rate_ramps_in(self):
+        a = agent()
+        a.migrated = True
+        a.migration_day = dt.date(2022, 10, 28)
+        day0 = mastodon_daily_rate(a, dt.date(2022, 10, 28))
+        day10 = mastodon_daily_rate(a, dt.date(2022, 11, 7))
+        assert 0 < day0 < day10 <= a.status_rate
+
+    def test_lurker_never_posts(self):
+        a = agent()
+        a.migrated = True
+        a.migration_day = dt.date(2022, 10, 28)
+        a.status_rate = 0.0
+        assert mastodon_daily_rate(a, dt.date(2022, 11, 20)) == 0.0
+
+
+class TestCrossposterLifecycle:
+    def test_active_before_shutoff(self):
+        rng = np.random.default_rng(1)
+        assert all(
+            crossposter_active(rng, dt.date(2022, 11, 10)) for _ in range(50)
+        )
+
+    def test_decays_after_shutoff(self):
+        rng = np.random.default_rng(1)
+        late = CROSSPOSTER_SHUTOFF + dt.timedelta(days=5)
+        rate = np.mean([crossposter_active(rng, late) for _ in range(500)])
+        assert rate < 0.3
+
+    def test_shutoff_in_late_november(self):
+        assert dt.date(2022, 11, 20) < CROSSPOSTER_SHUTOFF < dt.date(2022, 11, 30)
+
+
+class TestParaphrase:
+    def test_keeps_most_tokens(self):
+        rng = np.random.default_rng(2)
+        vocab = Vocabulary()
+        text = "election vote parliament policy government democracy campaign debate"
+        rewrite = paraphrase(rng, text, vocab)
+        kept = set(rewrite.split()) & set(text.split())
+        assert len(kept) >= 5
+
+    def test_similarity_above_paper_threshold(self):
+        rng = np.random.default_rng(3)
+        vocab = Vocabulary()
+        encoder = HashingSentenceEncoder()
+        original = (
+            "research paper dataset experiment climate physics biology astronomy "
+            "telescope genome preprint today really"
+        )
+        sims = []
+        for _ in range(50):
+            rewrite = paraphrase(rng, original, vocab)
+            sims.append(
+                cosine_similarity(encoder.encode(original), encoder.encode(rewrite))
+            )
+        assert np.mean([s > 0.7 for s in sims]) > 0.9
+
+    def test_never_identical_is_not_required_but_changes_usually(self):
+        rng = np.random.default_rng(4)
+        vocab = Vocabulary()
+        text = "one two three four five six seven eight nine ten"
+        changed = sum(paraphrase(rng, text, vocab) != text for _ in range(20))
+        assert changed == 20  # a filler word is always appended
+
+    def test_short_text_extended(self):
+        rng = np.random.default_rng(5)
+        vocab = Vocabulary()
+        assert len(paraphrase(rng, "hi there", vocab).split()) >= 3
+
+
+class TestChatterVolume:
+    def test_quiet_before_takeover(self):
+        assert chatter_volume_multiplier(dt.date(2022, 10, 10)) < 0.1
+
+    def test_full_after_takeover(self):
+        assert chatter_volume_multiplier(TAKEOVER_DATE) == 1.0

@@ -1,0 +1,68 @@
+"""Tests for boost behaviour in the world simulator."""
+
+from repro.simulation.world import World
+
+
+class TestBoosts:
+    def test_boosts_generated(self, small_world: World):
+        boosts = 0
+        originals = 0
+        for instance in small_world.network.instances():
+            for account in instance.accounts():
+                for status in instance.statuses_of(account.username):
+                    if status.is_boost:
+                        boosts += 1
+                    else:
+                        originals += 1
+        assert boosts > 0
+        # boosts are a minority of the volume (config boost_rate ~0.12)
+        assert boosts < 0.3 * originals
+
+    def test_boosts_reference_existing_statuses(self, small_world: World):
+        network = small_world.network
+        checked = 0
+        for instance in network.instances():
+            for account in instance.accounts():
+                for status in instance.statuses_of(account.username):
+                    if not status.is_boost:
+                        continue
+                    # the boosted status lives on its author's home instance
+                    origin_acct = None
+                    for other in network.instances():
+                        try:
+                            other.get_status(status.reblog_of_id)
+                        except Exception:
+                            continue
+                        origin_acct = True
+                        break
+                    assert origin_acct, "boost points at a missing status"
+                    checked += 1
+                    if checked >= 25:
+                        return
+        assert checked > 0
+
+    def test_boost_text_mirrors_original(self, small_world: World):
+        """Boost semantics: the reblog carries the original's text."""
+        network = small_world.network
+        for instance in network.instances():
+            for account in instance.accounts():
+                for status in instance.statuses_of(account.username):
+                    if status.is_boost:
+                        for other in network.instances():
+                            try:
+                                original = other.get_status(status.reblog_of_id)
+                            except Exception:
+                                continue
+                            assert status.text == original.text
+                            return
+        raise AssertionError("no boost found")
+
+    def test_boost_rate_zero_disables(self):
+        from repro.simulation.world import build_world
+
+        world = build_world(seed=3, scale=0.0008, boost_rate=0.0)
+        for instance in world.network.instances():
+            for account in instance.accounts():
+                assert not any(
+                    s.is_boost for s in instance.statuses_of(account.username)
+                )

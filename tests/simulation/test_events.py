@@ -1,0 +1,72 @@
+"""Tests for repro.simulation.events."""
+
+import datetime as dt
+
+import pytest
+
+from repro.simulation.events import DEFAULT_SHOCKS, EventTimeline, Shock
+from repro.util.clock import (
+    LAYOFFS_DATE,
+    SIM_END,
+    SIM_START,
+    TAKEOVER_DATE,
+    ULTIMATUM_DATE,
+)
+
+
+class TestShock:
+    def test_zero_before_event(self):
+        shock = Shock(day=TAKEOVER_DATE, magnitude=1.0)
+        assert shock.intensity_on(TAKEOVER_DATE - dt.timedelta(days=1)) == 0.0
+
+    def test_full_on_event_day(self):
+        shock = Shock(day=TAKEOVER_DATE, magnitude=0.8)
+        assert shock.intensity_on(TAKEOVER_DATE) == 0.8
+
+    def test_geometric_decay(self):
+        shock = Shock(day=TAKEOVER_DATE, magnitude=1.0, decay=0.5)
+        assert shock.intensity_on(TAKEOVER_DATE + dt.timedelta(days=2)) == 0.25
+
+
+class TestEventTimeline:
+    def test_default_shocks_cover_paper_events(self):
+        days = {s.day for s in DEFAULT_SHOCKS}
+        assert TAKEOVER_DATE in days
+        assert LAYOFFS_DATE in days
+        assert ULTIMATUM_DATE in days
+
+    def test_takeover_is_the_dominant_shock(self):
+        takeover = next(s for s in DEFAULT_SHOCKS if s.day == TAKEOVER_DATE)
+        assert all(
+            takeover.magnitude >= s.magnitude for s in DEFAULT_SHOCKS
+        )
+
+    def test_intensity_low_before_takeover(self):
+        timeline = EventTimeline()
+        assert timeline.intensity(dt.date(2022, 10, 10)) < 0.05
+
+    def test_intensity_peaks_at_takeover(self):
+        timeline = EventTimeline()
+        assert timeline.peak_day(SIM_START, SIM_END) == TAKEOVER_DATE
+
+    def test_intensity_clipped_to_one(self):
+        timeline = EventTimeline(
+            shocks=(Shock(day=TAKEOVER_DATE, magnitude=5.0),)
+        )
+        assert timeline.intensity(TAKEOVER_DATE) == 1.0
+
+    def test_layoffs_produce_secondary_bump(self):
+        timeline = EventTimeline()
+        before = timeline.intensity(LAYOFFS_DATE - dt.timedelta(days=1))
+        at = timeline.intensity(LAYOFFS_DATE)
+        assert at > before
+
+    def test_series_covers_window(self):
+        timeline = EventTimeline()
+        series = timeline.series(SIM_START, SIM_END)
+        assert len(series) == 61
+        assert all(0 <= v <= 1 for __, v in series)
+
+    def test_negative_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            EventTimeline(baseline=-0.1)

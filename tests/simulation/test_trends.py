@@ -1,0 +1,56 @@
+"""Tests for repro.simulation.trends."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.simulation.events import EventTimeline
+from repro.simulation.trends import DEFAULT_TERMS, TrendsService
+from repro.util.clock import SIM_END, TAKEOVER_DATE
+
+START = dt.date(2022, 9, 1)
+
+
+@pytest.fixture
+def service():
+    return TrendsService(EventTimeline(), np.random.default_rng(5))
+
+
+class TestTrends:
+    def test_supported_terms(self, service):
+        assert set(service.supported_terms()) == set(DEFAULT_TERMS)
+
+    def test_unknown_term(self, service):
+        with pytest.raises(KeyError):
+            service.interest_over_time("Friendster", START, SIM_END)
+
+    def test_normalised_to_100(self, service):
+        series = service.interest_over_time("Mastodon", START, SIM_END)
+        values = [v for __, v in series]
+        assert max(values) == 100
+        assert min(values) >= 0
+
+    def test_peak_lands_near_takeover(self, service):
+        series = service.interest_over_time("Twitter alternatives", START, SIM_END)
+        peak_day = max(series, key=lambda kv: kv[1])[0]
+        assert abs((peak_day - TAKEOVER_DATE).days) <= 3
+
+    def test_quiet_before_takeover(self, service):
+        series = service.interest_over_time("Twitter alternatives", START, SIM_END)
+        september = [v for d, v in series if d < dt.date(2022, 10, 1)]
+        assert max(september) < 25
+
+    def test_mastodon_beats_koo_and_hive(self, service):
+        """Figure 1b's ordering: Mastodon interest dwarfs the alternatives."""
+        timeline = EventTimeline()
+        raw_peaks = {}
+        for term in ("Mastodon", "Koo", "Hive Social"):
+            fresh = TrendsService(timeline, np.random.default_rng(5))
+            series = fresh.interest_over_time(term, START, SIM_END)
+            raw_peaks[term] = sum(v for __, v in series)
+        assert raw_peaks["Mastodon"] >= raw_peaks["Koo"]
+
+    def test_series_covers_every_day(self, service):
+        series = service.interest_over_time("Koo", START, SIM_END)
+        assert len(series) == (SIM_END - START).days + 1

@@ -1,0 +1,230 @@
+"""Integration tests for the world simulator (shared small world)."""
+
+import datetime as dt
+from collections import Counter
+
+import pytest
+
+from repro.simulation.world import World, build_world
+from repro.twitter.models import AccountState
+from repro.util.clock import TAKEOVER_DATE
+
+
+class TestSimulationLifecycle:
+    def test_double_simulate_rejected(self, small_world: World):
+        with pytest.raises(RuntimeError):
+            small_world.simulate()
+
+    def test_build_world_is_deterministic(self):
+        w1 = build_world(seed=123, scale=0.0005)
+        w2 = build_world(seed=123, scale=0.0005)
+        m1 = sorted(a.user_id for a in w1.migrants)
+        m2 = sorted(a.user_id for a in w2.migrants)
+        assert m1 == m2
+        assert w1.twitter_store.tweet_count == w2.twitter_store.tweet_count
+
+    def test_different_seeds_differ(self):
+        w1 = build_world(seed=1, scale=0.0005)
+        w2 = build_world(seed=2, scale=0.0005)
+        assert sorted(a.user_id for a in w1.migrants) != sorted(
+            a.user_id for a in w2.migrants
+        )
+
+
+class TestMigrants(object):
+    def test_population_scale(self, small_world: World):
+        migrants = small_world.migrants
+        target = small_world.config.target_migrants
+        assert 0.5 * target <= len(migrants) <= 2.0 * target
+
+    def test_migrants_have_accounts(self, small_world: World):
+        for agent in small_world.migrants:
+            assert agent.mastodon_username is not None
+            assert agent.current_instance is not None
+            assert agent.migration_day is not None
+            account = small_world.network.resolve(agent.mastodon_acct)[1]
+            assert account.username.lower() == agent.mastodon_username.lower()
+
+    def test_migration_mostly_post_takeover(self, small_world: World):
+        post = sum(
+            1 for a in small_world.migrants if a.migration_day >= TAKEOVER_DATE
+        )
+        assert post / len(small_world.migrants) > 0.9
+
+    def test_pre_takeover_accounts_backdated(self, small_world: World):
+        early = [a for a in small_world.migrants if a.pre_takeover_account]
+        assert early, "expected some pre-takeover adopters"
+        for agent in early:
+            assert agent.mastodon_created.date() < TAKEOVER_DATE
+
+    def test_non_candidates_never_migrate(self, small_world: World):
+        for agent in small_world.agents.values():
+            if agent.role != "candidate":
+                assert not agent.migrated
+
+    def test_mastodon_follows_mirror_twitter_edges(self, small_world: World):
+        """A migrant who rewires follows exactly their migrated followees
+        (their discoverable ones)."""
+        graph = small_world.twitter_graph
+        agents = small_world.agents
+        checked = 0
+        for agent in small_world.migrants[:40]:
+            if not agent.rewires_follows or agent.switch_day is not None:
+                continue
+            instance = small_world.network.get_instance(agent.current_instance)
+            following = instance.following_of(agent.mastodon_acct)
+            expected = {
+                agents[f].mastodon_acct
+                for f in graph.followees_of(agent.user_id)
+                if f in agents
+                and agents[f].migrated
+                and agents[f].discoverable
+                and agents[f].migration_day <= agent.migration_day
+            }
+            # followees who migrated later also appear (reverse wiring),
+            # so the early ones must be a subset
+            missing = {
+                acct
+                for acct in expected
+                if acct not in following
+                # switched followees moved their edge to the new account
+                and not _moved(small_world, acct)
+            }
+            assert not missing
+            checked += 1
+        assert checked > 0
+
+
+def _moved(world: World, acct: str) -> bool:
+    try:
+        __, account = world.network.resolve(acct)
+    except Exception:
+        return True
+    return account.has_moved
+
+
+class TestSwitchers:
+    def test_switch_rate_in_band(self, small_world: World):
+        rate = len(small_world.switchers) / len(small_world.migrants)
+        assert 0.005 <= rate <= 0.15
+
+    def test_switchers_moved_accounts(self, small_world: World):
+        for agent in small_world.switchers:
+            assert agent.second_instance is not None
+            assert agent.second_instance != agent.first_instance
+            old = small_world.network.resolve(agent.first_acct)[1]
+            assert old.has_moved
+
+    def test_switch_after_migration(self, small_world: World):
+        for agent in small_world.switchers:
+            assert agent.switch_day > agent.migration_day
+
+
+class TestContent:
+    def test_migrants_have_tweets(self, small_world: World):
+        store = small_world.twitter_store
+        with_tweets = sum(
+            1 for a in small_world.migrants if store.tweets_by_author(a.user_id)
+        )
+        assert with_tweets / len(small_world.migrants) > 0.9
+
+    def test_statuses_only_after_migration(self, small_world: World):
+        for agent in small_world.migrants[:30]:
+            instance = small_world.network.get_instance(agent.first_instance)
+            username = agent.first_username or agent.mastodon_username
+            for status in instance.statuses_of(username):
+                assert status.created_date >= agent.migration_day
+
+    def test_lurkers_have_no_statuses(self, small_world: World):
+        lurkers = [a for a in small_world.migrants if a.is_lurker][:20]
+        for agent in lurkers:
+            instance = small_world.network.get_instance(agent.first_instance)
+            username = agent.first_username or agent.mastodon_username
+            assert instance.status_count(username) == 0
+
+    def test_bio_announcers_carry_handle(self, small_world: World):
+        store = small_world.twitter_store
+        bio_users = [
+            a for a in small_world.migrants if a.announce_via == "bio"
+        ]
+        assert bio_users
+        for agent in bio_users[:20]:
+            bio = store.get_user(agent.user_id).description
+            assert agent.first_username in bio
+
+    def test_chatter_users_tweet_keywords(self, small_world: World):
+        store = small_world.twitter_store
+        texts = []
+        for uid in small_world.chatter_ids[:50]:
+            texts.extend(t.text.lower() for t in store.tweets_by_author(uid))
+        assert texts
+        signal = sum(
+            1
+            for t in texts
+            if "mastodon" in t or "twitter" in t or "fediverse" in t or "joining" in t
+        )
+        assert signal / len(texts) > 0.8
+
+
+class TestFailureInjection:
+    def test_some_accounts_unavailable(self, small_world: World):
+        states = Counter(
+            small_world.twitter_store.get_user(a.user_id).state
+            for a in small_world.migrants
+        )
+        unavailable = sum(
+            v for k, v in states.items() if k is not AccountState.ACTIVE
+        )
+        assert 0 < unavailable < 0.2 * len(small_world.migrants)
+
+    def test_downed_instances_exist_but_spare_flagships(self, small_world: World):
+        downed = [i for i in small_world.network.instances() if i.down]
+        assert downed
+        assert all(i.domain not in small_world._flagships for i in downed)
+
+    def test_background_load_injected(self, small_world: World):
+        total_regs = sum(
+            sum(r.registrations for r in i.weekly_activity())
+            for i in small_world.network.instances()
+        )
+        assert total_regs > len(small_world.migrants)
+
+
+class TestFederationModeration:
+    def test_some_instances_run_policies(self, small_world: World):
+        moderated = [
+            i for i in small_world.network.instances() if not i.policy.is_open
+        ]
+        open_ones = [
+            i for i in small_world.network.instances() if i.policy.is_open
+        ]
+        assert moderated and open_ones
+
+    def test_policies_reject_federated_toxicity(self, small_world: World):
+        """Toxic statuses federate into moderated instances and get dropped
+        at the border — the MRF machinery runs live in the simulation."""
+        rejected = sum(
+            i.policy.total_rejected for i in small_world.network.instances()
+        )
+        assert rejected > 0
+
+    def test_author_timelines_unaffected(self, small_world: World):
+        """Filtering is a *delivery* concern: the author's own instance keeps
+        every status, so the crawler (and Fig. 16) see the full corpus."""
+        from repro.nlp.toxicity import PerspectiveScorer
+
+        scorer = PerspectiveScorer()
+        toxic_found = 0
+        for agent in small_world.migrants:
+            if agent.first_instance is None:
+                continue
+            instance = small_world.network.get_instance(agent.first_instance)
+            username = agent.first_username or agent.mastodon_username
+            if not instance.has_account(username):
+                continue
+            for status in instance.statuses_of(username):
+                if scorer.score(status.text) > 0.5:
+                    toxic_found += 1
+                    if toxic_found >= 5:
+                        return
+        assert toxic_found > 0

@@ -1,0 +1,41 @@
+"""Every example script must run end to end.
+
+Run with tiny scales so the whole module stays under a minute; these guard
+the public API surface the examples exercise.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["--scale", "0.0008"]),
+    ("migration_study.py", ["--scale", "0.0008"]),
+    ("instance_switching_study.py", ["--scale", "0.0015"]),
+    ("toxicity_moderation_study.py", ["--scale", "0.0008"]),
+    ("custom_world.py", ["--scale", "0.0008"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", [script] + args)
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_prepare_release_runs(monkeypatch, capsys, tmp_path):
+    out_path = tmp_path / "release.json"
+    monkeypatch.setattr(
+        sys,
+        "argv",
+        ["prepare_release.py", "--scale", "0.0008", "--out", str(out_path)],
+    )
+    runpy.run_path(str(EXAMPLES / "prepare_release.py"), run_name="__main__")
+    assert out_path.exists()
+    assert "max drift" in capsys.readouterr().out

@@ -1,0 +1,43 @@
+"""Tests for repro.twitter.clients."""
+
+from repro.twitter.clients import (
+    ALL_SOURCES,
+    CROSSPOSTER_NAMES,
+    CROSSPOSTER_SOURCES,
+    OFFICIAL_SOURCES,
+    is_crossposter,
+    source_by_name,
+)
+
+
+class TestRegistry:
+    def test_no_duplicate_names(self):
+        names = [s.name for s in ALL_SOURCES]
+        assert len(names) == len(set(names))
+
+    def test_paper_crossposters_present(self):
+        assert CROSSPOSTER_NAMES == {
+            "Mastodon Twitter Crossposter",
+            "Moa Bridge",
+        }
+
+    def test_official_flags(self):
+        assert all(s.official for s in OFFICIAL_SOURCES)
+        assert all(not s.official for s in CROSSPOSTER_SOURCES)
+
+    def test_crossposter_flags(self):
+        assert all(s.crossposter for s in CROSSPOSTER_SOURCES)
+        assert not any(s.crossposter for s in OFFICIAL_SOURCES)
+
+    def test_web_app_is_registered(self):
+        source = source_by_name("Twitter Web App")
+        assert source.official
+
+    def test_unknown_source_becomes_generic(self):
+        source = source_by_name("Weird Client 3000")
+        assert source.name == "Weird Client 3000"
+        assert not source.official and not source.crossposter
+
+    def test_is_crossposter(self):
+        assert is_crossposter("Moa Bridge")
+        assert not is_crossposter("Twitter Web App")

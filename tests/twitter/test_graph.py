@@ -1,0 +1,104 @@
+"""Tests for repro.twitter.graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.twitter.graph import FollowGraph
+
+
+class TestFollowGraph:
+    def test_follow_creates_edge_both_views(self):
+        graph = FollowGraph()
+        assert graph.follow(1, 2)
+        assert graph.follows(1, 2)
+        assert not graph.follows(2, 1)
+        assert 2 in graph.followees_of(1)
+        assert 1 in graph.followers_of(2)
+
+    def test_duplicate_follow_returns_false(self):
+        graph = FollowGraph()
+        graph.follow(1, 2)
+        assert not graph.follow(1, 2)
+        assert graph.edge_count == 1
+
+    def test_self_follow_rejected(self):
+        graph = FollowGraph()
+        with pytest.raises(ValueError):
+            graph.follow(1, 1)
+
+    def test_unfollow(self):
+        graph = FollowGraph()
+        graph.follow(1, 2)
+        assert graph.unfollow(1, 2)
+        assert not graph.follows(1, 2)
+        assert graph.edge_count == 0
+
+    def test_unfollow_missing_edge(self):
+        graph = FollowGraph()
+        assert not graph.unfollow(1, 2)
+
+    def test_counts(self):
+        graph = FollowGraph()
+        graph.follow(1, 2)
+        graph.follow(1, 3)
+        graph.follow(3, 2)
+        assert graph.followee_count(1) == 2
+        assert graph.follower_count(2) == 2
+        assert graph.followee_count(2) == 0
+
+    def test_add_user_is_idempotent(self):
+        graph = FollowGraph()
+        graph.add_user(7)
+        graph.add_user(7)
+        assert graph.user_count == 1
+
+    def test_unknown_user_has_empty_sets(self):
+        graph = FollowGraph()
+        assert graph.followees_of(99) == frozenset()
+        assert graph.follower_count(99) == 0
+
+    def test_views_are_frozen(self):
+        graph = FollowGraph()
+        graph.follow(1, 2)
+        with pytest.raises(AttributeError):
+            graph.followees_of(1).add(3)  # type: ignore[attr-defined]
+
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)).filter(lambda e: e[0] != e[1]),
+    max_size=150,
+)
+
+
+@given(edges_strategy)
+@settings(max_examples=60)
+def test_edge_count_matches_distinct_edges(edges):
+    """Property: edge_count equals the number of distinct (a, b) pairs."""
+    graph = FollowGraph()
+    for a, b in edges:
+        graph.follow(a, b)
+    assert graph.edge_count == len(set(edges))
+
+
+@given(edges_strategy)
+@settings(max_examples=60)
+def test_in_and_out_degree_sums_balance(edges):
+    """Property: sum of out-degrees equals sum of in-degrees."""
+    graph = FollowGraph()
+    for a, b in edges:
+        graph.follow(a, b)
+    out_sum = sum(graph.followee_count(u) for u in graph.users())
+    in_sum = sum(graph.follower_count(u) for u in graph.users())
+    assert out_sum == in_sum == graph.edge_count
+
+
+@given(edges_strategy)
+@settings(max_examples=60)
+def test_follower_and_followee_views_are_mirror_images(edges):
+    graph = FollowGraph()
+    for a, b in edges:
+        graph.follow(a, b)
+    for user in graph.users():
+        for followee in graph.followees_of(user):
+            assert user in graph.followers_of(followee)

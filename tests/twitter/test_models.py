@@ -1,0 +1,96 @@
+"""Tests for repro.twitter.models."""
+
+import datetime as dt
+
+import pytest
+
+from repro.twitter.models import AccountState, Tweet, TwitterUser
+
+
+def make_user(**overrides) -> TwitterUser:
+    defaults = dict(
+        user_id=1,
+        username="alice",
+        display_name="Alice",
+        created_at=dt.datetime(2012, 5, 1, 10, 0),
+    )
+    defaults.update(overrides)
+    return TwitterUser(**defaults)
+
+
+class TestTwitterUser:
+    def test_defaults(self):
+        user = make_user()
+        assert user.state is AccountState.ACTIVE
+        assert not user.verified
+        assert user.followers_count == 0
+
+    def test_empty_username_rejected(self):
+        with pytest.raises(ValueError):
+            make_user(username="")
+
+    def test_whitespace_username_rejected(self):
+        with pytest.raises(ValueError):
+            make_user(username=" alice ")
+
+    def test_is_crawlable_only_when_active(self):
+        assert make_user().is_crawlable
+        for state in (
+            AccountState.SUSPENDED,
+            AccountState.DEACTIVATED,
+            AccountState.PROTECTED,
+        ):
+            assert not make_user(state=state).is_crawlable
+
+    def test_account_age(self):
+        user = make_user(created_at=dt.datetime(2022, 10, 1))
+        assert user.account_age_days(dt.date(2022, 10, 31)) == 30
+
+    def test_metadata_fields_scan_order(self):
+        user = make_user(description="bio", location="loc", url="u")
+        fields = user.metadata_fields()
+        assert list(fields) == ["display_name", "location", "description", "url"]
+        assert fields["description"] == "bio"
+
+
+class TestTweet:
+    def test_hashtags_extracted_from_text(self):
+        tweet = Tweet(
+            tweet_id=10,
+            author_id=1,
+            created_at=dt.datetime(2022, 10, 28, 9, 0),
+            text="leaving! #ByeByeTwitter #Mastodon",
+            source="Twitter Web App",
+        )
+        assert tweet.hashtags == ["ByeByeTwitter", "Mastodon"]
+
+    def test_urls_extracted(self):
+        tweet = Tweet(
+            tweet_id=11,
+            author_id=1,
+            created_at=dt.datetime(2022, 10, 28, 9, 0),
+            text="moved to https://mastodon.social/@alice",
+            source="Twitter Web App",
+        )
+        assert tweet.urls == ["https://mastodon.social/@alice"]
+
+    def test_created_date(self):
+        tweet = Tweet(
+            tweet_id=12,
+            author_id=1,
+            created_at=dt.datetime(2022, 11, 1, 23, 59),
+            text="x",
+            source="s",
+        )
+        assert tweet.created_date == dt.date(2022, 11, 1)
+
+    def test_explicit_hashtags_not_overwritten(self):
+        tweet = Tweet(
+            tweet_id=13,
+            author_id=1,
+            created_at=dt.datetime(2022, 11, 1),
+            text="#other",
+            source="s",
+            hashtags=["given"],
+        )
+        assert tweet.hashtags == ["given"]

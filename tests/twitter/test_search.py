@@ -1,0 +1,121 @@
+"""Tests for repro.twitter.search."""
+
+import datetime as dt
+
+import pytest
+
+from repro.twitter.models import Tweet
+from repro.twitter.search import (
+    MIGRATION_HASHTAGS,
+    MIGRATION_KEYWORDS,
+    SearchQuery,
+    instance_link_query,
+    migration_query,
+    url_domain,
+)
+
+DAY = dt.date(2022, 11, 1)
+
+
+def tweet(text: str, day: dt.date = DAY, author: int = 1) -> Tweet:
+    return Tweet(
+        tweet_id=hash((text, day)) % 10**12,
+        author_id=author,
+        created_at=dt.datetime.combine(day, dt.time(10, 0)),
+        text=text,
+        source="Twitter Web App",
+    )
+
+
+class TestUrlDomain:
+    def test_host_extracted(self):
+        assert url_domain("https://mastodon.social/@alice") == "mastodon.social"
+
+    def test_port_stripped(self):
+        assert url_domain("http://example.com:8080/x") == "example.com"
+
+    def test_garbage(self):
+        assert url_domain("not a url") == ""
+
+
+class TestSearchQuery:
+    def test_needs_a_term(self):
+        with pytest.raises(ValueError):
+            SearchQuery()
+
+    def test_phrase_match_case_insensitive(self):
+        query = SearchQuery(phrases=("bye bye twitter",))
+        assert query.matches(tweet("Bye Bye Twitter, moving on"))
+        assert not query.matches(tweet("farewell birds"))
+
+    def test_phrase_is_substring(self):
+        query = SearchQuery(phrases=("mastodon",))
+        assert query.matches(tweet("I joined mastodon.social today"))
+
+    def test_hashtag_exact_match(self):
+        query = SearchQuery(hashtags=("TwitterMigration",))
+        assert query.matches(tweet("big move #twittermigration"))
+        assert not query.matches(tweet("#TwitterMigrationExtra is different"))
+
+    def test_hashtag_leading_hash_allowed_in_query(self):
+        query = SearchQuery(hashtags=("#RIPTwitter",))
+        assert query.matches(tweet("sad day #RIPTwitter"))
+
+    def test_domain_match(self):
+        query = SearchQuery(url_domains=("mastodon.social",))
+        assert query.matches(tweet("i am https://mastodon.social/@alice now"))
+        assert not query.matches(tweet("i am https://pleroma.site/@alice now"))
+
+    def test_subdomain_matches_parent(self):
+        query = SearchQuery(url_domains=("example.com",))
+        assert query.matches(tweet("see https://social.example.com/@bob"))
+
+    def test_parent_does_not_match_subdomain_query(self):
+        query = SearchQuery(url_domains=("social.example.com",))
+        assert not query.matches(tweet("see https://example.com/@bob"))
+
+    def test_window_bounds_inclusive(self):
+        query = SearchQuery(
+            phrases=("mastodon",),
+            since=dt.date(2022, 10, 26),
+            until=dt.date(2022, 11, 21),
+        )
+        assert query.matches(tweet("mastodon", day=dt.date(2022, 10, 26)))
+        assert query.matches(tweet("mastodon", day=dt.date(2022, 11, 21)))
+        assert not query.matches(tweet("mastodon", day=dt.date(2022, 11, 22)))
+        assert not query.matches(tweet("mastodon", day=dt.date(2022, 10, 25)))
+
+    def test_from_user_restriction(self):
+        query = SearchQuery(phrases=("mastodon",), from_user_id=2)
+        assert not query.matches(tweet("mastodon", author=1))
+        assert query.matches(tweet("mastodon", author=2))
+
+    def test_pure_author_query(self):
+        query = SearchQuery(from_user_id=3)
+        assert query.matches(tweet("anything at all", author=3))
+
+    def test_disjunction_over_term_kinds(self):
+        query = SearchQuery(phrases=("zzz",), hashtags=("Mastodon",))
+        assert query.matches(tweet("hello #Mastodon"))
+
+
+class TestPaperQueries:
+    def test_migration_query_includes_paper_terms(self):
+        assert "mastodon" in MIGRATION_KEYWORDS
+        assert "bye bye twitter" in MIGRATION_KEYWORDS
+        assert "TwitterMigration" in MIGRATION_HASHTAGS
+        assert len(MIGRATION_HASHTAGS) == 7
+
+    def test_migration_query_matches_announcement(self):
+        query = migration_query(dt.date(2022, 10, 26), dt.date(2022, 11, 21))
+        assert query.matches(tweet("good bye twitter forever"))
+        assert query.matches(tweet("home is now elsewhere #MastodonSocial"))
+
+    def test_instance_link_query(self):
+        query = instance_link_query(
+            ("mastodon.social", "fosstodon.org"),
+            dt.date(2022, 10, 26),
+            dt.date(2022, 11, 21),
+        )
+        assert query.matches(tweet("on https://fosstodon.org/@dev now"))
+        assert not query.matches(tweet("no links"))

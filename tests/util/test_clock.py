@@ -1,0 +1,130 @@
+"""Tests for repro.util.clock."""
+
+import datetime as dt
+
+import pytest
+
+from repro.util.clock import (
+    SIM_END,
+    SIM_START,
+    TAKEOVER_DATE,
+    SimClock,
+    date_range,
+    day_index,
+    from_day_index,
+    iso_week,
+    parse_date,
+    week_start,
+)
+
+
+class TestConstants:
+    def test_study_window(self):
+        assert SIM_START == dt.date(2022, 10, 1)
+        assert SIM_END == dt.date(2022, 11, 30)
+
+    def test_takeover_inside_window(self):
+        assert SIM_START < TAKEOVER_DATE < SIM_END
+
+    def test_takeover_date(self):
+        assert TAKEOVER_DATE == dt.date(2022, 10, 27)
+
+
+class TestParseDate:
+    def test_iso_string(self):
+        assert parse_date("2022-10-27") == TAKEOVER_DATE
+
+    def test_date_passthrough(self):
+        assert parse_date(TAKEOVER_DATE) is TAKEOVER_DATE
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_date("not-a-date")
+
+
+class TestDayIndex:
+    def test_origin_is_zero(self):
+        assert day_index(SIM_START) == 0
+
+    def test_positive_offset(self):
+        assert day_index(dt.date(2022, 10, 11)) == 10
+
+    def test_negative_for_earlier_days(self):
+        assert day_index(dt.date(2022, 9, 30)) == -1
+
+    def test_roundtrip(self):
+        for offset in (-40, 0, 17, 60):
+            assert day_index(from_day_index(offset)) == offset
+
+    def test_custom_origin(self):
+        assert day_index(TAKEOVER_DATE, origin=TAKEOVER_DATE) == 0
+
+
+class TestDateRange:
+    def test_single_day(self):
+        assert list(date_range(SIM_START, SIM_START)) == [SIM_START]
+
+    def test_window_length(self):
+        days = list(date_range(SIM_START, SIM_END))
+        assert len(days) == 61
+        assert days[0] == SIM_START
+        assert days[-1] == SIM_END
+
+    def test_strictly_increasing(self):
+        days = list(date_range(SIM_START, dt.date(2022, 10, 10)))
+        assert all(b - a == dt.timedelta(days=1) for a, b in zip(days, days[1:]))
+
+    def test_reversed_range_raises(self):
+        with pytest.raises(ValueError):
+            list(date_range(SIM_END, SIM_START))
+
+
+class TestIsoWeek:
+    def test_takeover_week(self):
+        assert iso_week(TAKEOVER_DATE) == "2022-W43"
+
+    def test_week_labels_sort_chronologically(self):
+        labels = [iso_week(d) for d in date_range(SIM_START, SIM_END)]
+        assert labels == sorted(labels)
+
+    def test_week_start_is_monday(self):
+        start = week_start(TAKEOVER_DATE)
+        assert start.isoweekday() == 1
+        assert start <= TAKEOVER_DATE
+
+
+class TestSimClock:
+    def test_starts_at_given_day(self):
+        clock = SimClock(TAKEOVER_DATE)
+        assert clock.today == TAKEOVER_DATE
+
+    def test_advance(self):
+        clock = SimClock(SIM_START)
+        clock.advance(3)
+        assert clock.today == dt.date(2022, 10, 4)
+
+    def test_advance_backwards_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_timestamp_on_current_day(self):
+        clock = SimClock(TAKEOVER_DATE)
+        stamp = clock.timestamp()
+        assert stamp.date() == TAKEOVER_DATE
+
+    def test_explicit_second_of_day(self):
+        clock = SimClock(SIM_START)
+        stamp = clock.timestamp(second_of_day=3661)
+        assert (stamp.hour, stamp.minute, stamp.second) == (1, 1, 1)
+
+    def test_auto_timestamps_strictly_increase_within_day(self):
+        clock = SimClock(SIM_START)
+        stamps = [clock.timestamp() for _ in range(100)]
+        assert all(a < b for a, b in zip(stamps, stamps[1:]))
+
+    def test_second_of_day_wraps(self):
+        clock = SimClock(SIM_START)
+        stamp = clock.timestamp(second_of_day=86_400 + 5)
+        assert stamp.date() == SIM_START
+        assert stamp.second == 5

@@ -1,0 +1,132 @@
+"""Tests for repro.util.distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.distributions import (
+    bounded_geometric,
+    dirichlet_mixture,
+    discrete_powerlaw,
+    lognormal_int,
+    zipf_weights,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestDiscretePowerlaw:
+    def test_scalar_draw(self):
+        value = discrete_powerlaw(rng(), alpha=2.5)
+        assert isinstance(value, int)
+        assert value >= 1
+
+    def test_respects_x_min(self):
+        draws = discrete_powerlaw(rng(), alpha=2.5, x_min=10, size=500)
+        assert draws.min() >= 10
+
+    def test_respects_x_max(self):
+        draws = discrete_powerlaw(rng(), alpha=2.0, x_max=50, size=500)
+        assert draws.max() <= 50
+
+    def test_heavier_tail_for_smaller_alpha(self):
+        light = discrete_powerlaw(rng(1), alpha=3.5, size=5000).mean()
+        heavy = discrete_powerlaw(rng(1), alpha=1.8, size=5000).mean()
+        assert heavy > light
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            discrete_powerlaw(rng(), alpha=1.0)
+
+    def test_invalid_x_min(self):
+        with pytest.raises(ValueError):
+            discrete_powerlaw(rng(), alpha=2.0, x_min=0)
+
+
+class TestLognormalInt:
+    def test_median_roughly_matches(self):
+        draws = lognormal_int(rng(), median=100, sigma=0.8, size=20_000)
+        assert 85 <= np.median(draws) <= 115
+
+    def test_minimum_enforced(self):
+        draws = lognormal_int(rng(), median=2, sigma=2.0, size=1000, minimum=1)
+        assert draws.min() >= 1
+
+    def test_scalar(self):
+        assert isinstance(lognormal_int(rng(), median=10, sigma=0.5), int)
+
+    def test_zero_sigma_is_constant(self):
+        draws = lognormal_int(rng(), median=42, sigma=0.0, size=10)
+        assert set(draws.tolist()) == {42}
+
+    def test_invalid_median(self):
+        with pytest.raises(ValueError):
+            lognormal_int(rng(), median=0, sigma=1.0)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            lognormal_int(rng(), median=10, sigma=-0.1)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert zipf_weights(50, 1.5).sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        weights = zipf_weights(20, 1.2)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_zero_exponent_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        np.testing.assert_allclose(weights, 0.1)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.5)
+
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        exponent=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+    )
+    @settings(max_examples=50)
+    def test_always_a_distribution(self, n, exponent):
+        weights = zipf_weights(n, exponent)
+        assert weights.shape == (n,)
+        assert weights.sum() == pytest.approx(1.0)
+        assert np.all(weights > 0)
+
+
+class TestBoundedGeometric:
+    def test_respects_maximum(self):
+        draws = bounded_geometric(rng(), mean=50, maximum=10, size=500)
+        assert draws.max() <= 10
+
+    def test_mean_in_ballpark(self):
+        draws = bounded_geometric(rng(), mean=3, maximum=1000, size=50_000)
+        assert 1.5 <= draws.mean() <= 3.5
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            bounded_geometric(rng(), mean=0, maximum=5)
+
+    def test_invalid_maximum(self):
+        with pytest.raises(ValueError):
+            bounded_geometric(rng(), mean=2, maximum=0)
+
+
+class TestDirichletMixture:
+    def test_returns_probability_vector(self):
+        mix = dirichlet_mixture(rng(), [1.0, 2.0, 3.0])
+        assert mix.sum() == pytest.approx(1.0)
+        assert np.all(mix >= 0)
+
+    def test_invalid_concentration(self):
+        with pytest.raises(ValueError):
+            dirichlet_mixture(rng(), [1.0, 0.0])

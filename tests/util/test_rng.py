@@ -1,0 +1,70 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngTree
+
+
+class TestRngTree:
+    def test_same_name_returns_same_stream(self):
+        tree = RngTree(seed=7)
+        assert tree.stream("a") is tree.stream("a")
+
+    def test_different_names_return_different_streams(self):
+        tree = RngTree(seed=7)
+        assert tree.stream("a") is not tree.stream("b")
+
+    def test_streams_are_independent_of_request_order(self):
+        first = RngTree(seed=3)
+        second = RngTree(seed=3)
+        # consume 'b' first in one tree, 'a' first in the other
+        first.stream("b").random(10)
+        a1 = first.stream("a").random(5)
+        second.stream("a")
+        a2 = second.stream("a").random(5)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_deterministic_across_instances(self):
+        draws1 = RngTree(seed=42).stream("x").random(8)
+        draws2 = RngTree(seed=42).stream("x").random(8)
+        np.testing.assert_array_equal(draws1, draws2)
+
+    def test_different_seeds_differ(self):
+        draws1 = RngTree(seed=1).stream("x").random(8)
+        draws2 = RngTree(seed=2).stream("x").random(8)
+        assert not np.array_equal(draws1, draws2)
+
+    def test_fresh_is_uncached(self):
+        tree = RngTree(seed=7)
+        g1 = tree.fresh("x")
+        g2 = tree.fresh("x")
+        assert g1 is not g2
+        np.testing.assert_array_equal(g1.random(4), g2.random(4))
+
+    def test_fresh_salt_changes_stream(self):
+        tree = RngTree(seed=7)
+        assert not np.array_equal(
+            tree.fresh("x", salt=0).random(4), tree.fresh("x", salt=1).random(4)
+        )
+
+    def test_child_trees_are_independent(self):
+        tree = RngTree(seed=7)
+        child = tree.child("sub")
+        assert not np.array_equal(
+            tree.stream("x").random(4), child.stream("x").random(4)
+        )
+
+    def test_child_is_deterministic(self):
+        c1 = RngTree(seed=7).child("sub").stream("x").random(4)
+        c2 = RngTree(seed=7).child("sub").stream("x").random(4)
+        np.testing.assert_array_equal(c1, c2)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngTree(seed="seven")  # type: ignore[arg-type]
+
+    def test_repr_lists_streams(self):
+        tree = RngTree(seed=7)
+        tree.stream("alpha")
+        assert "alpha" in repr(tree)

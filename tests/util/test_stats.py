@@ -1,0 +1,188 @@
+"""Tests for repro.util.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    Ecdf,
+    assign_quantile_bucket,
+    gini,
+    lorenz_curve,
+    percent,
+    quantile_bucket_edges,
+    share_of_top_fraction,
+    summarize,
+    top_share_curve,
+)
+
+positive_samples = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestEcdf:
+    def test_simple_sample(self):
+        ecdf = Ecdf.from_sample([1, 2, 2, 4])
+        assert ecdf.evaluate(0) == 0.0
+        assert ecdf.evaluate(1) == 0.25
+        assert ecdf.evaluate(2) == 0.75
+        assert ecdf.evaluate(4) == 1.0
+        assert ecdf.evaluate(100) == 1.0
+
+    def test_median(self):
+        assert Ecdf.from_sample([1, 2, 3, 4, 5]).median == 3
+
+    def test_quantile_bounds(self):
+        ecdf = Ecdf.from_sample([10, 20, 30])
+        assert ecdf.quantile(0.0) == 10
+        assert ecdf.quantile(1.0) == 30
+
+    def test_quantile_out_of_range(self):
+        ecdf = Ecdf.from_sample([1])
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_sample([])
+
+    def test_n_matches_sample_size(self):
+        assert Ecdf.from_sample([5, 5, 5]).n == 3
+
+    def test_series_is_plot_ready(self):
+        series = Ecdf.from_sample([1, 3]).series()
+        assert series == [(1.0, 0.5), (3.0, 1.0)]
+
+    @given(positive_samples)
+    def test_monotone_and_bounded(self, sample):
+        ecdf = Ecdf.from_sample(sample)
+        assert np.all(np.diff(ecdf.ps) >= 0)
+        assert 0 < ecdf.ps[0] <= 1
+        assert ecdf.ps[-1] == pytest.approx(1.0)
+
+    @given(positive_samples, st.floats(min_value=0, max_value=1))
+    def test_quantile_evaluate_consistency(self, sample, q):
+        """P(X <= quantile(q)) >= q for every q."""
+        ecdf = Ecdf.from_sample(sample)
+        assert ecdf.evaluate(ecdf.quantile(q)) >= q - 1e-12
+
+
+class TestPercent:
+    def test_basic(self):
+        assert percent(1, 4) == 25.0
+
+    def test_zero_denominator(self):
+        assert percent(5, 0) == 0.0
+
+
+class TestLorenzCurve:
+    def test_equal_sizes_give_diagonal(self):
+        units, shares = lorenz_curve([10, 10, 10, 10])
+        np.testing.assert_allclose(units, shares)
+
+    def test_extreme_concentration(self):
+        __, shares = lorenz_curve([0, 0, 0, 100])
+        np.testing.assert_allclose(shares[:-1], [0, 0, 0, 0])
+        assert shares[-1] == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([3, -1])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            lorenz_curve([0, 0])
+
+
+class TestTopShareCurve:
+    def test_single_unit(self):
+        assert top_share_curve([5]) == [(100.0, 100.0)]
+
+    def test_concentrated(self):
+        curve = top_share_curve([97, 1, 1, 1])
+        assert curve[0] == (25.0, 97.0)
+        assert curve[-1] == (100.0, 100.0)
+
+    def test_monotone(self):
+        curve = top_share_curve([5, 9, 2, 7, 1])
+        shares = [s for __, s in curve]
+        assert shares == sorted(shares)
+
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=60))
+    def test_curve_ends_at_100(self, sizes):
+        curve = top_share_curve(sizes)
+        assert curve[-1][0] == pytest.approx(100.0)
+        assert curve[-1][1] == pytest.approx(100.0)
+
+
+class TestShareOfTopFraction:
+    def test_paper_statistic_shape(self):
+        # one flagship with almost everyone, many singletons
+        sizes = [960] + [1] * 39
+        assert share_of_top_fraction(sizes, 0.25) > 95.0
+
+    def test_uniform_sizes(self):
+        assert share_of_top_fraction([10] * 4, 0.25) == pytest.approx(25.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            share_of_top_fraction([1, 2], 0.0)
+
+
+class TestGini:
+    def test_equal_distribution_is_zero(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentration_close_to_one(self):
+        assert gini([0] * 99 + [100]) > 0.95
+
+    def test_all_zero_is_zero(self):
+        assert gini([0, 0, 0]) == 0.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=80))
+    def test_bounded(self, sizes):
+        value = gini(sizes)
+        assert -1e-9 <= value <= 1.0
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=2, max_size=40))
+    def test_scale_invariant(self, sizes):
+        assert gini(sizes) == pytest.approx(gini([s * 7 for s in sizes]), abs=1e-9)
+
+
+class TestQuantileBuckets:
+    def test_edges_count(self):
+        edges = quantile_bucket_edges(range(100), buckets=4)
+        assert len(edges) == 3
+
+    def test_needs_two_buckets(self):
+        with pytest.raises(ValueError):
+            quantile_bucket_edges([1, 2, 3], buckets=1)
+
+    def test_assignment(self):
+        edges = [10.0, 20.0]
+        assert assign_quantile_bucket(5, edges) == 0
+        assert assign_quantile_bucket(15, edges) == 1
+        assert assign_quantile_bucket(25, edges) == 2
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            quantile_bucket_edges([], buckets=4)
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize([])["n"] == 0
+
+    def test_values(self):
+        summary = summarize([1, 2, 3])
+        assert summary["n"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["median"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0

@@ -1,0 +1,70 @@
+"""Tests for repro.util.text."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.text import extract_hashtags, extract_urls, normalize_hashtag, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Hello World") == ["hello", "world"]
+
+    def test_strips_urls(self):
+        tokens = tokenize("check https://mastodon.social/@alice out")
+        assert tokens == ["check", "out"]
+
+    def test_keeps_hashtag_word(self):
+        assert tokenize("loving #Mastodon today") == ["loving", "mastodon", "today"]
+
+    def test_apostrophes_kept_inside_words(self):
+        assert tokenize("don't stop") == ["don't", "stop"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_numbers(self):
+        assert tokenize("room 101") == ["room", "101"]
+
+
+class TestExtractHashtags:
+    def test_basic(self):
+        assert extract_hashtags("hi #TwitterMigration #fediverse") == [
+            "TwitterMigration",
+            "fediverse",
+        ]
+
+    def test_case_preserved(self):
+        assert extract_hashtags("#NowPlaying") == ["NowPlaying"]
+
+    def test_no_hashtags(self):
+        assert extract_hashtags("plain text") == []
+
+    def test_underscores_and_digits(self):
+        assert extract_hashtags("#tag_2 end") == ["tag_2"]
+
+
+class TestExtractUrls:
+    def test_http_and_https(self):
+        urls = extract_urls("see http://a.com and https://b.org/path")
+        assert urls == ["http://a.com", "https://b.org/path"]
+
+    def test_none(self):
+        assert extract_urls("no links here") == []
+
+
+class TestNormalizeHashtag:
+    def test_lowercases(self):
+        assert normalize_hashtag("TwitterMigration") == "twittermigration"
+
+
+@given(st.text(max_size=300))
+def test_tokenize_never_raises_and_is_lowercase(text):
+    tokens = tokenize(text)
+    assert all(t == t.lower() for t in tokens)
+
+
+@given(st.text(max_size=300))
+def test_extract_hashtags_never_raises(text):
+    tags = extract_hashtags(text)
+    assert all(isinstance(t, str) and t for t in tags)
