@@ -5,14 +5,21 @@ One world + dataset pair is built per benchmark session at ``BENCH_SCALE``
 figure benchmark measures the cost of regenerating its figure from that
 dataset.  The per-figure shape assertions keep the benchmarks honest: a
 benchmark that regenerates the wrong figure is worthless however fast.
+
+The session's world build and pipeline run execute under a live metrics
+registry, and their stage timings are written to ``BENCH_pipeline.json`` at
+the repository root — the perf trajectory future PRs compare against.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.collection.dataset import MigrationDataset
 from repro.collection.pipeline import collect_dataset
 from repro.simulation.world import World, build_world
@@ -20,12 +27,49 @@ from repro.simulation.world import World, build_world
 BENCH_SEED = 7
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
 
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_ARTIFACT = REPO_ROOT / "BENCH_pipeline.json"
+
+_session_registry = obs.MetricsRegistry()
+
 
 @pytest.fixture(scope="session")
 def bench_world() -> World:
-    return build_world(seed=BENCH_SEED, scale=BENCH_SCALE)
+    with obs.use(_session_registry):
+        return build_world(seed=BENCH_SEED, scale=BENCH_SCALE)
 
 
 @pytest.fixture(scope="session")
 def bench_dataset(bench_world: World) -> MigrationDataset:
-    return collect_dataset(bench_world)
+    with obs.use(_session_registry):
+        dataset = collect_dataset(bench_world)
+    _write_pipeline_artifact(_session_registry)
+    return dataset
+
+
+def _write_pipeline_artifact(registry: obs.MetricsRegistry) -> None:
+    """Persist the session's stage timings as the perf-trajectory artifact."""
+    stages = [
+        {
+            "name": span.name,
+            "depth": span.depth,
+            "wall_seconds": span.wall_seconds,
+            "api_requests": span.api_requests,
+            "wait_seconds": span.wait_seconds,
+            "meta": dict(span.meta),
+        }
+        for span in registry.tracer.walk()
+    ]
+    payload = {
+        "seed": BENCH_SEED,
+        "scale": BENCH_SCALE,
+        "stages": stages,
+        "api_requests": {
+            "twitter": registry.counter_total("twitter.ratelimit.requests"),
+            "mastodon": registry.counter_total("mastodon.api.requests"),
+        },
+        "simulated_wait_seconds": registry.counter_total(
+            "twitter.ratelimit.wait_seconds"
+        ),
+    }
+    BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")

@@ -15,6 +15,8 @@ The package is organised as a layered system:
 - :mod:`repro.collection` -- the paper's data-collection pipeline (Section 3):
   instance list compilation, migration-tweet search, hierarchical handle
   matching, timeline and followee crawls, weekly-activity crawl.
+- :mod:`repro.obs` -- opt-in observability: metrics registry, hierarchical
+  spans, crawl report / JSON export (no-op by default; deterministic-safe).
 - :mod:`repro.analysis` -- the paper's analyses (Sections 4-6).
 - :mod:`repro.experiments` -- one module per paper figure plus a runner that
   regenerates each figure's rows/series.

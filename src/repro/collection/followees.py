@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.collection.dataset import FolloweeRecord, MatchedUser
 from repro.fediverse.api import MastodonClient
 from repro.fediverse.errors import FediverseError
@@ -88,18 +89,30 @@ class FolloweeCrawler:
         account.  Users whose crawl fails on either side are dropped, exactly
         like a real crawl.
         """
+        registry = obs.current()
         current_accts = current_accts or {}
         records: dict[int, FolloweeRecord] = {}
         for user in sample:
+            registry.counter("collection.followees.attempted").inc()
             try:
                 twitter_followees = self._api.following_all(user.twitter_user_id)
             except TwitterError:
+                registry.counter(
+                    "collection.followees.failed", side="twitter"
+                ).inc()
                 continue
             acct = current_accts.get(user.twitter_user_id, user.mastodon_acct)
             try:
                 mastodon_following = self._client.account_following(acct)
             except FediverseError:
                 mastodon_following = []
+                registry.counter(
+                    "collection.followees.failed", side="mastodon"
+                ).inc()
+            registry.counter("collection.followees.ok").inc()
+            registry.histogram("collection.followees.twitter_per_user").observe(
+                len(twitter_followees)
+            )
             records[user.twitter_user_id] = FolloweeRecord(
                 twitter_user_id=user.twitter_user_id,
                 twitter_followees=tuple(twitter_followees),

@@ -23,6 +23,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro import obs
 from repro.twitter.models import Tweet, TwitterUser
 
 #: ``@user@domain``.  The leading char class stops us matching the tail of an
@@ -135,9 +136,14 @@ class HandleMatcher:
         tweets_by_author: dict[int, list[Tweet]],
     ) -> dict[int, Match]:
         """Match every author of a collected tweet; returns id->Match."""
+        registry = obs.current()
         matches: dict[int, Match] = {}
         for user_id, user in users.items():
+            registry.counter("collection.matching.users_scanned").inc()
             match = self.match_user(user, tweets_by_author.get(user_id, []))
             if match is not None:
                 matches[user_id] = match
+                registry.counter(
+                    "collection.matching.matched", via=match.matched_via
+                ).inc()
         return matches

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.collection.dataset import MatchedUser, MigrationDataset
 from repro.collection.followees import (
     FolloweeCrawler,
@@ -42,6 +43,21 @@ from repro.util.clock import (
 )
 
 
+#: The seven numbered stages of :func:`collect_dataset`, in execution order.
+#: Each runs inside a span named ``collect.<stage>`` under the
+#: ``collect_dataset`` root span; CI's telemetry smoke run checks that the
+#: exported trace names every one of them.
+PIPELINE_STAGES = (
+    "instance_list",
+    "tweet_search",
+    "handle_matching",
+    "timelines",
+    "followees",
+    "weekly_activity",
+    "trends",
+)
+
+
 @dataclass(frozen=True)
 class CollectionConfig:
     """Knobs of the collection run (the paper's §3 choices)."""
@@ -59,96 +75,138 @@ def collect_dataset(
 ) -> MigrationDataset:
     """Run the full Section 3 pipeline against a simulated world."""
     config = config if config is not None else CollectionConfig()
+    registry = obs.current()
     dataset = MigrationDataset()
     api = world.twitter_api()
     client = MastodonClient(world.network)
 
-    # 1. instance index
-    directory = world.directory()
-    dataset.instance_domains = compile_instance_list(directory)
+    with registry.span("collect_dataset") as run_span:
+        # 1. instance index
+        with registry.span("collect.instance_list") as span:
+            directory = world.directory()
+            dataset.instance_domains = compile_instance_list(directory)
+            span.annotate(domains=len(dataset.instance_domains))
 
-    # 2. migration tweets
-    collector = TweetCollector(
-        api, since=config.tweet_window_start, until=config.tweet_window_end
-    )
-    collected = collector.collect(dataset.instance_domains)
-    dataset.collected_tweets = collected.tweets
-    dataset.collected_user_count = collected.user_count
+        # 2. migration tweets
+        with registry.span("collect.tweet_search") as span:
+            collector = TweetCollector(
+                api, since=config.tweet_window_start, until=config.tweet_window_end
+            )
+            collected = collector.collect(dataset.instance_domains)
+            dataset.collected_tweets = collected.tweets
+            dataset.collected_user_count = collected.user_count
+            span.annotate(
+                tweets=collected.tweet_count, users=collected.user_count
+            )
 
-    # 3. handle matching
-    matcher = HandleMatcher(frozenset(dataset.instance_domains))
-    matches = matcher.match_all(collected.users, collected.tweets_by_author())
-    for user_id, match in sorted(matches.items()):
-        user = collected.users[user_id]
-        dataset.matched[user_id] = MatchedUser(
-            twitter_user_id=user_id,
-            twitter_username=user.username,
-            mastodon_acct=match.mastodon_acct,
-            matched_via=match.matched_via,
-            verified=user.verified,
-            twitter_created_at=user.created_at,
-            twitter_followers=user.followers_count,
-            twitter_following=user.following_count,
-        )
+        # 3. handle matching
+        with registry.span("collect.handle_matching") as span:
+            matcher = HandleMatcher(frozenset(dataset.instance_domains))
+            matches = matcher.match_all(
+                collected.users, collected.tweets_by_author()
+            )
+            for user_id, match in sorted(matches.items()):
+                user = collected.users[user_id]
+                dataset.matched[user_id] = MatchedUser(
+                    twitter_user_id=user_id,
+                    twitter_username=user.username,
+                    mastodon_acct=match.mastodon_acct,
+                    matched_via=match.matched_via,
+                    verified=user.verified,
+                    twitter_created_at=user.created_at,
+                    twitter_followers=user.followers_count,
+                    twitter_following=user.following_count,
+                )
+            span.annotate(matched=len(dataset.matched))
 
-    matched_list = dataset.matched_users()
+        matched_list = dataset.matched_users()
 
-    # 4. timelines
-    twitter_crawler = TwitterTimelineCrawler(
-        api, since=config.timeline_window_start, until=config.timeline_window_end
-    )
-    dataset.twitter_timelines, dataset.twitter_coverage = twitter_crawler.crawl(
-        matched_list
-    )
-    mastodon_crawler = MastodonTimelineCrawler(
-        client, since=config.timeline_window_start, until=config.timeline_window_end
-    )
-    (
-        dataset.accounts,
-        dataset.mastodon_timelines,
-        dataset.mastodon_coverage,
-    ) = mastodon_crawler.crawl(matched_list)
+        # 4. timelines
+        with registry.span("collect.timelines") as span:
+            with registry.span("collect.timelines.twitter"):
+                twitter_crawler = TwitterTimelineCrawler(
+                    api,
+                    since=config.timeline_window_start,
+                    until=config.timeline_window_end,
+                )
+                (
+                    dataset.twitter_timelines,
+                    dataset.twitter_coverage,
+                ) = twitter_crawler.crawl(matched_list)
+            with registry.span("collect.timelines.mastodon"):
+                mastodon_crawler = MastodonTimelineCrawler(
+                    client,
+                    since=config.timeline_window_start,
+                    until=config.timeline_window_end,
+                )
+                (
+                    dataset.accounts,
+                    dataset.mastodon_timelines,
+                    dataset.mastodon_coverage,
+                ) = mastodon_crawler.crawl(matched_list)
+            span.annotate(
+                twitter_ok=dataset.twitter_coverage.ok,
+                mastodon_ok=dataset.mastodon_coverage.ok,
+            )
 
-    # 5. followee sample (budget first, stratification second)
-    fraction = budgeted_fraction(
-        api, len(matched_list), default=config.followee_sample_fraction
-    )
-    rng = np.random.default_rng(config.sampler_seed)
-    sample = stratified_sample(matched_list, fraction, rng)
-    # The switching analysis (Fig. 10) needs followee data for switchers; at
-    # paper scale the 10% sample contains hundreds of them, at simulation
-    # scale it would contain almost none, so every observed switcher is
-    # added to the crawl (a few extra users, well within budget).
-    sampled_ids = {u.twitter_user_id for u in sample}
-    for uid in dataset.switchers():
-        if uid not in sampled_ids and uid in dataset.matched:
-            sample.append(dataset.matched[uid])
-    sample.sort(key=lambda u: u.twitter_user_id)
-    current_accts = {
-        uid: record.moved_to
-        for uid, record in dataset.accounts.items()
-        if record.moved_to is not None
-    }
-    followee_crawler = FolloweeCrawler(api, client)
-    dataset.followee_sample = followee_crawler.crawl(sample, current_accts)
+        # 5. followee sample (budget first, stratification second)
+        with registry.span("collect.followees") as span:
+            fraction = budgeted_fraction(
+                api, len(matched_list), default=config.followee_sample_fraction
+            )
+            rng = np.random.default_rng(config.sampler_seed)
+            sample = stratified_sample(matched_list, fraction, rng)
+            # The switching analysis (Fig. 10) needs followee data for
+            # switchers; at paper scale the 10% sample contains hundreds of
+            # them, at simulation scale it would contain almost none, so
+            # every observed switcher is added to the crawl (a few extra
+            # users, well within budget).
+            sampled_ids = {u.twitter_user_id for u in sample}
+            for uid in dataset.switchers():
+                if uid not in sampled_ids and uid in dataset.matched:
+                    sample.append(dataset.matched[uid])
+            sample.sort(key=lambda u: u.twitter_user_id)
+            current_accts = {
+                uid: record.moved_to
+                for uid, record in dataset.accounts.items()
+                if record.moved_to is not None
+            }
+            followee_crawler = FolloweeCrawler(api, client)
+            dataset.followee_sample = followee_crawler.crawl(sample, current_accts)
+            span.annotate(
+                fraction=fraction,
+                sampled=len(sample),
+                crawled=len(dataset.followee_sample),
+            )
 
-    # 6. weekly activity over every instance hosting a matched account
-    domains = sorted(
-        {u.mastodon_domain for u in matched_list}
-        | {
-            record.second_domain
-            for record in dataset.accounts.values()
-            if record.second_domain is not None
-        }
-    )
-    activity_crawler = WeeklyActivityCrawler(client)
-    dataset.weekly_activity = activity_crawler.crawl(domains)
+        # 6. weekly activity over every instance hosting a matched account
+        with registry.span("collect.weekly_activity") as span:
+            domains = sorted(
+                {u.mastodon_domain for u in matched_list}
+                | {
+                    record.second_domain
+                    for record in dataset.accounts.values()
+                    if record.second_domain is not None
+                }
+            )
+            activity_crawler = WeeklyActivityCrawler(client)
+            dataset.weekly_activity = activity_crawler.crawl(domains)
+            span.annotate(
+                domains=len(domains),
+                failed=len(activity_crawler.failed_domains),
+            )
 
-    # 7. search-interest series (Figure 1's external data pull)
-    for term in world.trends.supported_terms():
-        series = world.trends.interest_over_time(
-            term, _dt.date(2022, 9, 1), config.timeline_window_end
-        )
-        dataset.trends[term] = [(day.isoformat(), value) for day, value in series]
+        # 7. search-interest series (Figure 1's external data pull)
+        with registry.span("collect.trends") as span:
+            for term in world.trends.supported_terms():
+                series = world.trends.interest_over_time(
+                    term, _dt.date(2022, 9, 1), config.timeline_window_end
+                )
+                dataset.trends[term] = [
+                    (day.isoformat(), value) for day, value in series
+                ]
+            span.annotate(terms=len(dataset.trends))
+
+        run_span.annotate(matched=dataset.migrant_count)
 
     return dataset

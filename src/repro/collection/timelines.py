@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import datetime as _dt
 
+from repro import obs
 from repro.collection.dataset import (
     CrawlCoverage,
     MastodonAccountRecord,
@@ -55,22 +56,47 @@ class TwitterTimelineCrawler:
     def crawl(
         self, matched: list[MatchedUser]
     ) -> tuple[dict[int, list[Tweet]], CrawlCoverage]:
+        registry = obs.current()
         timelines: dict[int, list[Tweet]] = {}
         coverage = CrawlCoverage()
         for user in matched:
+            registry.counter(
+                "collection.timelines.attempted", platform="twitter"
+            ).inc()
             try:
                 tweets = self._api.user_timeline(
                     user.twitter_user_id, self._since, self._until
                 )
             except SuspendedAccountError:
                 coverage.suspended += 1
+                registry.counter(
+                    "collection.timelines.failed",
+                    platform="twitter", reason="suspended",
+                ).inc()
             except NotFoundError:
                 coverage.deleted += 1
+                registry.counter(
+                    "collection.timelines.failed",
+                    platform="twitter", reason="deleted",
+                ).inc()
             except ProtectedAccountError:
                 coverage.protected += 1
+                registry.counter(
+                    "collection.timelines.failed",
+                    platform="twitter", reason="protected",
+                ).inc()
             else:
                 coverage.ok += 1
                 timelines[user.twitter_user_id] = tweets
+                registry.counter(
+                    "collection.timelines.ok", platform="twitter"
+                ).inc()
+                registry.histogram(
+                    "collection.timelines.items_per_user", platform="twitter"
+                ).observe(len(tweets))
+        registry.gauge(
+            "collection.timelines.ok_rate", platform="twitter"
+        ).set(coverage.rate("ok"))
         return timelines, coverage
 
 
@@ -125,28 +151,57 @@ class MastodonTimelineCrawler:
     ) -> tuple[
         dict[int, MastodonAccountRecord], dict[int, list[Status]], CrawlCoverage
     ]:
+        registry = obs.current()
         accounts: dict[int, MastodonAccountRecord] = {}
         timelines: dict[int, list[Status]] = {}
         coverage = CrawlCoverage()
         for user in matched:
+            registry.counter(
+                "collection.timelines.attempted", platform="mastodon"
+            ).inc()
             try:
                 record = self.resolve_account(user.mastodon_acct)
             except (InstanceDownError, InstanceNotFoundError):
                 coverage.instance_down += 1
+                registry.counter(
+                    "collection.timelines.failed",
+                    platform="mastodon", reason="instance_down",
+                ).inc()
                 continue
             except AccountNotFoundError:
                 coverage.deleted += 1
+                registry.counter(
+                    "collection.timelines.failed",
+                    platform="mastodon", reason="deleted",
+                ).inc()
                 continue
             assert record is not None
             accounts[user.twitter_user_id] = record
             statuses = self._crawl_statuses(record)
             if statuses is None:
                 coverage.instance_down += 1
+                registry.counter(
+                    "collection.timelines.failed",
+                    platform="mastodon", reason="instance_down",
+                ).inc()
             elif not statuses:
                 coverage.no_statuses += 1
+                registry.counter(
+                    "collection.timelines.failed",
+                    platform="mastodon", reason="no_statuses",
+                ).inc()
             else:
                 coverage.ok += 1
                 timelines[user.twitter_user_id] = statuses
+                registry.counter(
+                    "collection.timelines.ok", platform="mastodon"
+                ).inc()
+                registry.histogram(
+                    "collection.timelines.items_per_user", platform="mastodon"
+                ).observe(len(statuses))
+        registry.gauge(
+            "collection.timelines.ok_rate", platform="mastodon"
+        ).set(coverage.rate("ok"))
         return accounts, timelines, coverage
 
     def _crawl_statuses(self, record: MastodonAccountRecord) -> list[Status] | None:

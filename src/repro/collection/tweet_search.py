@@ -16,6 +16,7 @@ from __future__ import annotations
 import datetime as _dt
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.twitter.api import TwitterAPI
 from repro.twitter.models import Tweet, TwitterUser
 from repro.twitter.search import SearchQuery, instance_link_query, migration_query
@@ -62,11 +63,16 @@ class TweetCollector:
 
     def collect(self, instance_domains: list[str]) -> CollectedTweets:
         """Collect all migration-related tweets in the window."""
+        registry = obs.current()
         collected = CollectedTweets()
         seen: set[int] = set()
-        for query in self._queries(instance_domains):
+        queries = self._queries(instance_domains)
+        registry.counter("collection.tweet_search.queries").inc(len(queries))
+        for query in queries:
             self._drain(query, collected, seen)
         collected.tweets.sort(key=lambda t: t.tweet_id)
+        registry.counter("collection.tweet_search.tweets").inc(collected.tweet_count)
+        registry.counter("collection.tweet_search.users").inc(collected.user_count)
         return collected
 
     def _queries(self, instance_domains: list[str]) -> list[SearchQuery]:
@@ -86,6 +92,8 @@ class TweetCollector:
                 if tweet.tweet_id not in seen:
                     seen.add(tweet.tweet_id)
                     collected.tweets.append(tweet)
+                else:
+                    obs.current().counter("collection.tweet_search.duplicates").inc()
             collected.users.update(page.users)
             token = page.next_token
             if token is None:

@@ -7,6 +7,7 @@ Mastodon's instance-activity endpoint.  Downed instances are skipped.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.fediverse.api import MastodonClient
 from repro.fediverse.errors import InstanceDownError, InstanceNotFoundError
 
@@ -19,15 +20,19 @@ class WeeklyActivityCrawler:
         self.failed_domains: list[str] = []
 
     def crawl(self, domains: list[str]) -> dict[str, list[dict]]:
+        registry = obs.current()
         activity: dict[str, list[dict]] = {}
         self.failed_domains = []
         for domain in domains:
+            registry.counter("collection.weekly_activity.attempted").inc()
             try:
                 rows = self._client.instance_activity(domain)
             except (InstanceDownError, InstanceNotFoundError):
                 self.failed_domains.append(domain)
+                registry.counter("collection.weekly_activity.failed").inc()
                 continue
             activity[domain] = rows
+            registry.counter("collection.weekly_activity.ok").inc()
         return activity
 
 

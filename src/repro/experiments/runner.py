@@ -3,45 +3,57 @@
 Usage::
 
     repro-experiments [--seed 7] [--scale 0.01] [--only F5,F8] \
-                      [--dataset path.json] [--save path.json] [--report]
+                      [--dataset path.json] [--save path.json] [--report] \
+                      [--quiet] [--metrics out.json] [--trace]
 
 ``--dataset`` loads a previously saved dataset (skipping the simulation);
 ``--save`` stores the collected dataset for later reuse; ``--report`` also
-prints the paper-vs-measured headline table.
+prints the paper-vs-measured headline table.  ``--quiet`` silences the
+progress lines.  ``--metrics PATH`` records the run in a live metrics
+registry and writes the machine-readable telemetry (counters, gauges,
+histogram summaries, span tree) to PATH; ``--trace`` prints the span tree
+and the human-readable crawl report to stderr.  Either flag turns
+instrumentation on; without them the no-op registry is active and the run
+is telemetry-free.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 
+from repro import obs
 from repro.analysis.report import format_report, headline_report
 from repro.collection.dataset import MigrationDataset
 from repro.collection.pipeline import collect_dataset
 from repro.experiments.registry import all_experiment_ids, get_experiment
 from repro.simulation.world import build_world
 
+_log = obs.get_logger("runner")
+
 
 def build_dataset(seed: int, scale: float, verbose: bool = True) -> MigrationDataset:
     """Build a world and run the collection pipeline."""
+    level = logging.INFO if verbose else logging.DEBUG
     started = time.time()
     world = build_world(seed=seed, scale=scale)
-    if verbose:
-        print(
-            f"[world] {len(world.migrants)} migrants, "
-            f"{world.twitter_store.tweet_count} tweets "
-            f"({time.time() - started:.1f}s)",
-            file=sys.stderr,
-        )
+    _log.log(
+        level,
+        "world: %d migrants, %d tweets (%.1fs)",
+        len(world.migrants),
+        world.twitter_store.tweet_count,
+        time.time() - started,
+    )
     started = time.time()
     dataset = collect_dataset(world)
-    if verbose:
-        print(
-            f"[collect] {dataset.migrant_count} matched users "
-            f"({time.time() - started:.1f}s)",
-            file=sys.stderr,
-        )
+    _log.log(
+        level,
+        "collect: %d matched users (%.1fs)",
+        dataset.migrant_count,
+        time.time() - started,
+    )
     return dataset
 
 
@@ -59,23 +71,44 @@ def main(argv: list[str] | None = None) -> int:
                         help="also print the paper-vs-measured headline table")
     parser.add_argument("--extensions", action="store_true",
                         help="include the X* extension experiments")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress the stderr progress lines")
+    parser.add_argument("--metrics", type=str, default="", metavar="PATH",
+                        help="write machine-readable run telemetry (JSON) to PATH")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the span tree and crawl report to stderr")
     args = parser.parse_args(argv)
 
-    if args.dataset:
-        dataset = MigrationDataset.load(args.dataset)
-    else:
-        dataset = build_dataset(args.seed, args.scale)
-    if args.save:
-        dataset.save(args.save)
+    obs.configure_logging(quiet=args.quiet)
+    instrumented = bool(args.metrics) or args.trace
+    registry = obs.MetricsRegistry() if instrumented else obs.NOOP
 
-    ids = [x.strip().upper() for x in args.only.split(",") if x.strip()]
-    ids = ids or all_experiment_ids(include_extensions=args.extensions)
-    for exp_id in ids:
-        result = get_experiment(exp_id)(dataset)
-        print(result.format())
-        print()
-    if args.report:
-        print(format_report(headline_report(dataset)))
+    with obs.use(registry):
+        if args.dataset:
+            dataset = MigrationDataset.load(args.dataset)
+        else:
+            dataset = build_dataset(args.seed, args.scale, verbose=not args.quiet)
+        if args.save:
+            dataset.save(args.save)
+
+        ids = [x.strip().upper() for x in args.only.split(",") if x.strip()]
+        ids = ids or all_experiment_ids(include_extensions=args.extensions)
+        with registry.span("experiments"):
+            for exp_id in ids:
+                with registry.span(f"experiment.{exp_id}"):
+                    result = get_experiment(exp_id)(dataset)
+                print(result.format())
+                print()
+        if args.report:
+            print(format_report(headline_report(dataset)))
+
+    if args.trace:
+        print(obs.format_span_tree(registry), file=sys.stderr)
+        print(file=sys.stderr)
+        print(obs.format_crawl_report(registry), file=sys.stderr)
+    if args.metrics:
+        obs.write_metrics_json(registry, args.metrics)
+        _log.info("telemetry written to %s", args.metrics)
     return 0
 
 

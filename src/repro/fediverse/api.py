@@ -16,8 +16,9 @@ from __future__ import annotations
 import datetime as _dt
 from dataclasses import dataclass
 
+from repro import obs
 from repro.fediverse.activitypub import parse_acct
-from repro.fediverse.errors import InstanceDownError
+from repro.fediverse.errors import InstanceDownError, InstanceNotFoundError
 from repro.fediverse.models import Account, Status
 from repro.fediverse.network import FediverseNetwork
 
@@ -38,11 +39,26 @@ class MastodonClient:
         self._network = network
         self.request_count = 0
 
-    def _instance_up(self, domain: str):
-        instance = self._network.get_instance(domain)
+    def _instance_up(self, domain: str, endpoint: str):
+        registry = obs.current()
+        try:
+            instance = self._network.get_instance(domain)
+        except InstanceNotFoundError:
+            registry.counter(
+                "mastodon.api.errors",
+                endpoint=endpoint, domain=domain, kind="instance_not_found",
+            ).inc()
+            raise
         if instance.down:
+            registry.counter(
+                "mastodon.api.errors",
+                endpoint=endpoint, domain=domain, kind="instance_down",
+            ).inc()
             raise InstanceDownError(domain)
         self.request_count += 1
+        registry.counter(
+            "mastodon.api.requests", endpoint=endpoint, domain=domain
+        ).inc()
         return instance
 
     # -- accounts --------------------------------------------------------------
@@ -50,13 +66,13 @@ class MastodonClient:
     def lookup_account(self, acct: str) -> Account:
         """Resolve ``user@domain`` via the account's home instance."""
         username, domain = parse_acct(acct)
-        instance = self._instance_up(domain)
+        instance = self._instance_up(domain, "lookup")
         return instance.get_account(username)
 
     def account_summary(self, acct: str) -> dict:
         """The account object a crawler sees: dates, move target, counts."""
         username, domain = parse_acct(acct)
-        instance = self._instance_up(domain)
+        instance = self._instance_up(domain, "account")
         account = instance.get_account(username)
         local = account.acct
         return {
@@ -81,7 +97,7 @@ class MastodonClient:
         20 on Pleroma — as a real crawler experiences it.
         """
         username, domain = parse_acct(acct)
-        instance = self._instance_up(domain)
+        instance = self._instance_up(domain, "statuses")
         if page_size is None:
             page_size = instance.statuses_page_size
         statuses = instance.statuses_of(username)
@@ -118,16 +134,20 @@ class MastodonClient:
     def account_following(self, acct: str) -> list[str]:
         """The accts an account follows (paginated endpoint, drained)."""
         username, domain = parse_acct(acct)
-        instance = self._instance_up(domain)
+        instance = self._instance_up(domain, "following")
         following = sorted(instance.following_of(instance.local_acct(username)))
         # model pagination cost: one request per page
         pages = max(0, (len(following) - 1) // FOLLOWING_PAGE_SIZE)
         self.request_count += pages
+        if pages:
+            obs.current().counter(
+                "mastodon.api.requests", endpoint="following", domain=domain
+            ).inc(pages)
         return following
 
     # -- instance-level ----------------------------------------------------------
 
     def instance_activity(self, domain: str) -> list[dict[str, int | str]]:
         """The weekly-activity endpoint's rows for one instance."""
-        instance = self._instance_up(domain)
+        instance = self._instance_up(domain, "activity")
         return [row.as_dict() for row in instance.weekly_activity()]

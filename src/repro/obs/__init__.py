@@ -1,0 +1,100 @@
+"""Observability: metrics, spans and crawl telemetry for the §3 pipeline.
+
+The paper's contribution is a measurement *pipeline*; a reproduction of it
+must therefore be able to account for itself — how many simulated API
+requests each stage issued, how much virtual rate-limit time it burned,
+what every crawler's coverage was.  This package is that substrate:
+
+- :mod:`repro.obs.metrics` -- a process-local registry of counters, gauges
+  and quantile histograms, plus the no-op default;
+- :mod:`repro.obs.spans` -- hierarchical spans recording wall time,
+  virtual rate-limiter wait time and API requests per pipeline stage;
+- :mod:`repro.obs.report` -- the human-readable crawl report ("data
+  inventory") and the machine-readable JSON export;
+- :mod:`repro.obs.log` -- the logging layer entry points configure.
+
+Instrumented layers write to the *active* registry::
+
+    from repro import obs
+
+    obs.current().counter("twitter.ratelimit.requests", endpoint="search").inc()
+    with obs.current().span("collect.tweet_search"):
+        ...
+
+The active registry defaults to :data:`~repro.obs.metrics.NOOP`, whose
+instruments are shared do-nothing singletons — library callers pay one
+attribute lookup per instrumentation point and nothing is recorded.
+Telemetry is opt-in and scoped::
+
+    registry = obs.MetricsRegistry()
+    with obs.use(registry):
+        dataset = collect_dataset(world)
+    print(obs.format_crawl_report(registry))
+
+Determinism contract: nothing in this package reads an RNG or feeds back
+into the simulation; collecting a dataset with or without an active
+registry produces byte-identical output (enforced by
+``tests/obs/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    NOOP,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.report import (
+    format_crawl_report,
+    format_span_tree,
+    span_names,
+    write_metrics_json,
+)
+from repro.obs.spans import NULL_SPAN, Span, Tracer
+
+_active: MetricsRegistry = NOOP
+
+
+def current() -> MetricsRegistry:
+    """The registry instrumentation points write to (default: no-op)."""
+    return _active
+
+
+@contextmanager
+def use(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Activate ``registry`` for the dynamic extent of the ``with`` block."""
+    global _active
+    previous = _active
+    _active = registry
+    try:
+        yield registry
+    finally:
+        _active = previous
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NOOP",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "current",
+    "format_crawl_report",
+    "format_span_tree",
+    "get_logger",
+    "span_names",
+    "use",
+    "write_metrics_json",
+]

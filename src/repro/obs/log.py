@@ -1,0 +1,44 @@
+"""Logging for the pipeline's human-facing progress lines.
+
+Library layers log through ``get_logger(...)`` (all loggers live under the
+``repro`` root logger) and never print.  Only entry points — the CLI runner,
+scripts — call :func:`configure_logging` to attach a stderr handler; library
+callers that configure nothing get Python's default behaviour (INFO lines
+are simply dropped), which keeps the library silent by default.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+ROOT_LOGGER_NAME = "repro"
+_FORMAT = "[%(name)s] %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy, e.g. ``get_logger('runner')``."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(quiet: bool = False, stream: IO[str] | None = None) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` root logger (idempotent).
+
+    ``quiet`` raises the threshold to WARNING, silencing the per-stage
+    progress lines while keeping real problems visible.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(logging.WARNING if quiet else logging.INFO)
+    target = stream if stream is not None else sys.stderr
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_handler", False):
+            handler.stream = target  # type: ignore[attr-defined]
+            return logger
+    handler = logging.StreamHandler(target)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,273 @@
+"""Process-local metrics: counters, gauges and quantile histograms.
+
+The registry is the single sink every instrumented layer writes to.  It is
+*process-local and deterministic*: values are plain Python numbers, samples
+are kept in insertion order, and nothing here reads a clock or an RNG —
+instrumenting a run must never change what the run produces.
+
+Metrics are identified by a name plus a (possibly empty) label set, e.g.::
+
+    registry.counter("twitter.ratelimit.requests", endpoint="search").inc()
+
+Library callers that do nothing see the :data:`NOOP` registry, whose
+instruments are shared do-nothing singletons — instrumentation points cost
+one attribute lookup and a no-op call when observability is off.  A run is
+instrumented by activating a real registry::
+
+    registry = MetricsRegistry()
+    with obs.use(registry):
+        dataset = collect_dataset(world)
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+from repro.obs.spans import NULL_SPAN_CONTEXT, Tracer
+
+#: Counters that represent simulated API requests; spans snapshot their sum.
+REQUEST_COUNTER_NAMES = ("twitter.ratelimit.requests", "mastodon.api.requests")
+#: Counter holding the rate limiter's accumulated virtual wait time.
+WAIT_COUNTER_NAME = "twitter.ratelimit.wait_seconds"
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways (rates, ratios, sizes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), "value": self.value}
+
+
+class Histogram:
+    """A sample distribution with nearest-rank quantile summaries.
+
+    All observations are retained in observation order (deterministic; no
+    reservoir sampling, which would need an RNG).  Quantiles use the
+    nearest-rank definition: ``quantile(q)`` is the ``ceil(q * n)``-th
+    smallest sample.
+    """
+
+    __slots__ = ("name", "labels", "_values")
+
+    def __init__(self, name: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.labels = labels
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._values) if self._values else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile; 0 for an empty histogram."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict:
+        if not self._values:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": min(self._values),
+            "max": max(self._values),
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "labels": dict(self.labels), **self.summary()}
+
+
+class MetricsRegistry:
+    """The live sink for one instrumented run: metrics plus the span tree."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+        self.tracer = Tracer(
+            request_total=self._api_request_total,
+            wait_total=self._wait_total,
+        )
+
+    # -- instruments -------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter(name, dict(key[1]))
+        return counter
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge(name, dict(key[1]))
+        return gauge
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(name, dict(key[1]))
+        return histogram
+
+    def span(self, name: str):
+        return self.tracer.span(name)
+
+    # -- queries -----------------------------------------------------------
+
+    def counters(self) -> Iterator[Counter]:
+        yield from self._counters.values()
+
+    def gauges(self) -> Iterator[Gauge]:
+        yield from self._gauges.values()
+
+    def histograms(self) -> Iterator[Histogram]:
+        yield from self._histograms.values()
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter over every label combination."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def counters_by_label(self, name: str, label: str) -> dict[str, float]:
+        """A counter's totals grouped by one label's values."""
+        grouped: dict[str, float] = {}
+        for counter in self._counters.values():
+            if counter.name == name and label in counter.labels:
+                value = counter.labels[label]
+                grouped[value] = grouped.get(value, 0) + counter.value
+        return grouped
+
+    def _api_request_total(self) -> int:
+        return int(sum(self.counter_total(n) for n in REQUEST_COUNTER_NAMES))
+
+    def _wait_total(self) -> float:
+        return self.counter_total(WAIT_COUNTER_NAME)
+
+    def is_empty(self) -> bool:
+        return not (
+            self._counters or self._gauges or self._histograms or self.tracer.roots
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The machine-readable export (JSON-serialisable)."""
+        return {
+            "counters": [c.to_dict() for c in self._counters.values()],
+            "gauges": [g.to_dict() for g in self._gauges.values()],
+            "histograms": [h.to_dict() for h in self._histograms.values()],
+            "spans": self.tracer.to_list(),
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("", {})
+_NULL_GAUGE = _NullGauge("", {})
+_NULL_HISTOGRAM = _NullHistogram("", {})
+
+
+class NullRegistry(MetricsRegistry):
+    """The default registry: accepts every write, records nothing.
+
+    Every accessor returns a shared do-nothing singleton, so instrumented
+    code paths stay allocation-free when observability is off.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def span(self, name: str):
+        return NULL_SPAN_CONTEXT
+
+
+#: The process-wide default registry (never records anything).
+NOOP = NullRegistry()

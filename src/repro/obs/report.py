@@ -1,0 +1,115 @@
+"""Export: the human-readable crawl report and the machine-readable JSON.
+
+The crawl report is the pipeline's "data inventory" — the honest,
+per-stage accounting a measurement paper owes its readers: how long each
+stage took, how many simulated API requests it issued, how much virtual
+rate-limiter time it burned, and what every crawler's coverage looked like.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import REQUEST_COUNTER_NAMES, WAIT_COUNTER_NAME, MetricsRegistry
+from repro.obs.spans import Span
+
+
+def format_span_tree(registry: MetricsRegistry) -> str:
+    """The span hierarchy, one line per span, indented by depth."""
+    lines = ["# span tree (wall s / api requests / simulated wait s)"]
+    for span in registry.tracer.walk():
+        indent = "  " * span.depth
+        lines.append(
+            f"{indent}{span.name}: {span.wall_seconds:.3f}s wall, "
+            f"{span.api_requests} req, {span.wait_seconds:.0f}s wait"
+        )
+    if len(lines) == 1:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+def _stage_rows(registry: MetricsRegistry) -> list[tuple[str, Span]]:
+    return [("  " * span.depth + span.name, span) for span in registry.tracer.walk()]
+
+
+def format_crawl_report(registry: MetricsRegistry) -> str:
+    """The full data-inventory report: stages, endpoints, coverage, sizes."""
+    sections = ["# crawl report"]
+
+    rows = _stage_rows(registry)
+    if rows:
+        name_width = max(len(name) for name, _ in rows)
+        sections.append("\n## stage inventory")
+        header = f"{'stage':<{name_width}}  {'wall s':>8}  {'requests':>9}  {'wait s':>10}"
+        sections.append(header)
+        sections.append("-" * len(header))
+        for name, span in rows:
+            sections.append(
+                f"{name:<{name_width}}  {span.wall_seconds:>8.3f}  "
+                f"{span.api_requests:>9}  {span.wait_seconds:>10.0f}"
+            )
+
+    endpoint_lines = []
+    for counter_name in REQUEST_COUNTER_NAMES:
+        per_endpoint = registry.counters_by_label(counter_name, "endpoint")
+        for endpoint in sorted(per_endpoint):
+            endpoint_lines.append(
+                f"{counter_name}{{endpoint={endpoint}}}: {per_endpoint[endpoint]:.0f}"
+            )
+    waited = registry.counter_total(WAIT_COUNTER_NAME)
+    if endpoint_lines:
+        sections.append("\n## api requests per endpoint")
+        sections.extend(endpoint_lines)
+        sections.append(f"simulated rate-limit wait: {waited:.0f}s")
+
+    coverage_lines = [
+        f"{counter.name}{_format_labels(counter.labels)}: {counter.value:.0f}"
+        for counter in sorted(
+            registry.counters(), key=lambda c: (c.name, sorted(c.labels.items()))
+        )
+        if counter.name.startswith("collection.")
+    ]
+    gauge_lines = [
+        f"{gauge.name}{_format_labels(gauge.labels)}: {gauge.value:.2f}"
+        for gauge in sorted(
+            registry.gauges(), key=lambda g: (g.name, sorted(g.labels.items()))
+        )
+    ]
+    if coverage_lines or gauge_lines:
+        sections.append("\n## crawl accounting")
+        sections.extend(coverage_lines)
+        sections.extend(gauge_lines)
+
+    histogram_lines = []
+    for histogram in sorted(registry.histograms(), key=lambda h: h.name):
+        s = histogram.summary()
+        histogram_lines.append(
+            f"{histogram.name}: n={s['count']} mean={s['mean']:.1f} "
+            f"p50={s['p50']:.0f} p90={s['p90']:.0f} p99={s['p99']:.0f} "
+            f"max={s['max']:.0f}"
+        )
+    if histogram_lines:
+        sections.append("\n## size distributions")
+        sections.extend(histogram_lines)
+
+    if len(sections) == 1:
+        sections.append("(registry is empty)")
+    return "\n".join(sections)
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{{{inner}}}"
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str | Path) -> None:
+    """Write the registry's machine-readable export to ``path``."""
+    Path(path).write_text(json.dumps(registry.to_dict(), indent=2) + "\n")
+
+
+def span_names(registry: MetricsRegistry) -> set[str]:
+    """Every span name in the trace (validation helper for CI smoke runs)."""
+    return {span.name for span in registry.tracer.walk()}

@@ -1,0 +1,168 @@
+"""Hierarchical spans: the pipeline's wall-clock and virtual-time ledger.
+
+A span measures one named unit of work.  Spans nest: entering a span while
+another is open makes it a child, so ``collect_dataset`` ends up with one
+root span whose children are the seven §3 stages.  Each span records
+
+- ``wall_seconds`` -- real elapsed time (``time.perf_counter``);
+- ``wait_seconds`` -- *virtual* rate-limiter time spent waiting inside the
+  span (the crawl's simulated wall time, the quantity that made the paper
+  sample at 10%);
+- ``api_requests`` -- simulated API requests issued inside the span.
+
+The virtual quantities are read through snapshot callables supplied by the
+owning registry, so the tracer itself has no dependency on any API layer.
+Nothing here touches RNG state: instrumentation must never perturb the
+simulation it observes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterator
+
+
+class Span:
+    """One timed unit of work in the trace tree."""
+
+    __slots__ = (
+        "name",
+        "parent",
+        "children",
+        "wall_seconds",
+        "wait_seconds",
+        "api_requests",
+        "meta",
+    )
+
+    def __init__(self, name: str, parent: "Span | None" = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: list[Span] = []
+        self.wall_seconds = 0.0
+        self.wait_seconds = 0.0
+        self.api_requests = 0
+        self.meta: dict[str, object] = {}
+        if parent is not None:
+            parent.children.append(self)
+
+    def annotate(self, **fields: object) -> None:
+        """Attach arbitrary key/value detail (counts, sizes, outcomes)."""
+        self.meta.update(fields)
+
+    @property
+    def depth(self) -> int:
+        depth = 0
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "wait_seconds": self.wait_seconds,
+            "api_requests": self.api_requests,
+            "meta": dict(self.meta),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and seals it on exit."""
+
+    __slots__ = ("_tracer", "_span", "_wall0", "_wait0", "_requests0")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._span = Span(name, parent=tracer.current)
+        self._wall0 = 0.0
+        self._wait0 = 0.0
+        self._requests0 = 0
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        if self._span.parent is None:
+            tracer.roots.append(self._span)
+        tracer._stack.append(self._span)
+        self._wait0 = tracer._wait_total()
+        self._requests0 = tracer._request_total()
+        self._wall0 = time.perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info: object) -> bool:
+        span = self._span
+        tracer = self._tracer
+        span.wall_seconds += time.perf_counter() - self._wall0
+        span.wait_seconds += tracer._wait_total() - self._wait0
+        span.api_requests += tracer._request_total() - self._requests0
+        tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """Builds the span tree for one instrumented run."""
+
+    def __init__(
+        self,
+        request_total: Callable[[], int] = lambda: 0,
+        wait_total: Callable[[], float] = lambda: 0.0,
+    ) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._request_total = request_total
+        self._wait_total = wait_total
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str) -> _SpanContext:
+        return _SpanContext(self, name)
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> Span | None:
+        """The first span (depth first) with ``name``, or None."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_list(self) -> list[dict]:
+        return [root.to_dict() for root in self.roots]
+
+
+class NullSpan:
+    """The shared do-nothing span handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    def annotate(self, **fields: object) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+NULL_SPAN_CONTEXT = _NullSpanContext()

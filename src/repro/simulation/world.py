@@ -638,7 +638,20 @@ def build_world(seed: int = 7, scale: float = 0.01, **overrides) -> World:
     ``build_world(seed=1, scale=0.005, contagion_weight=0.0)`` for the
     no-contagion ablation.
     """
-    config = WorldConfig(seed=seed, scale=scale, **overrides)
-    world = World(config)
-    world.simulate()
+    from repro import obs
+
+    registry = obs.current()
+    with registry.span("build_world") as span:
+        with registry.span("world.init"):
+            config = WorldConfig(seed=seed, scale=scale, **overrides)
+            world = World(config)
+        with registry.span("world.simulate"):
+            world.simulate()
+        span.annotate(
+            seed=seed,
+            scale=scale,
+            agents=len(world.agents),
+            migrants=len(world.migrants),
+            tweets=world.twitter_store.tweet_count,
+        )
     return world

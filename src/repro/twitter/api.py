@@ -17,6 +17,7 @@ from __future__ import annotations
 import datetime as _dt
 from dataclasses import dataclass
 
+from repro import obs
 from repro.twitter.errors import (
     NotFoundError,
     ProtectedAccountError,
@@ -63,6 +64,18 @@ class TwitterAPI:
         self._graph = graph
         self.limiter = limiter if limiter is not None else RateLimiter()
 
+    @staticmethod
+    def _count_call(endpoint: str) -> None:
+        obs.current().counter("twitter.api.calls", endpoint=endpoint).inc()
+
+    @staticmethod
+    def _count_page(endpoint: str) -> None:
+        obs.current().counter("twitter.api.pages", endpoint=endpoint).inc()
+
+    @staticmethod
+    def _count_error(endpoint: str, kind: str) -> None:
+        obs.current().counter("twitter.api.errors", endpoint=endpoint, kind=kind).inc()
+
     # -- search -----------------------------------------------------------
 
     def search_all(
@@ -77,6 +90,8 @@ class TwitterAPI:
         query costs one pass over the archive regardless of page count.
         """
         self.limiter.acquire("search", wait=True)
+        self._count_call("search")
+        self._count_page("search")
         position = _decode_token(next_token)
         matched: list[Tweet] = []
         archive = self._store.tweet_ids_sorted
@@ -107,10 +122,13 @@ class TwitterAPI:
     def get_user(self, user_id: int) -> TwitterUser:
         """User lookup; suspended and deactivated accounts are not visible."""
         self.limiter.acquire("users", wait=True)
+        self._count_call("users")
         user = self._store.get_user(user_id)
         if user.state is AccountState.DEACTIVATED:
+            self._count_error("users", "deactivated")
             raise NotFoundError(f"user {user_id} deactivated their account")
         if user.state is AccountState.SUSPENDED:
+            self._count_error("users", "suspended")
             raise SuspendedAccountError(f"user {user_id} is suspended")
         return user
 
@@ -123,12 +141,16 @@ class TwitterAPI:
         account for coverage exactly as Section 3.2 does.
         """
         self.limiter.acquire("search", wait=True)
+        self._count_call("timeline")
         user = self._store.get_user(user_id)
         if user.state is AccountState.DEACTIVATED:
+            self._count_error("timeline", "deactivated")
             raise NotFoundError(f"user {user_id} deactivated their account")
         if user.state is AccountState.SUSPENDED:
+            self._count_error("timeline", "suspended")
             raise SuspendedAccountError(f"user {user_id} is suspended")
         if user.state is AccountState.PROTECTED:
+            self._count_error("timeline", "protected")
             raise ProtectedAccountError(f"user {user_id} protects their tweets")
         return [
             tweet
@@ -147,10 +169,14 @@ class TwitterAPI:
     ) -> FollowingPage:
         """One page of the accounts ``user_id`` follows."""
         self.limiter.acquire("following", wait=wait)
+        self._count_call("following")
+        self._count_page("following")
         user = self._store.get_user(user_id)
         if user.state is AccountState.DEACTIVATED:
+            self._count_error("following", "deactivated")
             raise NotFoundError(f"user {user_id} deactivated their account")
         if user.state is AccountState.SUSPENDED:
+            self._count_error("following", "suspended")
             raise SuspendedAccountError(f"user {user_id} is suspended")
         followees = sorted(self._graph.followees_of(user_id))
         offset = _decode_token(next_token)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.twitter.errors import RateLimitExceeded
 
 
@@ -78,11 +79,15 @@ class RateLimiter:
         carrying the seconds until reset.  With ``wait=True`` virtual time
         jumps to the next window instead and the wait is recorded.
         """
+        registry = obs.current()
         limit = self.limit_for(endpoint)
         state = self._state.setdefault(endpoint, _WindowState())
         if self.clock_seconds - state.window_start >= limit.window_seconds:
             state.window_start = self.clock_seconds
             state.used = 0
+            registry.counter(
+                "twitter.ratelimit.window_rollovers", endpoint=endpoint
+            ).inc()
         if state.used >= limit.requests:
             retry_after = state.window_start + limit.window_seconds - self.clock_seconds
             if not wait:
@@ -91,8 +96,15 @@ class RateLimiter:
             self.waited_seconds += retry_after
             state.window_start = self.clock_seconds
             state.used = 0
+            registry.counter(
+                "twitter.ratelimit.wait_seconds", endpoint=endpoint
+            ).inc(retry_after)
+            registry.counter(
+                "twitter.ratelimit.window_rollovers", endpoint=endpoint
+            ).inc()
         state.used += 1
         self.request_counts[endpoint] = self.request_counts.get(endpoint, 0) + 1
+        registry.counter("twitter.ratelimit.requests", endpoint=endpoint).inc()
 
     def max_requests_within(self, endpoint: str, seconds: int) -> int:
         """How many requests the quota allows inside ``seconds`` of wall time.

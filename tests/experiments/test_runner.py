@@ -1,8 +1,12 @@
 """Tests for the CLI runner (repro-experiments)."""
 
+import json
+import logging
+
 import pytest
 
-from repro.experiments.runner import main
+from repro import obs
+from repro.experiments.runner import build_dataset, main
 
 
 @pytest.fixture(scope="module")
@@ -54,3 +58,65 @@ class TestRunner:
     def test_unknown_experiment(self, saved_dataset):
         with pytest.raises(KeyError):
             main(["--dataset", saved_dataset, "--only", "F99"])
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    """Undo the runner's logging configuration after every test."""
+    logger = logging.getLogger("repro")
+    previous_level = logger.level
+    yield
+    logger.setLevel(previous_level)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_handler", False):
+            logger.removeHandler(handler)
+
+
+class TestTelemetryFlags:
+    def test_metrics_flag_writes_parseable_json(self, saved_dataset, tmp_path):
+        out = tmp_path / "metrics.json"
+        code = main(
+            ["--dataset", saved_dataset, "--only", "F5,F9", "--metrics", str(out)]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert set(doc) == {"counters", "gauges", "histograms", "spans"}
+        names = {s["name"] for root in doc["spans"] for s in _walk(root)}
+        assert {"experiments", "experiment.F5", "experiment.F9"} <= names
+
+    def test_trace_flag_prints_span_tree_to_stderr(self, saved_dataset, capsys):
+        code = main(["--dataset", saved_dataset, "--only", "F5", "--trace"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "# span tree" in err
+        assert "experiment.F5" in err
+        assert "# crawl report" in err
+
+    def test_without_flags_the_noop_registry_stays_active(
+        self, saved_dataset, capsys
+    ):
+        code = main(["--dataset", saved_dataset, "--only", "F5"])
+        assert code == 0
+        assert obs.current() is obs.NOOP
+        assert obs.NOOP.is_empty()
+
+    def test_quiet_flag_raises_log_threshold(self, saved_dataset):
+        main(["--dataset", saved_dataset, "--only", "F5", "--quiet"])
+        assert logging.getLogger("repro").level == logging.WARNING
+        main(["--dataset", saved_dataset, "--only", "F5"])
+        assert logging.getLogger("repro").level == logging.INFO
+
+    def test_build_dataset_logs_instead_of_printing(self, caplog, capsys):
+        with caplog.at_level(logging.INFO, logger="repro"):
+            build_dataset(seed=3, scale=0.002)
+        messages = [r.message for r in caplog.records]
+        assert any(m.startswith("world:") for m in messages)
+        assert any(m.startswith("collect:") for m in messages)
+        # nothing goes to raw stderr any more
+        assert capsys.readouterr().err == ""
+
+
+def _walk(span):
+    yield span
+    for child in span["children"]:
+        yield from _walk(child)

@@ -1,0 +1,56 @@
+"""Instrumentation must not change a single collected byte.
+
+The observability layer's contract: running the §3 pipeline under a live
+metrics registry produces a dataset byte-identical to an uninstrumented
+run.  This is what makes every telemetry number trustworthy — the act of
+measuring does not perturb the measurement (no RNG draws, no virtual-clock
+writes, no ordering changes).
+"""
+
+from repro import obs
+from repro.collection.pipeline import PIPELINE_STAGES, collect_dataset
+from repro.simulation.world import build_world
+
+SEED = 19
+SCALE = 0.002
+
+
+class TestInstrumentationDeterminism:
+    def test_instrumented_run_is_byte_identical(self, tmp_path):
+        # Two identically-seeded worlds, because the trends service draws
+        # from the world's RNG per call: each world may be collected once.
+        plain = collect_dataset(build_world(seed=SEED, scale=SCALE))
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            instrumented = collect_dataset(build_world(seed=SEED, scale=SCALE))
+
+        plain_path = tmp_path / "plain.json"
+        instrumented_path = tmp_path / "instrumented.json"
+        plain.save(plain_path)
+        instrumented.save(instrumented_path)
+        assert plain_path.read_bytes() == instrumented_path.read_bytes()
+
+        # sanity: the instrumented run actually recorded the full trace
+        names = obs.span_names(registry)
+        assert "collect_dataset" in names
+        assert "build_world" in names
+        for stage in PIPELINE_STAGES:
+            assert f"collect.{stage}" in names
+        assert registry.counter_total("twitter.ratelimit.requests") > 0
+        assert registry.counter_total("mastodon.api.requests") > 0
+
+    def test_span_request_accounting_reconciles(self, small_world):
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            collect_dataset(small_world)
+        root = registry.tracer.find("collect_dataset")
+        total = registry.counter_total(
+            "twitter.ratelimit.requests"
+        ) + registry.counter_total("mastodon.api.requests")
+        # every request issued during collection lands inside the root span
+        assert root.api_requests == total
+        # and stage requests sum to (at most) the root's, never more
+        stage_sum = sum(
+            child.api_requests for child in root.children
+        )
+        assert stage_sum <= root.api_requests

@@ -1,0 +1,137 @@
+"""Tests for repro.obs.metrics: counters, gauges, quantile histograms."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("requests").inc(-1)
+
+    def test_labels_create_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("req", endpoint="search").inc(5)
+        registry.counter("req", endpoint="following").inc(2)
+        assert registry.counter("req", endpoint="search").value == 5
+        assert registry.counter("req", endpoint="following").value == 2
+
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        a = registry.counter("req", endpoint="search")
+        b = registry.counter("req", endpoint="search")
+        assert a is b
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("req", a="1", b="2")
+        b = registry.counter("req", b="2", a="1")
+        assert a is b
+
+    def test_counter_total_sums_over_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("req", endpoint="search").inc(5)
+        registry.counter("req", endpoint="following").inc(2)
+        registry.counter("other").inc(100)
+        assert registry.counter_total("req") == 7
+
+    def test_counters_by_label(self):
+        registry = MetricsRegistry()
+        registry.counter("req", endpoint="a", domain="x").inc(1)
+        registry.counter("req", endpoint="a", domain="y").inc(2)
+        registry.counter("req", endpoint="b", domain="x").inc(4)
+        assert registry.counters_by_label("req", "endpoint") == {"a": 3, "b": 4}
+
+
+class TestGauge:
+    def test_set_moves_both_ways(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("coverage")
+        gauge.set(91.5)
+        assert gauge.value == 91.5
+        gauge.set(12.0)
+        assert gauge.value == 12.0
+
+
+class TestHistogram:
+    def test_nearest_rank_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sizes")
+        for v in range(1, 101):
+            hist.observe(v)
+        assert hist.quantile(0.50) == 50
+        assert hist.quantile(0.90) == 90
+        assert hist.quantile(0.99) == 99
+        assert hist.quantile(1.0) == 100
+
+    def test_quantile_small_sample(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sizes")
+        for v in (7, 3, 11):
+            hist.observe(v)
+        # nearest rank over sorted [3, 7, 11]
+        assert hist.quantile(0.5) == 7
+        assert hist.quantile(0.99) == 11
+        assert hist.quantile(0.01) == 3
+
+    def test_quantile_validates_range(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sizes")
+        hist.observe(1)
+        with pytest.raises(ValueError):
+            hist.quantile(0.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_empty_summary_is_zeroed(self):
+        registry = MetricsRegistry()
+        summary = registry.histogram("sizes").summary()
+        assert summary["count"] == 0
+        assert summary["p99"] == 0.0
+
+    def test_summary_fields(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("sizes")
+        for v in (2, 4, 6):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["total"] == 12
+        assert summary["min"] == 2
+        assert summary["max"] == 6
+        assert summary["mean"] == 4
+
+
+class TestExport:
+    def test_to_dict_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("req", endpoint="search").inc(3)
+        registry.gauge("rate").set(97.5)
+        registry.histogram("sizes").observe(10)
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        doc = json.loads(json.dumps(registry.to_dict()))
+        assert {c["name"] for c in doc["counters"]} == {"req"}
+        assert doc["counters"][0]["labels"] == {"endpoint": "search"}
+        assert doc["gauges"][0]["value"] == 97.5
+        assert doc["histograms"][0]["count"] == 1
+        assert doc["spans"][0]["name"] == "outer"
+        assert doc["spans"][0]["children"][0]["name"] == "inner"
+
+    def test_is_empty(self):
+        registry = MetricsRegistry()
+        assert registry.is_empty()
+        registry.counter("x").inc()
+        assert not registry.is_empty()

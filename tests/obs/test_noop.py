@@ -1,0 +1,68 @@
+"""The no-op default: library callers must see zero observable side effects."""
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import NULL_SPAN
+from repro.twitter.ratelimit import EndpointLimit, RateLimiter
+
+
+class TestActiveRegistry:
+    def test_default_is_noop(self):
+        assert obs.current() is obs.NOOP
+        assert obs.NOOP.enabled is False
+
+    def test_use_scopes_and_restores(self):
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            assert obs.current() is registry
+        assert obs.current() is obs.NOOP
+
+    def test_use_restores_on_exception(self):
+        registry = obs.MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with obs.use(registry):
+                raise RuntimeError("boom")
+        assert obs.current() is obs.NOOP
+
+    def test_use_nests(self):
+        outer, inner = obs.MetricsRegistry(), obs.MetricsRegistry()
+        with obs.use(outer):
+            with obs.use(inner):
+                assert obs.current() is inner
+            assert obs.current() is outer
+
+
+class TestNullRegistry:
+    def test_instruments_are_shared_singletons(self):
+        assert obs.NOOP.counter("a", x="1") is obs.NOOP.counter("b")
+        assert obs.NOOP.gauge("a") is obs.NOOP.gauge("b")
+        assert obs.NOOP.histogram("a") is obs.NOOP.histogram("b")
+
+    def test_writes_record_nothing(self):
+        obs.NOOP.counter("req", endpoint="search").inc(5)
+        obs.NOOP.gauge("rate").set(50.0)
+        obs.NOOP.histogram("sizes").observe(3)
+        with obs.NOOP.span("stage") as span:
+            span.annotate(items=3)
+        assert span is NULL_SPAN
+        assert obs.NOOP.is_empty()
+        assert obs.NOOP.to_dict() == {
+            "counters": [], "gauges": [], "histograms": [], "spans": [],
+        }
+
+    def test_null_span_totals_stay_zero(self):
+        assert obs.NOOP.counter_total("anything") == 0
+        assert obs.NOOP.counters_by_label("anything", "endpoint") == {}
+
+
+class TestUninstrumentedLibraryCalls:
+    def test_rate_limiter_without_registry_leaves_no_trace(self):
+        limiter = RateLimiter({"x": EndpointLimit(1, 60)})
+        for _ in range(4):
+            limiter.acquire("x", wait=True)
+        # the limiter's own accounting still works...
+        assert limiter.request_counts["x"] == 4
+        assert limiter.waited_seconds == 180
+        # ...and the process-wide default registry captured nothing
+        assert obs.NOOP.is_empty()

@@ -1,0 +1,89 @@
+"""Tests for the crawl report and JSON export."""
+
+import json
+
+from repro import obs
+
+
+def _populated_registry() -> obs.MetricsRegistry:
+    registry = obs.MetricsRegistry()
+    with registry.span("collect_dataset"):
+        with registry.span("collect.tweet_search") as span:
+            registry.counter(
+                "twitter.ratelimit.requests", endpoint="search"
+            ).inc(42)
+            registry.counter(
+                "twitter.ratelimit.wait_seconds", endpoint="search"
+            ).inc(1800)
+            span.annotate(tweets=1000)
+        with registry.span("collect.timelines"):
+            registry.counter(
+                "mastodon.api.requests", endpoint="statuses", domain="m.social"
+            ).inc(7)
+            registry.counter(
+                "collection.timelines.ok", platform="mastodon"
+            ).inc(5)
+            registry.gauge(
+                "collection.timelines.ok_rate", platform="mastodon"
+            ).set(83.3)
+            registry.histogram(
+                "collection.timelines.items_per_user", platform="mastodon"
+            ).observe(12)
+    return registry
+
+
+class TestSpanTree:
+    def test_tree_lists_spans_with_indentation(self):
+        text = obs.format_span_tree(_populated_registry())
+        lines = text.splitlines()
+        assert any(line.startswith("collect_dataset:") for line in lines)
+        assert any(line.startswith("  collect.tweet_search:") for line in lines)
+        assert "42 req" in text
+        assert "1800s wait" in text
+
+    def test_empty_registry(self):
+        assert "(no spans recorded)" in obs.format_span_tree(obs.MetricsRegistry())
+
+
+class TestCrawlReport:
+    def test_report_sections(self):
+        report = obs.format_crawl_report(_populated_registry())
+        assert "## stage inventory" in report
+        assert "collect.tweet_search" in report
+        assert "## api requests per endpoint" in report
+        assert "twitter.ratelimit.requests{endpoint=search}: 42" in report
+        assert "mastodon.api.requests{endpoint=statuses}: 7" in report
+        assert "simulated rate-limit wait: 1800s" in report
+        assert "## crawl accounting" in report
+        assert "collection.timelines.ok{platform=mastodon}: 5" in report
+        assert "## size distributions" in report
+        assert "collection.timelines.items_per_user" in report
+
+    def test_empty_registry(self):
+        assert "(registry is empty)" in obs.format_crawl_report(
+            obs.MetricsRegistry()
+        )
+
+
+class TestJsonExport:
+    def test_write_and_parse_roundtrip(self, tmp_path):
+        registry = _populated_registry()
+        path = tmp_path / "metrics.json"
+        obs.write_metrics_json(registry, path)
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"counters", "gauges", "histograms", "spans"}
+        span_names = set()
+
+        def walk(span):
+            span_names.add(span["name"])
+            for child in span["children"]:
+                walk(child)
+
+        for root in doc["spans"]:
+            walk(root)
+        assert {"collect_dataset", "collect.tweet_search", "collect.timelines"} \
+            <= span_names
+
+    def test_span_names_helper(self):
+        names = obs.span_names(_populated_registry())
+        assert "collect.timelines" in names

@@ -1,0 +1,107 @@
+"""Tests for repro.obs.spans: nesting, timing, virtual-time accounting."""
+
+import pytest
+
+from repro.obs.metrics import WAIT_COUNTER_NAME, MetricsRegistry
+
+
+class TestNesting:
+    def test_parent_child_structure(self):
+        registry = MetricsRegistry()
+        with registry.span("root") as root:
+            with registry.span("child-a") as a:
+                with registry.span("grandchild") as g:
+                    pass
+            with registry.span("child-b") as b:
+                pass
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert a.children == [g]
+        assert b.children == []
+        assert g.parent is a and a.parent is root and root.parent is None
+        assert registry.tracer.roots == [root]
+
+    def test_depth(self):
+        registry = MetricsRegistry()
+        with registry.span("root") as root:
+            with registry.span("child") as child:
+                with registry.span("grandchild") as grandchild:
+                    pass
+        assert (root.depth, child.depth, grandchild.depth) == (0, 1, 2)
+
+    def test_sequential_roots(self):
+        registry = MetricsRegistry()
+        with registry.span("first"):
+            pass
+        with registry.span("second"):
+            pass
+        assert [r.name for r in registry.tracer.roots] == ["first", "second"]
+
+    def test_exception_still_seals_span(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("root"):
+                with registry.span("child"):
+                    raise RuntimeError("boom")
+        assert registry.tracer.current is None
+        child = registry.tracer.find("child")
+        assert child is not None
+        assert child.wall_seconds >= 0.0
+
+    def test_find_and_walk(self):
+        registry = MetricsRegistry()
+        with registry.span("root"):
+            with registry.span("a"):
+                pass
+            with registry.span("b"):
+                pass
+        assert registry.tracer.find("b").name == "b"
+        assert registry.tracer.find("missing") is None
+        assert [s.name for s in registry.tracer.walk()] == ["root", "a", "b"]
+
+
+class TestAccounting:
+    def test_wall_time_is_recorded(self):
+        registry = MetricsRegistry()
+        with registry.span("work") as span:
+            sum(range(1000))
+        assert span.wall_seconds > 0.0
+
+    def test_virtual_wait_delta_is_attributed_to_open_spans(self):
+        registry = MetricsRegistry()
+        with registry.span("outer") as outer:
+            with registry.span("inner") as inner:
+                registry.counter(WAIT_COUNTER_NAME, endpoint="x").inc(900)
+            with registry.span("sibling") as sibling:
+                pass
+        assert inner.wait_seconds == 900
+        assert outer.wait_seconds == 900  # parent includes the child's wait
+        assert sibling.wait_seconds == 0
+
+    def test_api_request_delta(self):
+        registry = MetricsRegistry()
+        with registry.span("crawl") as span:
+            registry.counter("twitter.ratelimit.requests", endpoint="s").inc(7)
+            registry.counter("mastodon.api.requests", endpoint="a", domain="d").inc(3)
+            registry.counter("unrelated.counter").inc(50)
+        assert span.api_requests == 10
+
+    def test_annotate(self):
+        registry = MetricsRegistry()
+        with registry.span("stage") as span:
+            span.annotate(items=12, outcome="ok")
+        assert span.meta == {"items": 12, "outcome": "ok"}
+
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry()
+        with registry.span("root") as root:
+            root.annotate(k="v")
+            with registry.span("child"):
+                pass
+        doc = root.to_dict()
+        assert doc["name"] == "root"
+        assert doc["meta"] == {"k": "v"}
+        assert doc["children"][0]["name"] == "child"
+        assert set(doc) == {
+            "name", "wall_seconds", "wait_seconds", "api_requests",
+            "meta", "children",
+        }

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import obs
 from repro.twitter.errors import RateLimitExceeded
 from repro.twitter.ratelimit import DEFAULT_LIMITS, EndpointLimit, RateLimiter
 
@@ -78,3 +79,67 @@ class TestRateLimiter:
         limiter = RateLimiter({"a": EndpointLimit(1, 60), "b": EndpointLimit(1, 60)})
         limiter.acquire("a")
         limiter.acquire("b")  # independent quota, no raise
+
+
+class TestRateLimiterMetrics:
+    """The limiter's counters, exposed through the metrics registry."""
+
+    def test_request_counts_reconcile_with_registry(self):
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            limiter = RateLimiter(
+                {"a": EndpointLimit(2, 60), "b": EndpointLimit(1, 30)}
+            )
+            for _ in range(5):
+                limiter.acquire("a", wait=True)
+            for _ in range(3):
+                limiter.acquire("b", wait=True)
+        # the limiter's own accounting is internally consistent:
+        # waiting is the only way this limiter advances its clock...
+        assert limiter.clock_seconds >= limiter.waited_seconds
+        # ...and per-endpoint counts sum to the total issued
+        total = sum(limiter.request_counts.values())
+        assert total == 8
+        # the registry mirrors the limiter exactly, per endpoint and in sum
+        per_endpoint = registry.counters_by_label(
+            "twitter.ratelimit.requests", "endpoint"
+        )
+        assert per_endpoint == {
+            str(k): float(v) for k, v in limiter.request_counts.items()
+        }
+        assert registry.counter_total("twitter.ratelimit.requests") == total
+        assert (
+            registry.counter_total("twitter.ratelimit.wait_seconds")
+            == limiter.waited_seconds
+        )
+
+    def test_wait_seconds_attributed_to_the_depleted_endpoint(self):
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            limiter = RateLimiter({"x": EndpointLimit(1, 45)})
+            limiter.acquire("x", wait=True)
+            limiter.acquire("x", wait=True)
+        waits = registry.counters_by_label(
+            "twitter.ratelimit.wait_seconds", "endpoint"
+        )
+        assert waits == {"x": 45}
+
+    def test_window_rollovers_counted(self):
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            limiter = RateLimiter({"x": EndpointLimit(1, 60)})
+            limiter.acquire("x")
+            limiter.advance(60)  # natural expiry
+            limiter.acquire("x")
+            limiter.acquire("x", wait=True)  # forced rollover via wait
+        assert registry.counter_total("twitter.ratelimit.window_rollovers") == 2
+
+    def test_raising_acquire_counts_nothing(self):
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            limiter = RateLimiter({"x": EndpointLimit(1, 60)})
+            limiter.acquire("x")
+            with pytest.raises(RateLimitExceeded):
+                limiter.acquire("x")
+        assert registry.counter_total("twitter.ratelimit.requests") == 1
+        assert registry.counter_total("twitter.ratelimit.wait_seconds") == 0
