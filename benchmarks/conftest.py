@@ -8,7 +8,10 @@ benchmark that regenerates the wrong figure is worthless however fast.
 
 The session's world build and pipeline run execute under a live metrics
 registry, and their stage timings are written to ``BENCH_pipeline.json`` at
-the repository root — the perf trajectory future PRs compare against.
+the repository root — the perf trajectory future PRs compare against.  A
+second, fault-injected session (the ``paper-section-3.2`` scenario) records
+what resilience costs: its stage timings and retry/fault counters land in
+the artifact's ``faulted`` section.
 """
 
 from __future__ import annotations
@@ -21,7 +24,8 @@ import pytest
 
 from repro import obs
 from repro.collection.dataset import MigrationDataset
-from repro.collection.pipeline import collect_dataset
+from repro.collection.pipeline import CollectionConfig, collect_dataset
+from repro.faults import FaultPlan
 from repro.simulation.world import World, build_world
 
 BENCH_SEED = 7
@@ -47,9 +51,27 @@ def bench_dataset(bench_world: World) -> MigrationDataset:
     return dataset
 
 
-def _write_pipeline_artifact(registry: obs.MetricsRegistry) -> None:
-    """Persist the session's stage timings as the perf-trajectory artifact."""
-    stages = [
+@pytest.fixture(scope="session")
+def bench_faulted_dataset(
+    bench_world: World, bench_dataset: MigrationDataset
+) -> MigrationDataset:
+    """A second collection pass under the §3.2 fault scenario.
+
+    Depends on ``bench_dataset`` so the baseline artifact exists first; the
+    faulted session is then appended to it for side-by-side comparison.
+    """
+    registry = obs.MetricsRegistry()
+    config = CollectionConfig(
+        fault_plan=FaultPlan.scenario("paper-section-3.2", seed=BENCH_SEED)
+    )
+    with obs.use(registry):
+        dataset = collect_dataset(bench_world, config)
+    _append_faulted_section(registry, dataset)
+    return dataset
+
+
+def _stage_rows(registry: obs.MetricsRegistry) -> list[dict]:
+    return [
         {
             "name": span.name,
             "depth": span.depth,
@@ -60,10 +82,14 @@ def _write_pipeline_artifact(registry: obs.MetricsRegistry) -> None:
         }
         for span in registry.tracer.walk()
     ]
+
+
+def _write_pipeline_artifact(registry: obs.MetricsRegistry) -> None:
+    """Persist the session's stage timings as the perf-trajectory artifact."""
     payload = {
         "seed": BENCH_SEED,
         "scale": BENCH_SCALE,
-        "stages": stages,
+        "stages": _stage_rows(registry),
         "api_requests": {
             "twitter": registry.counter_total("twitter.ratelimit.requests"),
             "mastodon": registry.counter_total("mastodon.api.requests"),
@@ -71,5 +97,31 @@ def _write_pipeline_artifact(registry: obs.MetricsRegistry) -> None:
         "simulated_wait_seconds": registry.counter_total(
             "twitter.ratelimit.wait_seconds"
         ),
+    }
+    BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _append_faulted_section(
+    registry: obs.MetricsRegistry, dataset: MigrationDataset
+) -> None:
+    """Record the faulted session alongside the baseline in the artifact."""
+    payload = json.loads(BENCH_ARTIFACT.read_text())
+    payload["faulted"] = {
+        "scenario": "paper-section-3.2",
+        "seed": BENCH_SEED,
+        "stages": _stage_rows(registry),
+        "resilience": {
+            "faults_injected": registry.counter_total("faults.injected"),
+            "retry_attempts": registry.counter_total("retry.attempts"),
+            "retry_exhausted": registry.counter_total("retry.exhausted"),
+            "backoff_seconds": registry.counter_total("retry.backoff_seconds"),
+            "breaker_opened": registry.counter_total("breaker.open"),
+            "breaker_fast_fails": registry.counter_total("breaker.fast_fail"),
+        },
+        "coverage": {
+            "attempted": dataset.mastodon_coverage.attempted,
+            "instance_down": dataset.mastodon_coverage.instance_down,
+            "unreachable": dataset.mastodon_coverage.unreachable,
+        },
     }
     BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")

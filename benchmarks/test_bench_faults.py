@@ -1,0 +1,77 @@
+"""Benchmarks for the fault plane and the resilient collection pass.
+
+Two questions: what does routing every endpoint call through the transport
+cost when nothing is injected (it must be negligible — the fault-free path
+is the default everywhere), and what does a calibrated §3.2 chaos run cost
+end to end compared to the baseline session recorded in
+``BENCH_pipeline.json``.
+"""
+
+import pytest
+
+from repro.collection.pipeline import CollectionConfig, collect_dataset
+from repro.faults import FaultInjector, FaultPlan
+from repro.simulation.world import build_world
+from repro.transport import ClientTransport, RetryPolicy
+
+FAULTS_SEED = 21
+FAULTS_SCALE = 0.002
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(seed=FAULTS_SEED, scale=FAULTS_SCALE)
+
+
+def test_bench_transport_overhead_fault_free(benchmark):
+    """The per-call cost of the transport seam with nothing injected."""
+    transport = ClientTransport("twitter")
+
+    def thousand_calls():
+        for _ in range(1000):
+            transport.call("twitter.search", lambda: 1)
+
+    benchmark(thousand_calls)
+
+
+def test_bench_injector_inspect(benchmark):
+    """The per-attempt cost of drawing from an active fault plan."""
+    injector = FaultInjector(FaultPlan.scenario("paper-section-3.2", seed=1))
+
+    def thousand_inspections():
+        hits = 0
+        for i in range(1000):
+            try:
+                injector.inspect("mastodon.statuses", f"i{i % 50}.net", float(i))
+            except Exception:
+                hits += 1
+        return hits
+
+    benchmark(thousand_inspections)
+
+
+def test_bench_faulted_collection(benchmark, world):
+    """A full §3.2 chaos collection pass (retries on the virtual clock)."""
+    config = CollectionConfig(
+        fault_plan=FaultPlan.scenario("paper-section-3.2", seed=FAULTS_SEED),
+        retry_policy=RetryPolicy(),
+    )
+    dataset = benchmark.pedantic(
+        lambda: collect_dataset(world, config), rounds=3, iterations=1
+    )
+    assert dataset.migrant_count > 0
+    assert dataset.mastodon_coverage.attempted == len(dataset.matched)
+
+
+def test_faulted_session_lands_in_artifact(bench_faulted_dataset):
+    """Materialising the faulted session appends it to BENCH_pipeline.json."""
+    import json
+    from pathlib import Path
+
+    artifact = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+    payload = json.loads(artifact.read_text())
+    assert "faulted" in payload
+    section = payload["faulted"]
+    assert section["scenario"] == "paper-section-3.2"
+    assert section["resilience"]["faults_injected"] > 0
+    assert bench_faulted_dataset.migrant_count > 0

@@ -88,7 +88,15 @@ class FolloweeRecord:
 
 @dataclass
 class CrawlCoverage:
-    """Success/failure accounting for a timeline crawl (§3.2)."""
+    """Success/failure accounting for a timeline crawl (§3.2).
+
+    ``unreachable`` counts users lost to *transient* trouble the resilience
+    layer could not retry through (timeouts, 5xx, truncated pages from the
+    fault plane) — distinct from ``instance_down``, which records permanent
+    instance unavailability, the paper's 11.58%.  The reconciliation
+    invariant ``attempted == ok + every failure bucket`` holds under any
+    fault plan (enforced by ``tests/collection/test_fault_pipeline.py``).
+    """
 
     ok: int = 0
     suspended: int = 0
@@ -96,6 +104,7 @@ class CrawlCoverage:
     protected: int = 0
     no_statuses: int = 0
     instance_down: int = 0
+    unreachable: int = 0
 
     @property
     def attempted(self) -> int:
@@ -106,6 +115,7 @@ class CrawlCoverage:
             + self.protected
             + self.no_statuses
             + self.instance_down
+            + self.unreachable
         )
 
     def rate(self, outcome: str) -> float:
@@ -209,8 +219,8 @@ class MigrationDataset:
                 str(uid): [_status_doc(s) for s in statuses]
                 for uid, statuses in self.mastodon_timelines.items()
             },
-            "twitter_coverage": asdict(self.twitter_coverage),
-            "mastodon_coverage": asdict(self.mastodon_coverage),
+            "twitter_coverage": _coverage_doc(self.twitter_coverage),
+            "mastodon_coverage": _coverage_doc(self.mastodon_coverage),
             "followee_sample": {
                 str(uid): {
                     "twitter_followees": list(r.twitter_followees),
@@ -262,6 +272,15 @@ class MigrationDataset:
             for term, series in doc["trends"].items()
         }
         return dataset
+
+
+def _coverage_doc(coverage: CrawlCoverage) -> dict:
+    """Serialise coverage; a zero ``unreachable`` is omitted so fault-free
+    datasets stay byte-identical to the pre-resilience format."""
+    doc = asdict(coverage)
+    if not doc.get("unreachable"):
+        doc.pop("unreachable", None)
+    return doc
 
 
 def _tweet_doc(tweet: Tweet) -> dict:

@@ -16,10 +16,9 @@ import numpy as np
 
 from repro import obs
 from repro.collection.dataset import FolloweeRecord, MatchedUser
+from repro.errors import FediverseError, TransientError, TwitterError
 from repro.fediverse.api import MastodonClient
-from repro.fediverse.errors import FediverseError
 from repro.twitter.api import TwitterAPI
-from repro.twitter.errors import TwitterError
 
 
 def stratified_sample(
@@ -96,7 +95,7 @@ class FolloweeCrawler:
             registry.counter("collection.followees.attempted").inc()
             try:
                 twitter_followees = self._api.following_all(user.twitter_user_id)
-            except TwitterError:
+            except (TwitterError, TransientError):
                 registry.counter(
                     "collection.followees.failed", side="twitter"
                 ).inc()
@@ -104,7 +103,7 @@ class FolloweeCrawler:
             acct = current_accts.get(user.twitter_user_id, user.mastodon_acct)
             try:
                 mastodon_following = self._client.account_following(acct)
-            except FediverseError:
+            except (FediverseError, TransientError):
                 mastodon_following = []
                 registry.counter(
                     "collection.followees.failed", side="mastodon"

@@ -17,7 +17,7 @@ analyses consume; nothing downstream ever touches the world again.
 from __future__ import annotations
 
 import datetime as _dt
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -33,8 +33,10 @@ from repro.collection.instance_list import compile_instance_list
 from repro.collection.timelines import MastodonTimelineCrawler, TwitterTimelineCrawler
 from repro.collection.tweet_search import TweetCollector
 from repro.collection.weekly_activity import WeeklyActivityCrawler
+from repro.faults import FaultPlan
 from repro.fediverse.api import MastodonClient
 from repro.simulation.world import World
+from repro.transport import RetryPolicy
 from repro.util.clock import (
     SIM_END,
     SIM_START,
@@ -60,7 +62,13 @@ PIPELINE_STAGES = (
 
 @dataclass(frozen=True)
 class CollectionConfig:
-    """Knobs of the collection run (the paper's §3 choices)."""
+    """Knobs of the collection run (the paper's §3 choices).
+
+    ``fault_plan`` injects transient failures at the client transport
+    (default: none — a fault-free run is byte-identical to the
+    pre-resilience pipeline); ``retry_policy`` is the resilience budget the
+    crawlers spend against those faults, on the virtual clock.
+    """
 
     tweet_window_start: _dt.date = TWEET_COLLECTION_START
     tweet_window_end: _dt.date = TWEET_COLLECTION_END
@@ -68,6 +76,8 @@ class CollectionConfig:
     timeline_window_end: _dt.date = SIM_END
     followee_sample_fraction: float = 0.10
     sampler_seed: int = 99
+    fault_plan: FaultPlan = field(default_factory=FaultPlan.none)
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
 
 
 def collect_dataset(
@@ -77,8 +87,12 @@ def collect_dataset(
     config = config if config is not None else CollectionConfig()
     registry = obs.current()
     dataset = MigrationDataset()
-    api = world.twitter_api()
-    client = MastodonClient(world.network)
+    api = world.twitter_api(
+        faults=config.fault_plan, retry=config.retry_policy
+    )
+    client = MastodonClient(
+        world.network, faults=config.fault_plan, retry=config.retry_policy
+    )
 
     with registry.span("collect_dataset") as run_span:
         # 1. instance index
@@ -208,5 +222,12 @@ def collect_dataset(
             span.annotate(terms=len(dataset.trends))
 
         run_span.annotate(matched=dataset.migrant_count)
+        if config.fault_plan.active:
+            injected = sum(
+                transport.injector.injected_total
+                for transport in (api.transport, client.transport)
+                if transport.injector is not None
+            )
+            run_span.annotate(faults_injected=injected)
 
     return dataset

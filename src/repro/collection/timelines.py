@@ -10,6 +10,13 @@ For every matched migrant:
   *observed*).  Statuses of first and successor accounts are merged.
   Unreachable instances (11.58%) and status-less accounts (9.20%) are
   counted exactly as the paper reports.
+
+Both crawlers degrade gracefully under the fault plane: a
+:class:`~repro.errors.TransientError` that survived the transport's retry
+budget lands in the coverage's ``unreachable`` bucket instead of crashing
+the run, and a tripped circuit breaker (:class:`CircuitOpenError`, a
+subclass of :class:`InstanceDownError`) is accounted exactly like a
+permanently down instance.
 """
 
 from __future__ import annotations
@@ -22,20 +29,19 @@ from repro.collection.dataset import (
     MastodonAccountRecord,
     MatchedUser,
 )
-from repro.fediverse.api import MastodonClient
-from repro.fediverse.errors import (
+from repro.errors import (
     AccountNotFoundError,
-    FediverseError,
     InstanceDownError,
     InstanceNotFoundError,
-)
-from repro.fediverse.models import Status
-from repro.twitter.api import TwitterAPI
-from repro.twitter.errors import (
     NotFoundError,
     ProtectedAccountError,
+    RateLimitExceeded,
     SuspendedAccountError,
+    TransientError,
 )
+from repro.fediverse.api import MastodonClient
+from repro.fediverse.models import Status
+from repro.twitter.api import TwitterAPI
 from repro.twitter.models import Tweet
 from repro.util.clock import SIM_END, SIM_START
 
@@ -85,6 +91,12 @@ class TwitterTimelineCrawler:
                     "collection.timelines.failed",
                     platform="twitter", reason="protected",
                 ).inc()
+            except (TransientError, RateLimitExceeded):
+                coverage.unreachable += 1
+                registry.counter(
+                    "collection.timelines.failed",
+                    platform="twitter", reason="unreachable",
+                ).inc()
             else:
                 coverage.ok += 1
                 timelines[user.twitter_user_id] = tweets
@@ -129,7 +141,12 @@ class MastodonTimelineCrawler:
         if moved_to is not None:
             try:
                 second = self._client.account_summary(moved_to)
-            except (InstanceDownError, InstanceNotFoundError, AccountNotFoundError):
+            except (
+                InstanceDownError,
+                InstanceNotFoundError,
+                AccountNotFoundError,
+                TransientError,
+            ):
                 moved_to = None  # successor unreachable: treat as unmoved
             else:
                 second_created = second["created_at"]
@@ -175,16 +192,32 @@ class MastodonTimelineCrawler:
                     platform="mastodon", reason="deleted",
                 ).inc()
                 continue
+            except (TransientError, RateLimitExceeded):
+                coverage.unreachable += 1
+                registry.counter(
+                    "collection.timelines.failed",
+                    platform="mastodon", reason="unreachable",
+                ).inc()
+                continue
             assert record is not None
             accounts[user.twitter_user_id] = record
-            statuses = self._crawl_statuses(record)
-            if statuses is None:
+            try:
+                statuses = self._crawl_statuses(record)
+            except (InstanceDownError, InstanceNotFoundError, AccountNotFoundError):
                 coverage.instance_down += 1
                 registry.counter(
                     "collection.timelines.failed",
                     platform="mastodon", reason="instance_down",
                 ).inc()
-            elif not statuses:
+                continue
+            except (TransientError, RateLimitExceeded):
+                coverage.unreachable += 1
+                registry.counter(
+                    "collection.timelines.failed",
+                    platform="mastodon", reason="unreachable",
+                ).inc()
+                continue
+            if not statuses:
                 coverage.no_statuses += 1
                 registry.counter(
                     "collection.timelines.failed",
@@ -204,17 +237,18 @@ class MastodonTimelineCrawler:
         ).set(coverage.rate("ok"))
         return accounts, timelines, coverage
 
-    def _crawl_statuses(self, record: MastodonAccountRecord) -> list[Status] | None:
-        """All statuses of the first (and successor) account in the window."""
-        try:
-            statuses = self._client.account_statuses_all(
-                record.first_acct, since=self._since, until=self._until
+    def _crawl_statuses(self, record: MastodonAccountRecord) -> list[Status]:
+        """All statuses of the first (and successor) account in the window.
+
+        Raises whatever the client raises; the caller maps instance-down
+        and transient outcomes onto the coverage buckets.
+        """
+        statuses = self._client.account_statuses_all(
+            record.first_acct, since=self._since, until=self._until
+        )
+        if record.moved_to is not None:
+            statuses += self._client.account_statuses_all(
+                record.moved_to, since=self._since, until=self._until
             )
-            if record.moved_to is not None:
-                statuses += self._client.account_statuses_all(
-                    record.moved_to, since=self._since, until=self._until
-                )
-        except (InstanceDownError, InstanceNotFoundError, AccountNotFoundError):
-            return None
         statuses.sort(key=lambda s: s.status_id)
         return statuses

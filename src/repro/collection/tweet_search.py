@@ -17,6 +17,7 @@ import datetime as _dt
 from dataclasses import dataclass, field
 
 from repro import obs
+from repro.errors import RateLimitExceeded, TransientError
 from repro.twitter.api import TwitterAPI
 from repro.twitter.models import Tweet, TwitterUser
 from repro.twitter.search import SearchQuery, instance_link_query, migration_query
@@ -85,16 +86,23 @@ class TweetCollector:
     def _drain(
         self, query: SearchQuery, collected: CollectedTweets, seen: set[int]
     ) -> None:
-        token: str | None = None
-        while True:
-            page = self._api.search_all(query, next_token=token)
-            for tweet in page.tweets:
-                if tweet.tweet_id not in seen:
-                    seen.add(tweet.tweet_id)
-                    collected.tweets.append(tweet)
-                else:
-                    obs.current().counter("collection.tweet_search.duplicates").inc()
-            collected.users.update(page.users)
-            token = page.next_token
-            if token is None:
-                return
+        """Walk every page of one query, degrading on exhausted transients.
+
+        A transient failure that survived the transport's retry budget
+        aborts the *rest of this query* (its already-collected pages stay),
+        is counted, and the collector moves on to the next query — a real
+        crawl loses a search window, not the run.
+        """
+        try:
+            for page in self._api.iter_search_pages(query):
+                for tweet in page.tweets:
+                    if tweet.tweet_id not in seen:
+                        seen.add(tweet.tweet_id)
+                        collected.tweets.append(tweet)
+                    else:
+                        obs.current().counter(
+                            "collection.tweet_search.duplicates"
+                        ).inc()
+                collected.users.update(page.users)
+        except (TransientError, RateLimitExceeded):
+            obs.current().counter("collection.tweet_search.aborted_queries").inc()

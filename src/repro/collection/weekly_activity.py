@@ -8,8 +8,8 @@ Mastodon's instance-activity endpoint.  Downed instances are skipped.
 from __future__ import annotations
 
 from repro import obs
+from repro.errors import InstanceDownError, InstanceNotFoundError, TransientError
 from repro.fediverse.api import MastodonClient
-from repro.fediverse.errors import InstanceDownError, InstanceNotFoundError
 
 
 class WeeklyActivityCrawler:
@@ -27,7 +27,7 @@ class WeeklyActivityCrawler:
             registry.counter("collection.weekly_activity.attempted").inc()
             try:
                 rows = self._client.instance_activity(domain)
-            except (InstanceDownError, InstanceNotFoundError):
+            except (InstanceDownError, InstanceNotFoundError, TransientError):
                 self.failed_domains.append(domain)
                 registry.counter("collection.weekly_activity.failed").inc()
                 continue

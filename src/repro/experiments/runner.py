@@ -4,17 +4,20 @@ Usage::
 
     repro-experiments [--seed 7] [--scale 0.01] [--only F5,F8] \
                       [--dataset path.json] [--save path.json] [--report] \
-                      [--quiet] [--metrics out.json] [--trace]
+                      [--faults SCENARIO] [--quiet] [--metrics out.json] \
+                      [--trace]
 
 ``--dataset`` loads a previously saved dataset (skipping the simulation);
 ``--save`` stores the collected dataset for later reuse; ``--report`` also
 prints the paper-vs-measured headline table.  ``--quiet`` silences the
-progress lines.  ``--metrics PATH`` records the run in a live metrics
-registry and writes the machine-readable telemetry (counters, gauges,
-histogram summaries, span tree) to PATH; ``--trace`` prints the span tree
-and the human-readable crawl report to stderr.  Either flag turns
-instrumentation on; without them the no-op registry is active and the run
-is telemetry-free.
+progress lines.  ``--faults SCENARIO`` injects transient failures from a
+named :mod:`repro.faults` scenario (e.g. ``paper-section-3.2``) into the
+collection clients, seeded from ``--seed`` so the chaos is reproducible.
+``--metrics PATH`` records the run in a live metrics registry and writes
+the machine-readable telemetry (counters, gauges, histogram summaries,
+span tree) to PATH; ``--trace`` prints the span tree and the human-readable
+crawl report to stderr.  Either flag turns instrumentation on; without them
+the no-op registry is active and the run is telemetry-free.
 """
 
 from __future__ import annotations
@@ -27,14 +30,21 @@ import time
 from repro import obs
 from repro.analysis.report import format_report, headline_report
 from repro.collection.dataset import MigrationDataset
-from repro.collection.pipeline import collect_dataset
+from repro.collection.pipeline import CollectionConfig, collect_dataset
+from repro.errors import ConfigError
 from repro.experiments.registry import all_experiment_ids, get_experiment
+from repro.faults import FaultPlan, scenario_names
 from repro.simulation.world import build_world
 
 _log = obs.get_logger("runner")
 
 
-def build_dataset(seed: int, scale: float, verbose: bool = True) -> MigrationDataset:
+def build_dataset(
+    seed: int,
+    scale: float,
+    verbose: bool = True,
+    config: CollectionConfig | None = None,
+) -> MigrationDataset:
     """Build a world and run the collection pipeline."""
     level = logging.INFO if verbose else logging.DEBUG
     started = time.time()
@@ -47,7 +57,7 @@ def build_dataset(seed: int, scale: float, verbose: bool = True) -> MigrationDat
         time.time() - started,
     )
     started = time.time()
-    dataset = collect_dataset(world)
+    dataset = collect_dataset(world, config)
     _log.log(
         level,
         "collect: %d matched users (%.1fs)",
@@ -73,11 +83,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="include the X* extension experiments")
     parser.add_argument("--quiet", "-q", action="store_true",
                         help="suppress the stderr progress lines")
+    parser.add_argument("--faults", type=str, default="", metavar="SCENARIO",
+                        help="inject faults from a named scenario during "
+                             f"collection (one of: {', '.join(scenario_names())})")
     parser.add_argument("--metrics", type=str, default="", metavar="PATH",
                         help="write machine-readable run telemetry (JSON) to PATH")
     parser.add_argument("--trace", action="store_true",
                         help="print the span tree and crawl report to stderr")
     args = parser.parse_args(argv)
+
+    config: CollectionConfig | None = None
+    if args.faults:
+        if args.dataset:
+            parser.error("--faults has no effect with --dataset (no collection runs)")
+        try:
+            plan = FaultPlan.scenario(args.faults, seed=args.seed)
+        except ConfigError as err:
+            parser.error(str(err))
+        config = CollectionConfig(fault_plan=plan)
 
     obs.configure_logging(quiet=args.quiet)
     instrumented = bool(args.metrics) or args.trace
@@ -87,7 +110,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.dataset:
             dataset = MigrationDataset.load(args.dataset)
         else:
-            dataset = build_dataset(args.seed, args.scale, verbose=not args.quiet)
+            dataset = build_dataset(
+                args.seed, args.scale, verbose=not args.quiet, config=config
+            )
         if args.save:
             dataset.save(args.save)
 

@@ -1,0 +1,333 @@
+"""The fault plane: deterministic, seedable failure injection.
+
+The paper's crawl survived a hostile substrate — 11.58% of Mastodon
+instances were unreachable at crawl time (§3.2) and the Twitter crawler
+fought rate limits throughout — but a *simulated* crawl only ever sees the
+failures the world planted.  This module closes that gap: a
+:class:`FaultPlan` describes transient failures to inject at the client
+transport (:class:`repro.transport.ClientTransport`), and a
+:class:`FaultInjector` executes the plan deterministically from a seed.
+
+Fault kinds:
+
+- **instance flaps** — a domain goes down for a bounded stretch of virtual
+  time, then comes back; raised as :class:`~repro.errors.InstanceDownError`
+  with ``retry_after`` set to the remaining outage;
+- **transient request failures** — timeout / 5xx-style
+  :class:`~repro.errors.TransientError` subclasses;
+- **truncated pages** — :class:`~repro.errors.TruncatedPageError`, a page
+  that arrived incomplete and must be refetched;
+- **rate-limit bursts** — a :class:`~repro.errors.RateLimitExceeded` streak
+  of configurable length with a known ``retry_after``.
+
+Determinism contract: an injector draws from a private
+:class:`random.Random` seeded by ``FaultPlan.seed``, consumed strictly in
+call order.  The same plan against the same call sequence injects the same
+faults, so a faulted pipeline run is exactly reproducible (enforced by
+``tests/collection/test_fault_pipeline.py``).  ``FaultPlan.none()`` (the
+default everywhere) consumes no randomness at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.errors import (
+    ConfigError,
+    InstanceDownError,
+    RateLimitExceeded,
+    RequestTimeout,
+    ServerError,
+    TruncatedPageError,
+)
+
+
+@dataclass(frozen=True)
+class EndpointFaults:
+    """Per-endpoint fault probabilities and burst shape."""
+
+    #: Chance per call of a timeout / 5xx-style transient failure.
+    transient_probability: float = 0.0
+    #: Chance per call that the returned page is truncated (refetchable).
+    truncated_probability: float = 0.0
+    #: Chance per call of *starting* a rate-limit burst.
+    rate_limit_probability: float = 0.0
+    #: Calls the burst lasts once started (the triggering call included).
+    rate_limit_burst: int = 3
+    #: Virtual seconds until the limited endpoint's window resets.
+    rate_limit_retry_after: float = 60.0
+
+    def validate(self) -> None:
+        for name in (
+            "transient_probability",
+            "truncated_probability",
+            "rate_limit_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.rate_limit_burst < 1:
+            raise ConfigError("rate_limit_burst must be at least 1")
+        if self.rate_limit_retry_after < 0:
+            raise ConfigError("rate_limit_retry_after cannot be negative")
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.transient_probability
+            or self.truncated_probability
+            or self.rate_limit_probability
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative description of the faults to inject into a run.
+
+    ``endpoints`` maps endpoint patterns to :class:`EndpointFaults`.  A
+    pattern is either a full endpoint name (``"mastodon.statuses"``), a
+    platform wildcard (``"mastodon.*"``), or the catch-all ``"*"``; the most
+    specific match wins.  Flaps apply to every domain-scoped call (i.e. the
+    Mastodon side), independent of endpoint.
+    """
+
+    seed: int = 0
+    name: str = "custom"
+    endpoints: tuple[tuple[str, EndpointFaults], ...] = ()
+    #: Chance per domain-scoped call that the target domain starts a flap.
+    flap_probability: float = 0.0
+    #: Bounds of a flap's duration in virtual seconds.
+    flap_min_seconds: float = 60.0
+    flap_max_seconds: float = 600.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flap_probability <= 1.0:
+            raise ConfigError(
+                f"flap_probability must be in [0, 1], got {self.flap_probability}"
+            )
+        if not 0.0 < self.flap_min_seconds <= self.flap_max_seconds:
+            raise ConfigError(
+                "flap duration bounds must satisfy 0 < min <= max, got "
+                f"({self.flap_min_seconds}, {self.flap_max_seconds})"
+            )
+        for pattern, faults in self.endpoints:
+            if not pattern:
+                raise ConfigError("endpoint pattern cannot be empty")
+            faults.validate()
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan injects anything at all."""
+        return bool(self.flap_probability) or any(
+            faults.active for _, faults in self.endpoints
+        )
+
+    def faults_for(self, endpoint: str) -> EndpointFaults | None:
+        """The most specific endpoint entry matching ``endpoint``."""
+        best: EndpointFaults | None = None
+        best_rank = -1
+        for pattern, faults in self.endpoints:
+            if pattern == endpoint:
+                rank = 2
+            elif pattern.endswith(".*") and endpoint.startswith(pattern[:-1]):
+                rank = 1
+            elif pattern == "*":
+                rank = 0
+            else:
+                continue
+            if rank > best_rank:
+                best, best_rank = faults, rank
+        return best
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: nothing is injected (the default everywhere)."""
+        return cls(name="none")
+
+    @classmethod
+    def scenario(cls, name: str, seed: int = 0) -> "FaultPlan":
+        """A named preset (see :func:`scenario_names`)."""
+        try:
+            factory = _SCENARIOS[name]
+        except KeyError:
+            known = ", ".join(sorted(_SCENARIOS))
+            raise ConfigError(f"unknown fault scenario {name!r} (known: {known})")
+        return factory(seed)
+
+
+def scenario_names() -> list[str]:
+    """The names :meth:`FaultPlan.scenario` accepts, sorted."""
+    return sorted(_SCENARIOS)
+
+
+def _scenario_none(seed: int) -> FaultPlan:
+    return FaultPlan(seed=seed, name="none")
+
+
+def _scenario_paper(seed: int) -> FaultPlan:
+    """Calibrated to §3.2: transient faults that *retries recover from*.
+
+    The world already plants permanent instance downtime at the paper's
+    11.58% user share.  This scenario layers recoverable trouble on top —
+    flaps shorter than the retry policy's reach (every flap publishes its
+    outage window, and the default policy sleeps up to 900 virtual seconds),
+    sparse timeouts/5xx, occasional truncated pages, and short Twitter
+    rate-limit bursts — so a resilient crawl's *permanent* unavailability
+    still lands within ±2pp of 11.58% while its telemetry shows the fight.
+    """
+    return FaultPlan(
+        seed=seed,
+        name="paper-section-3.2",
+        flap_probability=0.004,
+        flap_min_seconds=60.0,
+        flap_max_seconds=600.0,
+        endpoints=(
+            ("mastodon.*", EndpointFaults(
+                transient_probability=0.02,
+                truncated_probability=0.005,
+            )),
+            ("twitter.*", EndpointFaults(
+                transient_probability=0.01,
+            )),
+            ("twitter.search", EndpointFaults(
+                transient_probability=0.01,
+                rate_limit_probability=0.002,
+                rate_limit_burst=2,
+                rate_limit_retry_after=60.0,
+            )),
+        ),
+    )
+
+
+def _scenario_flaky(seed: int) -> FaultPlan:
+    """A fediverse under heavy migration load: frequent flaps and 5xx."""
+    return FaultPlan(
+        seed=seed,
+        name="flaky-fediverse",
+        flap_probability=0.02,
+        flap_min_seconds=120.0,
+        flap_max_seconds=900.0,
+        endpoints=(
+            ("mastodon.*", EndpointFaults(
+                transient_probability=0.08,
+                truncated_probability=0.02,
+            )),
+        ),
+    )
+
+
+def _scenario_chaos(seed: int) -> FaultPlan:
+    """Aggressive everything — the chaos-testing preset."""
+    return FaultPlan(
+        seed=seed,
+        name="chaos",
+        flap_probability=0.03,
+        flap_min_seconds=60.0,
+        flap_max_seconds=600.0,
+        endpoints=(
+            ("*", EndpointFaults(
+                transient_probability=0.12,
+                truncated_probability=0.04,
+            )),
+            ("twitter.search", EndpointFaults(
+                transient_probability=0.12,
+                truncated_probability=0.04,
+                rate_limit_probability=0.01,
+                rate_limit_burst=2,
+                rate_limit_retry_after=120.0,
+            )),
+        ),
+    )
+
+
+_SCENARIOS = {
+    "none": _scenario_none,
+    "paper-section-3.2": _scenario_paper,
+    "flaky-fediverse": _scenario_flaky,
+    "chaos": _scenario_chaos,
+}
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a stream of transport calls.
+
+    The transport calls :meth:`inspect` once per *attempt*, before invoking
+    the wrapped endpoint function; the injector either returns (no fault) or
+    raises the injected error.  All state — active flaps, burst countdowns,
+    the RNG — lives here, keyed by virtual time where durations matter.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(f"repro.faults:{plan.seed}:{plan.name}")
+        #: domain -> virtual second the current flap ends
+        self._down_until: dict[str, float] = {}
+        #: endpoint -> calls remaining in the active rate-limit burst
+        self._burst_remaining: dict[str, int] = {}
+        self.injected_total = 0
+
+    def _inject(self, endpoint: str, kind: str) -> None:
+        self.injected_total += 1
+        obs.current().counter("faults.injected", endpoint=endpoint, kind=kind).inc()
+
+    def flapping(self, domain: str, now: float) -> bool:
+        """Whether ``domain`` is inside an injected flap at virtual ``now``."""
+        return now < self._down_until.get(domain, 0.0)
+
+    def inspect(self, endpoint: str, domain: str | None, now: float) -> None:
+        """Raise the fault (if any) this attempt draws.  Called per attempt."""
+        plan = self.plan
+        if domain is not None and plan.flap_probability:
+            until = self._down_until.get(domain, 0.0)
+            if now < until:
+                self._inject(endpoint, "flap")
+                raise InstanceDownError(domain, retry_after=until - now)
+            if self._rng.random() < plan.flap_probability:
+                duration = self._rng.uniform(
+                    plan.flap_min_seconds, plan.flap_max_seconds
+                )
+                self._down_until[domain] = now + duration
+                self._inject(endpoint, "flap")
+                raise InstanceDownError(domain, retry_after=duration)
+        faults = plan.faults_for(endpoint)
+        if faults is None or not faults.active:
+            return
+        burst = self._burst_remaining.get(endpoint, 0)
+        if burst > 0:
+            self._burst_remaining[endpoint] = burst - 1
+            self._inject(endpoint, "rate_limit")
+            raise RateLimitExceeded(endpoint, faults.rate_limit_retry_after)
+        if (
+            faults.transient_probability
+            and self._rng.random() < faults.transient_probability
+        ):
+            if self._rng.random() < 0.5:
+                self._inject(endpoint, "timeout")
+                raise RequestTimeout(f"request to {endpoint} timed out")
+            self._inject(endpoint, "server_error")
+            raise ServerError(f"{endpoint} answered 5xx")
+        if (
+            faults.truncated_probability
+            and self._rng.random() < faults.truncated_probability
+        ):
+            self._inject(endpoint, "truncated")
+            raise TruncatedPageError(f"{endpoint} returned a truncated page")
+        if (
+            faults.rate_limit_probability
+            and self._rng.random() < faults.rate_limit_probability
+        ):
+            self._burst_remaining[endpoint] = faults.rate_limit_burst - 1
+            self._inject(endpoint, "rate_limit")
+            raise RateLimitExceeded(endpoint, faults.rate_limit_retry_after)
+
+
+__all__ = [
+    "EndpointFaults",
+    "FaultPlan",
+    "FaultInjector",
+    "scenario_names",
+]

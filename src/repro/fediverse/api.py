@@ -9,18 +9,31 @@ The crawler of Sections 3.1-3.3 used three public endpoints per instance:
 This client reproduces them, including the failure mode that cost the paper
 11.58% of its Mastodon timelines: an instance that is down at crawl time
 raises :class:`InstanceDownError` for every endpoint.
+
+Every endpoint call runs through a :class:`repro.transport.ClientTransport`
+(endpoint names ``mastodon.lookup``, ``mastodon.account``,
+``mastodon.statuses``, ``mastodon.following``, ``mastodon.activity``),
+keyed by the target instance's domain — the seam where the fault plane
+injects flaps and transient failures, retries wait them out on the virtual
+clock, and the per-domain circuit breaker fails fast on dead instances.
+Status pagination walks the shared :class:`repro.transport.Paginator`;
+``iter_account_statuses`` streams, ``account_statuses_all`` stays as the
+list-materialising wrapper.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro import obs
+from repro.errors import InstanceDownError, InstanceNotFoundError
+from repro.faults import FaultPlan
 from repro.fediverse.activitypub import parse_acct
-from repro.fediverse.errors import InstanceDownError, InstanceNotFoundError
 from repro.fediverse.models import Account, Status
 from repro.fediverse.network import FediverseNetwork
+from repro.transport import ClientTransport, Paginator, RetryPolicy
 
 STATUSES_PAGE_SIZE = 40
 FOLLOWING_PAGE_SIZE = 80
@@ -35,8 +48,19 @@ class StatusesPage:
 class MastodonClient:
     """A crawler's view of the fediverse, instance by instance."""
 
-    def __init__(self, network: FediverseNetwork) -> None:
+    def __init__(
+        self,
+        network: FediverseNetwork,
+        transport: ClientTransport | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self._network = network
+        if transport is None:
+            transport = ClientTransport(
+                platform="mastodon", faults=faults, retry=retry
+            )
+        self.transport = transport
         self.request_count = 0
 
     def _instance_up(self, domain: str, endpoint: str):
@@ -66,24 +90,32 @@ class MastodonClient:
     def lookup_account(self, acct: str) -> Account:
         """Resolve ``user@domain`` via the account's home instance."""
         username, domain = parse_acct(acct)
-        instance = self._instance_up(domain, "lookup")
-        return instance.get_account(username)
+
+        def fetch() -> Account:
+            instance = self._instance_up(domain, "lookup")
+            return instance.get_account(username)
+
+        return self.transport.call("mastodon.lookup", fetch, domain=domain)
 
     def account_summary(self, acct: str) -> dict:
         """The account object a crawler sees: dates, move target, counts."""
         username, domain = parse_acct(acct)
-        instance = self._instance_up(domain, "account")
-        account = instance.get_account(username)
-        local = account.acct
-        return {
-            "acct": local,
-            "created_at": account.created_at,
-            "moved_to": account.moved_to,
-            "followers_count": len(instance.followers_of(local)),
-            "following_count": len(instance.following_of(local)),
-            "statuses_count": instance.status_count(username),
-            "last_status_at": account.last_status_at,
-        }
+
+        def fetch() -> dict:
+            instance = self._instance_up(domain, "account")
+            account = instance.get_account(username)
+            local = account.acct
+            return {
+                "acct": local,
+                "created_at": account.created_at,
+                "moved_to": account.moved_to,
+                "followers_count": len(instance.followers_of(local)),
+                "following_count": len(instance.following_of(local)),
+                "statuses_count": instance.status_count(username),
+                "last_status_at": account.last_status_at,
+            }
+
+        return self.transport.call("mastodon.account", fetch, domain=domain)
 
     def account_statuses(
         self,
@@ -97,16 +129,27 @@ class MastodonClient:
         20 on Pleroma — as a real crawler experiences it.
         """
         username, domain = parse_acct(acct)
-        instance = self._instance_up(domain, "statuses")
-        if page_size is None:
-            page_size = instance.statuses_page_size
-        statuses = instance.statuses_of(username)
-        newest_first = list(reversed(statuses))
-        if max_id is not None:
-            newest_first = [s for s in newest_first if s.status_id < max_id]
-        page = newest_first[:page_size]
-        next_max_id = page[-1].status_id if len(page) == page_size else None
-        return StatusesPage(statuses=page, max_id=next_max_id)
+
+        def fetch() -> StatusesPage:
+            instance = self._instance_up(domain, "statuses")
+            limit = page_size if page_size is not None else instance.statuses_page_size
+            statuses = instance.statuses_of(username)
+            newest_first = list(reversed(statuses))
+            if max_id is not None:
+                newest_first = [s for s in newest_first if s.status_id < max_id]
+            page = newest_first[:limit]
+            next_max_id = page[-1].status_id if len(page) == limit else None
+            return StatusesPage(statuses=page, max_id=next_max_id)
+
+        return self.transport.call("mastodon.statuses", fetch, domain=domain)
+
+    def iter_account_statuses(self, acct: str) -> Iterator[Status]:
+        """Stream an account's statuses, newest first."""
+        def fetch(max_id: int | None) -> tuple[list[Status], int | None]:
+            page = self.account_statuses(acct, max_id=max_id)
+            return page.statuses, page.max_id
+
+        return Paginator(fetch).items()
 
     def account_statuses_all(
         self,
@@ -115,14 +158,7 @@ class MastodonClient:
         until: _dt.date | None = None,
     ) -> list[Status]:
         """Every status of an account inside the window, oldest first."""
-        collected: list[Status] = []
-        max_id: int | None = None
-        while True:
-            page = self.account_statuses(acct, max_id=max_id)
-            collected.extend(page.statuses)
-            max_id = page.max_id
-            if max_id is None:
-                break
+        collected = list(self.iter_account_statuses(acct))
         collected.reverse()  # back to chronological order
         return [
             s
@@ -134,20 +170,29 @@ class MastodonClient:
     def account_following(self, acct: str) -> list[str]:
         """The accts an account follows (paginated endpoint, drained)."""
         username, domain = parse_acct(acct)
-        instance = self._instance_up(domain, "following")
-        following = sorted(instance.following_of(instance.local_acct(username)))
-        # model pagination cost: one request per page
-        pages = max(0, (len(following) - 1) // FOLLOWING_PAGE_SIZE)
-        self.request_count += pages
-        if pages:
-            obs.current().counter(
-                "mastodon.api.requests", endpoint="following", domain=domain
-            ).inc(pages)
-        return following
+
+        def fetch() -> list[str]:
+            instance = self._instance_up(domain, "following")
+            following = sorted(
+                instance.following_of(instance.local_acct(username))
+            )
+            # model pagination cost: one request per page
+            pages = max(0, (len(following) - 1) // FOLLOWING_PAGE_SIZE)
+            self.request_count += pages
+            if pages:
+                obs.current().counter(
+                    "mastodon.api.requests", endpoint="following", domain=domain
+                ).inc(pages)
+            return following
+
+        return self.transport.call("mastodon.following", fetch, domain=domain)
 
     # -- instance-level ----------------------------------------------------------
 
     def instance_activity(self, domain: str) -> list[dict[str, int | str]]:
         """The weekly-activity endpoint's rows for one instance."""
-        instance = self._instance_up(domain, "activity")
-        return [row.as_dict() for row in instance.weekly_activity()]
+        def fetch() -> list[dict[str, int | str]]:
+            instance = self._instance_up(domain, "activity")
+            return [row.as_dict() for row in instance.weekly_activity()]
+
+        return self.transport.call("mastodon.activity", fetch, domain=domain)

@@ -1,31 +1,25 @@
-"""Errors raised by the simulated fediverse."""
+"""Errors raised by the simulated fediverse.
 
-from repro.errors import ReproError
+The classes are defined in :mod:`repro.errors` (the package's unified error
+surface) and re-exported here for compatibility.
+"""
 
+from repro.errors import (
+    AccountNotFoundError,
+    CircuitOpenError,
+    DuplicateAccountError,
+    FederationError,
+    FediverseError,
+    InstanceDownError,
+    InstanceNotFoundError,
+)
 
-class FediverseError(ReproError):
-    """Base class for fediverse errors."""
-
-
-class InstanceNotFoundError(FediverseError):
-    """No instance is registered under the given domain."""
-
-
-class InstanceDownError(FediverseError):
-    """The instance is unreachable (the 11.58% crawl failures of §3.2)."""
-
-    def __init__(self, domain: str) -> None:
-        super().__init__(f"instance {domain} is down")
-        self.domain = domain
-
-
-class AccountNotFoundError(FediverseError):
-    """No account with the given username exists on the instance."""
-
-
-class DuplicateAccountError(FediverseError):
-    """The username is already taken on the instance."""
-
-
-class FederationError(FediverseError):
-    """An activity could not be delivered or processed."""
+__all__ = [
+    "FediverseError",
+    "InstanceNotFoundError",
+    "InstanceDownError",
+    "CircuitOpenError",
+    "AccountNotFoundError",
+    "DuplicateAccountError",
+    "FederationError",
+]

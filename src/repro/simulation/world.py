@@ -117,9 +117,16 @@ class World:
         self._plant_crawl_failures()
         self._simulated = True
 
-    def twitter_api(self) -> TwitterAPI:
-        """A fresh API client (own rate-limit state) over the world's Twitter."""
-        return TwitterAPI(self.twitter_store, self.twitter_graph)
+    def twitter_api(self, faults=None, retry=None) -> TwitterAPI:
+        """A fresh API client (own rate-limit state) over the world's Twitter.
+
+        ``faults`` (a :class:`repro.faults.FaultPlan`) and ``retry`` (a
+        :class:`repro.transport.RetryPolicy`) configure the client's
+        transport; by default nothing is injected and calls are single-shot.
+        """
+        return TwitterAPI(
+            self.twitter_store, self.twitter_graph, faults=faults, retry=retry
+        )
 
     def directory(self) -> InstanceDirectory:
         """The instances.social view at collection time (self-hosts included)."""

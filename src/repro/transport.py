@@ -1,0 +1,328 @@
+"""The shared client transport: one seam for faults, retries and paging.
+
+Both simulated platform clients (:class:`repro.twitter.api.TwitterAPI` and
+:class:`repro.fediverse.api.MastodonClient`) route every endpoint call
+through :meth:`ClientTransport.call`, which is therefore the *single* place
+where
+
+- the fault plane (:mod:`repro.faults`) injects transient failures,
+- retries with exponential backoff + jitter run — on the **virtual** clock,
+  never wall time, so faulted runs stay deterministic and fast,
+- a per-domain circuit breaker fails fast on flapping or dead instances, and
+- resilience telemetry (``faults.injected``, ``retry.attempts``,
+  ``retry.exhausted``, ``breaker.open``) is recorded.
+
+The module also hosts :class:`Paginator`, the one cursor loop behind every
+``*_all`` / ``iter_*`` pagination helper of both clients.
+
+Determinism: backoff jitter draws from a private :class:`random.Random`
+seeded from the fault plan's seed, consumed only when a retry actually
+happens, strictly in call order.  With ``FaultPlan.none()`` and a healthy
+substrate no randomness is consumed at all, so an instrumented, resilient
+run produces byte-identical datasets to a bare one.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro import obs
+from repro.errors import CircuitOpenError, ConfigError, ReproError
+from repro.faults import FaultInjector, FaultPlan
+
+T = TypeVar("T")
+
+
+# -- virtual time -------------------------------------------------------------
+
+
+class VirtualClock:
+    """A monotonically advancing virtual-seconds counter.
+
+    Backoff sleeps advance this clock instead of blocking: a faulted crawl
+    "waits out" outages in simulated time, exactly like the rate limiter's
+    window waits.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._seconds = float(start)
+
+    def now(self) -> float:
+        return self._seconds
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("virtual time cannot move backwards")
+        self._seconds += seconds
+
+
+class LimiterClock:
+    """Adapts a :class:`~repro.twitter.ratelimit.RateLimiter` as the clock.
+
+    The Twitter transport shares time with the rate limiter so that backoff
+    waits also roll the limiter's quota windows forward — waiting out a
+    fault consumes the same virtual timeline the quota lives on.
+    """
+
+    def __init__(self, limiter: Any) -> None:
+        self._limiter = limiter
+
+    def now(self) -> float:
+        return float(self._limiter.clock_seconds)
+
+    def advance(self, seconds: float) -> None:
+        self._limiter.advance(seconds)
+
+
+# -- retry policy -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter, bounded in attempts and delay.
+
+    Delays are *virtual* seconds.  When the failing side publishes its own
+    schedule (``retry_after`` on the error), the transport honours it
+    instead of the exponential curve — capped at :attr:`max_delay`, which is
+    therefore also the longest outage a retry can wait out.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 2.0
+    multiplier: float = 4.0
+    max_delay: float = 900.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be at least 1")
+        if self.base_delay <= 0 or self.max_delay <= 0:
+            raise ConfigError("delays must be positive")
+        if self.multiplier < 1.0:
+            raise ConfigError("multiplier must be at least 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigError("jitter must be in [0, 1)")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Single attempt, no retries (the bare clients' default)."""
+        return cls(max_attempts=1)
+
+    def backoff_delay(self, attempt: int, rng: random.Random) -> float:
+        """The virtual sleep after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempts are numbered from 1")
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return min(delay, self.max_delay)
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+@dataclass
+class _BreakerState:
+    consecutive_failures: int = 0
+    open: bool = False
+    half_open: bool = False
+    opened_at: float = 0.0
+
+
+class CircuitBreakerBoard:
+    """Per-key (domain) circuit breakers over the virtual clock.
+
+    ``threshold`` consecutive *terminal* failures (retries already
+    exhausted) open a key's circuit; while open, calls fail fast with
+    :class:`~repro.errors.CircuitOpenError`.  After ``recovery_seconds`` of
+    virtual time one probe call is let through (half-open); its outcome
+    closes or re-opens the circuit.
+    """
+
+    def __init__(self, threshold: int = 3, recovery_seconds: float = 600.0) -> None:
+        if threshold < 1:
+            raise ConfigError("breaker threshold must be at least 1")
+        if recovery_seconds <= 0:
+            raise ConfigError("breaker recovery window must be positive")
+        self.threshold = threshold
+        self.recovery_seconds = recovery_seconds
+        self._states: dict[str, _BreakerState] = {}
+
+    def state_of(self, key: str) -> str:
+        """``'closed'``, ``'open'`` or ``'half-open'`` (for introspection)."""
+        state = self._states.get(key)
+        if state is None or not state.open:
+            return "closed"
+        return "half-open" if state.half_open else "open"
+
+    def check(self, key: str, now: float) -> None:
+        """Raise :class:`CircuitOpenError` if ``key`` must fail fast."""
+        state = self._states.get(key)
+        if state is None or not state.open:
+            return
+        elapsed = now - state.opened_at
+        if elapsed < self.recovery_seconds and not state.half_open:
+            remaining = self.recovery_seconds - elapsed
+            obs.current().counter("breaker.fast_fail", domain=key).inc()
+            raise CircuitOpenError(key, retry_after=remaining)
+        # Recovery window elapsed: allow one probe through.
+        state.half_open = True
+
+    def record_success(self, key: str) -> None:
+        state = self._states.get(key)
+        if state is None:
+            return
+        if state.open:
+            obs.current().counter("breaker.closed", domain=key).inc()
+        state.consecutive_failures = 0
+        state.open = False
+        state.half_open = False
+
+    def record_failure(self, key: str, now: float) -> None:
+        state = self._states.setdefault(key, _BreakerState())
+        state.consecutive_failures += 1
+        should_open = state.half_open or state.consecutive_failures >= self.threshold
+        if should_open and not (state.open and not state.half_open):
+            obs.current().counter("breaker.open", domain=key).inc()
+        if should_open:
+            state.open = True
+            state.half_open = False
+            state.opened_at = now
+
+
+# -- the transport ------------------------------------------------------------
+
+
+class ClientTransport:
+    """The single call path of a platform client.
+
+    Parameters:
+
+    - ``platform`` — label for telemetry and seed derivation
+      (``"twitter"`` / ``"mastodon"``);
+    - ``clock`` — the virtual clock backoff sleeps advance (defaults to a
+      fresh :class:`VirtualClock`);
+    - ``faults`` — the :class:`~repro.faults.FaultPlan` to inject
+      (default: none);
+    - ``retry`` — the :class:`RetryPolicy` (default: single attempt, so a
+      bare client behaves exactly like the pre-resilience code path);
+    - ``breaker`` — a :class:`CircuitBreakerBoard` (default: fresh board
+      with threshold 3 / 600s recovery).
+    """
+
+    def __init__(
+        self,
+        platform: str = "",
+        clock: VirtualClock | LimiterClock | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreakerBoard | None = None,
+    ) -> None:
+        plan = faults if faults is not None else FaultPlan.none()
+        self.platform = platform
+        self.clock = clock if clock is not None else VirtualClock()
+        self.injector = FaultInjector(plan) if plan.active else None
+        self.retry = retry if retry is not None else RetryPolicy.none()
+        self.breaker = breaker if breaker is not None else CircuitBreakerBoard()
+        self._jitter_rng = random.Random(f"repro.transport:{plan.seed}:{platform}")
+
+    def call(
+        self,
+        endpoint: str,
+        fn: Callable[[], T],
+        *,
+        domain: str | None = None,
+        allow_retry: bool = True,
+    ) -> T:
+        """Run ``fn`` under fault injection, retries and the breaker.
+
+        ``domain`` keys the circuit breaker (Mastodon calls pass the target
+        instance; Twitter calls pass nothing and skip the breaker).
+        ``allow_retry=False`` disables the retry loop for this call — used
+        when the caller asked for fail-fast semantics (``wait=False``).
+        """
+        registry = obs.current()
+        registry.counter("transport.calls", endpoint=endpoint).inc()
+        if domain is not None:
+            self.breaker.check(domain, self.clock.now())
+        attempt = 1
+        while True:
+            try:
+                if self.injector is not None:
+                    self.injector.inspect(endpoint, domain, self.clock.now())
+                result = fn()
+            except ReproError as err:
+                if not err.retriable or not allow_retry:
+                    raise
+                if attempt >= self.retry.max_attempts:
+                    registry.counter("retry.exhausted", endpoint=endpoint).inc()
+                    if domain is not None:
+                        self.breaker.record_failure(domain, self.clock.now())
+                    raise
+                if err.retry_after is not None:
+                    delay = min(float(err.retry_after), self.retry.max_delay)
+                else:
+                    delay = self.retry.backoff_delay(attempt, self._jitter_rng)
+                self.clock.advance(delay)
+                registry.counter("retry.attempts", endpoint=endpoint).inc()
+                registry.counter(
+                    "retry.backoff_seconds", endpoint=endpoint
+                ).inc(delay)
+                attempt += 1
+            else:
+                if domain is not None:
+                    self.breaker.record_success(domain)
+                return result
+
+
+# -- pagination ---------------------------------------------------------------
+
+
+class Paginator:
+    """The one cursor loop behind every paginated endpoint.
+
+    ``fetch`` takes the current cursor (``None`` on the first call) and
+    returns ``(payload, next_cursor)``; a ``None`` next-cursor ends the
+    walk.  The cursor's type is the endpoint's business — Twitter's string
+    tokens and Mastodon's numeric ``max_id`` both fit.
+
+    :meth:`pages` streams the raw payloads; :meth:`items` flattens iterable
+    payloads; :meth:`drain` materialises :meth:`items` into a list (the
+    collectors' historical return shape).
+    """
+
+    def __init__(
+        self,
+        fetch: Callable[[Any], tuple[Any, Any]],
+        start: Any = None,
+    ) -> None:
+        self._fetch = fetch
+        self._start = start
+
+    def pages(self) -> Iterator[Any]:
+        cursor = self._start
+        while True:
+            payload, cursor = self._fetch(cursor)
+            yield payload
+            if cursor is None:
+                return
+
+    def items(self) -> Iterator[Any]:
+        for payload in self.pages():
+            yield from payload
+
+    def drain(self) -> list[Any]:
+        return list(self.items())
+
+
+__all__ = [
+    "VirtualClock",
+    "LimiterClock",
+    "RetryPolicy",
+    "CircuitBreakerBoard",
+    "ClientTransport",
+    "Paginator",
+]

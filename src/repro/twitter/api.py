@@ -10,19 +10,31 @@ Three endpoints, mirroring what Section 3 of the paper used:
 - ``following`` -- the Follows API (``/2/users/:id/following``), paginated
   and subject to the 15-requests-per-15-minutes quota that forced the
   paper's 10% subsample.
+
+Every endpoint call runs through a :class:`repro.transport.ClientTransport`
+(endpoint names ``twitter.search``, ``twitter.users``, ``twitter.timeline``,
+``twitter.following``), the single seam where the fault plane injects
+failures and retries/telemetry apply.  The transport's virtual clock is the
+rate limiter's clock, so backoff waits also roll quota windows forward.
+Pagination is driven by the shared :class:`repro.transport.Paginator`; the
+``iter_*`` variants stream, the historical ``*_all`` methods remain as thin
+list-materialising wrappers.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro import obs
-from repro.twitter.errors import (
+from repro.errors import (
     NotFoundError,
     ProtectedAccountError,
     SuspendedAccountError,
 )
+from repro.faults import FaultPlan
+from repro.transport import ClientTransport, LimiterClock, Paginator, RetryPolicy
 from repro.twitter.graph import FollowGraph
 from repro.twitter.models import AccountState, Tweet, TwitterUser
 from repro.twitter.ratelimit import RateLimiter
@@ -52,17 +64,28 @@ class FollowingPage:
 
 
 class TwitterAPI:
-    """Facade over the store, graph and rate limiter."""
+    """Facade over the store, graph, rate limiter and client transport."""
 
     def __init__(
         self,
         store: TwitterStore,
         graph: FollowGraph,
         limiter: RateLimiter | None = None,
+        transport: ClientTransport | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self._store = store
         self._graph = graph
         self.limiter = limiter if limiter is not None else RateLimiter()
+        if transport is None:
+            transport = ClientTransport(
+                platform="twitter",
+                clock=LimiterClock(self.limiter),
+                faults=faults,
+                retry=retry,
+            )
+        self.transport = transport
 
     @staticmethod
     def _count_call(endpoint: str) -> None:
@@ -89,6 +112,14 @@ class TwitterAPI:
         The pagination token encodes the archive scan position, so draining a
         query costs one pass over the archive regardless of page count.
         """
+        return self.transport.call(
+            "twitter.search",
+            lambda: self._search_page(query, next_token, page_size),
+        )
+
+    def _search_page(
+        self, query: SearchQuery, next_token: str | None, page_size: int
+    ) -> SearchPage:
         self.limiter.acquire("search", wait=True)
         self._count_call("search")
         self._count_page("search")
@@ -106,21 +137,30 @@ class TwitterAPI:
         token = _encode_token(position) if position < len(archive) else None
         return SearchPage(tweets=matched, users=users, next_token=token)
 
+    def iter_search_pages(self, query: SearchQuery) -> Iterator[SearchPage]:
+        """Stream every page of a search (tweets plus author expansions)."""
+        def fetch(token: str | None) -> tuple[SearchPage, str | None]:
+            page = self.search_all(query, next_token=token)
+            return page, page.next_token
+
+        return Paginator(fetch).pages()
+
+    def iter_search(self, query: SearchQuery) -> Iterator[Tweet]:
+        """Stream every matching tweet of a search."""
+        for page in self.iter_search_pages(query):
+            yield from page.tweets
+
     def search_all_pages(self, query: SearchQuery) -> list[Tweet]:
         """Drain every page of a search (the collectors' common case)."""
-        tweets: list[Tweet] = []
-        token: str | None = None
-        while True:
-            page = self.search_all(query, next_token=token)
-            tweets.extend(page.tweets)
-            token = page.next_token
-            if token is None:
-                return tweets
+        return list(self.iter_search(query))
 
     # -- users and timelines ------------------------------------------------
 
     def get_user(self, user_id: int) -> TwitterUser:
         """User lookup; suspended and deactivated accounts are not visible."""
+        return self.transport.call("twitter.users", lambda: self._get_user(user_id))
+
+    def _get_user(self, user_id: int) -> TwitterUser:
         self.limiter.acquire("users", wait=True)
         self._count_call("users")
         user = self._store.get_user(user_id)
@@ -140,6 +180,14 @@ class TwitterAPI:
         Raises the error matching the account state so the crawler can
         account for coverage exactly as Section 3.2 does.
         """
+        return self.transport.call(
+            "twitter.timeline",
+            lambda: self._user_timeline(user_id, since, until),
+        )
+
+    def _user_timeline(
+        self, user_id: int, since: _dt.date, until: _dt.date
+    ) -> list[Tweet]:
         self.limiter.acquire("search", wait=True)
         self._count_call("timeline")
         user = self._store.get_user(user_id)
@@ -167,7 +215,21 @@ class TwitterAPI:
         page_size: int = FOLLOWING_PAGE_SIZE,
         wait: bool = True,
     ) -> FollowingPage:
-        """One page of the accounts ``user_id`` follows."""
+        """One page of the accounts ``user_id`` follows.
+
+        ``wait=False`` asks for fail-fast semantics: a depleted quota raises
+        :class:`~repro.errors.RateLimitExceeded` instead of waiting, and the
+        transport's retry loop is bypassed for the same reason.
+        """
+        return self.transport.call(
+            "twitter.following",
+            lambda: self._following_page(user_id, next_token, page_size, wait),
+            allow_retry=wait,
+        )
+
+    def _following_page(
+        self, user_id: int, next_token: str | None, page_size: int, wait: bool
+    ) -> FollowingPage:
         self.limiter.acquire("following", wait=wait)
         self._count_call("following")
         self._count_page("following")
@@ -185,16 +247,17 @@ class TwitterAPI:
         token = _encode_token(offset + page_size) if more else None
         return FollowingPage(user_ids=chunk, next_token=token)
 
+    def iter_following(self, user_id: int, wait: bool = True) -> Iterator[int]:
+        """Stream every followee id of a user."""
+        def fetch(token: str | None) -> tuple[list[int], str | None]:
+            page = self.following(user_id, next_token=token, wait=wait)
+            return page.user_ids, page.next_token
+
+        return Paginator(fetch).items()
+
     def following_all(self, user_id: int, wait: bool = True) -> list[int]:
         """Drain every page of a user's followees."""
-        ids: list[int] = []
-        token: str | None = None
-        while True:
-            page = self.following(user_id, next_token=token, wait=wait)
-            ids.extend(page.user_ids)
-            token = page.next_token
-            if token is None:
-                return ids
+        return list(self.iter_following(user_id, wait=wait))
 
 
 def _encode_token(offset: int) -> str:

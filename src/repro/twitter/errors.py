@@ -3,31 +3,23 @@
 The hierarchy mirrors the HTTP failure modes the paper's crawler had to
 handle when gathering timelines (Section 3.2): suspended accounts, deleted or
 deactivated accounts, protected tweets, and rate limiting.
+
+The classes are defined in :mod:`repro.errors` (the package's unified error
+surface) and re-exported here for compatibility.
 """
 
-from repro.errors import ReproError
+from repro.errors import (
+    NotFoundError,
+    ProtectedAccountError,
+    RateLimitExceeded,
+    SuspendedAccountError,
+    TwitterError,
+)
 
-
-class TwitterError(ReproError):
-    """Base class for Twitter API errors."""
-
-
-class NotFoundError(TwitterError):
-    """The user or tweet does not exist (deleted/deactivated accounts)."""
-
-
-class SuspendedAccountError(TwitterError):
-    """The account was suspended by the platform."""
-
-
-class ProtectedAccountError(TwitterError):
-    """The account's tweets are protected and invisible to the crawler."""
-
-
-class RateLimitExceeded(TwitterError):
-    """The caller exhausted its request budget for an endpoint window."""
-
-    def __init__(self, endpoint: str, retry_after: int) -> None:
-        super().__init__(f"rate limit exceeded for {endpoint}; retry after {retry_after}s")
-        self.endpoint = endpoint
-        self.retry_after = retry_after
+__all__ = [
+    "TwitterError",
+    "NotFoundError",
+    "SuspendedAccountError",
+    "ProtectedAccountError",
+    "RateLimitExceeded",
+]

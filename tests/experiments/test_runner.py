@@ -116,6 +116,37 @@ class TestTelemetryFlags:
         assert capsys.readouterr().err == ""
 
 
+class TestFaultsFlag:
+    def test_faulted_run_completes_with_telemetry(self, tmp_path, capsys):
+        metrics = tmp_path / "chaos.json"
+        code = main([
+            "--seed", "3", "--scale", "0.002", "--only", "F1",
+            "--faults", "paper-section-3.2", "--metrics", str(metrics),
+            "--quiet",
+        ])
+        assert code == 0
+        assert "F1:" in capsys.readouterr().out
+        doc = json.loads(metrics.read_text())
+        totals = {}
+        for counter in doc["counters"]:
+            totals[counter["name"]] = (
+                totals.get(counter["name"], 0) + counter["value"]
+            )
+        assert totals.get("faults.injected", 0) > 0
+        assert totals.get("retry.attempts", 0) > 0
+        assert totals.get("transport.calls", 0) > 0
+
+    def test_unknown_scenario_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--faults", "not-a-scenario"])
+        assert "unknown fault scenario" in capsys.readouterr().err
+
+    def test_faults_with_dataset_is_rejected(self, saved_dataset, capsys):
+        with pytest.raises(SystemExit):
+            main(["--dataset", saved_dataset, "--faults", "chaos"])
+        assert "--faults has no effect" in capsys.readouterr().err
+
+
 def _walk(span):
     yield span
     for child in span["children"]:

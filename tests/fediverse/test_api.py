@@ -120,3 +120,28 @@ class TestFollowingAndActivity:
         before = client.request_count
         client.instance_activity("crawl.me")
         assert client.request_count == before + 1
+
+
+class TestStreamingIterators:
+    def test_iter_statuses_newest_first(self, setup):
+        __, client = setup
+        streamed = list(client.iter_account_statuses("alice@crawl.me"))
+        assert len(streamed) == 100
+        ids = [s.status_id for s in streamed]
+        assert ids == sorted(ids, reverse=True)
+
+    def test_iter_matches_drained_list(self, setup):
+        __, client = setup
+        streamed = list(client.iter_account_statuses("alice@crawl.me"))
+        drained = client.account_statuses_all("alice@crawl.me")
+        assert [s.status_id for s in reversed(streamed)] == [
+            s.status_id for s in drained
+        ]
+
+    def test_iter_is_lazy(self, setup):
+        net, client = setup
+        before = client.request_count
+        iterator = client.iter_account_statuses("alice@crawl.me")
+        assert client.request_count == before
+        next(iterator)
+        assert client.request_count == before + 1

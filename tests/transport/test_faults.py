@@ -1,0 +1,193 @@
+"""Tests for repro.faults: plans, scenarios and the injector."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    InstanceDownError,
+    RateLimitExceeded,
+    TransientError,
+    TruncatedPageError,
+)
+from repro.faults import EndpointFaults, FaultInjector, FaultPlan, scenario_names
+
+
+class TestEndpointFaults:
+    def test_defaults_inactive(self):
+        assert not EndpointFaults().active
+
+    def test_any_probability_activates(self):
+        assert EndpointFaults(transient_probability=0.1).active
+        assert EndpointFaults(truncated_probability=0.1).active
+        assert EndpointFaults(rate_limit_probability=0.1).active
+
+    def test_probability_bounds_validated(self):
+        with pytest.raises(ConfigError):
+            EndpointFaults(transient_probability=1.5).validate()
+        with pytest.raises(ConfigError):
+            EndpointFaults(truncated_probability=-0.1).validate()
+
+    def test_burst_length_validated(self):
+        with pytest.raises(ConfigError):
+            EndpointFaults(rate_limit_burst=0).validate()
+
+
+class TestFaultPlan:
+    def test_none_is_inactive(self):
+        assert not FaultPlan.none().active
+
+    def test_flap_probability_activates(self):
+        assert FaultPlan(flap_probability=0.01).active
+
+    def test_endpoint_faults_activate(self):
+        plan = FaultPlan(
+            endpoints=(("*", EndpointFaults(transient_probability=0.1)),)
+        )
+        assert plan.active
+
+    def test_invalid_flap_probability_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(flap_probability=2.0)
+
+    def test_invalid_flap_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(flap_probability=0.1, flap_min_seconds=0.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(
+                flap_probability=0.1, flap_min_seconds=10.0, flap_max_seconds=5.0
+            )
+
+    def test_endpoint_validation_runs_at_construction(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(endpoints=(("*", EndpointFaults(rate_limit_burst=0)),))
+
+    def test_most_specific_pattern_wins(self):
+        exact = EndpointFaults(transient_probability=0.3)
+        platform = EndpointFaults(transient_probability=0.2)
+        fallback = EndpointFaults(transient_probability=0.1)
+        plan = FaultPlan(
+            endpoints=(
+                ("*", fallback),
+                ("twitter.*", platform),
+                ("twitter.search", exact),
+            )
+        )
+        assert plan.faults_for("twitter.search") is exact
+        assert plan.faults_for("twitter.timeline") is platform
+        assert plan.faults_for("mastodon.lookup") is fallback
+
+    def test_no_match_returns_none(self):
+        plan = FaultPlan(
+            endpoints=(("twitter.*", EndpointFaults(transient_probability=0.1)),)
+        )
+        assert plan.faults_for("mastodon.lookup") is None
+
+
+class TestScenarios:
+    def test_names_listed(self):
+        assert "paper-section-3.2" in scenario_names()
+        assert "none" in scenario_names()
+
+    def test_every_named_scenario_constructs(self):
+        for name in scenario_names():
+            plan = FaultPlan.scenario(name, seed=5)
+            assert plan.seed == 5
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ConfigError, match="unknown fault scenario"):
+            FaultPlan.scenario("does-not-exist")
+
+    def test_paper_scenario_flaps_are_recoverable(self):
+        # Every flap publishes an outage window no longer than the default
+        # retry policy's max_delay, so retries can always wait one out —
+        # that is what keeps permanent unavailability at the planted level.
+        from repro.transport import RetryPolicy
+
+        plan = FaultPlan.scenario("paper-section-3.2")
+        assert plan.flap_max_seconds <= RetryPolicy().max_delay
+
+
+def _drive(plan, endpoint="mastodon.statuses", domain="an.instance", calls=500):
+    """Run the injector over a fixed call sequence; return the fault log."""
+    injector = FaultInjector(plan)
+    log = []
+    now = 0.0
+    for _ in range(calls):
+        try:
+            injector.inspect(endpoint, domain, now)
+            log.append("ok")
+        except InstanceDownError as err:
+            log.append(("down", round(err.retry_after or 0.0, 6)))
+        except RateLimitExceeded:
+            log.append("rate_limit")
+        except TruncatedPageError:
+            log.append("truncated")
+        except TransientError as err:
+            log.append(type(err).__name__)
+        now += 30.0
+    return injector, log
+
+
+class TestFaultInjector:
+    def test_same_seed_same_faults(self):
+        plan = FaultPlan.scenario("chaos", seed=42)
+        _, log_a = _drive(plan)
+        _, log_b = _drive(plan)
+        assert log_a == log_b
+        assert any(entry != "ok" for entry in log_a)
+
+    def test_different_seed_different_faults(self):
+        _, log_a = _drive(FaultPlan.scenario("chaos", seed=1))
+        _, log_b = _drive(FaultPlan.scenario("chaos", seed=2))
+        assert log_a != log_b
+
+    def test_none_plan_never_injects(self):
+        injector, log = _drive(FaultPlan.none())
+        assert log == ["ok"] * len(log)
+        assert injector.injected_total == 0
+
+    def test_flap_downs_domain_until_expiry(self):
+        plan = FaultPlan(seed=3, flap_probability=1.0, flap_min_seconds=100.0,
+                         flap_max_seconds=100.0)
+        injector = FaultInjector(plan)
+        with pytest.raises(InstanceDownError) as exc:
+            injector.inspect("mastodon.lookup", "flappy.io", 0.0)
+        assert exc.value.retry_after == pytest.approx(100.0)
+        assert injector.flapping("flappy.io", 50.0)
+        # Mid-flap: still down, retry_after shrinks to the remaining window.
+        with pytest.raises(InstanceDownError) as exc:
+            injector.inspect("mastodon.lookup", "flappy.io", 60.0)
+        assert exc.value.retry_after == pytest.approx(40.0)
+        assert not injector.flapping("flappy.io", 150.0)
+
+    def test_flaps_do_not_apply_without_domain(self):
+        plan = FaultPlan(seed=3, flap_probability=1.0)
+        injector = FaultInjector(plan)
+        injector.inspect("twitter.search", None, 0.0)  # must not raise
+
+    def test_rate_limit_burst_runs_its_course(self):
+        plan = FaultPlan(
+            seed=0,
+            endpoints=(
+                ("twitter.search", EndpointFaults(
+                    rate_limit_probability=1.0,
+                    rate_limit_burst=3,
+                    rate_limit_retry_after=45.0,
+                )),
+            ),
+        )
+        injector = FaultInjector(plan)
+        for _ in range(3):
+            with pytest.raises(RateLimitExceeded) as exc:
+                injector.inspect("twitter.search", None, 0.0)
+            assert exc.value.retry_after == 45.0
+        # The burst is spent; the next trigger draws a fresh burst, so the
+        # streak length is exactly the configured one per draw.
+        assert injector._burst_remaining["twitter.search"] == 0
+
+    def test_injected_total_counts_every_fault(self):
+        plan = FaultPlan.scenario("chaos", seed=42)
+        injector, log = _drive(plan)
+        assert injector.injected_total == sum(
+            1 for entry in log if entry != "ok"
+        )

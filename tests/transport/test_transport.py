@@ -1,0 +1,284 @@
+"""Tests for repro.transport: retry policy, breaker, call loop, paginator."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    InstanceDownError,
+    NotFoundError,
+    RequestTimeout,
+    ServerError,
+)
+from repro.faults import EndpointFaults, FaultPlan
+from repro.transport import (
+    CircuitBreakerBoard,
+    ClientTransport,
+    LimiterClock,
+    Paginator,
+    RetryPolicy,
+    VirtualClock,
+)
+
+
+class TestVirtualClock:
+    def test_advances(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.advance(12.5)
+        assert clock.now() == 12.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+class TestLimiterClock:
+    def test_shares_time_with_limiter(self):
+        from repro.twitter.ratelimit import RateLimiter
+
+        limiter = RateLimiter()
+        clock = LimiterClock(limiter)
+        before = clock.now()
+        clock.advance(60.0)
+        assert clock.now() == before + 60.0
+        assert limiter.clock_seconds == clock.now()
+
+
+class TestRetryPolicy:
+    def test_defaults_validated(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(base_delay=0.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter=1.0)
+
+    def test_none_is_single_attempt(self):
+        assert RetryPolicy.none().max_attempts == 1
+
+    def test_exponential_curve_without_jitter(self):
+        policy = RetryPolicy(base_delay=2.0, multiplier=4.0, jitter=0.0,
+                             max_delay=900.0)
+        rng = random.Random(0)
+        assert policy.backoff_delay(1, rng) == 2.0
+        assert policy.backoff_delay(2, rng) == 8.0
+        assert policy.backoff_delay(3, rng) == 32.0
+        assert policy.backoff_delay(6, rng) == 900.0  # capped
+
+    def test_jitter_bounded_and_seed_deterministic(self):
+        policy = RetryPolicy(base_delay=10.0, multiplier=1.0, jitter=0.1)
+        delays_a = [policy.backoff_delay(1, random.Random("s")) for _ in range(5)]
+        delays_b = [policy.backoff_delay(1, random.Random("s")) for _ in range(5)]
+        assert delays_a == delays_b
+        for delay in delays_a:
+            assert 9.0 <= delay <= 11.0
+
+
+class TestCircuitBreakerBoard:
+    def test_opens_after_threshold(self):
+        board = CircuitBreakerBoard(threshold=3, recovery_seconds=600.0)
+        for _ in range(2):
+            board.record_failure("a.net", now=0.0)
+        assert board.state_of("a.net") == "closed"
+        board.record_failure("a.net", now=0.0)
+        assert board.state_of("a.net") == "open"
+        with pytest.raises(CircuitOpenError) as exc:
+            board.check("a.net", now=10.0)
+        assert exc.value.retry_after == pytest.approx(590.0)
+        assert not exc.value.retriable  # fail fast, do not retry the breaker
+
+    def test_half_open_probe_closes_on_success(self):
+        board = CircuitBreakerBoard(threshold=1, recovery_seconds=100.0)
+        board.record_failure("a.net", now=0.0)
+        board.check("a.net", now=100.0)  # recovery elapsed: probe allowed
+        assert board.state_of("a.net") == "half-open"
+        board.record_success("a.net")
+        assert board.state_of("a.net") == "closed"
+
+    def test_half_open_probe_reopens_on_failure(self):
+        board = CircuitBreakerBoard(threshold=1, recovery_seconds=100.0)
+        board.record_failure("a.net", now=0.0)
+        board.check("a.net", now=100.0)
+        board.record_failure("a.net", now=100.0)
+        assert board.state_of("a.net") == "open"
+        with pytest.raises(CircuitOpenError):
+            board.check("a.net", now=150.0)
+
+    def test_keys_are_independent(self):
+        board = CircuitBreakerBoard(threshold=1)
+        board.record_failure("a.net", now=0.0)
+        board.check("b.net", now=0.0)  # must not raise
+
+
+class _Flaky:
+    """Fails ``failures`` times with ``error``, then succeeds."""
+
+    def __init__(self, failures, error):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "payload"
+
+
+class TestClientTransportCall:
+    def test_plain_success(self):
+        transport = ClientTransport("twitter")
+        assert transport.call("twitter.x", lambda: 41 + 1) == 42
+
+    def test_default_policy_is_single_attempt(self):
+        fn = _Flaky(1, RequestTimeout("boom"))
+        transport = ClientTransport("twitter")
+        with pytest.raises(RequestTimeout):
+            transport.call("twitter.x", fn)
+        assert fn.calls == 1
+
+    def test_retries_transient_and_advances_virtual_clock(self):
+        fn = _Flaky(2, ServerError("5xx"))
+        clock = VirtualClock()
+        transport = ClientTransport(
+            "twitter", clock=clock,
+            retry=RetryPolicy(max_attempts=4, base_delay=2.0, multiplier=4.0,
+                              jitter=0.0),
+        )
+        assert transport.call("twitter.x", fn) == "payload"
+        assert fn.calls == 3
+        assert clock.now() == 2.0 + 8.0  # backoff slept in virtual seconds
+
+    def test_retry_honours_published_retry_after(self):
+        fn = _Flaky(1, InstanceDownError("a.net", retry_after=120.0))
+        clock = VirtualClock()
+        transport = ClientTransport(
+            "mastodon", clock=clock, retry=RetryPolicy(jitter=0.0)
+        )
+        assert transport.call("mastodon.x", fn, domain="a.net") == "payload"
+        assert clock.now() == 120.0
+
+    def test_non_retriable_errors_propagate_immediately(self):
+        fn = _Flaky(1, NotFoundError("gone"))
+        transport = ClientTransport("twitter", retry=RetryPolicy())
+        with pytest.raises(NotFoundError):
+            transport.call("twitter.x", fn)
+        assert fn.calls == 1
+
+    def test_allow_retry_false_fails_fast(self):
+        fn = _Flaky(1, RequestTimeout("boom"))
+        transport = ClientTransport("twitter", retry=RetryPolicy())
+        with pytest.raises(RequestTimeout):
+            transport.call("twitter.x", fn, allow_retry=False)
+        assert fn.calls == 1
+
+    def test_exhausted_retries_raise_last_error(self):
+        fn = _Flaky(10, ServerError("5xx"))
+        transport = ClientTransport(
+            "twitter", retry=RetryPolicy(max_attempts=3, jitter=0.0)
+        )
+        with pytest.raises(ServerError):
+            transport.call("twitter.x", fn)
+        assert fn.calls == 3
+
+    def test_exhausted_retries_trip_breaker_for_domain(self):
+        transport = ClientTransport(
+            "mastodon", retry=RetryPolicy(max_attempts=2, jitter=0.0)
+        )
+        transport.breaker.threshold = 1
+        fn = _Flaky(10, ServerError("5xx"))
+        with pytest.raises(ServerError):
+            transport.call("mastodon.x", fn, domain="dead.net")
+        assert transport.breaker.state_of("dead.net") == "open"
+        with pytest.raises(CircuitOpenError):
+            transport.call("mastodon.x", lambda: "never", domain="dead.net")
+
+    def test_success_resets_breaker(self):
+        transport = ClientTransport("mastodon", retry=RetryPolicy.none())
+        transport.breaker.record_failure("a.net", now=0.0)
+        transport.call("mastodon.x", lambda: "ok", domain="a.net")
+        assert (
+            transport.breaker._states["a.net"].consecutive_failures == 0
+        )
+
+    def test_no_injector_without_active_plan(self):
+        assert ClientTransport("twitter").injector is None
+        assert ClientTransport("twitter", faults=FaultPlan.none()).injector is None
+        active = FaultPlan(
+            endpoints=(("*", EndpointFaults(transient_probability=0.5)),)
+        )
+        assert ClientTransport("twitter", faults=active).injector is not None
+
+    def test_injected_faults_are_retried_through(self):
+        plan = FaultPlan(
+            seed=1,
+            endpoints=(("*", EndpointFaults(transient_probability=1.0)),),
+        )
+        transport = ClientTransport(
+            "twitter", faults=plan,
+            retry=RetryPolicy(max_attempts=3, jitter=0.0),
+        )
+        # transient_probability=1.0 means every attempt draws a fault, so
+        # even a healthy fn exhausts the budget: graceful degradation is
+        # the caller's job, which the crawlers exercise end to end.
+        fn_calls = []
+        with pytest.raises(Exception) as exc:
+            transport.call("twitter.x", lambda: fn_calls.append(1))
+        assert exc.value.retriable
+        assert fn_calls == []  # the fault fires before the endpoint runs
+
+    def test_resilience_metrics_recorded(self):
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            fn = _Flaky(1, ServerError("5xx"))
+            transport = ClientTransport(
+                "twitter", retry=RetryPolicy(max_attempts=2, jitter=0.0)
+            )
+            transport.call("twitter.x", fn)
+        assert registry.counter_total("transport.calls") == 1
+        assert registry.counter_total("retry.attempts") == 1
+        assert registry.counter_total("retry.backoff_seconds") == 2.0
+
+
+class TestPaginator:
+    @staticmethod
+    def _fetch(pages):
+        def fetch(cursor):
+            index = 0 if cursor is None else cursor
+            next_cursor = index + 1 if index + 1 < len(pages) else None
+            return pages[index], next_cursor
+
+        return fetch
+
+    def test_pages_stream_in_order(self):
+        pages = [[1, 2], [3], [4, 5]]
+        assert list(Paginator(self._fetch(pages)).pages()) == pages
+
+    def test_items_flatten(self):
+        pages = [[1, 2], [3], [4, 5]]
+        assert list(Paginator(self._fetch(pages)).items()) == [1, 2, 3, 4, 5]
+
+    def test_drain_materialises(self):
+        pages = [[1], [2]]
+        assert Paginator(self._fetch(pages)).drain() == [1, 2]
+
+    def test_single_page(self):
+        assert Paginator(lambda cursor: (["only"], None)).drain() == ["only"]
+
+    def test_streaming_is_lazy(self):
+        fetched = []
+
+        def fetch(cursor):
+            index = 0 if cursor is None else cursor
+            fetched.append(index)
+            return [index], index + 1 if index < 3 else None
+
+        iterator = Paginator(fetch).items()
+        next(iterator)
+        assert fetched == [0]  # later pages not fetched until consumed

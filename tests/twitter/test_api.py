@@ -175,3 +175,30 @@ class TestFollowing:
         store.get_user(1).state = AccountState.SUSPENDED
         with pytest.raises(SuspendedAccountError):
             api.following(1)
+
+
+class TestStreamingIterators:
+    def test_iter_search_matches_drained_list(self, service):
+        __, __, api = service
+        streamed = [t.tweet_id for t in api.iter_search(MASTODON_QUERY)]
+        drained = [t.tweet_id for t in api.search_all_pages(MASTODON_QUERY)]
+        assert streamed == drained == [1, 4]
+
+    def test_iter_search_pages_carry_author_expansions(self, service):
+        __, __, api = service
+        pages = list(api.iter_search_pages(MASTODON_QUERY))
+        users = {uid for page in pages for uid in page.users}
+        assert users == {1, 3}
+
+    def test_iter_search_is_lazy(self, service):
+        store, graph, __ = service
+        limiter = RateLimiter({"search": EndpointLimit(100, 900)})
+        api = TwitterAPI(store, graph, limiter=limiter)
+        iterator = api.iter_search(MASTODON_QUERY)
+        assert limiter.request_counts.get("search", 0) == 0
+        next(iterator)
+        assert limiter.request_counts["search"] == 1
+
+    def test_iter_following_matches_drained_list(self, service):
+        __, __, api = service
+        assert list(api.iter_following(1)) == api.following_all(1) == [2, 3, 4]
