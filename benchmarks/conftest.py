@@ -101,6 +101,31 @@ def _write_pipeline_artifact(registry: obs.MetricsRegistry) -> None:
     BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
 
 
+def record_hotpath(name: str, wall_seconds: float, **meta) -> None:
+    """Merge one hot-path timing into the artifact's ``hotpaths`` section.
+
+    The hot-path benches (``test_bench_search.py``) call this with their
+    measured wall times; the perf-smoke CI job compares these numbers
+    against the committed baseline.  The base artifact must exist first
+    (depend on ``bench_dataset``), so hot paths land in the same file the
+    stage timings do.
+    """
+    payload = json.loads(BENCH_ARTIFACT.read_text())
+    entry: dict = {"wall_seconds": round(wall_seconds, 4)}
+    if meta:
+        entry["meta"] = meta
+    payload.setdefault("hotpaths", {})[name] = entry
+    BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def session_span_seconds(name: str) -> float | None:
+    """Wall seconds of a named span from the session registry, if present."""
+    for span in _session_registry.tracer.walk():
+        if span.name == name:
+            return span.wall_seconds
+    return None
+
+
 def _append_faulted_section(
     registry: obs.MetricsRegistry, dataset: MigrationDataset
 ) -> None:

@@ -1,0 +1,89 @@
+"""Hot-path benchmarks: indexed full-archive search and world generation.
+
+The two §3 costs the index/vectorisation overhaul targets, measured
+explicitly and recorded into the ``hotpaths`` section of
+``BENCH_pipeline.json``:
+
+- full-archive search (migration keyword/hashtag query and an
+  instance-link domain batch) through the planner, with the pre-index
+  linear scan measured alongside as the reference cost it replaced;
+- the session world build (init + simulate), read off the session
+  metrics registry so the number matches the ``stages`` rows exactly.
+
+The scan/index agreement asserts keep the speedup honest: a fast index
+that returns different tweets would be worthless.
+"""
+
+from __future__ import annotations
+
+from conftest import record_hotpath, session_span_seconds
+
+from repro.collection.instance_list import compile_instance_list
+from repro.twitter.search import SearchQuery, instance_link_query, migration_query
+
+
+def _scan(store, query: SearchQuery) -> list:
+    """The pre-index linear archive scan (the old search cost)."""
+    return [t for t in store.tweets() if query.matches(t)]
+
+
+def test_bench_search_migration_query(benchmark, bench_world, bench_dataset):
+    api = bench_world.twitter_api()
+    store = bench_world.twitter_store
+    config = bench_world.config
+    query = migration_query(config.start, config.end)
+    tweets = benchmark.pedantic(
+        lambda: api.search_all_pages(query), rounds=5, iterations=1
+    )
+    assert [t.tweet_id for t in tweets] == [t.tweet_id for t in _scan(store, query)]
+    record_hotpath(
+        "search.migration_query",
+        benchmark.stats.stats.mean,
+        matches=len(tweets),
+        archive_tweets=store.tweet_count,
+    )
+
+
+def test_bench_search_instance_links(benchmark, bench_world, bench_dataset):
+    api = bench_world.twitter_api()
+    store = bench_world.twitter_store
+    config = bench_world.config
+    domains = tuple(compile_instance_list(bench_world.directory()))
+    query = instance_link_query(domains, config.start, config.end)
+    tweets = benchmark.pedantic(
+        lambda: api.search_all_pages(query), rounds=5, iterations=1
+    )
+    assert [t.tweet_id for t in tweets] == [t.tweet_id for t in _scan(store, query)]
+    record_hotpath(
+        "search.instance_links",
+        benchmark.stats.stats.mean,
+        domains=len(domains),
+        matches=len(tweets),
+        index=store.index.stats,
+    )
+
+
+def test_bench_search_scan_reference(benchmark, bench_world, bench_dataset):
+    """The linear scan the index replaced, for the before/after ratio."""
+    store = bench_world.twitter_store
+    config = bench_world.config
+    query = migration_query(config.start, config.end)
+    tweets = benchmark.pedantic(lambda: _scan(store, query), rounds=3, iterations=1)
+    assert tweets
+    record_hotpath(
+        "search.full_scan_reference",
+        benchmark.stats.stats.mean,
+        matches=len(tweets),
+    )
+
+
+def test_record_world_build_hotpaths(bench_world, bench_dataset):
+    """Lift the session build's span timings into the hotpaths section."""
+    for span_name, key in [
+        ("world.init", "world.init"),
+        ("world.simulate", "world.simulate"),
+        ("collect.tweet_search", "collect.tweet_search"),
+    ]:
+        seconds = session_span_seconds(span_name)
+        assert seconds is not None, f"span {span_name} missing from session registry"
+        record_hotpath(key, seconds)

@@ -23,15 +23,25 @@ def make_acct(username: str, domain: str) -> str:
     return f"{username}@{domain}"
 
 
+#: Memo for :func:`parse_acct` — the hot federation paths re-parse the same
+#: bounded population of handles millions of times.
+_PARSE_CACHE: dict[str, tuple[str, str]] = {}
+
+
 def parse_acct(handle: str) -> tuple[str, str]:
     """Split ``[@]user@domain`` into ``(username, domain)``.
 
     Raises ``ValueError`` for anything that is not a well-formed handle.
     """
+    cached = _PARSE_CACHE.get(handle)
+    if cached is not None:
+        return cached
     match = _ACCT_RE.match(handle.strip())
     if match is None:
         raise ValueError(f"not a valid acct handle: {handle!r}")
-    return match.group("username"), match.group("domain").lower()
+    parsed = match.group("username"), match.group("domain").lower()
+    _PARSE_CACHE[handle] = parsed
+    return parsed
 
 
 def actor_url(username: str, domain: str) -> str:

@@ -55,11 +55,22 @@ class MastodonInstance:
         self._accounts: dict[str, Account] = {}  # local username (lower) -> Account
         self._statuses: dict[int, Status] = {}  # local statuses by id
         self._statuses_by_account: dict[str, list[int]] = {}  # acct -> local status ids
+        self._original_ids_by_account: dict[str, list[int]] = {}  # ...non-boosts only
         self._remote_statuses: dict[int, Status] = {}  # statuses pushed by federation
         # follow edges seen from this instance:
         self._following: dict[str, set[str]] = {}  # local acct -> accts they follow
         self._followers: dict[str, set[str]] = {}  # local acct -> accts following them
-        self._followed_by_locals: dict[str, set[str]] = {}  # any acct -> local followers
+        # any acct -> {local follower acct -> that follower's home list};
+        # federation appends into the referenced lists directly, one status
+        # delivery being a straight walk over the dict values
+        self._followed_by_locals: dict[str, dict[str, list[int]]] = {}
+        # local acct -> remote follower domain -> follower count (kept
+        # incrementally: federation consults this on every status post)
+        self._remote_domains: dict[str, dict[str, int]] = {}
+        # local acct -> {local follower acct -> that follower's home list};
+        # post_status appends to each referenced list directly instead of
+        # re-testing every follower for local-ness per status
+        self._follower_homes: dict[str, dict[str, list[int]]] = {}
         # timelines:
         self._home: dict[str, list[int]] = {}  # local acct -> status ids
         self._local_timeline: list[int] = []
@@ -102,8 +113,11 @@ class MastodonInstance:
         self._accounts[key] = account
         acct = account.acct
         self._statuses_by_account[acct] = []
+        self._original_ids_by_account[acct] = []
         self._following[acct] = set()
         self._followers[acct] = set()
+        self._remote_domains[acct] = {}
+        self._follower_homes[acct] = {}
         self._home[acct] = []
         self._week(when.date()).registrations += 1
         return account
@@ -139,7 +153,9 @@ class MastodonInstance:
         if target_acct in followees:
             return False
         followees.add(target_acct)
-        self._followed_by_locals.setdefault(target_acct, set()).add(local_acct)
+        self._followed_by_locals.setdefault(target_acct, {})[local_acct] = self._home[
+            local_acct
+        ]
         return True
 
     def record_follower(self, local_acct: str, follower_acct: str) -> bool:
@@ -149,6 +165,13 @@ class MastodonInstance:
         if follower_acct in followers:
             return False
         followers.add(follower_acct)
+        __, domain = parse_acct(follower_acct)
+        if domain != self.domain:
+            counts = self._remote_domains[local_acct]
+            counts[domain] = counts.get(domain, 0) + 1
+        home = self._home.get(follower_acct)
+        if home is not None:
+            self._follower_homes[local_acct][follower_acct] = home
         return True
 
     def drop_following(self, local_acct: str, target_acct: str) -> None:
@@ -156,11 +179,23 @@ class MastodonInstance:
         self._following[local_acct].discard(target_acct)
         local_followers = self._followed_by_locals.get(target_acct)
         if local_followers is not None:
-            local_followers.discard(local_acct)
+            local_followers.pop(local_acct, None)
 
     def drop_follower(self, local_acct: str, follower_acct: str) -> None:
         self._require_local(local_acct)
-        self._followers[local_acct].discard(follower_acct)
+        followers = self._followers[local_acct]
+        if follower_acct not in followers:
+            return
+        followers.discard(follower_acct)
+        __, domain = parse_acct(follower_acct)
+        if domain != self.domain:
+            counts = self._remote_domains[local_acct]
+            remaining = counts.get(domain, 0) - 1
+            if remaining > 0:
+                counts[domain] = remaining
+            else:
+                counts.pop(domain, None)
+        self._follower_homes[local_acct].pop(follower_acct, None)
 
     def following_of(self, local_acct: str) -> frozenset[str]:
         self._require_local(local_acct)
@@ -171,14 +206,14 @@ class MastodonInstance:
         return frozenset(self._followers[local_acct])
 
     def remote_follower_domains(self, local_acct: str) -> set[str]:
-        """Domains subscribed to a local account's statuses."""
+        """Domains subscribed to a local account's statuses.
+
+        Maintained incrementally on follow/unfollow instead of being
+        re-derived from the follower set — federation consults this once
+        per posted status.
+        """
         self._require_local(local_acct)
-        domains = set()
-        for follower in self._followers[local_acct]:
-            __, domain = parse_acct(follower)
-            if domain != self.domain:
-                domains.add(domain)
-        return domains
+        return set(self._remote_domains[local_acct])
 
     # -- statuses ------------------------------------------------------------
 
@@ -207,12 +242,14 @@ class MastodonInstance:
         )
         self._statuses[status.status_id] = status
         self._statuses_by_account[account.acct].append(status.status_id)
+        if reblog_of_id is None:
+            self._original_ids_by_account[account.acct].append(status.status_id)
         account.last_status_at = when
         self._local_timeline.append(status.status_id)
-        self._home[account.acct].append(status.status_id)
-        for follower in self._followers[account.acct]:
-            if follower in self._home:
-                self._home[follower].append(status.status_id)
+        sid = status.status_id
+        self._home[account.acct].append(sid)
+        for home in self._follower_homes[account.acct].values():
+            home.append(sid)
         self._week(when.date()).statuses += 1
         return status
 
@@ -224,14 +261,23 @@ class MastodonInstance:
         and the home timelines of the author's local followers — the
         Section 2 semantics: the federated timeline is the union of remote
         statuses retrieved for all locals.  Returns whether it was admitted.
+
+        This runs once per (status, subscriber instance) pair, so the open
+        policy — the overwhelmingly common case — is screened without the
+        ``admits`` call.
         """
-        if not self.policy.admits(status):
+        policy = self.policy
+        if (policy.blocked_domains or policy.blocked_keywords) and not policy.admits(status):
             return False
-        if status.status_id not in self._remote_statuses:
-            self._remote_statuses[status.status_id] = status
-            self._federated_timeline.append(status.status_id)
-        for acct in self._followed_by_locals.get(status.account_acct, ()):
-            self._home[acct].append(status.status_id)
+        sid = status.status_id
+        remote = self._remote_statuses
+        if sid not in remote:
+            remote[sid] = status
+            self._federated_timeline.append(sid)
+        followers = self._followed_by_locals.get(status.account_acct)
+        if followers:
+            for home in followers.values():
+                home.append(sid)
         return True
 
     def get_status(self, status_id: int) -> Status:
@@ -244,6 +290,13 @@ class MastodonInstance:
         """A local account's statuses in chronological order."""
         account = self.get_account(username)
         ids = self._statuses_by_account[account.acct]
+        return [self._statuses[i] for i in ids]
+
+    def original_statuses_of(self, username: str) -> list[Status]:
+        """A local account's non-boost statuses in chronological order
+        (indexed at post time; the boost picker walks this per boost)."""
+        account = self.get_account(username)
+        ids = self._original_ids_by_account[account.acct]
         return [self._statuses[i] for i in ids]
 
     def status_count(self, username: str) -> int:

@@ -6,10 +6,10 @@ import datetime as _dt
 from dataclasses import dataclass, field
 
 from repro.fediverse.activitypub import actor_url, make_acct
-from repro.util.text import extract_hashtags
+from repro.util.text import extract_hashtags, tokenize
 
 
-@dataclass
+@dataclass(slots=True)
 class Account:
     """A Mastodon account, local to exactly one instance.
 
@@ -25,16 +25,16 @@ class Account:
     note: str = ""
     moved_to: str | None = None
     last_status_at: _dt.datetime | None = None
+    #: the full handle; username and domain are fixed at creation (an
+    #: instance switch creates a *new* account), so it is derived once
+    acct: str = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.username:
             raise ValueError("username must be non-empty")
         if not self.domain:
             raise ValueError("domain must be non-empty")
-
-    @property
-    def acct(self) -> str:
-        return make_acct(self.username, self.domain)
+        self.acct = make_acct(self.username, self.domain)
 
     @property
     def url(self) -> str:
@@ -48,7 +48,7 @@ class Account:
         return (on - self.created_at.date()).days
 
 
-@dataclass
+@dataclass(slots=True)
 class Status:
     """A Mastodon status (or a boost when ``reblog_of_id`` is set)."""
 
@@ -59,14 +59,24 @@ class Status:
     application: str = "Web"
     reblog_of_id: int | None = None
     hashtags: list[str] = field(default_factory=list)
+    _token_set: frozenset[str] | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if not self.hashtags and not self.is_boost:
+        # the containment check skips the regex scan for tagless statuses
+        if not self.hashtags and self.reblog_of_id is None and "#" in self.text:
             self.hashtags = extract_hashtags(self.text)
 
     @property
     def is_boost(self) -> bool:
         return self.reblog_of_id is not None
+
+    @property
+    def token_set(self) -> frozenset[str]:
+        """Tokens of ``text``, computed once — every subscriber instance's
+        content policy screens the same federated status."""
+        if self._token_set is None:
+            self._token_set = frozenset(tokenize(self.text))
+        return self._token_set
 
     @property
     def created_date(self) -> _dt.date:

@@ -222,8 +222,11 @@ class FediverseNetwork:
     def _federate(
         self, origin: MastodonInstance, author_acct: str, status: Status
     ) -> None:
-        for domain in origin.remote_follower_domains(author_acct):
-            subscriber = self._instances.get(domain)
+        # reads the incremental domain counts directly (one delivery per
+        # posted status) instead of copying them into a set per call
+        instances = self._instances
+        for domain in origin._remote_domains[author_acct]:
+            subscriber = instances.get(domain)
             if subscriber is not None:
                 subscriber.receive_remote_status(status)
 

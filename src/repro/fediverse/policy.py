@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.fediverse.models import Status
-from repro.util.text import tokenize
 
 
 @dataclass
@@ -49,11 +48,9 @@ class ContentPolicy:
         if origin in self.blocked_domains:
             self.rejected_by_domain += 1
             return False
-        if self.blocked_keywords:
-            tokens = set(tokenize(status.text))
-            if tokens & self.blocked_keywords:
-                self.rejected_by_keyword += 1
-                return False
+        if self.blocked_keywords and not self.blocked_keywords.isdisjoint(status.token_set):
+            self.rejected_by_keyword += 1
+            return False
         return True
 
     @property

@@ -13,13 +13,21 @@ import numpy as np
 
 from repro.nlp.vocabulary import Topic, Vocabulary
 from repro.util.distributions import zipf_weights
+from repro.util.rngcompat import (
+    build_cdf,
+    choice_index,
+    weighted_index,
+    weighted_indices_no_replace,
+)
 
-_TAG_WEIGHT_CACHE: dict[int, np.ndarray] = {}
+_TAG_WEIGHT_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
 
-def _tag_weights(n: int) -> np.ndarray:
+def _tag_weights(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """``(weights, cdf)`` for an ``n``-tag pool (both static per ``n``)."""
     if n not in _TAG_WEIGHT_CACHE:
-        _TAG_WEIGHT_CACHE[n] = zipf_weights(n, 1.1)
+        weights = zipf_weights(n, 1.1)
+        _TAG_WEIGHT_CACHE[n] = (weights, build_cdf(weights))
     return _TAG_WEIGHT_CACHE[n]
 
 
@@ -32,19 +40,36 @@ class PostGenerator:
         self._toxic_words = tuple(
             word for word, weight in self._vocab.toxic.items() if weight >= 0.4
         )
+        # hot-loop aliases (one attribute hop instead of two per post)
+        self._filler = self._vocab.filler
+        self._topics = self._vocab.topics
 
     @property
     def vocabulary(self) -> Vocabulary:
         return self._vocab
 
     def pick_topic(self, mixture: np.ndarray) -> Topic:
-        """Draw a topic index from a per-user mixture over ``vocabulary.topics``."""
+        """Draw a topic index from a per-user mixture over ``vocabulary.topics``.
+
+        Uses the rngcompat fast path (one uniform + binary search), which is
+        draw-identical to ``rng.choice(n, p=mixture)`` without its per-call
+        validation overhead.
+        """
         if len(mixture) != len(self._vocab.topics):
             raise ValueError(
                 f"mixture has {len(mixture)} entries for {len(self._vocab.topics)} topics"
             )
-        idx = int(self._rng.choice(len(mixture), p=mixture))
-        return self._vocab.topics[idx]
+        return self._vocab.topics[weighted_index(self._rng, build_cdf(mixture))]
+
+    def pick_topic_from_cdf(self, cdf: np.ndarray) -> Topic:
+        """Like :meth:`pick_topic` for a mixture whose :func:`build_cdf` the
+        caller has cached — one uniform draw plus a binary search, nothing
+        rebuilt per post (:func:`weighted_index` inlined: this runs once per
+        generated post)."""
+        idx = int(cdf.searchsorted(self._rng.random(), side="right"))
+        if idx >= len(cdf):  # guard against u == 1.0 rounding, as numpy does
+            idx = len(cdf) - 1
+        return self._topics[idx]
 
     def generate(
         self,
@@ -61,34 +86,47 @@ class PostGenerator:
         migration hashtag (used for the Section 3.1 announcement tweets).
         """
         rng = self._rng
+        integers = rng.integers
+        random = rng.random
+        topic_words = topic.words
+        filler = self._filler
         n_words = max(4, int(rng.poisson(length_mean)))
         n_topic = max(2, int(round(n_words * 0.55)))
-        n_filler = n_words - n_topic
-        words = list(rng.choice(topic.words, size=n_topic))
-        words += list(rng.choice(self._vocab.filler, size=n_filler))
+        # draw-identical to rng.choice(pool, size=k): one bounded-integer
+        # batch indexing the (python-string) pool, skipping the per-call
+        # array coercion of the pool itself (tolist: index with plain ints)
+        idx = integers(0, len(topic_words), size=n_topic, dtype=np.int64).tolist()
+        words = [topic_words[i] for i in idx]
+        idx = integers(0, len(filler), size=n_words - n_topic, dtype=np.int64).tolist()
+        words += [filler[i] for i in idx]
         rng.shuffle(words)
 
         if toxic:
             planted = rng.choice(self._toxic_words, size=2, replace=False)
-            insert_at = rng.integers(0, len(words) + 1)
-            words[insert_at:insert_at] = list(planted)
+            insert_at = integers(0, len(words) + 1)
+            words[insert_at:insert_at] = [str(w) for w in planted]
 
-        text = " ".join(str(w) for w in words).capitalize()
+        text = " ".join(words).capitalize()
 
         tags: list[str] = []
-        if topic.hashtags and rng.random() < hashtag_prob:
-            k = 1 + int(rng.random() < 0.25)
-            k = min(k, len(topic.hashtags))
+        hashtags = topic.hashtags
+        if hashtags and random() < hashtag_prob:
+            k = 1 + (random() < 0.25)
+            if k > len(hashtags):
+                k = len(hashtags)
             # tag popularity within a topic is itself skewed: the first tags
             # in the pool (#fediverse, #TwitterMigration, ...) dominate
-            weights = _tag_weights(len(topic.hashtags))
-            chosen = rng.choice(len(topic.hashtags), size=k, replace=False, p=weights)
-            tags.extend(topic.hashtags[i] for i in chosen)
+            weights, tag_cdf = _tag_weights(len(hashtags))
+            chosen = weighted_indices_no_replace(rng, weights, k, cdf=tag_cdf)
+            if k == 1:
+                tags.append(hashtags[chosen[0]])
+            else:
+                tags.extend(hashtags[i] for i in chosen)
         if mention_migration:
             migration_tags = self._vocab.topic("fediverse").hashtags
-            tags.append(str(rng.choice(migration_tags)))
+            tags.append(migration_tags[choice_index(rng, len(migration_tags))])
         if tags:
-            text = text + " " + " ".join(f"#{t}" for t in tags)
+            text = text + " " + " ".join("#" + t for t in tags)
         return text
 
     def migration_announcement(self, mastodon_handle: str, style: str) -> str:
@@ -111,7 +149,7 @@ class PostGenerator:
             f"Bye bye twitter! Follow me at {handle_text} #ByeByeTwitter",
             f"Joining the fediverse: {handle_text} #MastodonMigration",
         )
-        return str(self._rng.choice(templates))
+        return templates[choice_index(self._rng, len(templates))]
 
     def profile_bio(self, topic: Topic, mastodon_handle: str | None = None) -> str:
         """A short profile description, optionally embedding a Mastodon handle."""

@@ -16,6 +16,7 @@ from repro.nlp.generator import PostGenerator
 from repro.nlp.vocabulary import TOPICS, Vocabulary
 from repro.simulation.population import SimUser
 from repro.util.clock import TAKEOVER_DATE
+from repro.util.rngcompat import choice_index
 
 #: Twitter revoked the cross-posters' elevated API access in late November
 #: (the paper's Figure 13 shows the resulting decline).
@@ -79,15 +80,16 @@ def paraphrase(rng: np.random.Generator, text: str, vocabulary: Vocabulary) -> s
     encoder's cosine similarity to the original stays above the paper's 0.7
     "similar" threshold without being identical.
     """
+    filler = vocabulary.filler
     words = text.split()
     if len(words) <= 3:
-        return text + " " + str(rng.choice(vocabulary.filler))
+        return text + " " + filler[choice_index(rng, len(filler))]
     keep_mask = rng.random(len(words)) > 0.15
     if keep_mask.sum() < max(3, int(0.7 * len(words))):
         keep_mask[:] = True
         keep_mask[int(rng.integers(0, len(words)))] = False
     kept = [w for w, keep in zip(words, keep_mask) if keep]
-    kept.append(str(rng.choice(vocabulary.filler)))
+    kept.append(filler[choice_index(rng, len(filler))])
     return " ".join(kept)
 
 
@@ -113,13 +115,32 @@ def make_post(
     agent: SimUser,
     platform: str,
     day_mixture: np.ndarray,
+    day_cdf: np.ndarray | None = None,
 ) -> str:
     """Generate one post's text for ``agent`` on ``platform``.
 
     Mastodon posts carry hashtags more often: with no algorithmic feed,
     tags are the platform's discoverability mechanism.
+
+    ``day_cdf`` (``build_cdf(day_mixture)``) lets callers that reuse a
+    mixture across a day's posts skip rebuilding the cdf per post; the
+    topic draw itself is unchanged.
+
+    This is the reference draw sequence — topic, toxicity, then the text
+    draws.  The world's materialisation loops unroll it inline (platform
+    known per site); any change here must be mirrored there.
     """
-    topic = generator.pick_topic(day_mixture)
-    toxic = is_toxic_post(rng, agent, platform)
-    hashtag_prob = 0.62 if platform == "mastodon" else 0.45
+    if day_cdf is not None:
+        topic = generator.pick_topic_from_cdf(day_cdf)
+    else:
+        topic = generator.pick_topic(day_mixture)
+    # is_toxic_post, unrolled: this runs once per generated post
+    if platform == "twitter":
+        toxic = rng.random() < agent.toxicity_twitter
+        hashtag_prob = 0.45
+    elif platform == "mastodon":
+        toxic = rng.random() < agent.toxicity_mastodon
+        hashtag_prob = 0.62
+    else:
+        raise ValueError(f"unknown platform {platform!r}")
     return generator.generate(topic, toxic=toxic, hashtag_prob=hashtag_prob)

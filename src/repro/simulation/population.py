@@ -33,7 +33,7 @@ from repro.util.distributions import lognormal_int, zipf_weights
 from repro.util.ids import SnowflakeGenerator
 
 
-@dataclass
+@dataclass(slots=True)
 class SimUser:
     """The simulator's view of one Twitter user (superset of the API view)."""
 

@@ -23,6 +23,7 @@ protected Twitter accounts and downed instances, with the paper's rates.
 from __future__ import annotations
 
 import datetime as _dt
+import gc
 from collections import Counter
 
 import numpy as np
@@ -34,11 +35,8 @@ from repro.nlp.generator import PostGenerator
 from repro.simulation.behavior import (
     chatter_volume_multiplier,
     crossposter_active,
-    make_post,
-    mastodon_daily_rate,
     mastodon_topic_mixture,
     paraphrase,
-    twitter_daily_rate,
 )
 from repro.simulation.config import WorldConfig
 from repro.simulation.contagion import ContagionModel
@@ -53,8 +51,31 @@ from repro.twitter.store import TwitterStore
 from repro.util.clock import TAKEOVER_DATE, date_range
 from repro.util.ids import SnowflakeGenerator
 from repro.util.rng import RngTree
+from repro.util.rngcompat import build_cdf, fast_shape_prod, poisson_batch
 
 from repro.simulation.switching import SwitchModel
+
+#: posting-time anchors; the offsets below recur for every generated post,
+#: so the (tiny, bounded) timedelta objects are memoised instead of rebuilt
+_TIME_8 = _dt.time(8, 0)
+_TIME_9 = _dt.time(9, 0)
+_TWEET_OFFSETS: dict[int, _dt.timedelta] = {}
+_STATUS_OFFSETS: dict[int, _dt.timedelta] = {}
+
+
+def _tweet_offset(minutes: int, seconds: int) -> _dt.timedelta:
+    key = minutes * 50 + seconds
+    delta = _TWEET_OFFSETS.get(key)
+    if delta is None:
+        delta = _TWEET_OFFSETS[key] = _dt.timedelta(minutes=minutes, seconds=seconds)
+    return delta
+
+
+def _status_offset(seq: int) -> _dt.timedelta:
+    delta = _STATUS_OFFSETS.get(seq)
+    if delta is None:
+        delta = _STATUS_OFFSETS[seq] = _dt.timedelta(minutes=11 * seq)
+    return delta
 
 
 class World:
@@ -100,21 +121,31 @@ class World:
         self._migrated_followee_count: dict[int, int] = {}
         #: per-candidate Counter of migrated followees' current instances
         self._followee_instances: dict[int, Counter] = {}
+        #: per-agent migrated-followee lists for the boost picker; valid only
+        #: during materialisation, when the migrated set is frozen
+        self._boost_followees: dict[int, list[SimUser]] = {}
         self._simulated = False
 
     # -- public API ---------------------------------------------------------------
 
     def simulate(self) -> None:
-        """Run the full event simulation (idempotence-guarded)."""
+        """Run the full event simulation (idempotence-guarded).
+
+        Materialisation draws hundreds of thousands of bounded-integer
+        batches; :func:`fast_shape_prod` short-circuits the shape
+        arithmetic numpy re-dispatches on each of them (values and
+        bitstream unchanged — see its docstring).
+        """
         if self._simulated:
             raise RuntimeError("world already simulated")
-        self._seed_pre_takeover_accounts()
-        for day in date_range(self.config.start, self.config.end):
-            self._run_migrations(day)
-            self._run_switches(day)
-        self._materialise_content()
-        self._inject_background_load()
-        self._plant_crawl_failures()
+        with fast_shape_prod():
+            self._seed_pre_takeover_accounts()
+            for day in date_range(self.config.start, self.config.end):
+                self._run_migrations(day)
+                self._run_switches(day)
+            self._materialise_content()
+            self._inject_background_load()
+            self._plant_crawl_failures()
         self._simulated = True
 
     def twitter_api(self, faults=None, retry=None) -> TwitterAPI:
@@ -393,20 +424,44 @@ class World:
             self.migrated_ids,
             key=lambda uid: (self.agents[uid].migration_day, uid),
         )
+        days = list(date_range(self.config.start, self.config.end))
         for user_id in ordered:
-            self._materialise_migrant(self.agents[user_id], rng)
+            self._materialise_migrant(self.agents[user_id], rng, days)
         self._materialise_chatter(rng)
 
-    def _materialise_migrant(self, agent: SimUser, rng: np.random.Generator) -> None:
+    def _materialise_migrant(
+        self, agent: SimUser, rng: np.random.Generator, days: list[_dt.date]
+    ) -> None:
         """Generate one migrant's full two-platform timeline."""
-        config = self.config
         generator = self._generator
         recent_tweets: list[str] = []
-        for day in date_range(config.start, config.end):
-            n_tweets = int(rng.poisson(twitter_daily_rate(agent, day)))
+        # the twitter-side mixture is constant per agent: build its cdf once
+        twitter_cdf = build_cdf(agent.topic_mixture)
+        # per-day rates, unrolled from twitter_daily_rate / mastodon_daily_rate
+        # (agent.migrated is True for everyone materialised here); the draws
+        # themselves stay scalar and in day order — only the float arithmetic
+        # feeding them is hoisted
+        mig_day = agent.migration_day
+        tweet_rate = agent.tweet_rate
+        tweet_rate_after = tweet_rate * 0.9
+        status_rate = agent.status_rate
+        # the fediverse spike bottoms out at its 0.15 floor three weeks in
+        # (0.65 * 0.93**d < 0.15 for d >= 21), making the mixture constant
+        steady_mixture: tuple[np.ndarray, np.ndarray] | None = None
+        for day in days:
+            tw_rate = (
+                tweet_rate if mig_day is None or day < mig_day else tweet_rate_after
+            )
+            n_tweets = int(rng.poisson(tw_rate))
             day_tweets: list[str] = []
             for k in range(n_tweets):
-                text = make_post(generator, rng, agent, "twitter", agent.topic_mixture)
+                # make_post("twitter"), unrolled: topic draw, then toxicity
+                # draw, then the text draws — same order, one call fewer
+                text = generator.generate(
+                    generator.pick_topic_from_cdf(twitter_cdf),
+                    toxic=rng.random() < agent.toxicity_twitter,
+                    hashtag_prob=0.45,
+                )
                 source = agent.preferred_source
                 # bridges existed (quietly) before the takeover: long-time
                 # fediverse users mirrored the odd post, which is the small
@@ -425,16 +480,31 @@ class World:
             elif agent.migration_day == day and rng.random() < 0.8:
                 self._announce_by_tweet(agent, day)  # bio users usually tweet too
 
-            n_statuses = int(rng.poisson(mastodon_daily_rate(agent, day)))
+            if mig_day is None or day < mig_day or status_rate <= 0.0:
+                ms_rate = 0.0
+            else:
+                days_in = (day - mig_day).days
+                ramp = 0.45 + 0.11 * days_in
+                ms_rate = status_rate * (ramp if ramp < 1.0 else 1.0)
+            n_statuses = int(rng.poisson(ms_rate))
             if n_statuses and agent.mastodon_acct is not None:
-                days_in = (day - agent.migration_day).days if agent.migration_day else 0
-                mixture = mastodon_topic_mixture(agent, days_in)
+                days_in = (day - mig_day).days if mig_day else 0
+                if days_in >= 21:
+                    if steady_mixture is None:
+                        mixture = mastodon_topic_mixture(agent, days_in)
+                        steady_mixture = (mixture, build_cdf(mixture))
+                    mixture, mixture_cdf = steady_mixture
+                else:
+                    mixture = mastodon_topic_mixture(agent, days_in)
+                    mixture_cdf = build_cdf(mixture)
                 active_day = agent.switch_day is None or day < agent.switch_day
                 acct = agent.first_acct if active_day else agent.mastodon_acct
                 assert acct is not None
                 self.network.record_login(acct, day)
                 for k in range(n_statuses):
-                    self._add_status(agent, acct, day, k, mixture, recent_tweets, rng)
+                    self._add_status(
+                        agent, acct, day, k, mixture, mixture_cdf, recent_tweets, rng
+                    )
             recent_tweets.extend(day_tweets)
             if len(recent_tweets) > 30:
                 del recent_tweets[:-30]
@@ -448,18 +518,24 @@ class World:
         day: _dt.date,
         seq: int,
         mixture: np.ndarray,
+        mixture_cdf: np.ndarray,
         recent_tweets: list[str],
         rng: np.random.Generator,
     ) -> None:
         config = self.config
-        when = _dt.datetime.combine(day, _dt.time(9, 0)) + _dt.timedelta(minutes=11 * seq)
+        when = _dt.datetime.combine(day, _TIME_9) + _status_offset(seq)
         crosspost = (
             agent.crossposter is not None
             and rng.random() < config.crosspost_mirror_rate
             and crossposter_active(rng, day)
         )
         if crosspost:
-            text = make_post(self._generator, rng, agent, "mastodon", mixture)
+            generator = self._generator
+            text = generator.generate(
+                generator.pick_topic_from_cdf(mixture_cdf),
+                toxic=rng.random() < agent.toxicity_mastodon,
+                hashtag_prob=0.62,
+            )
             self.network.post_status(acct, text, when, application=agent.crossposter)
             # the bridge mirrors the status to Twitter verbatim
             self._add_tweet(agent, day, text, source=agent.crossposter, seq=100 + seq)
@@ -473,20 +549,32 @@ class World:
             original = recent_tweets[int(rng.integers(0, len(recent_tweets)))]
             text = paraphrase(rng, original, self._generator.vocabulary)
         else:
-            text = make_post(self._generator, rng, agent, "mastodon", mixture)
+            generator = self._generator
+            text = generator.generate(
+                generator.pick_topic_from_cdf(mixture_cdf),
+                toxic=rng.random() < agent.toxicity_mastodon,
+                hashtag_prob=0.62,
+            )
         self.network.post_status(acct, text, when, application="Web")
 
     def _boost_candidate(self, agent: SimUser, rng: np.random.Generator):
         """A recent status by a migrated followee, if any exists yet.
 
         Content is materialised in migration order, so earlier migrants'
-        statuses already exist when later migrants boost.
+        statuses already exist when later migrants boost.  The migrated set
+        is frozen by then, so the followee list is computed once per agent
+        and copied before the shuffle (the pre-shuffle order must be the
+        same on every call, exactly as a fresh rebuild would produce).
         """
-        followees = [
-            self.agents[f]
-            for f in self.twitter_graph.followees_of(agent.user_id)
-            if f in self.agents and self.agents[f].migrated
-        ]
+        cached = self._boost_followees.get(agent.user_id)
+        if cached is None:
+            cached = [
+                self.agents[f]
+                for f in self.twitter_graph.followees_of(agent.user_id)
+                if f in self.agents and self.agents[f].migrated
+            ]
+            self._boost_followees[agent.user_id] = cached
+        followees = cached.copy()
         rng.shuffle(followees)
         for other in followees[:5]:
             if other.first_instance is None:
@@ -495,8 +583,7 @@ class World:
             username = other.first_username or other.mastodon_username
             if username is None or not instance.has_account(username):
                 continue
-            statuses = instance.statuses_of(username)
-            originals = [s for s in statuses if not s.is_boost]
+            originals = instance.original_statuses_of(username)
             if originals:
                 return originals[int(rng.integers(0, len(originals)))]
         return None
@@ -504,8 +591,8 @@ class World:
     def _add_tweet(
         self, agent: SimUser, day: _dt.date, text: str, source: str, seq: int
     ) -> Tweet:
-        when = _dt.datetime.combine(day, _dt.time(8, 0)) + _dt.timedelta(
-            minutes=min(13 * seq, 900), seconds=agent.user_id % 50
+        when = _dt.datetime.combine(day, _TIME_8) + _tweet_offset(
+            min(13 * seq, 900), agent.user_id % 50
         )
         tweet = Tweet(
             tweet_id=self._tweet_ids.next_id(when),
@@ -580,17 +667,19 @@ class World:
             [max(spec.weight, 1e-6) for spec in self.instance_specs]
         )
         weights = weights / weights.sum()
-        base_logins = {
-            spec.domain: 20.0 * spec.weight * total_migrants for spec in self.instance_specs
-        }
+        base_logins = np.array(
+            [20.0 * spec.weight * total_migrants for spec in self.instance_specs]
+        )
         for day in date_range(config.start, config.end):
             intensity = self.timeline.intensity(day)
             registrations = rng.poisson(daily_new * intensity * weights)
-            for spec, regs in zip(self.instance_specs, registrations):
+            # one batched draw per day instead of one scalar poisson per
+            # instance; poisson_batch's element-order contract keeps the
+            # bitstream identical to the per-spec loop it replaces
+            login_draws = poisson_batch(rng, base_logins * (0.15 + 0.85 * intensity))
+            for spec, regs, logins in zip(self.instance_specs, registrations, login_draws):
                 instance = self.network.get_instance(spec.domain)
-                logins = int(
-                    rng.poisson(base_logins[spec.domain] * (0.15 + 0.85 * intensity))
-                )
+                logins = int(logins)
                 statuses = int(logins * config.background_statuses_per_login)
                 instance.record_aggregate_activity(
                     day,
@@ -648,17 +737,29 @@ def build_world(seed: int = 7, scale: float = 0.01, **overrides) -> World:
     from repro import obs
 
     registry = obs.current()
-    with registry.span("build_world") as span:
-        with registry.span("world.init"):
-            config = WorldConfig(seed=seed, scale=scale, **overrides)
-            world = World(config)
-        with registry.span("world.simulate"):
-            world.simulate()
-        span.annotate(
-            seed=seed,
-            scale=scale,
-            agents=len(world.agents),
-            migrants=len(world.migrants),
-            tweets=world.twitter_store.tweet_count,
-        )
+    # The build allocates millions of small, acyclic objects (tweets,
+    # statuses, postings); the cyclic collector's threshold-triggered full
+    # sweeps walk that whole heap to find nothing.  Defer cycle collection
+    # to the end of the build and run one sweep on exit.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        with registry.span("build_world") as span:
+            with registry.span("world.init"):
+                config = WorldConfig(seed=seed, scale=scale, **overrides)
+                world = World(config)
+            with registry.span("world.simulate"):
+                world.simulate()
+            span.annotate(
+                seed=seed,
+                scale=scale,
+                agents=len(world.agents),
+                migrants=len(world.migrants),
+                tweets=world.twitter_store.tweet_count,
+            )
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect()
     return world

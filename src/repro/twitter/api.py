@@ -24,6 +24,7 @@ list-materialising wrappers.
 from __future__ import annotations
 
 import datetime as _dt
+from bisect import bisect_left, bisect_right
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -120,22 +121,60 @@ class TwitterAPI:
     def _search_page(
         self, query: SearchQuery, next_token: str | None, page_size: int
     ) -> SearchPage:
+        """One search page, planned against the archive indexes.
+
+        Content queries are answered from the inverted indexes: the planner
+        returns a sorted candidate-id superset, each candidate is verified
+        by ``query.matches``, and the pagination token is re-expressed as
+        the archive scan position the old linear scan would have reached —
+        pages, tokens and request counts are byte-identical either way.
+        Pure ``from:user`` queries use the per-author index; only pure
+        date-window queries still scan.
+        """
         self.limiter.acquire("search", wait=True)
         self._count_call("search")
         self._count_page("search")
         position = _decode_token(next_token)
         matched: list[Tweet] = []
         archive = self._store.tweet_ids_sorted
-        while position < len(archive) and len(matched) < page_size:
-            tweet = self._store.get_tweet(archive[position])
-            position += 1
-            if query.matches(tweet):
-                matched.append(tweet)
+        candidates = self._store.index.candidates(query)
+        if candidates is None and query.from_user_id is not None:
+            candidates = self._store.author_tweet_ids(query.from_user_id)
+        if candidates is None:
+            self._count_plan("scan")
+            while position < len(archive) and len(matched) < page_size:
+                tweet = self._store.get_tweet(archive[position])
+                position += 1
+                if query.matches(tweet):
+                    matched.append(tweet)
+            token = _encode_token(position) if position < len(archive) else None
+        else:
+            self._count_plan("index")
+            if position < len(archive):
+                start = bisect_left(candidates, archive[position])
+            else:
+                start = len(candidates)
+            for candidate_id in candidates[start:] if start else candidates:
+                if len(matched) == page_size:
+                    break
+                tweet = self._store.get_tweet(candidate_id)
+                if query.matches(tweet):
+                    matched.append(tweet)
+            if len(matched) == page_size:
+                # the scan would have stopped right after the match that
+                # filled the page, so resume from the next archive slot
+                position = bisect_right(archive, matched[-1].tweet_id)
+            else:
+                position = len(archive)  # candidates exhausted: archive drained
+            token = _encode_token(position) if position < len(archive) else None
         users = {
             tweet.author_id: self._store.get_user(tweet.author_id) for tweet in matched
         }
-        token = _encode_token(position) if position < len(archive) else None
         return SearchPage(tweets=matched, users=users, next_token=token)
+
+    @staticmethod
+    def _count_plan(kind: str) -> None:
+        obs.current().counter("twitter.search.plans", kind=kind).inc()
 
     def iter_search_pages(self, query: SearchQuery) -> Iterator[SearchPage]:
         """Stream every page of a search (tweets plus author expansions)."""

@@ -1,0 +1,194 @@
+"""Inverted indexes over the tweet archive and the search query planner.
+
+The §3.1 full-archive searches — instance-link queries over ~16k domains
+and the migration keyword/hashtag query — were scans: every
+``SearchQuery`` walked every tweet, making collection O(tweets × queries).
+This module turns them into postings-list lookups:
+
+- **hashtag postings**: normalized tag → sorted tweet ids;
+- **domain postings**: every URL host *and each dot-suffix with ≥ 2
+  labels* → sorted tweet ids, so ``url:"example.com"`` finds
+  ``social.example.com`` links without per-tweet suffix walks;
+- **token postings**: every ``[a-z0-9']+`` token of the lowered raw text
+  → sorted tweet ids, the candidate source for phrase terms.
+
+Phrase terms approximate Twitter's quoted-phrase operator as a substring
+match, which a token index cannot answer exactly — but it can produce a
+guaranteed *superset* of candidates that the real ``SearchQuery.matches``
+then verifies (the planner's contract: no false negatives, false positives
+are fine).  The superset argument: tokens are maximal ``[a-z0-9']+`` runs,
+and the phrase is tokenized with the same alphabet, so
+
+- any *internal* phrase token (separator-bounded on both sides inside the
+  phrase) must appear verbatim as a token of any text containing the
+  phrase — exact postings lookup;
+- a phrase-*leading* token can only be extended leftward in the text, so
+  it appears as a token **suffix**; a phrase-*trailing* token appears as a
+  token **prefix**; a single-token phrase appears **inside** some token.
+  These need a pass over the distinct-token vocabulary (small, cached per
+  archive version) rather than the archive itself.
+
+A phrase with no tokens at all (pure punctuation) is unindexable: the
+planner refuses and the API falls back to the linear scan, as it does for
+pure date-window queries.
+
+Postings lists are append-mostly: ids arrive from the simulator in
+near-chronological order, so each list keeps an *appended-run* invariant —
+out-of-order appends mark the key dirty and the list is re-sorted lazily
+on first lookup (amortised O(n log n) instead of insertion sorts).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.twitter.models import Tweet
+from repro.twitter.search import SearchQuery
+
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+_findall = _TOKEN_RE.findall
+
+_EMPTY: list[int] = []
+
+
+class TweetIndex:
+    """Incrementally-maintained inverted indexes plus the query planner."""
+
+    def __init__(self) -> None:
+        self._tags: dict[str, list[int]] = {}
+        self._domains: dict[str, list[int]] = {}
+        self._tokens: dict[str, list[int]] = {}
+        self._dirty_tags: set[str] = set()
+        self._dirty_domains: set[str] = set()
+        self._dirty_tokens: set[str] = set()
+        #: bumped on every add; invalidates cached query plans
+        self._version = 0
+        self._plan_cache: dict[SearchQuery, list[int] | None] = {}
+        self._plan_cache_version = -1
+
+    # -- maintenance -------------------------------------------------------
+
+    def add(self, tweet: Tweet) -> None:
+        """Index one tweet (called by ``TwitterStore.add_tweet``).
+
+        The three postings loops are inlined: with ~20 distinct keys per
+        tweet this method runs once per archived tweet and is the store's
+        hottest write path.
+        """
+        tweet_id = tweet.tweet_id
+        groups: list[tuple[dict[str, list[int]], set[str], frozenset[str] | set[str]]] = [
+            (self._tokens, self._dirty_tokens, set(_findall(tweet.text_lower)))
+        ]
+        if tweet.tags_normalized:
+            groups.append((self._tags, self._dirty_tags, tweet.tags_normalized))
+        if tweet.domain_keys:
+            groups.append((self._domains, self._dirty_domains, tweet.domain_keys))
+        for postings, dirty, keys in groups:
+            get = postings.get
+            for key in keys:
+                ids = get(key)
+                if ids is None:
+                    postings[key] = [tweet_id]
+                else:
+                    ids.append(tweet_id)
+                    if ids[-2] > tweet_id:  # appended out of order: re-sort lazily
+                        dirty.add(key)
+        self._version += 1
+
+    def _postings(
+        self, postings: dict[str, list[int]], dirty: set[str], key: str
+    ) -> list[int]:
+        ids = postings.get(key)
+        if ids is None:
+            return _EMPTY
+        if key in dirty:
+            ids.sort()
+            dirty.discard(key)
+        return ids
+
+    # -- planning ----------------------------------------------------------
+
+    def candidates(self, query: SearchQuery) -> list[int] | None:
+        """Sorted candidate tweet ids for ``query``, or ``None`` to scan.
+
+        The result is a superset of the tweets whose *content terms* match;
+        window and author restrictions are left to ``SearchQuery.matches``
+        during verification.  ``None`` means the query has no indexable
+        content terms and must be answered by the caller another way.
+        """
+        if not query.has_content_terms:
+            return None
+        if self._plan_cache_version != self._version:
+            self._plan_cache.clear()
+            self._plan_cache_version = self._version
+        if query in self._plan_cache:
+            return self._plan_cache[query]
+        plan = self._plan(query)
+        self._plan_cache[query] = plan
+        return plan
+
+    def _plan(self, query: SearchQuery) -> list[int] | None:
+        lists: list[list[int]] = []
+        for tag in query._tag_set:
+            lists.append(self._postings(self._tags, self._dirty_tags, tag))
+        for domain in query._domain_set:
+            lists.append(self._postings(self._domains, self._dirty_domains, domain))
+        for phrase in query._lowered_phrases:
+            phrase_lists = self._phrase_postings(phrase)
+            if phrase_lists is None:
+                return None  # unindexable phrase: the whole query scans
+            lists.extend(phrase_lists)
+        merged: set[int] = set()
+        merged.update(*lists)
+        return sorted(merged)
+
+    def _phrase_postings(self, phrase: str) -> list[list[int]] | None:
+        """Candidate postings lists for one (lowered) phrase term."""
+        tokens = list(_TOKEN_RE.finditer(phrase))
+        if not tokens:
+            return None
+        end = len(phrase)
+        internal = [m for m in tokens if m.start() > 0 and m.end() < end]
+        if internal:
+            # any internal token must appear verbatim; pick the rarest
+            best = min(
+                (
+                    self._postings(self._tokens, self._dirty_tokens, m.group())
+                    for m in internal
+                ),
+                key=len,
+            )
+            return [best]
+        options: list[list[list[int]]] = []
+        first, last = tokens[0], tokens[-1]
+        if first.start() == 0:
+            word = first.group()
+            if first.end() == end:
+                # single-token phrase: may sit inside a longer token
+                options.append(self._vocabulary_scan(lambda v: word in v))
+            else:
+                options.append(self._vocabulary_scan(lambda v: v.endswith(word)))
+        if last.end() == end and last.start() > 0:
+            word = last.group()
+            options.append(self._vocabulary_scan(lambda v: v.startswith(word)))
+        return min(options, key=lambda ls: sum(len(ids) for ids in ls))
+
+    def _vocabulary_scan(self, predicate) -> list[list[int]]:
+        """Postings of every distinct archive token matching ``predicate``."""
+        return [
+            self._postings(self._tokens, self._dirty_tokens, token)
+            for token in self._tokens
+            if predicate(token)
+        ]
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Index sizes (for observability and the benchmarks)."""
+        return {
+            "tags": len(self._tags),
+            "domains": len(self._domains),
+            "tokens": len(self._tokens),
+            "version": self._version,
+        }

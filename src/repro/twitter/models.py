@@ -5,6 +5,7 @@ from __future__ import annotations
 import datetime as _dt
 import enum
 from dataclasses import dataclass, field
+from urllib.parse import urlparse
 
 from repro.util.text import extract_hashtags, extract_urls
 
@@ -73,12 +74,44 @@ class TwitterUser:
         }
 
 
-@dataclass
+_NO_TAGS: frozenset[str] = frozenset()
+
+
+def url_host(url: str) -> str:
+    """The lowercase host of ``url`` (empty string when unparseable)."""
+    try:
+        host = urlparse(url).netloc
+    except ValueError:
+        return ""
+    return host.lower().split(":")[0]
+
+
+def domain_match_keys(host: str) -> list[str]:
+    """The host itself plus every dot-suffix with at least two labels.
+
+    ``social.example.com`` yields ``social.example.com`` and ``example.com``
+    (never the bare TLD) — exactly the keys a domain search term may equal,
+    so domain matching reduces to a set intersection.
+    """
+    keys = [host]
+    parts = host.split(".")
+    for i in range(1, len(parts) - 1):
+        keys.append(".".join(parts[i:]))
+    return keys
+
+
+@dataclass(slots=True)
 class Tweet:
     """A single tweet.
 
     ``source`` is the posting client's display name (e.g. ``Twitter Web App``
     or ``Moa Bridge``), which Figures 12-13 aggregate.
+
+    Search-relevant derived fields (lowered text, the normalized hashtag
+    set, URL hosts and their suffix keys) are computed once at construction:
+    ``SearchQuery.matches`` and the archive index consult each tweet many
+    times, and re-deriving them per query evaluation dominated the §3.1
+    full-archive search cost.
     """
 
     tweet_id: int
@@ -89,12 +122,36 @@ class Tweet:
     is_retweet: bool = False
     hashtags: list[str] = field(default_factory=list)
     urls: list[str] = field(default_factory=list)
+    text_lower: str = field(init=False, repr=False, compare=False)
+    tags_normalized: frozenset[str] = field(init=False, repr=False, compare=False)
+    url_hosts: tuple[str, ...] = field(init=False, repr=False, compare=False)
+    domain_keys: frozenset[str] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if not self.hashtags:
-            self.hashtags = extract_hashtags(self.text)
-        if not self.urls:
-            self.urls = extract_urls(self.text)
+        text = self.text
+        # the regex scans are guarded by cheap containment checks: most
+        # tweets carry no URL, and this constructor runs once per tweet
+        if not self.hashtags and "#" in text:
+            self.hashtags = extract_hashtags(text)
+        if not self.urls and "http" in text:
+            self.urls = extract_urls(text)
+        self.text_lower = text.lower()
+        if self.hashtags:
+            # str.lower IS normalize_hashtag; mapped directly to skip a
+            # python-level call per tag on the archive's hottest write path
+            self.tags_normalized = frozenset(map(str.lower, self.hashtags))
+        else:
+            self.tags_normalized = _NO_TAGS
+        if self.urls:
+            hosts = tuple(host for host in map(url_host, self.urls) if host)
+            self.url_hosts = hosts
+            keys: list[str] = []
+            for host in hosts:
+                keys.extend(domain_match_keys(host))
+            self.domain_keys = frozenset(keys)
+        else:
+            self.url_hosts = ()
+            self.domain_keys = _NO_TAGS
 
     @property
     def created_date(self) -> _dt.date:

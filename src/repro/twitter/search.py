@@ -16,20 +16,15 @@ from __future__ import annotations
 
 import datetime as _dt
 from dataclasses import dataclass, field
-from urllib.parse import urlparse
 
 from repro.util.text import normalize_hashtag
 
-from repro.twitter.models import Tweet
+from repro.twitter.models import Tweet, url_host
 
 
 def url_domain(url: str) -> str:
     """The lowercase host of ``url`` (empty string when unparseable)."""
-    try:
-        host = urlparse(url).netloc
-    except ValueError:
-        return ""
-    return host.lower().split(":")[0]
+    return url_host(url)
 
 
 @dataclass(frozen=True)
@@ -77,18 +72,15 @@ class SearchQuery:
     def _domain_matches(self, tweet: Tweet) -> bool:
         if not self._domain_set:
             return False
-        for url in tweet.urls:
-            host = url_domain(url)
-            if not host:
-                continue
-            if host in self._domain_set:
-                return True
-            # subdomain match: social.example.com matches example.com
-            parts = host.split(".")
-            for i in range(1, len(parts) - 1):
-                if ".".join(parts[i:]) in self._domain_set:
-                    return True
-        return False
+        # the tweet's domain_keys already contain every host and dot-suffix
+        # a term may equal, so subdomain matching is a set intersection
+        return not self._domain_set.isdisjoint(tweet.domain_keys)
+
+    @property
+    def has_content_terms(self) -> bool:
+        """Whether the query has phrase/hashtag/domain terms (an index can
+        serve it) or is a pure author/window restriction (scan territory)."""
+        return bool(self._lowered_phrases or self._tag_set or self._domain_set)
 
     def matches(self, tweet: Tweet) -> bool:
         """Whether ``tweet`` satisfies this query."""
@@ -96,15 +88,12 @@ class SearchQuery:
             return False
         if self.from_user_id is not None and tweet.author_id != self.from_user_id:
             return False
-        has_content_terms = bool(self._lowered_phrases or self._tag_set or self._domain_set)
-        if not has_content_terms:
+        if not self.has_content_terms:
             return True  # pure from:user / window query
-        text = tweet.text.lower()
+        text = tweet.text_lower
         if any(phrase in text for phrase in self._lowered_phrases):
             return True
-        if self._tag_set and any(
-            normalize_hashtag(tag) in self._tag_set for tag in tweet.hashtags
-        ):
+        if self._tag_set and not self._tag_set.isdisjoint(tweet.tags_normalized):
             return True
         return self._domain_matches(tweet)
 

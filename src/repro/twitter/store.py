@@ -6,23 +6,30 @@ import bisect
 from collections.abc import Iterable, Iterator
 
 from repro.twitter.errors import NotFoundError
+from repro.twitter.index import TweetIndex
 from repro.twitter.models import Tweet, TwitterUser
 
 
 class TwitterStore:
     """Users, tweets and the indexes the Search API needs.
 
-    Tweets are kept in a single id-sorted list (snowflake ids sort
-    chronologically) plus a per-author index, so both full-archive scans and
-    timeline reads are cheap.
+    Tweets are kept in a single id-ordered list (snowflake ids sort
+    chronologically) plus a per-author index and the full-archive inverted
+    indexes of :class:`~repro.twitter.index.TweetIndex`.  The id list keeps
+    an *appended-run* invariant: ids arrive near-chronologically, appends
+    that break ordering mark the list dirty and it is re-sorted lazily on
+    first read — O(n log n) for a bulk load instead of the O(n²) memmove
+    cost of per-insert ``bisect.insort``.
     """
 
     def __init__(self) -> None:
         self._users_by_id: dict[int, TwitterUser] = {}
         self._users_by_username: dict[str, int] = {}
         self._tweets_by_id: dict[int, Tweet] = {}
-        self._tweet_ids_sorted: list[int] = []
+        self._tweet_ids: list[int] = []
+        self._tweet_ids_dirty = False
         self._tweets_by_author: dict[int, list[int]] = {}
+        self._index = TweetIndex()
 
     # -- users ------------------------------------------------------------
 
@@ -65,8 +72,18 @@ class TwitterStore:
         if tweet.author_id not in self._users_by_id:
             raise NotFoundError(f"tweet author {tweet.author_id} is not a known user")
         self._tweets_by_id[tweet.tweet_id] = tweet
-        bisect.insort(self._tweet_ids_sorted, tweet.tweet_id)
-        self._tweets_by_author.setdefault(tweet.author_id, []).append(tweet.tweet_id)
+        ids = self._tweet_ids
+        ids.append(tweet.tweet_id)
+        if len(ids) > 1 and ids[-2] > tweet.tweet_id:
+            self._tweet_ids_dirty = True
+        by_author = self._tweets_by_author.setdefault(tweet.author_id, [])
+        # per-author ids arrive mostly in order; keep the list sorted on
+        # insert so reads never re-sort
+        if by_author and by_author[-1] > tweet.tweet_id:
+            bisect.insort(by_author, tweet.tweet_id)
+        else:
+            by_author.append(tweet.tweet_id)
+        self._index.add(tweet)
 
     def get_tweet(self, tweet_id: int) -> Tweet:
         try:
@@ -76,23 +93,37 @@ class TwitterStore:
 
     def tweets(self) -> Iterator[Tweet]:
         """All tweets in chronological (id) order."""
-        for tweet_id in self._tweet_ids_sorted:
+        for tweet_id in self.tweet_ids_sorted:
             yield self._tweets_by_id[tweet_id]
 
     @property
     def tweet_ids_sorted(self) -> list[int]:
         """Chronologically sorted tweet ids (the Search API's scan order)."""
-        return self._tweet_ids_sorted
+        if self._tweet_ids_dirty:
+            self._tweet_ids.sort()
+            self._tweet_ids_dirty = False
+        return self._tweet_ids
+
+    @property
+    def index(self) -> TweetIndex:
+        """The full-archive inverted indexes (maintained incrementally)."""
+        return self._index
 
     def tweets_by_author(self, author_id: int) -> list[Tweet]:
         """An author's tweets in chronological order."""
         ids = self._tweets_by_author.get(author_id, [])
-        return [self._tweets_by_id[i] for i in sorted(ids)]
+        return [self._tweets_by_id[i] for i in ids]
+
+    def author_tweet_ids(self, author_id: int) -> list[int]:
+        """An author's tweet ids in chronological order (a copy)."""
+        return list(self._tweets_by_author.get(author_id, ()))
 
     @property
     def tweet_count(self) -> int:
         return len(self._tweets_by_id)
 
     def extend_tweets(self, tweets: Iterable[Tweet]) -> None:
+        """Bulk insertion; the sorted-order invariant is restored lazily
+        once afterwards rather than per tweet."""
         for tweet in tweets:
             self.add_tweet(tweet)

@@ -55,10 +55,20 @@ def date_range(start: _dt.date, end: _dt.date) -> Iterator[_dt.date]:
         day += _dt.timedelta(days=1)
 
 
+_ISO_WEEK_CACHE: dict[_dt.date, str] = {}
+
+
 def iso_week(day: _dt.date) -> str:
-    """ISO-8601 week label, e.g. ``'2022-W43'`` (used by the weekly endpoint)."""
-    year, week, _ = day.isocalendar()
-    return f"{year}-W{week:02d}"
+    """ISO-8601 week label, e.g. ``'2022-W43'`` (used by the weekly endpoint).
+
+    Memoised: every posted status bumps a weekly counter, and the study
+    window only spans a few hundred distinct dates.
+    """
+    label = _ISO_WEEK_CACHE.get(day)
+    if label is None:
+        year, week, _ = day.isocalendar()
+        label = _ISO_WEEK_CACHE[day] = f"{year}-W{week:02d}"
+    return label
 
 
 def week_start(day: _dt.date) -> _dt.date:

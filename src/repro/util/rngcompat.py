@@ -1,0 +1,176 @@
+"""RNG-draw-order compatibility shims.
+
+The determinism contract of this package is *byte-identity*: a seed-7 world
+must serialise to the same bytes on every commit.  That contract pins not
+just the algorithms but the exact bitstream each named RNG stream consumes.
+Vectorising a hot loop is therefore only legal when the replacement consumes
+the underlying ``BitGenerator`` in **exactly** the same order and quantity
+as the loop it replaces.
+
+This module is the single place where those replacements live, together
+with the contracts that make them safe (each one is enforced by
+``tests/util/test_rngcompat.py`` against ``numpy.random.Generator`` itself):
+
+1. **Element-order contract** — numpy fills array draws element by element
+   from the same bitstream a scalar loop would consume, so
+   ``rng.poisson(lams)`` == ``[rng.poisson(l) for l in lams]`` and
+   ``rng.integers(0, n, size=k)`` == ``[rng.integers(0, n) for _ in
+   range(k)]``, state included.  This is what lets world generation batch
+   per-day activity counts into single vectorised draws.
+
+2. **Choice-replication contract** — ``Generator.choice`` spends most of
+   its time validating parameters (``np.prod`` over shapes, dtype checks,
+   probability sums), not drawing.  The fast paths below reproduce its
+   draw sequence exactly while skipping re-validation of arguments that
+   hot loops pass unchanged millions of times.
+
+Anything not replicated here (e.g. ``choice(replace=False)`` *without*
+weights, which uses Floyd's algorithm) must keep calling numpy directly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = [
+    "choice_index",
+    "choice_indices",
+    "weighted_index",
+    "weighted_indices_no_replace",
+    "poisson_batch",
+    "fast_shape_prod",
+]
+
+
+@contextlib.contextmanager
+def fast_shape_prod() -> Iterator[None]:
+    """Fast-path ``np.prod`` for plain-int shape arguments, scoped.
+
+    ``Generator.integers(low, high, size=k)`` resolves ``np.prod`` through
+    the module dict on *every* call and feeds it the raw ``size`` — pure
+    shape arithmetic (``np.prod(k) == k``), yet the dispatch through
+    ``fromnumeric._wrapreduction`` costs ~3× the bounded draw itself.
+    Within this context ``np.prod`` answers plain-int inputs directly and
+    delegates everything else untouched, so no caller can observe a value
+    difference and the RNG bitstream is unaffected (the draw code never
+    runs differently — it just gets its element count sooner).
+
+    Scoped rather than global on purpose: the swap is restored even on
+    error, and nothing outside the hot loops ever sees the shim.
+    """
+    orig = np.prod
+
+    def _prod(a, *args, **kwargs):
+        if type(a) is int and not args and not kwargs:
+            return a
+        return orig(a, *args, **kwargs)
+
+    np.prod = _prod
+    try:
+        yield
+    finally:
+        np.prod = orig
+
+
+def choice_index(rng: np.random.Generator, n: int) -> int:
+    """Draw-identical fast path for ``rng.choice(n)`` (uniform, scalar).
+
+    ``Generator.choice`` without weights reduces to one bounded-integer
+    draw; this skips the array coercion around it.
+    """
+    return int(rng.integers(0, n))
+
+
+def choice_indices(rng: np.random.Generator, n: int, size: int) -> np.ndarray:
+    """Draw-identical fast path for ``rng.choice(n, size=size)`` (with
+    replacement, uniform): a single bounded-integer batch."""
+    return rng.integers(0, n, size=size, dtype=np.int64)
+
+
+def weighted_index(rng: np.random.Generator, cdf: np.ndarray) -> int:
+    """Draw-identical fast path for ``rng.choice(len(p), p=p)`` (scalar).
+
+    ``cdf`` must be ``p.cumsum()`` normalised so ``cdf[-1] == 1.0`` —
+    exactly what numpy computes internally before drawing one uniform and
+    binary-searching it.  Callers that reuse a mixture across draws can
+    build the cdf once via :func:`build_cdf` instead of paying numpy's
+    per-call validation.
+    """
+    idx = int(cdf.searchsorted(rng.random(), side="right"))
+    if idx >= len(cdf):  # guard against u == 1.0 rounding, as numpy does
+        idx = len(cdf) - 1
+    return idx
+
+
+def build_cdf(p: np.ndarray) -> np.ndarray:
+    """The normalised cumulative distribution ``Generator.choice`` builds
+    internally from ``p`` (see :func:`weighted_index`)."""
+    cdf = np.asarray(p, dtype=np.float64).cumsum()
+    cdf /= cdf[-1]
+    return cdf
+
+
+def weighted_indices_no_replace(
+    rng: np.random.Generator, p: np.ndarray, size: int, cdf: np.ndarray | None = None
+) -> np.ndarray | list[int]:
+    """Draw-identical replication of ``rng.choice(len(p), size=size,
+    replace=False, p=p)``.
+
+    Reproduces numpy's rejection loop verbatim (draw ``size - n_uniq``
+    uniforms, zero out already-chosen weights, re-search, keep first
+    occurrences) while skipping the parameter re-validation that dominates
+    its cost for the tiny ``size`` values hot loops use.
+
+    ``cdf``, when given, must be :func:`build_cdf` of ``p`` — the cdf numpy
+    builds on its *first* rejection-loop iteration, before any weight has
+    been zeroed.  Callers drawing repeatedly from the same static weights
+    pass it to skip the copy/cumsum on the (overwhelmingly common) first
+    iteration; the draw sequence is unchanged.  When the first iteration
+    already yields ``size`` distinct indices the result is returned as a
+    plain list (same values, no array round-trip) — callers only iterate
+    the result, and the hot loops pass ``size`` of 1 or 2.
+    """
+    if cdf is not None:
+        x = rng.random((size,))
+        lst = cdf.searchsorted(x, side="right").tolist()
+        if size == 1 or len(set(lst)) == size:
+            return lst
+        # first-occurrence dedupe, as numpy's unique/sort/take produces
+        uniq = list(dict.fromkeys(lst))
+        found = np.zeros(size, dtype=np.int64)
+        found[: len(uniq)] = uniq
+        n_uniq = len(uniq)
+    else:
+        found = np.zeros(size, dtype=np.int64)
+        n_uniq = 0
+    p_work: np.ndarray | None = None
+    while n_uniq < size:
+        if p_work is None:
+            p_work = np.array(p, dtype=np.float64)  # numpy mutates its copy; so do we
+        x = rng.random((size - n_uniq,))
+        if n_uniq > 0:
+            p_work[found[0:n_uniq]] = 0
+        step_cdf = np.cumsum(p_work)
+        step_cdf /= step_cdf[-1]
+        new = step_cdf.searchsorted(x, side="right")
+        _, unique_indices = np.unique(new, return_index=True)
+        unique_indices.sort()
+        new = new.take(unique_indices)
+        found[n_uniq : n_uniq + new.size] = new
+        n_uniq += new.size
+    return found
+
+
+def poisson_batch(rng: np.random.Generator, lams: np.ndarray) -> np.ndarray:
+    """Vectorised Poisson draws under the element-order contract.
+
+    Identical (values *and* final generator state) to drawing
+    ``rng.poisson(lam)`` once per element of ``lams`` in order, because
+    numpy's array path calls the same scalar sampler per element against
+    the same bitstream.  This is the shim that lets the world batch a whole
+    instance roster's (or day's) activity counts into one call.
+    """
+    return rng.poisson(lams)

@@ -1,0 +1,209 @@
+"""The rngcompat contracts, enforced against numpy itself.
+
+Every fast path must produce the same values AND leave the generator in
+the same state as the ``numpy.random.Generator`` call it replaces — that
+is what makes substituting them into world generation byte-safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.distributions import zipf_weights
+from repro.util.rngcompat import (
+    build_cdf,
+    choice_index,
+    choice_indices,
+    fast_shape_prod,
+    poisson_batch,
+    weighted_index,
+    weighted_indices_no_replace,
+)
+
+
+def _state(rng: np.random.Generator):
+    return rng.bit_generator.state["state"]["state"]
+
+
+def _pair(seed: int) -> tuple[np.random.Generator, np.random.Generator]:
+    return np.random.default_rng(seed), np.random.default_rng(seed)
+
+
+class TestChoiceIndex:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_scalar_choice(self, seed):
+        ref, fast = _pair(seed)
+        for n in (1, 2, 3, 7, 100, 1000):
+            assert int(ref.choice(n)) == choice_index(fast, n)
+        assert _state(ref) == _state(fast)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_array_choice(self, seed):
+        ref, fast = _pair(seed)
+        pool = np.arange(37)
+        for size in (1, 2, 5, 16, 64):
+            expected = ref.choice(pool, size=size)
+            got = choice_indices(fast, 37, size)
+            assert list(expected) == list(got)
+        assert _state(ref) == _state(fast)
+
+
+class TestWeightedIndex:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_weighted_choice(self, seed):
+        setup = np.random.default_rng(seed + 10_000)
+        for n in (2, 3, 8, 31):
+            p = setup.random(n) + 1e-9
+            p /= p.sum()
+            cdf = build_cdf(p)
+            ref, fast = _pair(seed * 31 + n)
+            for _ in range(50):
+                assert int(ref.choice(n, p=p)) == weighted_index(fast, cdf)
+            assert _state(ref) == _state(fast)
+
+    def test_degenerate_mass(self):
+        p = np.array([1.0, 0.0, 0.0])
+        cdf = build_cdf(p)
+        ref, fast = _pair(99)
+        for _ in range(20):
+            assert int(ref.choice(3, p=p)) == weighted_index(fast, cdf)
+        assert _state(ref) == _state(fast)
+
+
+class TestWeightedNoReplace:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_matches_numpy_rejection_loop(self, seed):
+        for n, k in [(3, 1), (3, 2), (5, 1), (8, 2), (12, 3), (4, 4)]:
+            w = zipf_weights(n, 1.1)
+            ref, fast = _pair(seed * 101 + n * 7 + k)
+            expected = ref.choice(n, size=k, replace=False, p=w)
+            got = weighted_indices_no_replace(fast, w, k)
+            assert list(expected) == list(got)
+            assert _state(ref) == _state(fast)
+
+    def test_does_not_mutate_weights(self):
+        w = zipf_weights(6, 1.1)
+        before = w.copy()
+        weighted_indices_no_replace(np.random.default_rng(3), w, 3)
+        assert np.array_equal(w, before)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_cdf_fast_path_matches_numpy(self, seed):
+        """The ``cdf=`` fast path (collision-free AND collision/continuation
+        cases) must equal numpy's draw values and final state exactly."""
+        for n, k in [(2, 1), (2, 2), (3, 2), (5, 2), (8, 3), (4, 4)]:
+            w = zipf_weights(n, 1.1)
+            cdf = build_cdf(w)
+            ref, fast = _pair(seed * 211 + n * 13 + k)
+            expected = ref.choice(n, size=k, replace=False, p=w)
+            got = weighted_indices_no_replace(fast, w, k, cdf=cdf)
+            assert list(expected) == list(got)
+            assert _state(ref) == _state(fast)
+
+    def test_cdf_fast_path_exercises_collision_branch(self):
+        """With two heavily skewed weights and k=2, first-draw collisions are
+        common — make sure the seeds above actually cover the rejection
+        continuation, not just the collision-free list return."""
+        w = np.array([0.95, 0.05])
+        cdf = build_cdf(w)
+        saw_collision = saw_clean = False
+        for seed in range(200):
+            ref, fast = _pair(seed)
+            first_two = np.random.default_rng(seed).random((2,))
+            lst = list(cdf.searchsorted(first_two, side="right"))
+            if len(set(lst)) == 1:
+                saw_collision = True
+            else:
+                saw_clean = True
+            expected = ref.choice(2, size=2, replace=False, p=w)
+            got = weighted_indices_no_replace(fast, w, 2, cdf=cdf)
+            assert list(expected) == list(got)
+            assert _state(ref) == _state(fast)
+        assert saw_collision and saw_clean
+
+    def test_cdf_fast_path_k1_returns_list(self):
+        w = zipf_weights(5, 1.1)
+        got = weighted_indices_no_replace(np.random.default_rng(1), w, 1, cdf=build_cdf(w))
+        assert isinstance(got, list) and len(got) == 1
+
+
+class TestFastShapeProd:
+    def test_int_fast_path_and_delegation(self):
+        orig = np.prod
+        with fast_shape_prod():
+            assert np.prod(7) == 7
+            assert np.prod(0) == 0
+            # non-int inputs delegate to the real np.prod untouched
+            assert np.prod([2, 3]) == 6
+            assert np.prod(np.array([4, 5])) == 20
+            assert np.prod([2.0, 3.0]) == 6.0
+            assert np.prod([[1, 2], [3, 4]], axis=0).tolist() == [3, 8]
+        assert np.prod is orig  # restored
+        assert np.prod([2, 3]) == 6
+
+    def test_restored_on_error(self):
+        orig = np.prod
+        with pytest.raises(RuntimeError):
+            with fast_shape_prod():
+                raise RuntimeError("boom")
+        assert np.prod is orig
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sized_integers_identical_under_shim(self, seed):
+        """``integers(low, high, size=k)`` — the caller the shim exists for —
+        must draw the same values and reach the same state."""
+        ref, fast = _pair(seed)
+        expected = [ref.integers(0, 37, size=k).tolist() for k in (1, 2, 8, 33)]
+        with fast_shape_prod():
+            got = [fast.integers(0, 37, size=k).tolist() for k in (1, 2, 8, 33)]
+        assert expected == got
+        assert _state(ref) == _state(fast)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_floyd_choice_identical_under_shim(self, seed):
+        """Uniform ``choice(replace=False)`` (Floyd's algorithm) also calls
+        ``np.prod`` on its size argument."""
+        pool = np.array([f"w{i}" for i in range(11)])
+        ref, fast = _pair(seed)
+        expected = ref.choice(pool, size=2, replace=False).tolist()
+        with fast_shape_prod():
+            got = fast.choice(pool, size=2, replace=False).tolist()
+        assert expected == got
+        assert _state(ref) == _state(fast)
+
+
+class TestPoissonBatch:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_sequential_scalars(self, seed):
+        lams = np.array([0.0, 0.3, 1.0, 2.5, 11.0, 100.5, 0.7])
+        ref, fast = _pair(seed)
+        expected = [int(ref.poisson(lam)) for lam in lams]
+        got = poisson_batch(fast, lams)
+        assert expected == list(got)
+        assert _state(ref) == _state(fast)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_scalar_lambda_with_size(self, seed):
+        ref, fast = _pair(seed)
+        expected = [int(ref.poisson(1.0)) for _ in range(16)]
+        got = poisson_batch(fast, np.full(16, 1.0))
+        assert expected == list(got)
+        assert _state(ref) == _state(fast)
+
+
+class TestListShuffleContract:
+    """World code shuffles python lists; document that the list and array
+    paths of ``Generator.shuffle`` consume the bitstream identically, so
+    either representation is byte-safe."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_list_and_array_shuffle_agree(self, seed):
+        ref, fast = _pair(seed)
+        items = [f"w{i}" for i in range(17)]
+        as_list = list(items)
+        as_array = np.array(items)
+        ref.shuffle(as_list)
+        fast.shuffle(as_array)
+        assert as_list == list(as_array)
+        assert _state(ref) == _state(fast)
