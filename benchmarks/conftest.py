@@ -118,6 +118,18 @@ def record_hotpath(name: str, wall_seconds: float, **meta) -> None:
     BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
 
 
+def record_parallel(section: dict) -> None:
+    """Write the sharded-crawl comparison into the artifact's ``parallel`` key.
+
+    ``test_bench_parallel.py`` calls this with the serial-vs-4-worker
+    numbers; the base artifact must exist first (depend on
+    ``bench_dataset``).
+    """
+    payload = json.loads(BENCH_ARTIFACT.read_text())
+    payload["parallel"] = section
+    BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def session_span_seconds(name: str) -> float | None:
     """Wall seconds of a named span from the session registry, if present."""
     for span in _session_registry.tracer.walk():

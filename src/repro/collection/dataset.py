@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
 from repro.fediverse.models import Status
@@ -123,6 +123,25 @@ class CrawlCoverage:
         if self.attempted == 0:
             return 0.0
         return 100.0 * getattr(self, outcome) / self.attempted
+
+    def merge(self, other: "CrawlCoverage") -> "CrawlCoverage":
+        """Field-wise sum of two coverages (per-shard counts fold up).
+
+        Plain addition per bucket, so merging is associative and
+        commutative — the shard merge order cannot change the accounting.
+        """
+        return CrawlCoverage(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    __add__ = merge
+
+    def record(self, bucket: str) -> None:
+        """Count one attempt ending in ``bucket`` (e.g. ``'instance_down'``)."""
+        setattr(self, bucket, getattr(self, bucket) + 1)
 
 
 @dataclass

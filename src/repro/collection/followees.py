@@ -88,33 +88,44 @@ class FolloweeCrawler:
         account.  Users whose crawl fails on either side are dropped, exactly
         like a real crawl.
         """
-        registry = obs.current()
         current_accts = current_accts or {}
         records: dict[int, FolloweeRecord] = {}
         for user in sample:
-            registry.counter("collection.followees.attempted").inc()
-            try:
-                twitter_followees = self._api.following_all(user.twitter_user_id)
-            except (TwitterError, TransientError):
-                registry.counter(
-                    "collection.followees.failed", side="twitter"
-                ).inc()
-                continue
             acct = current_accts.get(user.twitter_user_id, user.mastodon_acct)
-            try:
-                mastodon_following = self._client.account_following(acct)
-            except (FediverseError, TransientError):
-                mastodon_following = []
-                registry.counter(
-                    "collection.followees.failed", side="mastodon"
-                ).inc()
-            registry.counter("collection.followees.ok").inc()
-            registry.histogram("collection.followees.twitter_per_user").observe(
-                len(twitter_followees)
-            )
-            records[user.twitter_user_id] = FolloweeRecord(
-                twitter_user_id=user.twitter_user_id,
-                twitter_followees=tuple(twitter_followees),
-                mastodon_following=tuple(mastodon_following),
-            )
+            record = self.crawl_one(user, acct)
+            if record is not None:
+                records[user.twitter_user_id] = record
         return records
+
+    def crawl_one(self, user: MatchedUser, acct: str) -> FolloweeRecord | None:
+        """Crawl one sampled user's followees on both platforms.
+
+        ``acct`` is the user's *current* Mastodon account (post-move when
+        known).  Returns None when the Twitter side fails — that user is
+        dropped, exactly like a real crawl.
+        """
+        registry = obs.current()
+        registry.counter("collection.followees.attempted").inc()
+        try:
+            twitter_followees = self._api.following_all(user.twitter_user_id)
+        except (TwitterError, TransientError):
+            registry.counter(
+                "collection.followees.failed", side="twitter"
+            ).inc()
+            return None
+        try:
+            mastodon_following = self._client.account_following(acct)
+        except (FediverseError, TransientError):
+            mastodon_following = []
+            registry.counter(
+                "collection.followees.failed", side="mastodon"
+            ).inc()
+        registry.counter("collection.followees.ok").inc()
+        registry.histogram("collection.followees.twitter_per_user").observe(
+            len(twitter_followees)
+        )
+        return FolloweeRecord(
+            twitter_user_id=user.twitter_user_id,
+            twitter_followees=tuple(twitter_followees),
+            mastodon_following=tuple(mastodon_following),
+        )

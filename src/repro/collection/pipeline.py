@@ -22,19 +22,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
-from repro.collection.dataset import MatchedUser, MigrationDataset
-from repro.collection.followees import (
-    FolloweeCrawler,
-    budgeted_fraction,
-    stratified_sample,
-)
+from repro.collection.dataset import CrawlCoverage, MatchedUser, MigrationDataset
+from repro.collection.followees import budgeted_fraction, stratified_sample
 from repro.collection.handle_matching import HandleMatcher
 from repro.collection.instance_list import compile_instance_list
-from repro.collection.timelines import MastodonTimelineCrawler, TwitterTimelineCrawler
-from repro.collection.tweet_search import TweetCollector
-from repro.collection.weekly_activity import WeeklyActivityCrawler
+from repro.collection.timelines import finalize_timeline_metrics
+from repro.collection.tweet_search import TweetCollector, merge_collected
 from repro.faults import FaultPlan
-from repro.fediverse.api import MastodonClient
+from repro.parallel.engine import ShardEngine
+from repro.parallel.sharding import SHARD_COUNT
 from repro.simulation.world import World
 from repro.transport import RetryPolicy
 from repro.util.clock import (
@@ -68,6 +64,11 @@ class CollectionConfig:
     (default: none — a fault-free run is byte-identical to the
     pre-resilience pipeline); ``retry_policy`` is the resilience budget the
     crawlers spend against those faults, on the virtual clock.
+
+    ``workers``/``backend`` control *scheduling* of the sharded crawl
+    stages; ``shard_seed``/``shard_count`` control *determinism* — the
+    dataset depends only on these (plus the world and fault plan), never
+    on workers or backend.  See :mod:`repro.parallel`.
     """
 
     tweet_window_start: _dt.date = TWEET_COLLECTION_START
@@ -78,6 +79,10 @@ class CollectionConfig:
     sampler_seed: int = 99
     fault_plan: FaultPlan = field(default_factory=FaultPlan.none)
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    workers: int = 1
+    backend: str = "serial"
+    shard_seed: int = 0
+    shard_count: int = SHARD_COUNT
 
 
 def collect_dataset(
@@ -87,30 +92,40 @@ def collect_dataset(
     config = config if config is not None else CollectionConfig()
     registry = obs.current()
     dataset = MigrationDataset()
-    api = world.twitter_api(
-        faults=config.fault_plan, retry=config.retry_policy
-    )
-    client = MastodonClient(
-        world.network, faults=config.fault_plan, retry=config.retry_policy
-    )
+    # The pipeline-level API handle only sizes the followee budget (pure
+    # quota arithmetic); every simulated request is issued by a per-shard
+    # client built inside the engine, so the whole fault/limiter state
+    # lives at shard granularity regardless of worker count.
+    api = world.twitter_api(faults=config.fault_plan, retry=config.retry_policy)
 
-    with registry.span("collect_dataset") as run_span:
+    with registry.span("collect_dataset") as run_span, ShardEngine(
+        world, config
+    ) as engine:
         # 1. instance index
         with registry.span("collect.instance_list") as span:
             directory = world.directory()
             dataset.instance_domains = compile_instance_list(directory)
             span.annotate(domains=len(dataset.instance_domains))
 
-        # 2. migration tweets
+        # 2. migration tweets, sharded by query
         with registry.span("collect.tweet_search") as span:
             collector = TweetCollector(
                 api, since=config.tweet_window_start, until=config.tweet_window_end
             )
-            collected = collector.collect(dataset.instance_domains)
+            queries = collector.build_queries(dataset.instance_domains)
+            registry.counter("collection.tweet_search.queries").inc(len(queries))
+            outcome = engine.map_stage(
+                "tweet_search",
+                "repro.collection.shards:tweet_search_shard",
+                queries,
+            )
+            collected = merge_collected(outcome.payloads)
             dataset.collected_tweets = collected.tweets
             dataset.collected_user_count = collected.user_count
             span.annotate(
-                tweets=collected.tweet_count, users=collected.user_count
+                tweets=collected.tweet_count,
+                users=collected.user_count,
+                shards=outcome.shards,
             )
 
         # 3. handle matching
@@ -135,35 +150,40 @@ def collect_dataset(
 
         matched_list = dataset.matched_users()
 
-        # 4. timelines
+        # 4. timelines, sharded by matched user
         with registry.span("collect.timelines") as span:
             with registry.span("collect.timelines.twitter"):
-                twitter_crawler = TwitterTimelineCrawler(
-                    api,
-                    since=config.timeline_window_start,
-                    until=config.timeline_window_end,
+                outcome = engine.map_stage(
+                    "timelines.twitter",
+                    "repro.collection.shards:twitter_timelines_shard",
+                    matched_list,
                 )
-                (
-                    dataset.twitter_timelines,
-                    dataset.twitter_coverage,
-                ) = twitter_crawler.crawl(matched_list)
+                coverage = CrawlCoverage()
+                for part_timelines, part_coverage in outcome.payloads:
+                    dataset.twitter_timelines.update(part_timelines)
+                    coverage = coverage.merge(part_coverage)
+                dataset.twitter_coverage = coverage
+                finalize_timeline_metrics("twitter", coverage)
             with registry.span("collect.timelines.mastodon"):
-                mastodon_crawler = MastodonTimelineCrawler(
-                    client,
-                    since=config.timeline_window_start,
-                    until=config.timeline_window_end,
+                outcome = engine.map_stage(
+                    "timelines.mastodon",
+                    "repro.collection.shards:mastodon_timelines_shard",
+                    matched_list,
                 )
-                (
-                    dataset.accounts,
-                    dataset.mastodon_timelines,
-                    dataset.mastodon_coverage,
-                ) = mastodon_crawler.crawl(matched_list)
+                coverage = CrawlCoverage()
+                for accounts, part_timelines, part_coverage in outcome.payloads:
+                    dataset.accounts.update(accounts)
+                    dataset.mastodon_timelines.update(part_timelines)
+                    coverage = coverage.merge(part_coverage)
+                dataset.mastodon_coverage = coverage
+                finalize_timeline_metrics("mastodon", coverage)
             span.annotate(
                 twitter_ok=dataset.twitter_coverage.ok,
                 mastodon_ok=dataset.mastodon_coverage.ok,
             )
 
-        # 5. followee sample (budget first, stratification second)
+        # 5. followee sample (budget first, stratification second),
+        #    sharded by sampled user
         with registry.span("collect.followees") as span:
             fraction = budgeted_fraction(
                 api, len(matched_list), default=config.followee_sample_fraction
@@ -185,15 +205,26 @@ def collect_dataset(
                 for uid, record in dataset.accounts.items()
                 if record.moved_to is not None
             }
-            followee_crawler = FolloweeCrawler(api, client)
-            dataset.followee_sample = followee_crawler.crawl(sample, current_accts)
+            pairs = [
+                (
+                    user,
+                    current_accts.get(user.twitter_user_id, user.mastodon_acct),
+                )
+                for user in sample
+            ]
+            outcome = engine.map_stage(
+                "followees", "repro.collection.shards:followees_shard", pairs
+            )
+            for part_records in outcome.payloads:
+                dataset.followee_sample.update(part_records)
             span.annotate(
                 fraction=fraction,
                 sampled=len(sample),
                 crawled=len(dataset.followee_sample),
             )
 
-        # 6. weekly activity over every instance hosting a matched account
+        # 6. weekly activity over every instance hosting a matched account,
+        #    sharded by domain
         with registry.span("collect.weekly_activity") as span:
             domains = sorted(
                 {u.mastodon_domain for u in matched_list}
@@ -203,14 +234,21 @@ def collect_dataset(
                     if record.second_domain is not None
                 }
             )
-            activity_crawler = WeeklyActivityCrawler(client)
-            dataset.weekly_activity = activity_crawler.crawl(domains)
-            span.annotate(
-                domains=len(domains),
-                failed=len(activity_crawler.failed_domains),
+            outcome = engine.map_stage(
+                "weekly_activity",
+                "repro.collection.shards:weekly_activity_shard",
+                domains,
             )
+            failed_domains: list[str] = []
+            for part_activity, part_failed in outcome.payloads:
+                dataset.weekly_activity.update(part_activity)
+                failed_domains.extend(part_failed)
+            span.annotate(domains=len(domains), failed=len(failed_domains))
 
-        # 7. search-interest series (Figure 1's external data pull)
+        # 7. search-interest series (Figure 1's external data pull).
+        #    TrendsService draws from the world RNG per call (stateful
+        #    across collections), so this stage stays serial in the main
+        #    process by design.
         with registry.span("collect.trends") as span:
             for term in world.trends.supported_terms():
                 series = world.trends.interest_over_time(
@@ -222,12 +260,8 @@ def collect_dataset(
             span.annotate(terms=len(dataset.trends))
 
         run_span.annotate(matched=dataset.migrant_count)
+        run_span.annotate(parallel=engine.virtual_report())
         if config.fault_plan.active:
-            injected = sum(
-                transport.injector.injected_total
-                for transport in (api.transport, client.transport)
-                if transport.injector is not None
-            )
-            run_span.annotate(faults_injected=injected)
+            run_span.annotate(faults_injected=engine.injected_total)
 
     return dataset

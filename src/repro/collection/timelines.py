@@ -46,6 +46,17 @@ from repro.twitter.models import Tweet
 from repro.util.clock import SIM_END, SIM_START
 
 
+def finalize_timeline_metrics(platform: str, coverage: CrawlCoverage) -> None:
+    """Set the end-of-stage ok-rate gauge from the merged coverage.
+
+    Split out of ``crawl`` so the sharded engine can merge per-shard
+    coverages first and then finalize once, exactly like a serial run.
+    """
+    obs.current().gauge(
+        "collection.timelines.ok_rate", platform=platform
+    ).set(coverage.rate("ok"))
+
+
 class TwitterTimelineCrawler:
     """Crawls migrants' Twitter timelines with failure accounting."""
 
@@ -59,56 +70,55 @@ class TwitterTimelineCrawler:
         self._since = since
         self._until = until
 
+    def crawl_one(self, user: MatchedUser) -> tuple[str, list[Tweet] | None]:
+        """Crawl one migrant's Twitter timeline.
+
+        Returns ``(bucket, tweets)`` where ``bucket`` is the
+        :class:`CrawlCoverage` field the attempt lands in; ``tweets`` is
+        only non-None for ``'ok'``.  This is the sharded engine's unit of
+        work — it touches no crawler state beyond the API client, so any
+        partition of users yields the same per-user outcomes.
+        """
+        registry = obs.current()
+        registry.counter(
+            "collection.timelines.attempted", platform="twitter"
+        ).inc()
+        try:
+            tweets = self._api.user_timeline(
+                user.twitter_user_id, self._since, self._until
+            )
+        except SuspendedAccountError:
+            bucket = "suspended"
+        except NotFoundError:
+            bucket = "deleted"
+        except ProtectedAccountError:
+            bucket = "protected"
+        except (TransientError, RateLimitExceeded):
+            bucket = "unreachable"
+        else:
+            registry.counter(
+                "collection.timelines.ok", platform="twitter"
+            ).inc()
+            registry.histogram(
+                "collection.timelines.items_per_user", platform="twitter"
+            ).observe(len(tweets))
+            return "ok", tweets
+        registry.counter(
+            "collection.timelines.failed", platform="twitter", reason=bucket,
+        ).inc()
+        return bucket, None
+
     def crawl(
         self, matched: list[MatchedUser]
     ) -> tuple[dict[int, list[Tweet]], CrawlCoverage]:
-        registry = obs.current()
         timelines: dict[int, list[Tweet]] = {}
         coverage = CrawlCoverage()
         for user in matched:
-            registry.counter(
-                "collection.timelines.attempted", platform="twitter"
-            ).inc()
-            try:
-                tweets = self._api.user_timeline(
-                    user.twitter_user_id, self._since, self._until
-                )
-            except SuspendedAccountError:
-                coverage.suspended += 1
-                registry.counter(
-                    "collection.timelines.failed",
-                    platform="twitter", reason="suspended",
-                ).inc()
-            except NotFoundError:
-                coverage.deleted += 1
-                registry.counter(
-                    "collection.timelines.failed",
-                    platform="twitter", reason="deleted",
-                ).inc()
-            except ProtectedAccountError:
-                coverage.protected += 1
-                registry.counter(
-                    "collection.timelines.failed",
-                    platform="twitter", reason="protected",
-                ).inc()
-            except (TransientError, RateLimitExceeded):
-                coverage.unreachable += 1
-                registry.counter(
-                    "collection.timelines.failed",
-                    platform="twitter", reason="unreachable",
-                ).inc()
-            else:
-                coverage.ok += 1
+            bucket, tweets = self.crawl_one(user)
+            coverage.record(bucket)
+            if tweets is not None:
                 timelines[user.twitter_user_id] = tweets
-                registry.counter(
-                    "collection.timelines.ok", platform="twitter"
-                ).inc()
-                registry.histogram(
-                    "collection.timelines.items_per_user", platform="twitter"
-                ).observe(len(tweets))
-        registry.gauge(
-            "collection.timelines.ok_rate", platform="twitter"
-        ).set(coverage.rate("ok"))
+        finalize_timeline_metrics("twitter", coverage)
         return timelines, coverage
 
 
@@ -163,78 +173,74 @@ class MastodonTimelineCrawler:
             statuses=statuses,
         )
 
+    def crawl_one(
+        self, user: MatchedUser
+    ) -> tuple[str, MastodonAccountRecord | None, list[Status] | None]:
+        """Resolve and crawl one migrant's Mastodon presence.
+
+        Returns ``(bucket, record, statuses)``.  ``record`` is non-None
+        whenever resolution succeeded (even if the subsequent status crawl
+        failed or came back empty — matching the serial semantics where the
+        account record is kept regardless); ``statuses`` only for ``'ok'``.
+        """
+        registry = obs.current()
+        registry.counter(
+            "collection.timelines.attempted", platform="mastodon"
+        ).inc()
+        try:
+            record = self.resolve_account(user.mastodon_acct)
+        except (InstanceDownError, InstanceNotFoundError):
+            bucket = "instance_down"
+        except AccountNotFoundError:
+            bucket = "deleted"
+        except (TransientError, RateLimitExceeded):
+            bucket = "unreachable"
+        else:
+            assert record is not None
+            try:
+                statuses = self._crawl_statuses(record)
+            except (InstanceDownError, InstanceNotFoundError, AccountNotFoundError):
+                bucket = "instance_down"
+            except (TransientError, RateLimitExceeded):
+                bucket = "unreachable"
+            else:
+                if not statuses:
+                    bucket = "no_statuses"
+                else:
+                    registry.counter(
+                        "collection.timelines.ok", platform="mastodon"
+                    ).inc()
+                    registry.histogram(
+                        "collection.timelines.items_per_user",
+                        platform="mastodon",
+                    ).observe(len(statuses))
+                    return "ok", record, statuses
+            registry.counter(
+                "collection.timelines.failed",
+                platform="mastodon", reason=bucket,
+            ).inc()
+            return bucket, record, None
+        registry.counter(
+            "collection.timelines.failed", platform="mastodon", reason=bucket,
+        ).inc()
+        return bucket, None, None
+
     def crawl(
         self, matched: list[MatchedUser]
     ) -> tuple[
         dict[int, MastodonAccountRecord], dict[int, list[Status]], CrawlCoverage
     ]:
-        registry = obs.current()
         accounts: dict[int, MastodonAccountRecord] = {}
         timelines: dict[int, list[Status]] = {}
         coverage = CrawlCoverage()
         for user in matched:
-            registry.counter(
-                "collection.timelines.attempted", platform="mastodon"
-            ).inc()
-            try:
-                record = self.resolve_account(user.mastodon_acct)
-            except (InstanceDownError, InstanceNotFoundError):
-                coverage.instance_down += 1
-                registry.counter(
-                    "collection.timelines.failed",
-                    platform="mastodon", reason="instance_down",
-                ).inc()
-                continue
-            except AccountNotFoundError:
-                coverage.deleted += 1
-                registry.counter(
-                    "collection.timelines.failed",
-                    platform="mastodon", reason="deleted",
-                ).inc()
-                continue
-            except (TransientError, RateLimitExceeded):
-                coverage.unreachable += 1
-                registry.counter(
-                    "collection.timelines.failed",
-                    platform="mastodon", reason="unreachable",
-                ).inc()
-                continue
-            assert record is not None
-            accounts[user.twitter_user_id] = record
-            try:
-                statuses = self._crawl_statuses(record)
-            except (InstanceDownError, InstanceNotFoundError, AccountNotFoundError):
-                coverage.instance_down += 1
-                registry.counter(
-                    "collection.timelines.failed",
-                    platform="mastodon", reason="instance_down",
-                ).inc()
-                continue
-            except (TransientError, RateLimitExceeded):
-                coverage.unreachable += 1
-                registry.counter(
-                    "collection.timelines.failed",
-                    platform="mastodon", reason="unreachable",
-                ).inc()
-                continue
-            if not statuses:
-                coverage.no_statuses += 1
-                registry.counter(
-                    "collection.timelines.failed",
-                    platform="mastodon", reason="no_statuses",
-                ).inc()
-            else:
-                coverage.ok += 1
+            bucket, record, statuses = self.crawl_one(user)
+            coverage.record(bucket)
+            if record is not None:
+                accounts[user.twitter_user_id] = record
+            if statuses is not None:
                 timelines[user.twitter_user_id] = statuses
-                registry.counter(
-                    "collection.timelines.ok", platform="mastodon"
-                ).inc()
-                registry.histogram(
-                    "collection.timelines.items_per_user", platform="mastodon"
-                ).observe(len(statuses))
-        registry.gauge(
-            "collection.timelines.ok_rate", platform="mastodon"
-        ).set(coverage.rate("ok"))
+        finalize_timeline_metrics("mastodon", coverage)
         return accounts, timelines, coverage
 
     def _crawl_statuses(self, record: MastodonAccountRecord) -> list[Status]:

@@ -70,20 +70,25 @@ class TweetCollector:
         queries = self._queries(instance_domains)
         registry.counter("collection.tweet_search.queries").inc(len(queries))
         for query in queries:
-            self._drain(query, collected, seen)
-        collected.tweets.sort(key=lambda t: t.tweet_id)
-        registry.counter("collection.tweet_search.tweets").inc(collected.tweet_count)
-        registry.counter("collection.tweet_search.users").inc(collected.user_count)
-        return collected
+            self.drain_query(query, collected, seen)
+        return merge_collected([collected])
 
-    def _queries(self, instance_domains: list[str]) -> list[SearchQuery]:
+    def build_queries(self, instance_domains: list[str]) -> list[SearchQuery]:
+        """The full query list: one keyword query plus domain-batch queries.
+
+        Public so the sharded engine can partition the same query list the
+        serial collector would have walked.
+        """
         queries = [migration_query(self._since, self._until)]
         for start in range(0, len(instance_domains), DOMAIN_BATCH):
             batch = tuple(instance_domains[start : start + DOMAIN_BATCH])
             queries.append(instance_link_query(batch, self._since, self._until))
         return queries
 
-    def _drain(
+    # Backwards-compatible private alias (tests exercise the old name).
+    _queries = build_queries
+
+    def drain_query(
         self, query: SearchQuery, collected: CollectedTweets, seen: set[int]
     ) -> None:
         """Walk every page of one query, degrading on exhausted transients.
@@ -106,3 +111,29 @@ class TweetCollector:
                 collected.users.update(page.users)
         except (TransientError, RateLimitExceeded):
             obs.current().counter("collection.tweet_search.aborted_queries").inc()
+
+
+def merge_collected(parts: list[CollectedTweets]) -> CollectedTweets:
+    """Merge per-shard corpora into the final §3.1 corpus.
+
+    Deduplicates across parts (a tweet matched by queries in two different
+    shards counts as a duplicate, exactly as the serial single-``seen``-set
+    walk would have counted it), sorts by tweet id, and records the final
+    corpus counters.  With a single part this is exactly the serial
+    finalisation, so the serial and sharded paths share one code path.
+    """
+    registry = obs.current()
+    merged = CollectedTweets()
+    seen: set[int] = set()
+    for part in parts:
+        for tweet in part.tweets:
+            if tweet.tweet_id not in seen:
+                seen.add(tweet.tweet_id)
+                merged.tweets.append(tweet)
+            else:
+                registry.counter("collection.tweet_search.duplicates").inc()
+        merged.users.update(part.users)
+    merged.tweets.sort(key=lambda t: t.tweet_id)
+    registry.counter("collection.tweet_search.tweets").inc(merged.tweet_count)
+    registry.counter("collection.tweet_search.users").inc(merged.user_count)
+    return merged

@@ -19,20 +19,27 @@ class WeeklyActivityCrawler:
         self._client = client
         self.failed_domains: list[str] = []
 
-    def crawl(self, domains: list[str]) -> dict[str, list[dict]]:
+    def crawl_one(self, domain: str) -> list[dict] | None:
+        """One instance's weekly-activity rows, or None when unreachable."""
         registry = obs.current()
+        registry.counter("collection.weekly_activity.attempted").inc()
+        try:
+            rows = self._client.instance_activity(domain)
+        except (InstanceDownError, InstanceNotFoundError, TransientError):
+            registry.counter("collection.weekly_activity.failed").inc()
+            return None
+        registry.counter("collection.weekly_activity.ok").inc()
+        return rows
+
+    def crawl(self, domains: list[str]) -> dict[str, list[dict]]:
         activity: dict[str, list[dict]] = {}
         self.failed_domains = []
         for domain in domains:
-            registry.counter("collection.weekly_activity.attempted").inc()
-            try:
-                rows = self._client.instance_activity(domain)
-            except (InstanceDownError, InstanceNotFoundError, TransientError):
+            rows = self.crawl_one(domain)
+            if rows is None:
                 self.failed_domains.append(domain)
-                registry.counter("collection.weekly_activity.failed").inc()
-                continue
-            activity[domain] = rows
-            registry.counter("collection.weekly_activity.ok").inc()
+            else:
+                activity[domain] = rows
         return activity
 
 

@@ -5,7 +5,7 @@ Usage::
     repro-experiments [--seed 7] [--scale 0.01] [--only F5,F8] \
                       [--dataset path.json] [--save path.json] [--report] \
                       [--faults SCENARIO] [--quiet] [--metrics out.json] \
-                      [--trace]
+                      [--trace] [--workers N] [--backend auto|serial|multiprocessing]
 
 ``--dataset`` loads a previously saved dataset (skipping the simulation);
 ``--save`` stores the collected dataset for later reuse; ``--report`` also
@@ -18,6 +18,9 @@ the machine-readable telemetry (counters, gauges, histogram summaries,
 span tree) to PATH; ``--trace`` prints the span tree and the human-readable
 crawl report to stderr.  Either flag turns instrumentation on; without them
 the no-op registry is active and the run is telemetry-free.
+``--workers N`` schedules the sharded crawl stages over a ``fork`` worker
+pool (``--backend`` picks the execution backend); the collected dataset is
+byte-identical at any worker count — see :mod:`repro.parallel`.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ from repro.collection.pipeline import CollectionConfig, collect_dataset
 from repro.errors import ConfigError
 from repro.experiments.registry import all_experiment_ids, get_experiment
 from repro.faults import FaultPlan, scenario_names
+from repro.parallel.engine import fork_available
 from repro.simulation.world import build_world
 
 _log = obs.get_logger("runner")
@@ -90,7 +94,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="write machine-readable run telemetry (JSON) to PATH")
     parser.add_argument("--trace", action="store_true",
                         help="print the span tree and crawl report to stderr")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker count for the sharded crawl stages; the "
+                             "dataset is byte-identical at any value")
+    parser.add_argument("--backend", type=str, default="auto",
+                        choices=("auto", "serial", "multiprocessing"),
+                        help="shard execution backend (auto: multiprocessing "
+                             "when --workers > 1 and fork is available)")
     args = parser.parse_args(argv)
+
+    if args.workers < 1:
+        parser.error(f"--workers must be at least 1, got {args.workers}")
+    backend = args.backend
+    if backend == "auto":
+        backend = (
+            "multiprocessing"
+            if args.workers > 1 and fork_available()
+            else "serial"
+        )
 
     config: CollectionConfig | None = None
     if args.faults:
@@ -100,7 +121,11 @@ def main(argv: list[str] | None = None) -> int:
             plan = FaultPlan.scenario(args.faults, seed=args.seed)
         except ConfigError as err:
             parser.error(str(err))
-        config = CollectionConfig(fault_plan=plan)
+        config = CollectionConfig(
+            fault_plan=plan, workers=args.workers, backend=backend
+        )
+    elif args.workers > 1 or backend != "serial":
+        config = CollectionConfig(workers=args.workers, backend=backend)
 
     obs.configure_logging(quiet=args.quiet)
     instrumented = bool(args.metrics) or args.trace

@@ -204,6 +204,42 @@ class MetricsRegistry:
     def _wait_total(self) -> float:
         return self.counter_total(WAIT_COUNTER_NAME)
 
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's contents into this one.
+
+        The merge semantics are what per-shard aggregation needs:
+
+        - counters **sum** (so per-shard request budgets add up to the
+          serial totals);
+        - gauges **last-write**: a gauge present in ``other`` overwrites
+          this registry's value, matching what sequential ``set`` calls
+          would have left behind;
+        - histograms **pool** their raw samples, so nearest-rank quantiles
+          of the merged histogram are independent of merge order;
+        - ``other``'s span roots are grafted under this registry's
+          currently open span (shard spans fold into the stage span).
+        """
+        for key, counter in other._counters.items():
+            mine = self._counters.get(key)
+            if mine is None:
+                mine = self._counters[key] = Counter(counter.name, dict(counter.labels))
+            mine.value += counter.value
+        for key, gauge in other._gauges.items():
+            mine = self._gauges.get(key)
+            if mine is None:
+                mine = self._gauges[key] = Gauge(gauge.name, dict(gauge.labels))
+            mine.value = gauge.value
+        for key, histogram in other._histograms.items():
+            mine = self._histograms.get(key)
+            if mine is None:
+                mine = self._histograms[key] = Histogram(
+                    histogram.name, dict(histogram.labels)
+                )
+            mine._values.extend(histogram._values)
+        self.tracer.adopt(other.tracer.roots)
+
     def is_empty(self) -> bool:
         return not (
             self._counters or self._gauges or self._histograms or self.tracer.roots
@@ -267,6 +303,9 @@ class NullRegistry(MetricsRegistry):
 
     def span(self, name: str):
         return NULL_SPAN_CONTEXT
+
+    def merge(self, other: MetricsRegistry) -> None:
+        pass
 
 
 #: The process-wide default registry (never records anything).

@@ -142,6 +142,22 @@ class Tracer:
     def to_list(self) -> list[dict]:
         return [root.to_dict() for root in self.roots]
 
+    def adopt(self, spans: list[Span]) -> None:
+        """Graft finished span trees from another tracer into this one.
+
+        The adopted roots become children of the currently open span (so a
+        shard's spans land under the stage span being merged into), or new
+        roots when nothing is open.  The spans are assumed sealed; their
+        recorded timings are kept as-is.
+        """
+        parent = self.current
+        for span in spans:
+            span.parent = parent
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+
 
 class NullSpan:
     """The shared do-nothing span handed out when tracing is disabled."""

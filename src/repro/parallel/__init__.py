@@ -1,0 +1,53 @@
+"""Deterministic sharded-parallel execution for the collection pipeline.
+
+The paper's §3 crawl is embarrassingly parallel per user and per instance,
+but a faithful reproduction must not let parallelism perturb the result:
+crawl ordering, rate-limit arithmetic and fault determinism are part of the
+measured object.  This package squares that circle by making the **shard**
+the determinism unit and the worker a pure scheduling concern:
+
+- :mod:`repro.parallel.sharding` — seeded shard partitioning, derived
+  per-shard seeds, and the round-robin makespan model;
+- :mod:`repro.parallel.engine` — the :class:`ShardEngine` that executes
+  shard jobs on the ``serial`` (in-process) or ``multiprocessing``
+  (``fork`` pool) backend and performs the order-restoring merge.
+
+The merged :class:`~repro.collection.dataset.MigrationDataset` is
+byte-identical at any worker count on either backend — the contract
+``tests/parallel/test_serial_equivalence.py`` proves against the golden
+sha256 digests, fault-free and under the ``paper-section-3.2`` scenario.
+"""
+
+from repro.parallel.engine import (
+    BACKENDS,
+    ShardAccounting,
+    ShardContext,
+    ShardEngine,
+    ShardJob,
+    ShardResult,
+    StageOutcome,
+    fork_available,
+)
+from repro.parallel.sharding import (
+    SHARD_COUNT,
+    derive_seed,
+    partition,
+    round_robin_assignment,
+    round_robin_makespan,
+)
+
+__all__ = [
+    "BACKENDS",
+    "SHARD_COUNT",
+    "ShardAccounting",
+    "ShardContext",
+    "ShardEngine",
+    "ShardJob",
+    "ShardResult",
+    "StageOutcome",
+    "derive_seed",
+    "fork_available",
+    "partition",
+    "round_robin_assignment",
+    "round_robin_makespan",
+]

@@ -1,0 +1,374 @@
+"""The deterministic sharded-parallel execution engine.
+
+:class:`ShardEngine` runs a collection stage's per-item work over seeded
+shards (see :mod:`repro.parallel.sharding`): every shard gets its own
+derived fault-injector slice, backoff-jitter stream, rate-limiter quota,
+virtual-clock segment and (when the run is instrumented) its own metrics
+registry, whose contents are folded back into the main trace in shard
+order.  Two backends execute the same shard jobs through the same code
+path:
+
+- ``serial`` — an in-process loop (the default; what tests and CI use to
+  prove equivalence);
+- ``multiprocessing`` — a ``fork`` worker pool; the world is inherited by
+  the children copy-on-write, only shard payloads cross the process
+  boundary.
+
+Determinism contract: a shard's outcome depends only on the world, the
+collection config and the shard's coordinates — never on the backend, the
+worker count or scheduling order.  The order-restoring merge (shards are
+contiguous slices, merged by concatenation in shard index order) therefore
+produces byte-identical datasets at any worker count, which
+``tests/parallel/test_serial_equivalence.py`` proves against the golden
+digests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import multiprocessing
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import obs
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.parallel.sharding import (
+    derive_seed,
+    partition,
+    round_robin_makespan,
+)
+from repro.transport import RetryPolicy
+
+BACKENDS = ("serial", "multiprocessing")
+
+
+def fork_available() -> bool:
+    """Whether the ``multiprocessing`` backend can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass(frozen=True)
+class ShardContext:
+    """One shard's derived execution context.
+
+    ``fault_plan`` is the run's plan re-seeded with the shard's derived
+    seed, so each shard draws an independent fault stream; the per-shard
+    clients built from it carry fresh rate-limiter/virtual-clock state
+    (the shard's own clock segment) and a fresh circuit-breaker board.
+    """
+
+    stage: str
+    index: int
+    count: int
+    seed: int
+    fault_plan: FaultPlan
+    retry_policy: RetryPolicy
+
+    def twitter_api(self, world):
+        """A per-shard Twitter client: own limiter, clock and injector."""
+        return world.twitter_api(faults=self.fault_plan, retry=self.retry_policy)
+
+    def mastodon_client(self, world):
+        """A per-shard Mastodon client: own clock, breaker and injector."""
+        from repro.fediverse.api import MastodonClient
+
+        return MastodonClient(
+            world.network, faults=self.fault_plan, retry=self.retry_policy
+        )
+
+
+@dataclass
+class ShardAccounting:
+    """Budget accounting one shard reports back for the merge.
+
+    ``virtual_seconds`` is the shard's elapsed virtual clock — rate-limit
+    waits plus backoff sleeps — the duration a real crawler would have
+    spent on the shard.  Request counters live in the shard registry and
+    sum to the serial totals when merged.
+    """
+
+    virtual_seconds: float = 0.0
+    requests: int = 0
+    injected: int = 0
+
+    def absorb_twitter(self, api) -> None:
+        self.virtual_seconds += float(api.limiter.clock_seconds)
+        self.requests += sum(api.limiter.request_counts.values())
+        if api.transport.injector is not None:
+            self.injected += api.transport.injector.injected_total
+
+    def absorb_mastodon(self, client) -> None:
+        self.virtual_seconds += float(client.transport.clock.now())
+        self.requests += client.request_count
+        if client.transport.injector is not None:
+            self.injected += client.transport.injector.injected_total
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """One schedulable unit: a stage function applied to one shard."""
+
+    fn_path: str  # "package.module:function", resolved lazily in the worker
+    context: ShardContext
+    items: tuple
+
+
+@dataclass
+class ShardResult:
+    """What a shard sends back across the process boundary."""
+
+    index: int
+    payload: Any
+    virtual_seconds: float
+    requests: int
+    injected: int
+    registry: obs.MetricsRegistry | None
+
+
+@dataclass
+class StageOutcome:
+    """A sharded stage's merged view, payloads in shard order."""
+
+    stage: str
+    payloads: list[Any]
+    items: int
+    shards: int
+    workers: int
+    shard_virtual: list[float] = field(default_factory=list)
+    requests: int = 0
+    injected: int = 0
+
+    @property
+    def virtual_total(self) -> float:
+        """Serial virtual duration: the sum over every shard."""
+        return sum(self.shard_virtual)
+
+    @property
+    def virtual_makespan(self) -> float:
+        """Parallel virtual duration under round-robin scheduling."""
+        return round_robin_makespan(self.shard_virtual, self.workers)
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: The active runtime, set in the parent before any shard executes.  The
+#: ``fork`` backend's children inherit it copy-on-write; the serial backend
+#: reads it in-process.  Holding the world here keeps it out of every job
+#: payload.
+_RUNTIME: "_Runtime | None" = None
+
+
+@dataclass
+class _Runtime:
+    world: Any
+    config: Any
+    instrumented: bool
+
+
+def _resolve(fn_path: str) -> Callable:
+    module_name, _, attr = fn_path.partition(":")
+    if not attr:
+        raise ConfigError(f"malformed stage function path {fn_path!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def _execute_shard(job: ShardJob) -> ShardResult:
+    """Run one shard job against the inherited runtime (any backend)."""
+    runtime = _RUNTIME
+    if runtime is None:
+        raise RuntimeError("no active shard runtime; use ShardEngine as a context manager")
+    fn = _resolve(job.fn_path)
+    registry = obs.MetricsRegistry() if runtime.instrumented else obs.NOOP
+    accounting = ShardAccounting()
+    with obs.use(registry):
+        with registry.span(f"collect.{job.context.stage}.shard") as span:
+            span.annotate(shard=job.context.index, items=len(job.items))
+            payload = fn(
+                runtime.world,
+                runtime.config,
+                job.context,
+                list(job.items),
+                accounting,
+            )
+            span.annotate(
+                virtual_seconds=accounting.virtual_seconds,
+                requests=accounting.requests,
+            )
+    return ShardResult(
+        index=job.context.index,
+        payload=payload,
+        virtual_seconds=accounting.virtual_seconds,
+        requests=accounting.requests,
+        injected=accounting.injected,
+        registry=registry if runtime.instrumented else None,
+    )
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+class ShardEngine:
+    """Runs sharded stages for one collection run.
+
+    Use as a context manager around the pipeline's stages::
+
+        with ShardEngine(world, config) as engine:
+            outcome = engine.map_stage(
+                "tweet_search",
+                "repro.collection.shards:tweet_search_shard",
+                queries,
+            )
+
+    The engine owns the backend (serial loop or ``fork`` pool), activates
+    the shared runtime the workers read, merges shard registries into the
+    ambient :func:`repro.obs.current` registry in shard order, and keeps a
+    per-stage virtual-time report for the parallel benchmarks.
+    """
+
+    def __init__(self, world, config) -> None:
+        workers = getattr(config, "workers", 1)
+        backend = getattr(config, "backend", "serial")
+        shards = getattr(config, "shard_count", None)
+        if workers < 1:
+            raise ConfigError(f"workers must be at least 1, got {workers}")
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown parallel backend {backend!r} (known: {', '.join(BACKENDS)})"
+            )
+        if backend == "multiprocessing" and not fork_available():
+            raise ConfigError(
+                "the multiprocessing backend needs the 'fork' start method; "
+                "use backend='serial' on this platform"
+            )
+        if shards is None or shards < 1:
+            raise ConfigError(f"shard_count must be at least 1, got {shards}")
+        self.world = world
+        self.config = config
+        self.workers = workers
+        self.backend = backend
+        self.shard_count = shards
+        self.stage_reports: dict[str, dict] = {}
+        self.injected_total = 0
+        self._pool = None
+        self._previous_runtime: _Runtime | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ShardEngine":
+        global _RUNTIME
+        self._previous_runtime = _RUNTIME
+        _RUNTIME = _Runtime(
+            world=self.world,
+            config=self.config,
+            instrumented=obs.current().enabled,
+        )
+        if self.backend == "multiprocessing" and self.workers > 1:
+            context = multiprocessing.get_context("fork")
+            # Children fork *now* and inherit the runtime (world included)
+            # copy-on-write; job payloads stay small.
+            self._pool = context.Pool(processes=self.workers)
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        global _RUNTIME
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        _RUNTIME = self._previous_runtime
+        return False
+
+    # -- execution ---------------------------------------------------------
+
+    def map_stage(self, stage: str, fn_path: str, items: Sequence) -> StageOutcome:
+        """Run ``items`` through ``fn_path`` in seeded shards and merge.
+
+        Returns the shard payloads in shard index order (shards are
+        contiguous item slices, so concatenating payloads restores item
+        order).  Shard registries are merged into the ambient registry —
+        also in shard order — so counters sum, histograms pool and the
+        shard spans land under the currently open stage span.
+        """
+        shards = partition(items, self.shard_count)
+        plan = self.config.fault_plan
+        jobs = [
+            ShardJob(
+                fn_path=fn_path,
+                context=ShardContext(
+                    stage=stage,
+                    index=index,
+                    count=self.shard_count,
+                    seed=derive_seed(self.config.shard_seed, plan.seed, stage, index),
+                    fault_plan=dataclasses.replace(
+                        plan,
+                        seed=derive_seed(
+                            self.config.shard_seed, plan.seed, stage, index
+                        ),
+                    ),
+                    retry_policy=self.config.retry_policy,
+                ),
+                items=tuple(shard),
+            )
+            for index, shard in enumerate(shards)
+            if shard
+        ]
+        if self._pool is not None:
+            results = self._pool.map(_execute_shard, jobs)
+        else:
+            results = [_execute_shard(job) for job in jobs]
+
+        registry = obs.current()
+        outcome = StageOutcome(
+            stage=stage,
+            payloads=[],
+            items=len(items),
+            shards=len(jobs),
+            workers=self.workers,
+        )
+        for result in results:  # pool.map preserves job order
+            outcome.payloads.append(result.payload)
+            outcome.shard_virtual.append(result.virtual_seconds)
+            outcome.requests += result.requests
+            outcome.injected += result.injected
+            if result.registry is not None:
+                registry.merge(result.registry)
+        self.injected_total += outcome.injected
+        self.stage_reports[stage] = {
+            "items": outcome.items,
+            "shards": outcome.shards,
+            "workers": outcome.workers,
+            "requests": outcome.requests,
+            "virtual_total": outcome.virtual_total,
+            "virtual_makespan": outcome.virtual_makespan,
+        }
+        return outcome
+
+    # -- reporting ---------------------------------------------------------
+
+    def virtual_report(self) -> dict:
+        """Per-stage and total virtual timings of the sharded crawl."""
+        total = sum(r["virtual_total"] for r in self.stage_reports.values())
+        makespan = sum(r["virtual_makespan"] for r in self.stage_reports.values())
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "shards": self.shard_count,
+            "stages": dict(self.stage_reports),
+            "virtual_total": total,
+            "virtual_makespan": makespan,
+        }
+
+
+__all__ = [
+    "BACKENDS",
+    "ShardAccounting",
+    "ShardContext",
+    "ShardEngine",
+    "ShardJob",
+    "ShardResult",
+    "StageOutcome",
+    "fork_available",
+]

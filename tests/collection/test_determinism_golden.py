@@ -11,6 +11,12 @@ against the same world, which additionally pins the RNG stream positions
 Any intentional change to generated content must re-record the digests
 (see the file's sibling hashes for the protocol) and say so loudly in the
 PR: a digest change is a dataset-format change, not a perf regression.
+
+Re-record log: the sharded-parallel engine moved fault injection from one
+call-ordered stream per client to one derived stream per (stage, shard) —
+a deliberate semantic change that re-recorded the *faulted* digests at
+both scales.  The *plain* digests were reproduced unchanged, which is the
+proof that sharding itself never perturbs the collected bytes.
 """
 
 from __future__ import annotations

@@ -158,3 +158,79 @@ class TestMatcher:
             user(username="Alice", description="@alice@mastodon.social")
         )
         assert match is not None and match.same_username
+
+
+class TestAmbiguousHandles:
+    """Deterministic resolution when a user advertises several instances.
+
+    Real bios routinely carry more than one fediverse handle ("main:
+    @a@x, art: @a@y").  The matcher must pick one *deterministically* —
+    the sharded pipeline re-runs matching on merged shard output, so any
+    ambiguity resolved by iteration order would break byte-identity.
+    """
+
+    def test_first_handle_in_field_wins(self):
+        matcher = HandleMatcher(DOMAINS)
+        match = matcher.match_metadata(
+            user(description="@zoe@art.school and @zoe@mastodon.social")
+        )
+        assert match is not None
+        assert match.mastodon_domain == "art.school"
+
+    def test_field_scan_order_beats_position_in_profile(self):
+        # location is scanned before description (metadata_fields order),
+        # so its handle wins even when the description has one too.
+        matcher = HandleMatcher(DOMAINS)
+        match = matcher.match_metadata(
+            user(
+                location="@zoe@fosstodon.org",
+                description="@zoe@art.school",
+            )
+        )
+        assert match is not None
+        assert match.mastodon_domain == "fosstodon.org"
+
+    def test_acct_form_beats_url_form_within_one_field(self):
+        # extract_handles scans all acct-form handles before URL-form
+        # ones, so the acct form wins even when the URL appears first in
+        # the text — pinned here because it is the ambiguity rule the
+        # golden digests depend on.
+        matcher = HandleMatcher(DOMAINS)
+        match = matcher.match_metadata(
+            user(description="https://art.school/@zoe plus @zoe@mastodon.social")
+        )
+        assert match is not None
+        assert match.mastodon_domain == "mastodon.social"
+
+    def test_tweet_match_takes_first_owned_handle_across_tweets(self):
+        matcher = HandleMatcher(DOMAINS)
+        me = user(username="alice")
+        tweets = [
+            tweet("my friend is @bob@mastodon.social", tid=1),
+            tweet("find me at @alice@fosstodon.org", tid=2),
+            tweet("alt account @alice@art.school", tid=3),
+        ]
+        match = matcher.match_tweets(me, tweets)
+        assert match is not None
+        assert match.mastodon_domain == "fosstodon.org"
+        assert match.matched_via == "tweet"
+
+    def test_tweet_with_several_instances_of_own_handle(self):
+        matcher = HandleMatcher(DOMAINS)
+        me = user(username="alice")
+        match = matcher.match_tweets(
+            me, [tweet("@alice@art.school / @alice@mastodon.social")]
+        )
+        assert match is not None
+        assert match.mastodon_domain == "art.school"
+
+    def test_metadata_ambiguity_still_beats_unambiguous_tweet(self):
+        matcher = HandleMatcher(DOMAINS)
+        me = user(
+            username="alice",
+            description="@alice@art.school @alice@fosstodon.org",
+        )
+        match = matcher.match_user(me, [tweet("@alice@mastodon.social")])
+        assert match is not None
+        assert match.matched_via == "metadata"
+        assert match.mastodon_domain == "art.school"

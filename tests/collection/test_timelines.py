@@ -127,3 +127,61 @@ class TestMastodonCrawl:
         record = accounts[4]
         assert record.moved_to is None
         assert [s.text for s in timelines[4]] == ["before move"]
+
+
+class TestEmptyTimelineUsers:
+    """Status-less accounts: the paper's 9.20% ``no_statuses`` bucket.
+
+    An empty timeline is a *successful resolution with no content* — the
+    account record must be kept (its profile facts feed the analyses)
+    while the timeline is absent and the failure bucket is charged.
+    """
+
+    def test_crawl_one_keeps_record_without_timeline(self, fediverse):
+        __, client = fediverse
+        crawler = MastodonTimelineCrawler(client, SINCE, UNTIL)
+        bucket, record, statuses = crawler.crawl_one(
+            make_matched(2, "lurker", "lurker@main.social")
+        )
+        assert bucket == "no_statuses"
+        assert record is not None
+        assert record.first_acct == "lurker@main.social"
+        assert statuses is None
+
+    def test_crawl_drops_timeline_but_not_account(self, fediverse):
+        __, client = fediverse
+        crawler = MastodonTimelineCrawler(client, SINCE, UNTIL)
+        accounts, timelines, coverage = crawler.crawl(
+            [make_matched(2, "lurker", "lurker@main.social")]
+        )
+        assert 2 in accounts
+        assert 2 not in timelines
+        assert coverage.no_statuses == 1 and coverage.ok == 0
+
+    def test_all_statuses_outside_window_counts_as_empty(self, fediverse):
+        net, client = fediverse
+        net.post_status(
+            "lurker@main.social", "too late", dt.datetime(2022, 12, 25, 12, 0)
+        )
+        crawler = MastodonTimelineCrawler(client, SINCE, UNTIL)
+        bucket, record, statuses = crawler.crawl_one(
+            make_matched(2, "lurker", "lurker@main.social")
+        )
+        assert bucket == "no_statuses"
+        assert record is not None and statuses is None
+
+    def test_failure_counter_reason_is_no_statuses(self, fediverse):
+        from repro import obs
+
+        __, client = fediverse
+        crawler = MastodonTimelineCrawler(client, SINCE, UNTIL)
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            crawler.crawl([make_matched(2, "lurker", "lurker@main.social")])
+        assert (
+            registry.counter(
+                "collection.timelines.failed",
+                platform="mastodon", reason="no_statuses",
+            ).value
+            == 1
+        )

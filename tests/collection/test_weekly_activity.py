@@ -37,6 +37,44 @@ class TestCrawler:
         assert crawler.failed_domains == ["down.site", "missing.zone"]
 
 
+class TestFailurePaths:
+    def test_crawl_one_down_instance_returns_none(self):
+        net = build_network()
+        crawler = WeeklyActivityCrawler(MastodonClient(net))
+        assert crawler.crawl_one("down.site") is None
+        assert crawler.crawl_one("a.social") is not None
+
+    def test_all_domains_down_yields_empty_activity(self):
+        net = build_network()
+        for instance in (net.get_instance("a.social"), net.get_instance("b.social")):
+            instance.down = True
+        crawler = WeeklyActivityCrawler(MastodonClient(net))
+        activity = crawler.crawl(["a.social", "b.social", "down.site"])
+        assert activity == {}
+        assert crawler.failed_domains == ["a.social", "b.social", "down.site"]
+        assert aggregate_weeks(activity) == []
+
+    def test_failed_domains_reset_between_crawls(self):
+        net = build_network()
+        crawler = WeeklyActivityCrawler(MastodonClient(net))
+        crawler.crawl(["down.site"])
+        assert crawler.failed_domains == ["down.site"]
+        crawler.crawl(["a.social"])
+        assert crawler.failed_domains == []
+
+    def test_counters_reconcile_with_outcomes(self):
+        from repro import obs
+
+        net = build_network()
+        crawler = WeeklyActivityCrawler(MastodonClient(net))
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            crawler.crawl(["a.social", "b.social", "down.site", "missing.zone"])
+        assert registry.counter_total("collection.weekly_activity.attempted") == 4
+        assert registry.counter_total("collection.weekly_activity.ok") == 2
+        assert registry.counter_total("collection.weekly_activity.failed") == 2
+
+
 class TestAggregate:
     def test_sums_per_week(self):
         net = build_network()

@@ -1,0 +1,131 @@
+"""Unit tests for ``MetricsRegistry.merge`` and ``Tracer.adopt``.
+
+Merge semantics are what per-shard aggregation depends on: counters sum,
+gauges take the incoming value (last-write), histograms pool raw samples
+so quantiles are independent of merge order, and adopted span trees land
+under the currently open span.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro import obs
+
+
+def _registry_with(counter=0, gauge=None, samples=()):
+    registry = obs.MetricsRegistry()
+    if counter:
+        registry.counter("c", side="x").inc(counter)
+    if gauge is not None:
+        registry.gauge("g").set(gauge)
+    for sample in samples:
+        registry.histogram("h").observe(sample)
+    return registry
+
+
+class TestCounterMerge:
+    def test_counters_sum(self):
+        a = _registry_with(counter=3)
+        b = _registry_with(counter=4)
+        a.merge(b)
+        assert a.counter("c", side="x").value == 7
+
+    def test_label_sets_stay_distinct(self):
+        a = obs.MetricsRegistry()
+        a.counter("c", side="x").inc(1)
+        b = obs.MetricsRegistry()
+        b.counter("c", side="y").inc(5)
+        a.merge(b)
+        assert a.counter("c", side="x").value == 1
+        assert a.counter("c", side="y").value == 5
+        assert a.counter_total("c") == 6
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=10))
+    def test_many_way_merge_equals_grand_total(self, amounts):
+        main = obs.MetricsRegistry()
+        for amount in amounts:
+            main.merge(_registry_with(counter=amount))
+        assert main.counter_total("c") == sum(amounts)
+
+
+class TestGaugeMerge:
+    def test_last_write_wins(self):
+        a = _registry_with(gauge=1.0)
+        b = _registry_with(gauge=42.0)
+        a.merge(b)
+        assert a.gauge("g").value == 42.0
+
+    def test_absent_gauge_keeps_current_value(self):
+        a = _registry_with(gauge=7.0)
+        a.merge(obs.MetricsRegistry())
+        assert a.gauge("g").value == 7.0
+
+
+class TestHistogramMerge:
+    def test_samples_pool(self):
+        a = _registry_with(samples=[1.0, 2.0])
+        b = _registry_with(samples=[3.0])
+        a.merge(b)
+        assert a.histogram("h").count == 3
+        assert a.histogram("h").total == 6.0
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+                max_size=20,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.permutations(range(6)),
+    )
+    def test_quantiles_independent_of_merge_order(self, shards, order):
+        forward = obs.MetricsRegistry()
+        for shard in shards:
+            forward.merge(_registry_with(samples=shard))
+        shuffled = obs.MetricsRegistry()
+        for index in order:
+            if index < len(shards):
+                shuffled.merge(_registry_with(samples=shards[index]))
+        for q in (0.5, 0.9, 0.99, 1.0):
+            assert forward.histogram("h").quantile(q) == shuffled.histogram(
+                "h"
+            ).quantile(q)
+
+
+class TestSpanAdoption:
+    def test_adopted_roots_land_under_open_span(self):
+        shard = obs.MetricsRegistry()
+        with shard.span("collect.stage.shard") as span:
+            span.annotate(shard=0)
+        main = obs.MetricsRegistry()
+        with main.span("collect.stage"):
+            main.merge(shard)
+        stage = main.tracer.find("collect.stage")
+        assert [child.name for child in stage.children] == ["collect.stage.shard"]
+        assert stage.children[0].parent is stage
+
+    def test_adoption_without_open_span_appends_roots(self):
+        shard = obs.MetricsRegistry()
+        with shard.span("orphan"):
+            pass
+        main = obs.MetricsRegistry()
+        main.merge(shard)
+        assert [root.name for root in main.tracer.roots] == ["orphan"]
+
+    def test_adopted_timings_are_preserved(self):
+        shard = obs.MetricsRegistry()
+        with shard.span("work") as span:
+            span.wait_seconds += 12.5
+        main = obs.MetricsRegistry()
+        with main.span("stage"):
+            main.merge(shard)
+        assert main.tracer.find("work").wait_seconds == 12.5
+
+
+class TestNullRegistryMerge:
+    def test_noop_merge_records_nothing(self):
+        obs.NOOP.merge(_registry_with(counter=5, samples=[1.0]))
+        assert obs.NOOP.counter("c", side="x").value == 0

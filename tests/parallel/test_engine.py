@@ -1,0 +1,129 @@
+"""Engine-level behavior: validation, merge accounting and span folding.
+
+The byte-identity of the *dataset* is proven in
+``test_serial_equivalence.py``; these tests pin the engine's other
+obligations — config validation fails fast with :class:`ConfigError`, the
+merged telemetry of a multiprocessing run equals the serial run's
+(counters sum across shard registries to the same totals), and shard
+spans fold under the stage spans of one coherent trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.collection.pipeline import (
+    PIPELINE_STAGES,
+    CollectionConfig,
+    collect_dataset,
+)
+from repro.errors import ConfigError
+from repro.parallel import ShardEngine, fork_available
+from repro.simulation.world import build_world
+
+SEED = 7
+SCALE = 0.002
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigError, match="workers"):
+            ShardEngine(None, CollectionConfig(workers=0))
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ConfigError, match="backend"):
+            ShardEngine(None, CollectionConfig(backend="threads"))
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ConfigError, match="shard_count"):
+            ShardEngine(None, CollectionConfig(shard_count=0))
+
+    def test_map_stage_requires_entered_engine(self):
+        engine = ShardEngine(None, CollectionConfig())
+        with pytest.raises(RuntimeError, match="context manager"):
+            engine.map_stage("stage", "repro.collection.shards:weekly_activity_shard", [1])
+
+    def test_malformed_fn_path(self):
+        engine = ShardEngine(None, CollectionConfig())
+        with engine:
+            with pytest.raises(ConfigError, match="malformed"):
+                engine.map_stage("stage", "no.colon.here", [1])
+
+
+@pytest.fixture(scope="module")
+def telemetry():
+    """Instrumented registries of a serial and a 4-worker collection."""
+    if not fork_available():
+        pytest.skip("fork start method unavailable")
+    registries = {}
+    for backend, workers in (("serial", 1), ("multiprocessing", 4)):
+        world = build_world(seed=SEED, scale=SCALE)
+        registry = obs.MetricsRegistry()
+        with obs.use(registry):
+            collect_dataset(
+                world, CollectionConfig(workers=workers, backend=backend)
+            )
+        registries[backend] = registry
+    return registries
+
+
+class TestMergedTelemetry:
+    def test_request_totals_match_serial(self, telemetry):
+        serial, parallel = telemetry["serial"], telemetry["multiprocessing"]
+        for name in (
+            "twitter.ratelimit.requests",
+            "mastodon.api.requests",
+            "collection.timelines.attempted",
+            "collection.timelines.ok",
+            "collection.tweet_search.tweets",
+            "collection.followees.ok",
+            "collection.weekly_activity.attempted",
+        ):
+            assert serial.counter_total(name) == parallel.counter_total(name), name
+
+    def test_histograms_pool_across_shards(self, telemetry):
+        serial, parallel = telemetry["serial"], telemetry["multiprocessing"]
+        s = serial.histogram("collection.timelines.items_per_user", platform="twitter")
+        p = parallel.histogram("collection.timelines.items_per_user", platform="twitter")
+        assert s.count == p.count
+        assert s.quantile(0.5) == p.quantile(0.5)
+        assert s.quantile(0.99) == p.quantile(0.99)
+
+    def test_every_stage_span_present(self, telemetry):
+        for registry in telemetry.values():
+            for stage in PIPELINE_STAGES:
+                assert registry.tracer.find(f"collect.{stage}") is not None, stage
+
+    def test_shard_spans_fold_under_stage_spans(self, telemetry):
+        parallel = telemetry["multiprocessing"]
+        stage_span = parallel.tracer.find("collect.weekly_activity")
+        shard_spans = [
+            s for s in stage_span.walk() if s.name == "collect.weekly_activity.shard"
+        ]
+        assert shard_spans, "shard spans must be adopted under the stage span"
+        indices = [s.meta["shard"] for s in shard_spans]
+        assert indices == sorted(indices), "shards merge in shard index order"
+
+    def test_virtual_report_annotated_on_run_span(self, telemetry):
+        for registry in telemetry.values():
+            run_span = registry.tracer.find("collect_dataset")
+            report = run_span.meta["parallel"]
+            assert report["virtual_total"] >= report["virtual_makespan"] > 0
+            assert set(report["stages"]) == {
+                "tweet_search",
+                "timelines.twitter",
+                "timelines.mastodon",
+                "followees",
+                "weekly_activity",
+            }
+
+    def test_virtual_totals_backend_independent(self, telemetry):
+        reports = [
+            registry.tracer.find("collect_dataset").meta["parallel"]
+            for registry in telemetry.values()
+        ]
+        serial_report, parallel_report = reports
+        assert serial_report["virtual_total"] == pytest.approx(
+            parallel_report["virtual_total"]
+        )

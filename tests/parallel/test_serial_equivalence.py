@@ -1,0 +1,71 @@
+"""The engine's headline contract: byte-identical at any worker count.
+
+Every combination of backend and worker count must reproduce the *same*
+golden sha256 digests recorded in ``tests/data/golden_datasets.json`` —
+fault-free and under the ``paper-section-3.2`` scenario — for the seed-7
+scale-0.002 world.  The golden protocol runs plain-then-faulted against
+one world (the second collection also pins the RNG stream positions
+*between* collections), so each combination builds its own world.
+
+If one of these fails while the serial combination passes, the bug is in
+the partition/merge or in per-shard state isolation; if all fail together,
+the dataset semantics changed and the goldens need a sanctioned re-record
+(see ``tests/collection/test_determinism_golden.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.collection.pipeline import CollectionConfig, collect_dataset
+from repro.faults import FaultPlan
+from repro.parallel import fork_available
+from repro.simulation.world import build_world
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_datasets.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())["0.002"]
+
+SEED = 7
+SCALE = 0.002
+
+COMBINATIONS = [
+    ("serial", 1),
+    ("serial", 2),
+    ("serial", 4),
+    ("multiprocessing", 1),
+    ("multiprocessing", 2),
+    ("multiprocessing", 4),
+]
+
+
+def _sha256(dataset) -> str:
+    return hashlib.sha256(dataset.to_json().encode()).hexdigest()
+
+
+@pytest.mark.parametrize("backend,workers", COMBINATIONS)
+def test_dataset_bytes_identical_to_serial(backend, workers):
+    if backend == "multiprocessing" and not fork_available():
+        pytest.skip("fork start method unavailable")
+    world = build_world(seed=SEED, scale=SCALE)
+    plain = collect_dataset(
+        world, CollectionConfig(workers=workers, backend=backend)
+    )
+    assert _sha256(plain) == GOLDEN["plain_sha256"], (
+        f"plain dataset diverged at backend={backend} workers={workers}"
+    )
+    assert len(plain.matched) == GOLDEN["matched"]
+    faulted = collect_dataset(
+        world,
+        CollectionConfig(
+            fault_plan=FaultPlan.scenario("paper-section-3.2", seed=SEED),
+            workers=workers,
+            backend=backend,
+        ),
+    )
+    assert _sha256(faulted) == GOLDEN["faulted_sha256"], (
+        f"faulted dataset diverged at backend={backend} workers={workers}"
+    )
