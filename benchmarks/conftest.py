@@ -118,6 +118,20 @@ def record_hotpath(name: str, wall_seconds: float, **meta) -> None:
     BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
 
 
+def record_analysis(section: dict) -> None:
+    """Write the frames-vs-naive suite numbers into the ``analysis`` key.
+
+    ``test_bench_analysis.py`` calls this with the full-figure-suite
+    timings (naive loops vs cold/warm frames) and the dataset
+    save/load costs for both serialization formats; the analysis-smoke
+    CI job gates on the recorded speedup.  The base artifact must exist
+    first (depend on ``bench_dataset``).
+    """
+    payload = json.loads(BENCH_ARTIFACT.read_text())
+    payload["analysis"] = section
+    BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def record_parallel(section: dict) -> None:
     """Write the sharded-crawl comparison into the artifact's ``parallel`` key.
 

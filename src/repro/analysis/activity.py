@@ -8,9 +8,11 @@ from __future__ import annotations
 
 import datetime as _dt
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.collection.dataset import MigrationDataset
 from repro.errors import AnalysisError
+from repro.frames import AUTO, ordinal_counts, resolve_frames
 
 
 @dataclass(frozen=True)
@@ -22,23 +24,30 @@ class DailyVolumeResult:
     total_tweets: int
     total_statuses: int
 
+    @cached_property
+    def _tweet_index(self) -> dict[_dt.date, int]:
+        return dict(self.tweets_per_day)
+
+    @cached_property
+    def _status_index(self) -> dict[_dt.date, int]:
+        return dict(self.statuses_per_day)
+
     def tweets_on(self, day: _dt.date) -> int:
-        for d, n in self.tweets_per_day:
-            if d == day:
-                return n
-        return 0
+        return self._tweet_index.get(day, 0)
 
     def statuses_on(self, day: _dt.date) -> int:
-        for d, n in self.statuses_per_day:
-            if d == day:
-                return n
-        return 0
+        return self._status_index.get(day, 0)
 
 
-def daily_volume(dataset: MigrationDataset) -> DailyVolumeResult:
+def daily_volume(
+    dataset: MigrationDataset, frames=AUTO
+) -> DailyVolumeResult:
     """Daily tweet/status volumes over the crawled timelines."""
     if not dataset.twitter_timelines and not dataset.mastodon_timelines:
         raise AnalysisError("no timelines in dataset")
+    fr = resolve_frames(dataset, frames)
+    if fr is not None:
+        return fr.result(("daily_volume",), lambda: _daily_volume_frames(fr))
     tweet_days: dict[_dt.date, int] = {}
     status_days: dict[_dt.date, int] = {}
     total_tweets = 0
@@ -61,6 +70,17 @@ def daily_volume(dataset: MigrationDataset) -> DailyVolumeResult:
     )
 
 
+def _daily_volume_frames(fr) -> DailyVolumeResult:
+    tweet_table = fr.tweet_table
+    status_table = fr.status_table
+    return DailyVolumeResult(
+        tweets_per_day=ordinal_counts(tweet_table.day_ordinals),
+        statuses_per_day=ordinal_counts(status_table.day_ordinals),
+        total_tweets=tweet_table.row_count,
+        total_statuses=status_table.row_count,
+    )
+
+
 @dataclass(frozen=True)
 class CollectedTweetVolumeResult:
     """Figure 2: daily volume of the migration-tweet corpus itself."""
@@ -70,14 +90,23 @@ class CollectedTweetVolumeResult:
     peak_day: _dt.date
 
 
-def collected_tweet_volume(dataset: MigrationDataset) -> CollectedTweetVolumeResult:
+def collected_tweet_volume(
+    dataset: MigrationDataset, frames=AUTO
+) -> CollectedTweetVolumeResult:
     """The temporal distribution of the §3.1 corpus (Figure 2)."""
     if not dataset.collected_tweets:
         raise AnalysisError("no collected tweets in dataset")
-    days: dict[_dt.date, int] = {}
-    for tweet in dataset.collected_tweets:
-        days[tweet.created_date] = days.get(tweet.created_date, 0) + 1
-    per_day = sorted(days.items())
+    fr = resolve_frames(dataset, frames)
+    if fr is not None:
+        per_day = fr.result(
+            ("collected_per_day",),
+            lambda: ordinal_counts(fr.collected_day_ordinals),
+        )
+    else:
+        days: dict[_dt.date, int] = {}
+        for tweet in dataset.collected_tweets:
+            days[tweet.created_date] = days.get(tweet.created_date, 0) + 1
+        per_day = sorted(days.items())
     peak = max(per_day, key=lambda kv: kv[1])[0]
     return CollectedTweetVolumeResult(
         per_day=per_day, total=len(dataset.collected_tweets), peak_day=peak

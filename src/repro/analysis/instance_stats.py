@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.collection.dataset import MigrationDataset
 from repro.errors import AnalysisError
+from repro.frames import AUTO, resolve_frames
 from repro.util.clock import SIM_END, TAKEOVER_DATE
 from repro.util.stats import Ecdf, percent
 
@@ -71,15 +72,62 @@ def _cohort(
     return cohort
 
 
+def _cohort_frames(
+    fr, takeover: _dt.date, crawl_date: _dt.date, min_age: int
+) -> list[int]:
+    """Integer-ordinal twin of :func:`_cohort` over the profile columns."""
+    table = fr.profile_table
+    takeover_ord = takeover.toordinal()
+    crawl_ord = crawl_date.toordinal()
+    joins = table.join_ordinals
+    return [
+        uid
+        for row, uid in enumerate(table.matched_uids)
+        if joins[row] != -1
+        and joins[row] >= takeover_ord
+        and crawl_ord - joins[row] >= min_age
+    ]
+
+
 def instance_stats(
     dataset: MigrationDataset,
     buckets: int = 4,
     takeover: _dt.date = TAKEOVER_DATE,
     crawl_date: _dt.date = DEFAULT_ANALYSIS_DATE,
     min_account_age_days: int = 30,
+    frames=AUTO,
 ) -> InstanceStatsResult:
     """The full Figure 6 analysis."""
-    populations = dataset.instance_populations()
+    fr = resolve_frames(dataset, frames)
+    if fr is not None:
+        return fr.result(
+            (
+                "instance_stats",
+                buckets,
+                takeover,
+                crawl_date,
+                min_account_age_days,
+            ),
+            lambda: _instance_stats_impl(
+                dataset, buckets, takeover, crawl_date, min_account_age_days, fr
+            ),
+        )
+    return _instance_stats_impl(
+        dataset, buckets, takeover, crawl_date, min_account_age_days, None
+    )
+
+
+def _instance_stats_impl(
+    dataset: MigrationDataset,
+    buckets: int,
+    takeover: _dt.date,
+    crawl_date: _dt.date,
+    min_account_age_days: int,
+    fr,
+) -> InstanceStatsResult:
+    populations = (
+        fr.instance_populations if fr is not None else dataset.instance_populations()
+    )
     if not populations:
         raise AnalysisError("no instances in dataset")
     sizes = np.array(sorted(populations.values()))
@@ -88,26 +136,44 @@ def instance_stats(
         histogram[size] = histogram.get(size, 0) + 1
     single_share = percent(histogram.get(1, 0), len(populations))
 
-    cohort = _cohort(dataset, takeover, crawl_date, min_account_age_days)
+    if fr is not None:
+        cohort = _cohort_frames(fr, takeover, crawl_date, min_account_age_days)
+    else:
+        cohort = _cohort(dataset, takeover, crawl_date, min_account_age_days)
     cohort_share = percent(len(cohort), max(1, len(dataset.matched)))
 
+    table = fr.profile_table if fr is not None else None
     edges = _bucket_edges(sizes, buckets)
     bucket_users: list[list[int]] = [[] for _ in edges]
     for uid in cohort:
-        domain = dataset.matched[uid].mastodon_domain
+        if table is not None:
+            domain = table.domains[
+                table.matched_domain_ids[table.matched_row[uid]]
+            ]
+        else:
+            domain = dataset.matched[uid].mastodon_domain
         size = populations.get(domain, 0)
         bucket_users[_bucket_index(size, edges)].append(uid)
 
     built: list[QuantileBucket] = []
     for (lo, hi), uids in zip(edges, bucket_users):
         followers, followees, statuses = [], [], []
-        for uid in uids:
-            record = dataset.accounts.get(uid)
-            if record is None:
-                continue
-            followers.append(record.followers)
-            followees.append(record.following)
-            statuses.append(record.statuses)
+        if table is not None:
+            for uid in uids:
+                row = table.matched_row[uid]
+                if not table.has_account[row]:
+                    continue
+                followers.append(int(table.followers[row]))
+                followees.append(int(table.following[row]))
+                statuses.append(int(table.statuses[row]))
+        else:
+            for uid in uids:
+                record = dataset.accounts.get(uid)
+                if record is None:
+                    continue
+                followers.append(record.followers)
+                followees.append(record.following)
+                statuses.append(record.statuses)
         n_instances = sum(
             1 for s in populations.values() if lo <= s and (hi is None or s <= hi)
         )

@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import networkx as nx
+import numpy as np
 
 from repro.collection.dataset import MigrationDataset
 from repro.errors import AnalysisError
+from repro.frames import AUTO, resolve_frames
 from repro.util.stats import percent
 
 
@@ -78,8 +80,15 @@ def instance_cooccurrence_graph(dataset: MigrationDataset) -> nx.Graph:
     return graph
 
 
-def network_structure(dataset: MigrationDataset) -> NetworkStructureResult:
+def network_structure(
+    dataset: MigrationDataset, frames=AUTO
+) -> NetworkStructureResult:
     """The full structural analysis."""
+    fr = resolve_frames(dataset, frames)
+    if fr is not None:
+        return fr.result(
+            ("network_structure",), lambda: _network_structure_frames(fr)
+        )
     graph = build_sample_graph(dataset)
     migrated = {n for n, d in graph.nodes(data=True) if d["migrated"]}
     edges_into_migrants = sum(1 for __, v in graph.edges if v in migrated)
@@ -115,5 +124,97 @@ def network_structure(dataset: MigrationDataset) -> NetworkStructureResult:
         reciprocity_pct=percent(reciprocated, len(inner_edges) or 1),
         instance_graph_nodes=instance_graph.number_of_nodes(),
         instance_graph_edges=instance_graph.number_of_edges(),
+        largest_component_pct=largest_pct,
+    )
+
+
+def _network_structure_frames(fr) -> NetworkStructureResult:
+    """Frames path: the same statistics from flat edge arrays.
+
+    Everything here is integer counting (unique edges, set membership,
+    weakly-connected components via union-find), so agreement with the
+    networkx path is exact by construction — asserted in ``tests/frames/``.
+    """
+    dataset = fr.dataset
+    if not dataset.followee_sample:
+        raise AnalysisError("no followee sample in dataset")
+    table = fr.edge_table
+    sampled = set(table.sampled_uids)
+    if table.sources.size:
+        # nx.DiGraph.add_edge dedupes repeated followee entries
+        pairs = np.unique(
+            np.stack([table.sources, table.targets], axis=1), axis=0
+        )
+        edge_list = [(int(u), int(v)) for u, v in pairs]
+    else:
+        edge_list = []
+    total_edges = len(edge_list)
+    if total_edges == 0:
+        raise AnalysisError("the sampled graph has no edges")
+    nodes = set(sampled)
+    for u, v in edge_list:
+        nodes.add(u)
+        nodes.add(v)
+    matched = dataset.matched
+    migrated = {n for n in nodes if n in matched}
+    edges_into_migrants = sum(1 for _, v in edge_list if v in migrated)
+    baseline = percent(len(migrated), len(nodes))
+
+    edge_set = set(edge_list)
+    inner_edges = [
+        (u, v) for u, v in edge_list if u in sampled and v in sampled
+    ]
+    reciprocated = sum(1 for u, v in inner_edges if (v, u) in edge_set)
+
+    instance_nodes: set[str] = set()
+    instance_edges: set[tuple[str, str]] = set()
+    for u, v in edge_list:
+        mu = matched.get(u)
+        mv = matched.get(v)
+        if mu is None or mv is None:
+            continue
+        iu, iv = mu.mastodon_domain, mv.mastodon_domain
+        if iu == iv:
+            continue
+        instance_nodes.add(iu)
+        instance_nodes.add(iv)
+        instance_edges.add((iu, iv) if iu <= iv else (iv, iu))
+
+    sub_nodes = sampled | {
+        v for u, v in edge_list if u in sampled and v in migrated
+    }
+    if sub_nodes:
+        parent = {n: n for n in sub_nodes}
+
+        def find(n: int) -> int:
+            root = n
+            while parent[root] != root:
+                root = parent[root]
+            while parent[n] != root:
+                parent[n], n = root, parent[n]
+            return root
+
+        for u, v in edge_list:
+            if u in parent and v in parent:
+                ru, rv = find(u), find(v)
+                if ru != rv:
+                    parent[ru] = rv
+        sizes: dict[int, int] = {}
+        for n in sub_nodes:
+            root = find(n)
+            sizes[root] = sizes.get(root, 0) + 1
+        largest_pct = percent(max(sizes.values(), default=0), len(sub_nodes))
+    else:
+        largest_pct = 0.0
+
+    return NetworkStructureResult(
+        nodes=len(nodes),
+        edges=total_edges,
+        migrated_nodes=len(migrated),
+        pct_edges_into_migrants=percent(edges_into_migrants, total_edges),
+        pct_expected_at_random=baseline,
+        reciprocity_pct=percent(reciprocated, len(inner_edges) or 1),
+        instance_graph_nodes=len(instance_nodes),
+        instance_graph_edges=len(instance_edges),
         largest_component_pct=largest_pct,
     )

@@ -13,8 +13,12 @@ from __future__ import annotations
 import datetime as _dt
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.collection.dataset import MigrationDataset
 from repro.errors import AnalysisError
+from repro.frames import AUTO, resolve_frames
+from repro.frames.tables import day_from_ordinal
 from repro.twitter.clients import CROSSPOSTER_NAMES
 from repro.util.clock import TAKEOVER_DATE
 from repro.util.stats import percent
@@ -49,11 +53,19 @@ class SourcesResult:
 
 
 def top_sources(
-    dataset: MigrationDataset, k: int = 30, takeover: _dt.date = TAKEOVER_DATE
+    dataset: MigrationDataset,
+    k: int = 30,
+    takeover: _dt.date = TAKEOVER_DATE,
+    frames=AUTO,
 ) -> SourcesResult:
     """Tweets per source before/after the takeover (Figure 12)."""
     if not dataset.twitter_timelines:
         raise AnalysisError("no Twitter timelines in dataset")
+    fr = resolve_frames(dataset, frames)
+    if fr is not None:
+        return fr.result(
+            ("top_sources", k, takeover), lambda: _top_sources_frames(fr, k, takeover)
+        )
     before: dict[str, int] = {}
     after: dict[str, int] = {}
     crossposting_users: set[int] = set()
@@ -63,6 +75,64 @@ def top_sources(
             bucket[tweet.source] = bucket.get(tweet.source, 0) + 1
             if tweet.source in CROSSPOSTER_NAMES:
                 crossposting_users.add(uid)
+    # Mastodon-side bridge use also counts as cross-posting adoption.
+    for uid, statuses in dataset.mastodon_timelines.items():
+        if any(s.application in CROSSPOSTER_NAMES for s in statuses):
+            crossposting_users.add(uid)
+    return _build_sources(
+        before, after, len(crossposting_users), len(dataset.matched), k
+    )
+
+
+def _top_sources_frames(fr, k: int, takeover: _dt.date) -> SourcesResult:
+    tweet_table = fr.tweet_table
+    status_table = fr.status_table
+    takeover_ord = takeover.toordinal()
+    n_labels = len(tweet_table.labels)
+    pre_mask = tweet_table.day_ordinals < takeover_ord
+    pre_counts = np.bincount(
+        tweet_table.label_ids[pre_mask], minlength=n_labels
+    )
+    post_counts = np.bincount(
+        tweet_table.label_ids[~pre_mask], minlength=n_labels
+    )
+    before = {
+        label: int(pre_counts[i])
+        for i, label in enumerate(tweet_table.labels)
+        if pre_counts[i]
+    }
+    after = {
+        label: int(post_counts[i])
+        for i, label in enumerate(tweet_table.labels)
+        if post_counts[i]
+    }
+    crossposting_users: set[int] = set()
+    cross_tweet_ids = {
+        i for i, label in enumerate(tweet_table.labels)
+        if label in CROSSPOSTER_NAMES
+    }
+    if cross_tweet_ids:
+        mask = np.isin(tweet_table.label_ids, list(cross_tweet_ids))
+        crossposting_users.update(int(u) for u in tweet_table.row_uids[mask])
+    cross_status_ids = {
+        i for i, label in enumerate(status_table.labels)
+        if label in CROSSPOSTER_NAMES
+    }
+    if cross_status_ids:
+        mask = np.isin(status_table.label_ids, list(cross_status_ids))
+        crossposting_users.update(int(u) for u in status_table.row_uids[mask])
+    return _build_sources(
+        before, after, len(crossposting_users), len(fr.dataset.matched), k
+    )
+
+
+def _build_sources(
+    before: dict[str, int],
+    after: dict[str, int],
+    crossposting_count: int,
+    matched_count: int,
+    k: int,
+) -> SourcesResult:
     totals = {
         s: before.get(s, 0) + after.get(s, 0) for s in set(before) | set(after)
     }
@@ -75,15 +145,11 @@ def top_sources(
         SourceRow(source=s, before=before.get(s, 0), after=after.get(s, 0))
         for s in sorted(CROSSPOSTER_NAMES)
     ]
-    # Mastodon-side bridge use also counts as cross-posting adoption.
-    for uid, statuses in dataset.mastodon_timelines.items():
-        if any(s.application in CROSSPOSTER_NAMES for s in statuses):
-            crossposting_users.add(uid)
     return SourcesResult(
         rows=rows,
         crossposter_rows=cross_rows,
         pct_users_crossposting=percent(
-            len(crossposting_users), max(1, len(dataset.matched))
+            crossposting_count, max(1, matched_count)
         ),
     )
 
@@ -97,8 +163,16 @@ class CrossposterDailyResult:
     peak_users: int
 
 
-def crossposter_daily_users(dataset: MigrationDataset) -> CrossposterDailyResult:
+def crossposter_daily_users(
+    dataset: MigrationDataset, frames=AUTO
+) -> CrossposterDailyResult:
     """Daily distinct users posting via a bridge, on either platform."""
+    fr = resolve_frames(dataset, frames)
+    if fr is not None:
+        return fr.result(
+            ("crossposter_daily_users",),
+            lambda: _crossposter_daily_frames(fr),
+        )
     days: dict[_dt.date, set[int]] = {}
     for uid, tweets in dataset.twitter_timelines.items():
         for tweet in tweets:
@@ -111,6 +185,36 @@ def crossposter_daily_users(dataset: MigrationDataset) -> CrossposterDailyResult
     if not days:
         raise AnalysisError("no cross-poster usage in dataset")
     series = sorted((day, len(users)) for day, users in days.items())
+    peak_day, peak_users = max(series, key=lambda kv: kv[1])
+    return CrossposterDailyResult(
+        users_per_day=series, peak_day=peak_day, peak_users=peak_users
+    )
+
+
+def _crossposter_daily_frames(fr) -> CrossposterDailyResult:
+    chunks = []
+    for table in (fr.tweet_table, fr.status_table):
+        cross_ids = [
+            i for i, label in enumerate(table.labels)
+            if label in CROSSPOSTER_NAMES
+        ]
+        if not cross_ids or not table.label_ids.size:
+            continue
+        mask = np.isin(table.label_ids, cross_ids)
+        if mask.any():
+            chunks.append(
+                np.stack(
+                    [table.day_ordinals[mask], table.row_uids[mask]], axis=1
+                )
+            )
+    if not chunks:
+        raise AnalysisError("no cross-poster usage in dataset")
+    # distinct (day, uid) pairs across both platforms, then users per day
+    pairs = np.unique(np.concatenate(chunks, axis=0), axis=0)
+    days, counts = np.unique(pairs[:, 0], return_counts=True)
+    series = [
+        (day_from_ordinal(int(d)), int(c)) for d, c in zip(days, counts)
+    ]
     peak_day, peak_users = max(series, key=lambda kv: kv[1])
     return CrossposterDailyResult(
         users_per_day=series, peak_day=peak_day, peak_users=peak_users

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.collection.dataset import MigrationDataset
 from repro.errors import AnalysisError
+from repro.frames import AUTO, resolve_frames
 from repro.util.clock import TAKEOVER_DATE
 from repro.util.stats import Ecdf, percent
 
@@ -34,22 +35,39 @@ class SwitchMatrixResult:
 
 
 def switch_matrix(
-    dataset: MigrationDataset, takeover: _dt.date = TAKEOVER_DATE
+    dataset: MigrationDataset, takeover: _dt.date = TAKEOVER_DATE, frames=AUTO
 ) -> SwitchMatrixResult:
     """The Figure 9 matrix of first->second instance moves."""
     if not dataset.accounts:
         raise AnalysisError("no account records in dataset")
+    fr = resolve_frames(dataset, frames)
     matrix: dict[tuple[str, str], int] = {}
     post = 0
     switchers = dataset.switchers()
-    for uid in switchers:
-        record = dataset.accounts[uid]
-        second = record.second_domain
-        assert second is not None
-        key = (record.first_domain, second)
-        matrix[key] = matrix.get(key, 0) + 1
-        if record.second_created_at is not None and record.second_created_at.date() >= takeover:
-            post += 1
+    if fr is not None:
+        table = fr.profile_table
+        takeover_ord = takeover.toordinal()
+        for uid in switchers:
+            row = table.acct_row[uid]
+            second_id = int(table.acct_second_domain_ids[row])
+            assert second_id >= 0
+            key = (
+                table.domains[table.acct_first_domain_ids[row]],
+                table.domains[second_id],
+            )
+            matrix[key] = matrix.get(key, 0) + 1
+            second_ord = int(table.acct_second_ordinals[row])
+            if second_ord != -1 and second_ord >= takeover_ord:
+                post += 1
+    else:
+        for uid in switchers:
+            record = dataset.accounts[uid]
+            second = record.second_domain
+            assert second is not None
+            key = (record.first_domain, second)
+            matrix[key] = matrix.get(key, 0) + 1
+            if record.second_created_at is not None and record.second_created_at.date() >= takeover:
+                post += 1
     sources: dict[str, int] = {}
     targets: dict[str, int] = {}
     for (src, dst), count in matrix.items():
@@ -96,8 +114,28 @@ def _followee_instance_and_date(
     return None
 
 
-def switcher_influence(dataset: MigrationDataset) -> SwitcherInfluenceResult:
+def _join_ordinal(table, followee_id: int, domain_id: int) -> int | None:
+    """Integer-id twin of :func:`_followee_instance_and_date` (ordinals)."""
+    row = table.acct_row.get(followee_id)
+    if row is None:
+        return None
+    if table.acct_first_domain_ids[row] == domain_id:
+        return int(table.acct_first_ordinals[row])
+    second_ord = int(table.acct_second_ordinals[row])
+    if table.acct_second_domain_ids[row] == domain_id and second_ord != -1:
+        return second_ord
+    return None
+
+
+def switcher_influence(
+    dataset: MigrationDataset, frames=AUTO
+) -> SwitcherInfluenceResult:
     """The Figure 10 analysis over sampled switchers."""
+    fr = resolve_frames(dataset, frames)
+    if fr is not None:
+        return fr.result(
+            ("switcher_influence",), lambda: _switcher_influence_frames(fr)
+        )
     frac_first, frac_second, frac_before = [], [], []
     for uid in dataset.switchers():
         record = dataset.accounts[uid]
@@ -127,6 +165,48 @@ def switcher_influence(dataset: MigrationDataset) -> SwitcherInfluenceResult:
             frac_before.append(before / on_second)
     if not frac_first:
         raise AnalysisError("no switchers with followee data")
+    return _build_influence(frac_first, frac_second, frac_before)
+
+
+def _switcher_influence_frames(fr) -> SwitcherInfluenceResult:
+    dataset = fr.dataset
+    table = fr.profile_table
+    frac_first, frac_second, frac_before = [], [], []
+    for uid in dataset.switchers():
+        sample = dataset.followee_sample.get(uid)
+        if sample is None or not sample.twitter_followees:
+            continue
+        row = table.acct_row[uid]
+        first_id = int(table.acct_first_domain_ids[row])
+        second_id = int(table.acct_second_domain_ids[row])
+        assert second_id >= 0
+        switch_ord = int(table.acct_second_ordinals[row])
+        migrated = [
+            f for f in sample.twitter_followees if f in table.matched_row
+        ]
+        if not migrated:
+            continue
+        on_first, on_second, before = 0, 0, 0
+        for followee in migrated:
+            if _join_ordinal(table, followee, first_id) is not None:
+                on_first += 1
+            joined_second = _join_ordinal(table, followee, second_id)
+            if joined_second is not None:
+                on_second += 1
+                if switch_ord != -1 and joined_second < switch_ord:
+                    before += 1
+        frac_first.append(on_first / len(migrated))
+        frac_second.append(on_second / len(migrated))
+        if on_second:
+            frac_before.append(before / on_second)
+    if not frac_first:
+        raise AnalysisError("no switchers with followee data")
+    return _build_influence(frac_first, frac_second, frac_before)
+
+
+def _build_influence(
+    frac_first: list[float], frac_second: list[float], frac_before: list[float]
+) -> SwitcherInfluenceResult:
     return SwitcherInfluenceResult(
         frac_on_first=Ecdf.from_sample(frac_first),
         frac_on_second=Ecdf.from_sample(frac_second),

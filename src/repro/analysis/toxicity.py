@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.collection.dataset import MigrationDataset
 from repro.errors import AnalysisError
+from repro.frames import AUTO, resolve_frames
 from repro.nlp.toxicity import PerspectiveScorer
 from repro.util.stats import Ecdf, percent
 
@@ -38,10 +39,18 @@ def toxicity_analysis(
     dataset: MigrationDataset,
     threshold: float = TOXICITY_THRESHOLD,
     scorer: PerspectiveScorer | None = None,
+    frames=AUTO,
 ) -> ToxicityResult:
     """The Figure 16 analysis over all crawled posts."""
     if not 0.0 < threshold < 1.0:
         raise AnalysisError(f"threshold must be in (0, 1), got {threshold}")
+    # A custom scorer invalidates the frames' cached score vectors.
+    fr = resolve_frames(dataset, frames) if scorer is None else None
+    if fr is not None:
+        return fr.result(
+            ("toxicity_analysis", threshold),
+            lambda: _toxicity_frames(fr, threshold),
+        )
     scorer = scorer if scorer is not None else PerspectiveScorer()
     tweet_fracs: list[float] = []
     status_fracs: list[float] = []
@@ -72,6 +81,58 @@ def toxicity_analysis(
             users_with_both.add(uid)
     if not tweet_fracs and not status_fracs:
         raise AnalysisError("no timelines to score")
+    return _build_result(
+        tweet_fracs, status_fracs, toxic_tweets, total_tweets,
+        toxic_statuses, total_statuses,
+        toxic_on_twitter, toxic_on_mastodon, users_with_both, threshold,
+    )
+
+
+def _toxicity_frames(fr, threshold: float) -> ToxicityResult:
+    dataset = fr.dataset
+    tweet_scores = fr.tweet_toxicity
+    status_scores = fr.status_toxicity
+    tweet_fracs: list[float] = []
+    status_fracs: list[float] = []
+    toxic_tweets = total_tweets = 0
+    toxic_statuses = total_statuses = 0
+    toxic_on_twitter: set[int] = set()
+    toxic_on_mastodon: set[int] = set()
+    users_with_both: set[int] = set()
+    for uid, start, stop in fr.tweet_table.iter_slices():
+        if start == stop:
+            continue
+        toxic = int(np.count_nonzero(tweet_scores[start:stop] > threshold))
+        tweet_fracs.append(toxic / (stop - start))
+        toxic_tweets += toxic
+        total_tweets += stop - start
+        if toxic:
+            toxic_on_twitter.add(uid)
+    for uid, start, stop in fr.status_table.iter_slices():
+        if start == stop:
+            continue
+        toxic = int(np.count_nonzero(status_scores[start:stop] > threshold))
+        status_fracs.append(toxic / (stop - start))
+        toxic_statuses += toxic
+        total_statuses += stop - start
+        if toxic:
+            toxic_on_mastodon.add(uid)
+        if uid in dataset.twitter_timelines:
+            users_with_both.add(uid)
+    if not tweet_fracs and not status_fracs:
+        raise AnalysisError("no timelines to score")
+    return _build_result(
+        tweet_fracs, status_fracs, toxic_tweets, total_tweets,
+        toxic_statuses, total_statuses,
+        toxic_on_twitter, toxic_on_mastodon, users_with_both, threshold,
+    )
+
+
+def _build_result(
+    tweet_fracs, status_fracs, toxic_tweets, total_tweets,
+    toxic_statuses, total_statuses,
+    toxic_on_twitter, toxic_on_mastodon, users_with_both, threshold,
+) -> ToxicityResult:
     both_toxic = toxic_on_twitter & toxic_on_mastodon
     return ToxicityResult(
         twitter_toxic_fraction=Ecdf.from_sample(tweet_fracs or [0.0]),

@@ -208,7 +208,19 @@ class MigrationDataset:
         return json.dumps(self._to_doc(), indent=None, separators=(",", ":"))
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(self.to_json())
+        """Write to ``path``; the extension picks the format.
+
+        ``.npz`` selects the compact binary column format
+        (:mod:`repro.collection.binfmt`); anything else writes the JSON
+        document.  Both round-trip to an equal dataset.
+        """
+        path = Path(path)
+        if path.suffix == ".npz":
+            from repro.collection.binfmt import save_npz
+
+            save_npz(self, path)
+        else:
+            path.write_text(self.to_json())
 
     @classmethod
     def from_json(cls, text: str) -> "MigrationDataset":
@@ -216,7 +228,13 @@ class MigrationDataset:
 
     @classmethod
     def load(cls, path: str | Path) -> "MigrationDataset":
-        return cls.from_json(Path(path).read_text())
+        """Read a dataset saved by :meth:`save`, either format."""
+        path = Path(path)
+        if path.suffix == ".npz":
+            from repro.collection.binfmt import load_npz
+
+            return load_npz(path)
+        return cls.from_json(path.read_text())
 
     def _to_doc(self) -> dict:
         return {

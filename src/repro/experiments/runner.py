@@ -21,6 +21,11 @@ the no-op registry is active and the run is telemetry-free.
 ``--workers N`` schedules the sharded crawl stages over a ``fork`` worker
 pool (``--backend`` picks the execution backend); the collected dataset is
 byte-identical at any worker count — see :mod:`repro.parallel`.
+``--save``/``--dataset`` paths ending in ``.npz`` use the compact binary
+dataset format (:mod:`repro.collection.binfmt`) instead of JSON; the
+figures are identical either way.  ``--no-frames`` disables the shared
+columnar analysis frames (:mod:`repro.frames`) and recomputes every figure
+with the naive per-object loops — same output, mainly for benchmarking.
 """
 
 from __future__ import annotations
@@ -94,6 +99,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="write machine-readable run telemetry (JSON) to PATH")
     parser.add_argument("--trace", action="store_true",
                         help="print the span tree and crawl report to stderr")
+    parser.add_argument("--no-frames", action="store_true",
+                        help="disable the columnar analysis frames and run "
+                             "every figure on the naive per-object loops "
+                             "(identical output, mainly for benchmarking)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker count for the sharded crawl stages; the "
                              "dataset is byte-identical at any value")
@@ -131,26 +140,32 @@ def main(argv: list[str] | None = None) -> int:
     instrumented = bool(args.metrics) or args.trace
     registry = obs.MetricsRegistry() if instrumented else obs.NOOP
 
-    with obs.use(registry):
-        if args.dataset:
-            dataset = MigrationDataset.load(args.dataset)
-        else:
-            dataset = build_dataset(
-                args.seed, args.scale, verbose=not args.quiet, config=config
-            )
-        if args.save:
-            dataset.save(args.save)
+    from repro.frames import set_frames_enabled
 
-        ids = [x.strip().upper() for x in args.only.split(",") if x.strip()]
-        ids = ids or all_experiment_ids(include_extensions=args.extensions)
-        with registry.span("experiments"):
-            for exp_id in ids:
-                with registry.span(f"experiment.{exp_id}"):
-                    result = get_experiment(exp_id)(dataset)
-                print(result.format())
-                print()
-        if args.report:
-            print(format_report(headline_report(dataset)))
+    was_enabled = set_frames_enabled(not args.no_frames)
+    try:
+        with obs.use(registry):
+            if args.dataset:
+                dataset = MigrationDataset.load(args.dataset)
+            else:
+                dataset = build_dataset(
+                    args.seed, args.scale, verbose=not args.quiet, config=config
+                )
+            if args.save:
+                dataset.save(args.save)
+
+            ids = [x.strip().upper() for x in args.only.split(",") if x.strip()]
+            ids = ids or all_experiment_ids(include_extensions=args.extensions)
+            with registry.span("experiments"):
+                for exp_id in ids:
+                    with registry.span(f"experiment.{exp_id}"):
+                        result = get_experiment(exp_id)(dataset)
+                    print(result.format())
+                    print()
+            if args.report:
+                print(format_report(headline_report(dataset)))
+    finally:
+        set_frames_enabled(was_enabled)
 
     if args.trace:
         print(obs.format_span_tree(registry), file=sys.stderr)

@@ -1,0 +1,323 @@
+"""Lazily-materialized, memoized columnar frames over a dataset.
+
+:class:`DatasetFrames` is the shared analysis substrate: the first analysis
+that needs a column table or a derived product (per-day volume vectors,
+token tables, embedding matrices, toxicity score vectors) builds it under an
+``obs`` span (``frames.<product>``); every later analysis — and the headline
+report, which re-runs the same figures — reuses it.
+
+Memoization contract (see DESIGN.md §5):
+
+- Frames are cached on the dataset instance itself (``dataset._frames``)
+  and assume the dataset is **not mutated** after the first analysis runs;
+  mutate-then-analyze callers must call :func:`invalidate` in between.
+- Derived products are keyed by their *default* operators only: analyses
+  called with a custom encoder/scorer bypass the frames and take the naive
+  per-object path, as does ``frames=None`` (the escape hatch the
+  equivalence tests use) or a :func:`frames_disabled` scope.
+- Exactness is part of the contract: every frames-backed analysis returns
+  byte-identical results to the naive path (same floats, same ordering),
+  enforced by ``tests/frames/``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, TypeVar
+
+import numpy as np
+
+from repro import obs
+from repro.frames.tables import (
+    EdgeTable,
+    ProfileTable,
+    TimelineTable,
+    TokenTable,
+    build_edge_table,
+    build_profile_table,
+    build_timeline_table,
+    build_token_table,
+)
+from repro.nlp.embeddings import HashingSentenceEncoder
+from repro.nlp.toxicity import PerspectiveScorer
+
+T = TypeVar("T")
+
+
+class _Auto:
+    """Sentinel: resolve frames from the dataset (or run naive if disabled)."""
+
+    _instance: "_Auto | None" = None
+
+    def __new__(cls) -> "_Auto":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "AUTO"
+
+
+#: Default for every analysis ``frames=`` parameter: use the dataset's
+#: memoized frames unless frames are globally disabled.  Pass ``None`` to
+#: force the naive per-object loops, or an explicit :class:`DatasetFrames`.
+AUTO = _Auto()
+
+_enabled = True
+
+
+def set_frames_enabled(on: bool) -> bool:
+    """Globally enable/disable the frames fast paths; returns the old value."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(on)
+    return previous
+
+
+def frames_enabled() -> bool:
+    return _enabled
+
+
+@contextmanager
+def frames_disabled() -> Iterator[None]:
+    """Scope in which ``frames=AUTO`` resolves to the naive path."""
+    previous = set_frames_enabled(False)
+    try:
+        yield
+    finally:
+        set_frames_enabled(previous)
+
+
+class DatasetFrames:
+    """Columnar tables and derived products of one ``MigrationDataset``."""
+
+    def __init__(self, dataset) -> None:
+        self._dataset = dataset
+        self._products: dict[str, Any] = {}
+        self._results: dict[Any, Any] = {}
+        # Default operators; analyses invoked with custom ones skip frames.
+        self._scorer = PerspectiveScorer()
+        self._encoder = HashingSentenceEncoder()
+
+    @property
+    def dataset(self):
+        return self._dataset
+
+    def _product(self, name: str, builder: Callable[[], T]) -> T:
+        found = self._products.get(name)
+        if found is None:
+            with obs.current().span(f"frames.{name}"):
+                found = builder()
+            self._products[name] = found
+        return found
+
+    def result(self, key: tuple, builder: Callable[[], T]) -> T:
+        """Memoize a whole analysis result under its parameter key.
+
+        The headline report re-runs several figures with their default
+        parameters; caching at the result level makes those re-runs free.
+        """
+        found = self._results.get(key)
+        if found is None:
+            found = builder()
+            self._results[key] = found
+        return found
+
+    # -- column tables ---------------------------------------------------------
+
+    @property
+    def tweet_table(self) -> TimelineTable:
+        return self._product(
+            "tweet_table",
+            lambda: build_timeline_table(
+                self._dataset.twitter_timelines, "source", "is_retweet"
+            ),
+        )
+
+    @property
+    def status_table(self) -> TimelineTable:
+        return self._product(
+            "status_table",
+            lambda: build_timeline_table(
+                self._dataset.mastodon_timelines, "application", "is_boost"
+            ),
+        )
+
+    @property
+    def collected_day_ordinals(self) -> np.ndarray:
+        """Day ordinal per §3.1 collected tweet, corpus order."""
+        return self._product(
+            "collected_days",
+            lambda: np.asarray(
+                [
+                    t.created_date.toordinal()
+                    for t in self._dataset.collected_tweets
+                ],
+                dtype=np.int64,
+            ),
+        )
+
+    @property
+    def profile_table(self) -> ProfileTable:
+        return self._product(
+            "profile_table", lambda: build_profile_table(self._dataset)
+        )
+
+    @property
+    def edge_table(self) -> EdgeTable:
+        return self._product(
+            "edge_table", lambda: build_edge_table(self._dataset)
+        )
+
+    @property
+    def instance_populations(self) -> dict[str, int]:
+        """Matched migrants per (first) instance domain."""
+
+        def build() -> dict[str, int]:
+            table = self.profile_table
+            counts = np.bincount(
+                table.matched_domain_ids, minlength=len(table.domains)
+            )
+            return {
+                domain: int(counts[i])
+                for i, domain in enumerate(table.domains)
+                if counts[i]
+            }
+
+        return self._product("instance_populations", build)
+
+    @property
+    def weekly_aggregate(self) -> list[dict]:
+        """Per-week totals over ``weekly_activity``, sorted by week label."""
+
+        def build() -> list[dict]:
+            weeks: list[str] = []
+            ids: dict[str, int] = {}
+            week_ids: list[int] = []
+            cols = {"statuses": [], "logins": [], "registrations": []}
+            for rows in self._dataset.weekly_activity.values():
+                for row in rows:
+                    week = row["week"]
+                    wid = ids.get(week)
+                    if wid is None:
+                        wid = len(weeks)
+                        ids[week] = wid
+                        weeks.append(week)
+                    week_ids.append(wid)
+                    for key, col in cols.items():
+                        col.append(row[key])
+            if not weeks:
+                return []
+            idx = np.asarray(week_ids, dtype=np.int64)
+            totals = {
+                key: np.bincount(
+                    idx,
+                    weights=np.asarray(col, dtype=np.int64),
+                    minlength=len(weeks),
+                )
+                for key, col in cols.items()
+            }
+            return [
+                {
+                    "week": week,
+                    "statuses": int(totals["statuses"][ids[week]]),
+                    "logins": int(totals["logins"][ids[week]]),
+                    "registrations": int(totals["registrations"][ids[week]]),
+                }
+                for week in sorted(weeks)
+            ]
+
+        return self._product("weekly_aggregate", build)
+
+    # -- derived NLP products --------------------------------------------------
+
+    @property
+    def tweet_tokens(self) -> TokenTable:
+        return self._product(
+            "tweet_tokens", lambda: build_token_table(self.tweet_table.texts)
+        )
+
+    @property
+    def status_tokens(self) -> TokenTable:
+        return self._product(
+            "status_tokens", lambda: build_token_table(self.status_table.texts)
+        )
+
+    @property
+    def tweet_toxicity(self) -> np.ndarray:
+        """Default-scorer toxicity per tweet row (== ``scorer.score`` each)."""
+
+        def build() -> np.ndarray:
+            tokens = self.tweet_tokens
+            return self._scorer.score_tokenized(
+                tokens.flat, tokens.offsets, tokens.vocab
+            )
+
+        return self._product("tweet_toxicity", build)
+
+    @property
+    def status_toxicity(self) -> np.ndarray:
+        def build() -> np.ndarray:
+            tokens = self.status_tokens
+            return self._scorer.score_tokenized(
+                tokens.flat, tokens.offsets, tokens.vocab
+            )
+
+        return self._product("status_toxicity", build)
+
+    @property
+    def tweet_embeddings(self) -> np.ndarray:
+        """Default-encoder embedding matrix over tweet rows (row == ``encode``)."""
+
+        def build() -> np.ndarray:
+            tokens = self.tweet_tokens
+            return self._encoder.encode_tokenized(
+                tokens.flat, tokens.offsets, tokens.vocab
+            )
+
+        return self._product("tweet_embeddings", build)
+
+    @property
+    def status_embeddings(self) -> np.ndarray:
+        def build() -> np.ndarray:
+            tokens = self.status_tokens
+            return self._encoder.encode_tokenized(
+                tokens.flat, tokens.offsets, tokens.vocab
+            )
+
+        return self._product("status_embeddings", build)
+
+    def build_stats(self) -> dict[str, bool]:
+        """Which products have been materialized (for tests/telemetry)."""
+        return {name: True for name in sorted(self._products)}
+
+
+def frames_of(dataset) -> DatasetFrames:
+    """The dataset's memoized frames (built on first use).
+
+    The cache rides on the dataset instance, so every analysis — across all
+    experiments and the report — shares one set of tables.
+    """
+    frames = dataset.__dict__.get("_frames")
+    if frames is None:
+        frames = DatasetFrames(dataset)
+        dataset.__dict__["_frames"] = frames
+    return frames
+
+
+def invalidate(dataset) -> None:
+    """Drop the dataset's cached frames (call after mutating it)."""
+    dataset.__dict__.pop("_frames", None)
+
+
+def resolve_frames(dataset, frames) -> DatasetFrames | None:
+    """Resolve an analysis ``frames=`` argument.
+
+    ``AUTO`` → the dataset's memoized frames (or ``None`` when globally
+    disabled); ``None`` → naive path; a ``DatasetFrames`` → itself.
+    """
+    if frames is None:
+        return None
+    if isinstance(frames, _Auto):
+        return frames_of(dataset) if _enabled else None
+    return frames

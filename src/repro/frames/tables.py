@@ -1,0 +1,325 @@
+"""Columnar tables over a :class:`MigrationDataset`.
+
+Each table flattens one nested-object corner of the dataset into numpy
+columns plus small Python-side vocabularies (string interning).  Builders
+preserve **iteration order** exactly: per-user post rows appear in the
+order the naive analysis loops visit them (dict insertion order, list
+order within a timeline), so any frames-backed analysis that walks a
+table reproduces the naive path's accumulation order bit for bit.
+
+Tables carry data only — no analysis logic.  The derived products
+(per-day volume vectors, embedding matrices, toxicity score vectors) live
+on :class:`repro.frames.core.DatasetFrames`, which builds each table at
+most once per dataset.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.text import normalize_hashtag, tokenize
+
+
+class Interner:
+    """Dense string ids, first-seen order.  ``vocab[id]`` restores the string."""
+
+    __slots__ = ("vocab", "_ids")
+
+    def __init__(self) -> None:
+        self.vocab: list[str] = []
+        self._ids: dict[str, int] = {}
+
+    def intern(self, value: str) -> int:
+        ids = self._ids
+        found = ids.get(value)
+        if found is not None:
+            return found
+        new = len(self.vocab)
+        ids[value] = new
+        self.vocab.append(value)
+        return new
+
+    def get(self, value: str) -> int | None:
+        """The id of ``value`` if already interned, else None."""
+        return self._ids.get(value)
+
+    def __len__(self) -> int:
+        return len(self.vocab)
+
+
+@dataclass(slots=True)
+class TimelineTable:
+    """One platform's crawled timelines, flattened to post-level columns.
+
+    ``uids`` lists timeline owners in dataset dict order; the posts of
+    ``uids[i]`` occupy rows ``bounds[i]:bounds[i + 1]`` and appear in
+    timeline order.  ``label_ids`` interns the posting client (tweet
+    ``source`` / status ``application``); ``flags`` holds ``is_retweet``
+    / ``is_boost``.  Hashtag occurrences are a postings list — one
+    ``(tag_rows[j], tag_ids[j])`` pair per occurrence, duplicates kept,
+    exactly as the naive per-post loops count them.
+    """
+
+    uids: list[int]
+    bounds: np.ndarray  # int64, len(uids) + 1
+    day_ordinals: np.ndarray  # int64 per post
+    row_uids: np.ndarray  # int64 per post: owner uid
+    label_ids: np.ndarray  # int32 per post
+    labels: list[str]
+    flags: np.ndarray  # bool per post
+    texts: list[str]
+    tag_rows: np.ndarray  # int64 per hashtag occurrence
+    tag_ids: np.ndarray  # int32 per hashtag occurrence
+    tags: list[str]
+    _slices: dict[int, tuple[int, int]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._slices = {
+            uid: (int(self.bounds[i]), int(self.bounds[i + 1]))
+            for i, uid in enumerate(self.uids)
+        }
+
+    @property
+    def row_count(self) -> int:
+        return int(self.bounds[-1]) if len(self.bounds) else 0
+
+    def slice_of(self, uid: int) -> tuple[int, int] | None:
+        """Row range of ``uid``'s timeline, or None if it was not crawled."""
+        return self._slices.get(uid)
+
+    def iter_slices(self):
+        """``(uid, start, stop)`` in dataset dict order (empty ones included)."""
+        bounds = self.bounds
+        for i, uid in enumerate(self.uids):
+            yield uid, int(bounds[i]), int(bounds[i + 1])
+
+
+def build_timeline_table(
+    timelines: dict[int, list], label_attr: str, flag_attr: str
+) -> TimelineTable:
+    """Flatten ``{uid: [posts]}`` into a :class:`TimelineTable`.
+
+    Works for both platforms: posts only need ``created_date``,
+    ``hashtags``, ``text`` and the named label/flag attributes.
+    """
+    uids: list[int] = []
+    bounds = [0]
+    days: list[int] = []
+    row_uids: list[int] = []
+    label_ids: list[int] = []
+    flags: list[bool] = []
+    texts: list[str] = []
+    tag_rows: list[int] = []
+    tag_ids: list[int] = []
+    labels = Interner()
+    tags = Interner()
+    row = 0
+    for uid, posts in timelines.items():
+        uids.append(uid)
+        for post in posts:
+            days.append(post.created_date.toordinal())
+            row_uids.append(uid)
+            label_ids.append(labels.intern(getattr(post, label_attr)))
+            flags.append(getattr(post, flag_attr))
+            texts.append(post.text)
+            for tag in post.hashtags:
+                tag_rows.append(row)
+                tag_ids.append(tags.intern(normalize_hashtag(tag)))
+            row += 1
+        bounds.append(row)
+    return TimelineTable(
+        uids=uids,
+        bounds=np.asarray(bounds, dtype=np.int64),
+        day_ordinals=np.asarray(days, dtype=np.int64),
+        row_uids=np.asarray(row_uids, dtype=np.int64),
+        label_ids=np.asarray(label_ids, dtype=np.int32),
+        labels=labels.vocab,
+        flags=np.asarray(flags, dtype=bool),
+        texts=texts,
+        tag_rows=np.asarray(tag_rows, dtype=np.int64),
+        tag_ids=np.asarray(tag_ids, dtype=np.int32),
+        tags=tags.vocab,
+    )
+
+
+@dataclass(slots=True)
+class TokenTable:
+    """Interned word tokens of a text corpus, flattened.
+
+    ``flat[offsets[i]:offsets[i + 1]]`` are text ``i``'s token ids in
+    token order; ``vocab[id]`` restores the token.  Built once per corpus
+    and shared by the batched NLP passes (embeddings and toxicity), which
+    previously each re-tokenized every text.
+    """
+
+    flat: np.ndarray  # int32
+    offsets: np.ndarray  # int64, len(texts) + 1
+    vocab: list[str]
+
+    @property
+    def text_count(self) -> int:
+        return len(self.offsets) - 1
+
+
+def build_token_table(texts: list[str]) -> TokenTable:
+    """Tokenize every text once and intern the tokens."""
+    interner = Interner()
+    intern = interner.intern
+    flat: list[int] = []
+    offsets = [0]
+    for text in texts:
+        for token in tokenize(text):
+            flat.append(intern(token))
+        offsets.append(len(flat))
+    return TokenTable(
+        flat=np.asarray(flat, dtype=np.int32),
+        offsets=np.asarray(offsets, dtype=np.int64),
+        vocab=interner.vocab,
+    )
+
+
+@dataclass(slots=True)
+class ProfileTable:
+    """Matched users and their Mastodon account records, column-wise.
+
+    Row ``i`` of the matched columns is the ``i``-th entry of
+    ``dataset.matched`` (dict order); account columns are aligned to the
+    same rows (``has_account`` masks the gaps).  A second block indexes
+    ``dataset.accounts`` by uid for the switching analyses.  Domains are
+    interned through one shared vocabulary so first/second-instance
+    comparisons reduce to integer equality.
+    """
+
+    matched_uids: list[int]
+    matched_row: dict[int, int]
+    matched_domain_ids: np.ndarray  # int32: advertised (first) instance
+    domains: list[str]
+    join_ordinals: np.ndarray  # int64; -1 when no account record
+    has_account: np.ndarray  # bool
+    followers: np.ndarray  # int64; 0 when no record
+    following: np.ndarray
+    statuses: np.ndarray
+    # dataset.accounts view (uid -> row in the acct_* columns)
+    acct_row: dict[int, int]
+    acct_first_domain_ids: np.ndarray  # int32
+    acct_second_domain_ids: np.ndarray  # int32; -1 when never switched
+    acct_first_ordinals: np.ndarray  # int64
+    acct_second_ordinals: np.ndarray  # int64; -1 when unknown
+
+    def domain_id(self, domain: str) -> int:
+        """The interned id of ``domain``, or -1 if no profile mentions it."""
+        for i, d in enumerate(self.domains):
+            if d == domain:
+                return i
+        return -1
+
+
+def build_profile_table(dataset) -> ProfileTable:
+    domains = Interner()
+    matched_uids: list[int] = []
+    matched_row: dict[int, int] = {}
+    matched_domain_ids: list[int] = []
+    join_ordinals: list[int] = []
+    has_account: list[bool] = []
+    followers: list[int] = []
+    following: list[int] = []
+    statuses: list[int] = []
+    for uid, user in dataset.matched.items():
+        matched_row[uid] = len(matched_uids)
+        matched_uids.append(uid)
+        matched_domain_ids.append(domains.intern(user.mastodon_domain))
+        record = dataset.accounts.get(uid)
+        if record is None:
+            join_ordinals.append(-1)
+            has_account.append(False)
+            followers.append(0)
+            following.append(0)
+            statuses.append(0)
+        else:
+            join_ordinals.append(record.first_created_at.date().toordinal())
+            has_account.append(True)
+            followers.append(record.followers)
+            following.append(record.following)
+            statuses.append(record.statuses)
+    acct_row: dict[int, int] = {}
+    first_dom: list[int] = []
+    second_dom: list[int] = []
+    first_ord: list[int] = []
+    second_ord: list[int] = []
+    for uid, record in dataset.accounts.items():
+        acct_row[uid] = len(first_dom)
+        first_dom.append(domains.intern(record.first_domain))
+        second = record.second_domain
+        second_dom.append(-1 if second is None else domains.intern(second))
+        first_ord.append(record.first_created_at.date().toordinal())
+        second_ord.append(
+            record.second_created_at.date().toordinal()
+            if record.second_created_at is not None
+            else -1
+        )
+    return ProfileTable(
+        matched_uids=matched_uids,
+        matched_row=matched_row,
+        matched_domain_ids=np.asarray(matched_domain_ids, dtype=np.int32),
+        domains=domains.vocab,
+        join_ordinals=np.asarray(join_ordinals, dtype=np.int64),
+        has_account=np.asarray(has_account, dtype=bool),
+        followers=np.asarray(followers, dtype=np.int64),
+        following=np.asarray(following, dtype=np.int64),
+        statuses=np.asarray(statuses, dtype=np.int64),
+        acct_row=acct_row,
+        acct_first_domain_ids=np.asarray(first_dom, dtype=np.int32),
+        acct_second_domain_ids=np.asarray(second_dom, dtype=np.int32),
+        acct_first_ordinals=np.asarray(first_ord, dtype=np.int64),
+        acct_second_ordinals=np.asarray(second_ord, dtype=np.int64),
+    )
+
+
+@dataclass(slots=True)
+class EdgeTable:
+    """The §3.3 followee sample as flat edge arrays (duplicates kept)."""
+
+    sources: np.ndarray  # int64: sampled user per edge
+    targets: np.ndarray  # int64: followee per edge
+    sampled_uids: list[int]  # followee_sample keys, dict order
+
+
+def build_edge_table(dataset) -> EdgeTable:
+    sources: list[int] = []
+    targets: list[int] = []
+    sampled: list[int] = []
+    for uid, record in dataset.followee_sample.items():
+        sampled.append(uid)
+        for followee in record.twitter_followees:
+            sources.append(uid)
+            targets.append(followee)
+    return EdgeTable(
+        sources=np.asarray(sources, dtype=np.int64),
+        targets=np.asarray(targets, dtype=np.int64),
+        sampled_uids=sampled,
+    )
+
+
+def day_from_ordinal(ordinal: int) -> _dt.date:
+    """Inverse of ``date.toordinal`` (exact; proleptic Gregorian)."""
+    return _dt.date.fromordinal(ordinal)
+
+
+def ordinal_counts(day_ordinals: np.ndarray) -> list[tuple[_dt.date, int]]:
+    """Sorted ``(date, count)`` pairs over a day-ordinal column.
+
+    Matches ``sorted(Counter(dates).items())`` from the naive loops: counts
+    are exact integers and days with zero posts are omitted.
+    """
+    if day_ordinals.size == 0:
+        return []
+    lo = int(day_ordinals.min())
+    counts = np.bincount(day_ordinals - lo)
+    return [
+        (_dt.date.fromordinal(lo + i), int(c))
+        for i, c in enumerate(counts)
+        if c
+    ]

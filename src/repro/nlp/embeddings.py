@@ -11,6 +11,16 @@ L2-normalised, so cosine similarity behaves like a bag-of-words similarity:
 
 The paper thresholds cosine similarity at 0.7 for "similar" posts; the same
 threshold separates shared-token rewrites from unrelated posts here.
+
+``encode_tokenized`` is the batch fast path used by ``repro.frames``: it
+hashes each distinct token once (instead of once per occurrence) and
+accumulates whole corpora with ``np.bincount``.  Its contract is exactness —
+every row equals ``encode(text)`` bit for bit, which requires replaying the
+scalar path's accumulation order (first-occurrence token order within a
+text; ``bincount`` adds weights in input order, like the scalar ``+=``
+loop) and computing each row norm from its own 1-D dot product
+(``np.linalg.norm(matrix, axis=1)`` is *not* bit-identical to the per-row
+scalar norm).
 """
 
 from __future__ import annotations
@@ -23,6 +33,11 @@ import numpy as np
 from repro.util.text import tokenize
 
 DEFAULT_DIM = 256
+
+#: Texts per ``np.bincount`` scatter in the batch path.  Bounds the size of
+#: the transient flattened accumulator (chunk * dim float64) without
+#: affecting results: texts never share accumulator rows.
+_BATCH_CHUNK = 8192
 
 
 class HashingSentenceEncoder:
@@ -51,11 +66,91 @@ class HashingSentenceEncoder:
             vec /= norm
         return vec
 
+    def encode_tokenized(
+        self, flat: np.ndarray, offsets: np.ndarray, vocab: list[str]
+    ) -> np.ndarray:
+        """Embeddings for an interned corpus, shape ``(len(offsets) - 1, dim)``.
+
+        ``flat[offsets[i]:offsets[i + 1]]`` are text ``i``'s token ids into
+        ``vocab`` (see ``repro.frames.tables.TokenTable``).  Row ``i`` is
+        bit-identical to ``encode`` of the original text.
+        """
+        n = len(offsets) - 1
+        mat = np.zeros((n, self.dim), dtype=np.float64)
+        if n == 0:
+            return mat
+        bucket_index = np.zeros(len(vocab), dtype=np.int64)
+        bucket_sign = np.zeros(len(vocab), dtype=np.float64)
+        for tid, token in enumerate(vocab):
+            digest = zlib.crc32(token.encode("utf-8"))
+            bucket_index[tid] = digest % self.dim
+            bucket_sign[tid] = 1.0 if (digest >> 16) & 1 else -1.0
+
+        flat_list = flat.tolist()
+        bounds = offsets.tolist()
+        dim = self.dim
+        for chunk_start in range(0, n, _BATCH_CHUNK):
+            chunk_stop = min(chunk_start + _BATCH_CHUNK, n)
+            rows: list[int] = []
+            cols: list[int] = []
+            counts: list[int] = []
+            for i in range(chunk_start, chunk_stop):
+                seg = flat_list[bounds[i] : bounds[i + 1]]
+                if not seg:
+                    continue
+                # Counter preserves first-occurrence order — the order the
+                # scalar path adds terms, which matters when three or more
+                # tokens of one text collide into the same hash bucket.
+                for tid, count in Counter(seg).items():
+                    rows.append(i - chunk_start)
+                    cols.append(tid)
+                    counts.append(count)
+            if not rows:
+                continue
+            col_ids = np.asarray(cols, dtype=np.int64)
+            vals = bucket_sign[col_ids] * (
+                1.0 + np.log(np.asarray(counts, dtype=np.int64))
+            )
+            slots = (
+                np.asarray(rows, dtype=np.int64) * dim + bucket_index[col_ids]
+            )
+            block = np.bincount(
+                slots, weights=vals, minlength=(chunk_stop - chunk_start) * dim
+            )
+            mat[chunk_start:chunk_stop] = block.reshape(-1, dim)
+
+        # Per-row 1-D dots: norm(matrix, axis=1) is not bit-identical.
+        dots = np.fromiter((row.dot(row) for row in mat), np.float64, count=n)
+        norms = np.sqrt(dots)
+        mat /= np.where(norms > 0.0, norms, 1.0)[:, None]
+        return mat
+
     def encode_batch(self, texts: list[str]) -> np.ndarray:
-        """Row-stacked embeddings, shape ``(len(texts), dim)``."""
+        """Row-stacked embeddings, shape ``(len(texts), dim)``.
+
+        Tokenizes and interns once, then takes the batched path; each row is
+        bit-identical to ``encode`` of the same text.
+        """
         if not texts:
             return np.zeros((0, self.dim), dtype=np.float64)
-        return np.vstack([self.encode(t) for t in texts])
+        ids: dict[str, int] = {}
+        vocab: list[str] = []
+        flat: list[int] = []
+        bounds = [0]
+        for text in texts:
+            for token in tokenize(text):
+                tid = ids.get(token)
+                if tid is None:
+                    tid = len(vocab)
+                    ids[token] = tid
+                    vocab.append(token)
+                flat.append(tid)
+            bounds.append(len(flat))
+        return self.encode_tokenized(
+            np.asarray(flat, dtype=np.int32),
+            np.asarray(bounds, dtype=np.int64),
+            vocab,
+        )
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:

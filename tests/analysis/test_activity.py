@@ -48,6 +48,13 @@ class TestDailyVolume:
         assert result.tweets_on(dt.date(2022, 7, 1)) == 0
         assert result.statuses_on(OCT29) == 1
 
+    def test_accessor_index_is_cached(self, dataset):
+        # the day lookups are dict-backed, built once per result object
+        result = daily_volume(dataset)
+        result.tweets_on(OCT28)
+        assert result._tweet_index is result._tweet_index
+        assert result._tweet_index == dict(result.tweets_per_day)
+
     def test_empty_rejected(self):
         with pytest.raises(AnalysisError):
             daily_volume(MigrationDataset())

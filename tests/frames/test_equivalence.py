@@ -1,0 +1,96 @@
+"""Frames-vs-naive equivalence: the tentpole's central contract.
+
+Every experiment must render *byte-identical* output whether it runs on
+the memoized columnar frames (:mod:`repro.frames`) or on the original
+per-object loops.  The naive path stays reachable two ways — the global
+``frames_disabled()`` switch and the per-call ``frames=None`` escape
+hatch — and both are pinned here against the frames output on the shared
+simulated dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_report, headline_report
+from repro.experiments.registry import all_experiment_ids, get_experiment
+from repro.frames import frames_disabled, frames_of, invalidate
+
+ALL_IDS = all_experiment_ids(include_extensions=True)
+
+
+@pytest.fixture(scope="module")
+def frames_outputs(small_dataset) -> dict[str, str]:
+    """Every figure's format() string computed on the frames path."""
+    invalidate(small_dataset)
+    outputs = {
+        exp_id: get_experiment(exp_id)(small_dataset).format()
+        for exp_id in ALL_IDS
+    }
+    outputs["report"] = format_report(headline_report(small_dataset))
+    return outputs
+
+
+@pytest.fixture(scope="module")
+def naive_outputs(small_dataset) -> dict[str, str]:
+    """The same outputs with frames globally disabled."""
+    with frames_disabled():
+        outputs = {
+            exp_id: get_experiment(exp_id)(small_dataset).format()
+            for exp_id in ALL_IDS
+        }
+        outputs["report"] = format_report(headline_report(small_dataset))
+    return outputs
+
+
+@pytest.mark.parametrize("exp_id", ALL_IDS)
+def test_experiment_identical(exp_id, frames_outputs, naive_outputs):
+    assert frames_outputs[exp_id] == naive_outputs[exp_id]
+
+
+def test_report_identical(frames_outputs, naive_outputs):
+    assert frames_outputs["report"] == naive_outputs["report"]
+
+
+def test_frames_none_escape_hatch(small_dataset, frames_outputs):
+    """``frames=None`` forces the naive loops even with frames enabled."""
+    from repro.analysis.activity import daily_volume
+    from repro.analysis.hashtags import top_hashtags
+    from repro.analysis.sources import top_sources
+    from repro.analysis.toxicity import toxicity_analysis
+
+    assert daily_volume(small_dataset, frames=None) == daily_volume(small_dataset)
+    assert top_hashtags(small_dataset, frames=None) == top_hashtags(small_dataset)
+    assert top_sources(small_dataset, frames=None) == top_sources(small_dataset)
+    naive_tox = toxicity_analysis(small_dataset, frames=None)
+    framed_tox = toxicity_analysis(small_dataset)
+    assert naive_tox.pct_tweets_toxic == framed_tox.pct_tweets_toxic
+    assert naive_tox.pct_statuses_toxic == framed_tox.pct_statuses_toxic
+    assert (
+        naive_tox.twitter_toxic_fraction.xs.tolist()
+        == framed_tox.twitter_toxic_fraction.xs.tolist()
+    )
+
+
+def test_frames_are_memoized(small_dataset):
+    assert frames_of(small_dataset) is frames_of(small_dataset)
+
+
+def test_invalidate_drops_cached_frames(small_dataset):
+    before = frames_of(small_dataset)
+    invalidate(small_dataset)
+    after = frames_of(small_dataset)
+    assert after is not before
+    # rebuilt frames still agree with the old instance's products
+    assert after.instance_populations == before.instance_populations
+
+
+def test_custom_scorer_bypasses_frames(small_dataset):
+    """A non-default scorer/encoder must not read the cached products."""
+    from repro.analysis.toxicity import toxicity_analysis
+    from repro.nlp.toxicity import PerspectiveScorer
+
+    default = toxicity_analysis(small_dataset)
+    custom = toxicity_analysis(small_dataset, scorer=PerspectiveScorer())
+    assert custom.pct_tweets_toxic == default.pct_tweets_toxic
+    assert custom.pct_users_toxic_on_both == default.pct_users_toxic_on_both

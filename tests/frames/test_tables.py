@@ -1,0 +1,153 @@
+"""Unit tests for the columnar tables behind :mod:`repro.frames`."""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import numpy as np
+
+from repro.frames.tables import (
+    Interner,
+    build_edge_table,
+    build_profile_table,
+    build_timeline_table,
+    build_token_table,
+    day_from_ordinal,
+    ordinal_counts,
+)
+from tests.conftest import make_status, make_tweet
+
+
+class TestInterner:
+    def test_first_seen_order(self):
+        interner = Interner()
+        assert interner.intern("b") == 0
+        assert interner.intern("a") == 1
+        assert interner.intern("b") == 0
+        assert interner.vocab == ["b", "a"]
+
+    def test_get_without_insert(self):
+        interner = Interner()
+        interner.intern("x")
+        assert interner.get("x") == 0
+        assert interner.get("missing") is None
+        assert interner.vocab == ["x"]
+
+
+class TestTimelineTable:
+    def timelines(self):
+        oct28 = dt.date(2022, 10, 28)
+        nov1 = dt.date(2022, 11, 1)
+        return {
+            1: [
+                make_tweet(10, 1, oct28, "hello #world", source="AppA"),
+                make_tweet(11, 1, nov1, "plain text", source="AppB"),
+            ],
+            2: [make_tweet(20, 2, nov1, "#world again #World", source="AppA")],
+            3: [],
+        }
+
+    def test_slices_follow_dict_order(self):
+        table = build_timeline_table(self.timelines(), "source", "is_retweet")
+        assert table.uids == [1, 2, 3]
+        assert [
+            (uid, start, stop) for uid, start, stop in table.iter_slices()
+        ] == [(1, 0, 2), (2, 2, 3), (3, 3, 3)]
+        assert table.slice_of(2) == (2, 3)
+        assert table.slice_of(99) is None
+        assert table.row_count == 3
+
+    def test_columns_match_objects(self):
+        timelines = self.timelines()
+        table = build_timeline_table(timelines, "source", "is_retweet")
+        assert table.texts == ["hello #world", "plain text", "#world again #World"]
+        assert [table.labels[i] for i in table.label_ids] == [
+            "AppA", "AppB", "AppA",
+        ]
+        assert table.day_ordinals.tolist() == [
+            dt.date(2022, 10, 28).toordinal(),
+            dt.date(2022, 11, 1).toordinal(),
+            dt.date(2022, 11, 1).toordinal(),
+        ]
+        assert table.row_uids.tolist() == [1, 1, 2]
+
+    def test_tag_postings_keep_duplicates(self):
+        table = build_timeline_table(self.timelines(), "source", "is_retweet")
+        tags = [table.tags[i] for i in table.tag_ids]
+        # "#world again #World" normalises both occurrences to "world"
+        assert tags.count("world") == 3
+
+    def test_status_flag_column(self):
+        from repro.fediverse.models import Status
+
+        day = dt.date(2022, 11, 2)
+        boost = Status(
+            status_id=1,
+            account_acct="a@x",
+            created_at=dt.datetime.combine(day, dt.time(12, 0)),
+            text="boost",
+            reblog_of_id=99,
+        )
+        table = build_timeline_table(
+            {5: [boost, make_status(2, "a@x", day, "own post")]},
+            "application",
+            "is_boost",
+        )
+        assert table.flags.tolist() == [True, False]
+
+
+class TestTokenTable:
+    def test_offsets_and_vocab(self):
+        table = build_token_table(["one two two", "", "two three"])
+        assert table.offsets.tolist() == [0, 3, 3, 5]
+        segment = table.flat[0:3]
+        assert [table.vocab[i] for i in segment] == ["one", "two", "two"]
+
+    def test_empty_corpus(self):
+        table = build_token_table([])
+        assert table.offsets.tolist() == [0]
+        assert table.flat.size == 0
+
+
+class TestOrdinalHelpers:
+    def test_round_trip(self):
+        day = dt.date(2022, 10, 27)
+        assert day_from_ordinal(day.toordinal()) == day
+
+    def test_ordinal_counts_skip_empty_days(self):
+        base = dt.date(2022, 11, 1).toordinal()
+        counts = ordinal_counts(
+            np.asarray([base, base + 2, base, base + 2, base + 2], dtype=np.int64)
+        )
+        assert counts == [
+            (dt.date(2022, 11, 1), 2),
+            (dt.date(2022, 11, 3), 3),
+        ]
+
+    def test_ordinal_counts_empty(self):
+        assert ordinal_counts(np.asarray([], dtype=np.int64)) == []
+
+
+class TestDatasetTables:
+    def test_profile_table(self, tiny_dataset):
+        table = build_profile_table(tiny_dataset)
+        assert table.matched_uids == [1, 2, 3, 4, 5]
+        domains = [table.domains[i] for i in table.matched_domain_ids]
+        assert domains == [
+            "mastodon.social",
+            "mastodon.social",
+            "mastodon.social",
+            "tiny.host",
+            "art.school",
+        ]
+        row = table.acct_row[2]
+        assert table.domains[table.acct_second_domain_ids[row]] == "art.school"
+        assert table.acct_second_ordinals[row] == dt.date(2022, 11, 10).toordinal()
+        # user 3 never switched
+        assert table.acct_second_domain_ids[table.acct_row[3]] == -1
+
+    def test_edge_table(self, tiny_dataset):
+        table = build_edge_table(tiny_dataset)
+        assert table.sampled_uids == [1, 2, 4]
+        pairs = set(zip(table.sources.tolist(), table.targets.tolist()))
+        assert (1, 2) in pairs and (2, 5) in pairs

@@ -1,0 +1,71 @@
+"""The batched NLP fast paths must be *bit-exact* twins of the scalar ones.
+
+``encode_batch`` / ``score_batch`` back the memoized frames products, and
+the frames contract (DESIGN.md §5) promises byte-identical analysis
+output — so these tests assert exact float equality, not approx.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nlp.embeddings import HashingSentenceEncoder
+from repro.nlp.toxicity import PerspectiveScorer
+
+# texts that exercise the tricky corners: bigram ordering against the
+# unigram ranks, repeated bigrams, hash-bucket collisions, empty strings
+TRICKY = [
+    "",
+    "   ",
+    "go away you fool shut up",
+    "shut up shut up go away",
+    "you are a moron and a loser honestly just leave",
+    "shut up fool shut up fool shut up",
+    "lovely painting of a quiet meadow",
+    "ratio ratio ratio ratio ratio",
+    "RT @someone migrating to mastodon.social today #twittermigration",
+    "idiot",
+]
+
+_words = st.sampled_from(
+    "shut up go away fool idiot moron loser ratio the a and toot "
+    "mastodon twitter bird site migration instance server".split()
+)
+_texts = st.lists(_words, max_size=12).map(" ".join)
+
+
+class TestScoreBatch:
+    def test_tricky_corpus_exact(self):
+        scorer = PerspectiveScorer()
+        assert scorer.score_batch(TRICKY) == [scorer.score(t) for t in TRICKY]
+
+    def test_empty_corpus(self):
+        assert PerspectiveScorer().score_batch([]) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_texts, max_size=8))
+    def test_random_corpora_exact(self, texts):
+        scorer = PerspectiveScorer()
+        assert scorer.score_batch(texts) == [scorer.score(t) for t in texts]
+
+
+class TestEncodeBatch:
+    def test_tricky_corpus_exact(self):
+        encoder = HashingSentenceEncoder()
+        mat = encoder.encode_batch(TRICKY)
+        assert mat.shape == (len(TRICKY), encoder.dim)
+        for row, text in zip(mat, TRICKY):
+            assert row.tolist() == encoder.encode(text).tolist()
+
+    def test_empty_corpus(self):
+        encoder = HashingSentenceEncoder()
+        assert encoder.encode_batch([]).shape == (0, encoder.dim)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_texts, max_size=8))
+    def test_random_corpora_exact(self, texts):
+        encoder = HashingSentenceEncoder()
+        mat = encoder.encode_batch(texts)
+        for row, text in zip(mat, texts):
+            assert row.tolist() == encoder.encode(text).tolist()
