@@ -7,17 +7,25 @@ dataset.  The per-figure shape assertions keep the benchmarks honest: a
 benchmark that regenerates the wrong figure is worthless however fast.
 
 The session's world build and pipeline run execute under a live metrics
-registry, and their stage timings are written to ``BENCH_pipeline.json`` at
-the repository root — the perf trajectory future PRs compare against.  A
-second, fault-injected session (the ``paper-section-3.2`` scenario) records
-what resilience costs: its stage timings and retry/fault counters land in
-the artifact's ``faulted`` section.
+registry — with per-span RSS accounting on (tracemalloc too when
+``REPRO_BENCH_TRACEMALLOC=1``; off by default so allocation tracing does
+not distort the wall-time trajectory) — and their stage timings plus peak
+memory are written to ``BENCH_pipeline.json`` at the repository root, the
+perf snapshot future PRs compare against.  One summary row per session is
+also appended to ``BENCH_history.jsonl`` (git sha, seed, scale, per-stage
+wall + peak memory): the cross-run trajectory that
+``python -m repro.obs.bench_report`` renders and gates.  A second,
+fault-injected session (the ``paper-section-3.2`` scenario) records what
+resilience costs: its stage timings and retry/fault counters land in the
+artifact's ``faulted`` section.
 """
 
 from __future__ import annotations
 
+import datetime as _dt
 import json
 import os
+import subprocess
 from pathlib import Path
 
 import pytest
@@ -26,6 +34,7 @@ from repro import obs
 from repro.collection.dataset import MigrationDataset
 from repro.collection.pipeline import CollectionConfig, collect_dataset
 from repro.faults import FaultPlan
+from repro.obs.bench_report import append_history_row
 from repro.simulation.world import World, build_world
 
 BENCH_SEED = 7
@@ -33,8 +42,12 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_ARTIFACT = REPO_ROOT / "BENCH_pipeline.json"
+BENCH_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
 
 _session_registry = obs.MetricsRegistry()
+_session_registry.enable_memory(
+    rss=True, trace_allocs=os.environ.get("REPRO_BENCH_TRACEMALLOC") == "1"
+)
 
 
 @pytest.fixture(scope="session")
@@ -71,8 +84,9 @@ def bench_faulted_dataset(
 
 
 def _stage_rows(registry: obs.MetricsRegistry) -> list[dict]:
-    return [
-        {
+    rows = []
+    for span in registry.tracer.walk():
+        row = {
             "name": span.name,
             "depth": span.depth,
             "wall_seconds": span.wall_seconds,
@@ -80,8 +94,39 @@ def _stage_rows(registry: obs.MetricsRegistry) -> list[dict]:
             "wait_seconds": span.wait_seconds,
             "meta": dict(span.meta),
         }
-        for span in registry.tracer.walk()
-    ]
+        row.update(span.memory_fields())
+        rows.append(row)
+    return rows
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def _history_stages(registry: obs.MetricsRegistry) -> dict[str, dict]:
+    """Top-level pipeline stages only — the trajectory the gate watches."""
+    stages: dict[str, dict] = {}
+    for span in registry.tracer.walk():
+        if span.depth > 1 or span.name in stages:
+            continue
+        fields: dict = {"wall_seconds": round(span.wall_seconds, 4)}
+        memory = span.memory_fields()
+        for key in ("peak_rss_bytes", "tracemalloc_peak_bytes"):
+            if memory.get(key) is not None:
+                fields[key] = memory[key]
+        stages[span.name] = fields
+    return stages
 
 
 def _write_pipeline_artifact(registry: obs.MetricsRegistry) -> None:
@@ -99,6 +144,29 @@ def _write_pipeline_artifact(registry: obs.MetricsRegistry) -> None:
         ),
     }
     BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    _append_history_row(registry)
+
+
+def _append_history_row(registry: obs.MetricsRegistry) -> None:
+    """Append one summary row per session to the bench trajectory.
+
+    ``python -m repro.obs.bench_report`` renders the resulting JSONL and
+    ``--check`` gates the latest row against the trailing same-scale
+    median.  Disable with ``REPRO_BENCH_NO_HISTORY=1`` (e.g. throwaway
+    local runs that should not pollute the committed trajectory).
+    """
+    if os.environ.get("REPRO_BENCH_NO_HISTORY") == "1":
+        return
+    row = {
+        "recorded_at": _dt.datetime.now(_dt.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": _git_sha(),
+        "seed": BENCH_SEED,
+        "scale": BENCH_SCALE,
+        "stages": _history_stages(registry),
+    }
+    append_history_row(BENCH_HISTORY, row)
 
 
 def record_hotpath(name: str, wall_seconds: float, **meta) -> None:

@@ -91,6 +91,9 @@ def collect_dataset(
     """Run the full Section 3 pipeline against a simulated world."""
     config = config if config is not None else CollectionConfig()
     registry = obs.current()
+    # request-budget burn-down: every 500 simulated requests drops one
+    # ``counter`` event into the event stream (no-op when uninstrumented)
+    registry.watch_default_counters()
     dataset = MigrationDataset()
     # The pipeline-level API handle only sizes the followee budget (pure
     # quota arithmetic); every simulated request is issued by a per-shard

@@ -5,7 +5,9 @@ Usage::
     repro-experiments [--seed 7] [--scale 0.01] [--only F5,F8] \
                       [--dataset path.json] [--save path.json] [--report] \
                       [--faults SCENARIO] [--quiet] [--metrics out.json] \
-                      [--trace] [--workers N] [--backend auto|serial|multiprocessing]
+                      [--trace[=trace.json]] [--events events.jsonl] \
+                      [--memory] [--profile SPAN] \
+                      [--workers N] [--backend auto|serial|multiprocessing]
 
 ``--dataset`` loads a previously saved dataset (skipping the simulation);
 ``--save`` stores the collected dataset for later reuse; ``--report`` also
@@ -15,9 +17,19 @@ named :mod:`repro.faults` scenario (e.g. ``paper-section-3.2``) into the
 collection clients, seeded from ``--seed`` so the chaos is reproducible.
 ``--metrics PATH`` records the run in a live metrics registry and writes
 the machine-readable telemetry (counters, gauges, histogram summaries,
-span tree) to PATH; ``--trace`` prints the span tree and the human-readable
-crawl report to stderr.  Either flag turns instrumentation on; without them
-the no-op registry is active and the run is telemetry-free.
+span tree, event stream) to PATH; ``--trace`` prints the span tree and the
+human-readable crawl report to stderr, and ``--trace=PATH`` additionally
+writes the run as a Chrome/Perfetto trace-event file (open it at
+https://ui.perfetto.dev — parallel crawl shards render as one swimlane per
+(stage, shard)).  ``--events PATH`` writes the raw timestamped event
+stream (span opens/closes, watched-counter crossings, per-tick
+``world.simulate`` heartbeats) as JSON-lines.  ``--memory`` adds per-span
+RSS and tracemalloc accounting to every span (allocation tracing costs
+real wall time).  ``--profile SPAN`` attaches a cProfile top-N hotspot
+table to the named span (e.g. ``--profile world.simulate``).  Any of these
+flags turns instrumentation on; without them the no-op registry is active
+and the run is telemetry-free.  None of them perturb the dataset: bytes
+are identical with the whole profiling plane on or off.
 ``--workers N`` schedules the sharded crawl stages over a ``fork`` worker
 pool (``--backend`` picks the execution backend); the collected dataset is
 byte-identical at any worker count — see :mod:`repro.parallel`.
@@ -97,8 +109,21 @@ def main(argv: list[str] | None = None) -> int:
                              f"collection (one of: {', '.join(scenario_names())})")
     parser.add_argument("--metrics", type=str, default="", metavar="PATH",
                         help="write machine-readable run telemetry (JSON) to PATH")
-    parser.add_argument("--trace", action="store_true",
-                        help="print the span tree and crawl report to stderr")
+    parser.add_argument("--trace", type=str, nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="print the span tree and crawl report to stderr; "
+                             "with a PATH, also write a Chrome/Perfetto "
+                             "trace-event file there")
+    parser.add_argument("--events", type=str, default="", metavar="PATH",
+                        help="write the raw timestamped event stream "
+                             "(JSON-lines) to PATH")
+    parser.add_argument("--memory", action="store_true",
+                        help="account per-span memory (RSS snapshots + "
+                             "tracemalloc peaks; allocation tracing costs "
+                             "wall time)")
+    parser.add_argument("--profile", type=str, default="", metavar="SPAN",
+                        help="attach a cProfile top-N hotspot table to the "
+                             "named span (e.g. world.simulate)")
     parser.add_argument("--no-frames", action="store_true",
                         help="disable the columnar analysis frames and run "
                              "every figure on the naive per-object loops "
@@ -137,14 +162,28 @@ def main(argv: list[str] | None = None) -> int:
         config = CollectionConfig(workers=args.workers, backend=backend)
 
     obs.configure_logging(quiet=args.quiet)
-    instrumented = bool(args.metrics) or args.trace
+    instrumented = (
+        bool(args.metrics)
+        or args.trace is not None
+        or bool(args.events)
+        or args.memory
+        or bool(args.profile)
+    )
     registry = obs.MetricsRegistry() if instrumented else obs.NOOP
+    accountant = registry.enable_memory(trace_allocs=True) if args.memory else None
+
+    from contextlib import ExitStack
 
     from repro.frames import set_frames_enabled
 
     was_enabled = set_frames_enabled(not args.no_frames)
     try:
-        with obs.use(registry):
+        with ExitStack() as stack:
+            stack.enter_context(obs.use(registry))
+            if args.profile:
+                stack.enter_context(
+                    obs.profile_span(args.profile, registry=registry)
+                )
             if args.dataset:
                 dataset = MigrationDataset.load(args.dataset)
             else:
@@ -166,11 +205,23 @@ def main(argv: list[str] | None = None) -> int:
                 print(format_report(headline_report(dataset)))
     finally:
         set_frames_enabled(was_enabled)
+        if accountant is not None:
+            accountant.close()
 
-    if args.trace:
+    if args.trace is not None:
         print(obs.format_span_tree(registry), file=sys.stderr)
         print(file=sys.stderr)
         print(obs.format_crawl_report(registry), file=sys.stderr)
+        if args.trace:
+            doc = obs.write_chrome_trace(registry, args.trace)
+            _log.info(
+                "perfetto trace written to %s (%d events)",
+                args.trace,
+                len(doc["traceEvents"]),
+            )
+    if args.events:
+        written = registry.events.write_jsonl(args.events)
+        _log.info("event stream written to %s (%d events)", args.events, written)
     if args.metrics:
         obs.write_metrics_json(registry, args.metrics)
         _log.info("telemetry written to %s", args.metrics)

@@ -11,7 +11,16 @@ what every crawler's coverage was.  This package is that substrate:
   virtual rate-limiter wait time and API requests per pipeline stage;
 - :mod:`repro.obs.report` -- the human-readable crawl report ("data
   inventory") and the machine-readable JSON export;
-- :mod:`repro.obs.log` -- the logging layer entry points configure.
+- :mod:`repro.obs.log` -- the logging layer entry points configure;
+- :mod:`repro.obs.events` -- the timestamped append-only event stream
+  (span open/close, watched-counter crossings, heartbeats) with a JSONL
+  export;
+- :mod:`repro.obs.traceexport` -- Chrome/Perfetto trace-event export with
+  one lane per (stage, shard);
+- :mod:`repro.obs.memory` -- per-span RSS and tracemalloc accounting;
+- :mod:`repro.obs.profile` -- the opt-in per-span cProfile harness;
+- :mod:`repro.obs.bench_report` -- the cross-run bench trajectory
+  (``BENCH_history.jsonl``) renderer and regression gate.
 
 Instrumented layers write to the *active* registry::
 
@@ -42,7 +51,9 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.events import NULL_EVENTS, EventLog, NullEventLog, read_jsonl
 from repro.obs.log import configure_logging, get_logger
+from repro.obs.memory import MemoryAccountant, rss_snapshot, track_memory
 from repro.obs.metrics import (
     NOOP,
     Counter,
@@ -51,6 +62,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
 )
+from repro.obs.profile import profile_span
 from repro.obs.report import (
     format_crawl_report,
     format_span_tree,
@@ -58,6 +70,11 @@ from repro.obs.report import (
     write_metrics_json,
 )
 from repro.obs.spans import NULL_SPAN, Span, Tracer
+from repro.obs.traceexport import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 _active: MetricsRegistry = NOOP
 
@@ -81,20 +98,31 @@ def use(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
 
 __all__ = [
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
+    "MemoryAccountant",
     "MetricsRegistry",
+    "NullEventLog",
     "NullRegistry",
     "NOOP",
+    "NULL_EVENTS",
     "NULL_SPAN",
     "Span",
     "Tracer",
+    "chrome_trace",
     "configure_logging",
     "current",
     "format_crawl_report",
     "format_span_tree",
     "get_logger",
+    "profile_span",
+    "read_jsonl",
+    "rss_snapshot",
     "span_names",
+    "track_memory",
     "use",
+    "validate_chrome_trace",
+    "write_chrome_trace",
     "write_metrics_json",
 ]

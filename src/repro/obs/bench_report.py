@@ -1,0 +1,202 @@
+"""The cross-run perf trajectory: render ``BENCH_history.jsonl`` and gate it.
+
+``BENCH_pipeline.json`` is a snapshot of one benchmark session;
+``BENCH_history.jsonl`` is the *trajectory*: every benchmark session
+appends one summary row (git sha, seed, scale, per-stage wall seconds and
+peak memory), so "did PR N regress the pipeline" has an answer that
+survives the PR.
+
+Usage::
+
+    python -m repro.obs.bench_report                  # render the trajectory
+    python -m repro.obs.bench_report --check          # exit 1 on regression
+    python -m repro.obs.bench_report --check --threshold 2.0
+
+A stage **regresses** when the latest row's wall time exceeds
+``threshold`` (default 1.25, i.e. >25% slower) times the trailing median
+of that stage over the previous rows *at the same scale* (up to
+``--window`` of them).  Stages with no same-scale history pass trivially —
+the first row of a new scale establishes its baseline.  Memory gates the
+same way, against ``peak_rss_bytes`` with its own (looser) threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+#: default regression thresholds: wall >25% over trailing median fails;
+#: peak RSS is noisier across machines, so its default gate is 50%.
+WALL_THRESHOLD = 1.25
+MEMORY_THRESHOLD = 1.50
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+
+def default_history_path() -> Path:
+    """``BENCH_history.jsonl`` at the repository root."""
+    return Path(__file__).resolve().parents[3] / HISTORY_FILENAME
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """Rows of the history file, oldest first; missing file -> empty."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    rows = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def append_history_row(path: str | Path, row: dict) -> None:
+    """Append one summary row (a JSON object per line, append-only)."""
+    with Path(path).open("a") as fh:
+        fh.write(json.dumps(row, sort_keys=True) + "\n")
+
+
+def _trailing(
+    rows: list[dict], stage: str, key: str, scale: float, window: int
+) -> list[float]:
+    values = [
+        row["stages"][stage][key]
+        for row in rows
+        if row.get("scale") == scale
+        and stage in row.get("stages", {})
+        and row["stages"][stage].get(key) is not None
+    ]
+    return values[-window:]
+
+
+def check_regressions(
+    rows: list[dict],
+    wall_threshold: float = WALL_THRESHOLD,
+    memory_threshold: float = MEMORY_THRESHOLD,
+    window: int = 8,
+) -> list[dict]:
+    """Regressions of the latest row against its same-scale trailing median.
+
+    Returns one record per offending (stage, metric):
+    ``{"stage", "metric", "latest", "median", "ratio"}``.
+    """
+    if len(rows) < 2:
+        return []
+    latest = rows[-1]
+    history = rows[:-1]
+    scale = latest.get("scale")
+    findings = []
+    for metric, threshold in (
+        ("wall_seconds", wall_threshold),
+        ("peak_rss_bytes", memory_threshold),
+    ):
+        for stage, fields in latest.get("stages", {}).items():
+            value = fields.get(metric)
+            if value is None:
+                continue
+            trailing = _trailing(history, stage, metric, scale, window)
+            if not trailing:
+                continue
+            median = statistics.median(trailing)
+            if median <= 0:
+                continue
+            ratio = value / median
+            if ratio > threshold:
+                findings.append(
+                    {
+                        "stage": stage,
+                        "metric": metric,
+                        "latest": value,
+                        "median": median,
+                        "ratio": ratio,
+                    }
+                )
+    findings.sort(key=lambda f: -f["ratio"])
+    return findings
+
+
+def _fmt_bytes(value: float | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value / 1_048_576:.0f}MB"
+
+
+def format_history(rows: list[dict], window: int = 8) -> str:
+    """The trajectory, one block per scale, one line per run."""
+    if not rows:
+        return "(no bench history recorded)"
+    lines = ["# bench trajectory"]
+    scales = sorted({row.get("scale") for row in rows}, key=lambda s: (s is None, s))
+    for scale in scales:
+        scoped = [row for row in rows if row.get("scale") == scale]
+        lines.append(f"\n## scale {scale} ({len(scoped)} runs)")
+        stages = sorted({s for row in scoped for s in row.get("stages", {})})
+        for row in scoped[-window:]:
+            sha = str(row.get("git_sha", "unknown"))[:10]
+            when = str(row.get("recorded_at", ""))[:19]
+            lines.append(f"{when}  {sha}  seed={row.get('seed')}")
+            for stage in stages:
+                fields = row.get("stages", {}).get(stage)
+                if fields is None:
+                    continue
+                lines.append(
+                    f"    {stage:<28} {fields.get('wall_seconds', 0.0):>9.3f}s"
+                    f"  rss {_fmt_bytes(fields.get('peak_rss_bytes')):>8}"
+                    f"  alloc {_fmt_bytes(fields.get('tracemalloc_peak_bytes')):>8}"
+                )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--history", type=str, default=str(default_history_path()),
+        help="path to the BENCH_history.jsonl file",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when the latest row regresses past the threshold",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=WALL_THRESHOLD,
+        help="wall-time regression ratio gate (default %(default)s)",
+    )
+    parser.add_argument(
+        "--memory-threshold", type=float, default=MEMORY_THRESHOLD,
+        help="peak-RSS regression ratio gate (default %(default)s)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=8,
+        help="trailing rows the median is taken over (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    rows = load_history(args.history)
+    print(format_history(rows, window=args.window))
+    if not args.check:
+        return 0
+    findings = check_regressions(
+        rows,
+        wall_threshold=args.threshold,
+        memory_threshold=args.memory_threshold,
+        window=args.window,
+    )
+    if not findings:
+        print(f"\ncheck ok: no stage regressed past {args.threshold:.2f}x "
+              f"(rows: {len(rows)})")
+        return 0
+    print("\nREGRESSIONS:")
+    for f in findings:
+        unit = "s" if f["metric"] == "wall_seconds" else "B"
+        print(
+            f"  {f['stage']} {f['metric']}: {f['latest']:.3f}{unit} vs trailing "
+            f"median {f['median']:.3f}{unit} ({f['ratio']:.2f}x)"
+        )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Per-span memory accounting: RSS snapshots and tracemalloc deltas.
+
+The scale-up work the ROADMAP plans (millions of agents) will be bounded by
+memory long before wall time; this module makes that ceiling visible *per
+stage*.  When a :class:`MemoryAccountant` is attached to a tracer (via
+``registry.enable_memory()`` or the :func:`track_memory` context manager),
+every span is sealed with
+
+- ``peak_rss_bytes`` -- the process RSS high-water mark at span exit
+  (``VmHWM`` from ``/proc/self/status``; monotone over the process life, so
+  a stage's value is the peak reached *by the end of* that stage);
+- ``rss_delta_bytes`` -- resident-set growth across the span
+  (``VmRSS`` at exit minus entry);
+- ``tracemalloc_peak_bytes`` -- peak Python-allocated bytes *within* the
+  span (only when allocation tracing is on; nested spans account correctly:
+  a parent's peak includes its children's);
+- ``tracemalloc_delta_bytes`` -- net Python-allocated bytes retained across
+  the span.
+
+Graceful degradation contract: on platforms without ``/proc`` the RSS
+fields fall back to ``resource.getrusage`` (peak only) or stay ``None``;
+without allocation tracing the tracemalloc fields stay ``None``.  Nothing
+here raises out of an instrumented run, and — like every part of
+:mod:`repro.obs` — nothing reads an RNG or feeds back into the simulation:
+datasets are byte-identical with memory accounting on or off.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+
+_PROC_STATUS = "/proc/self/status"
+
+
+def rss_snapshot() -> tuple[int | None, int | None]:
+    """``(current_rss_bytes, peak_rss_bytes)`` for this process.
+
+    Reads ``VmRSS``/``VmHWM`` from ``/proc/self/status`` (Linux); falls back
+    to ``resource.getrusage`` (peak only; ``ru_maxrss`` is KiB on Linux,
+    bytes on macOS); returns ``(None, None)`` when neither source exists.
+    """
+    try:
+        with open(_PROC_STATUS) as fh:
+            current = peak = None
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    current = int(line.split()[1]) * 1024
+                elif line.startswith("VmHWM:"):
+                    peak = int(line.split()[1]) * 1024
+                if current is not None and peak is not None:
+                    break
+            return current, peak
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        import sys
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform != "darwin":
+            peak *= 1024
+        return None, int(peak)
+    except Exception:
+        return None, None
+
+
+class MemoryAccountant:
+    """Fills spans' memory fields when attached to a tracer.
+
+    ``trace_allocs=True`` additionally tracks Python allocations through
+    :mod:`tracemalloc` (started on first use if not already tracing, and
+    stopped again by :meth:`close` only if this accountant started it).
+    Allocation tracing costs real wall time (every malloc is recorded), so
+    it is off by default; RSS snapshots are two ``/proc`` reads per span.
+    """
+
+    __slots__ = ("rss", "trace_allocs", "_started_tracing")
+
+    def __init__(self, rss: bool = True, trace_allocs: bool = False) -> None:
+        self.rss = rss
+        self.trace_allocs = trace_allocs
+        self._started_tracing = False
+        if trace_allocs:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_tracing = True
+
+    def close(self) -> None:
+        """Stop allocation tracing if this accountant started it."""
+        if self._started_tracing:
+            import tracemalloc
+
+            tracemalloc.stop()
+            self._started_tracing = False
+
+    # -- span hooks (called by _SpanContext) -------------------------------
+
+    def on_enter(self, span) -> tuple:
+        """Snapshot state at span entry; returns the baseline for on_exit.
+
+        With allocation tracing on, the allocator peak observed so far is
+        folded into the *parent* span before the counter is reset, so each
+        span measures only its own extent while parents still see the true
+        maximum across their whole lifetime.
+        """
+        rss0 = None
+        if self.rss:
+            rss0, _ = rss_snapshot()
+        alloc0 = None
+        if self.trace_allocs:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                current, peak = tracemalloc.get_traced_memory()
+                parent = span.parent
+                if parent is not None:
+                    parent.tracemalloc_peak_bytes = max(
+                        parent.tracemalloc_peak_bytes or 0, peak
+                    )
+                tracemalloc.reset_peak()
+                alloc0 = current
+        return (rss0, alloc0)
+
+    def on_exit(self, span, baseline: tuple | None) -> None:
+        rss0, alloc0 = baseline if baseline is not None else (None, None)
+        if self.rss:
+            current, peak = rss_snapshot()
+            if peak is not None:
+                span.peak_rss_bytes = peak
+            if current is not None and rss0 is not None:
+                span.rss_delta_bytes = current - rss0
+        if self.trace_allocs and alloc0 is not None:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                current, peak = tracemalloc.get_traced_memory()
+                span.tracemalloc_peak_bytes = max(
+                    span.tracemalloc_peak_bytes or 0, peak
+                )
+                span.tracemalloc_delta_bytes = current - alloc0
+                parent = span.parent
+                if parent is not None:
+                    # a child's peak is, by nesting, also pressure the
+                    # parent experienced
+                    parent.tracemalloc_peak_bytes = max(
+                        parent.tracemalloc_peak_bytes or 0,
+                        span.tracemalloc_peak_bytes,
+                    )
+                tracemalloc.reset_peak()
+
+
+@contextlib.contextmanager
+def track_memory(
+    registry, rss: bool = True, trace_allocs: bool = False
+) -> Iterator[MemoryAccountant | None]:
+    """Attach a :class:`MemoryAccountant` to ``registry`` for a ``with``
+    block (no-op on the null registry)."""
+    if not registry.enabled:
+        yield None
+        return
+    previous = registry.tracer.memory
+    accountant = MemoryAccountant(rss=rss, trace_allocs=trace_allocs)
+    registry.tracer.memory = accountant
+    try:
+        yield accountant
+    finally:
+        registry.tracer.memory = previous
+        accountant.close()

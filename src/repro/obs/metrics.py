@@ -24,12 +24,20 @@ from __future__ import annotations
 import math
 from collections.abc import Iterator
 
+from repro.obs.events import NULL_EVENTS, EventLog
 from repro.obs.spans import NULL_SPAN_CONTEXT, Tracer
 
 #: Counters that represent simulated API requests; spans snapshot their sum.
 REQUEST_COUNTER_NAMES = ("twitter.ratelimit.requests", "mastodon.api.requests")
 #: Counter holding the rate limiter's accumulated virtual wait time.
 WAIT_COUNTER_NAME = "twitter.ratelimit.wait_seconds"
+#: Default counter watches (``watch_default_counters``): every N increments
+#: of a request counter drops one ``counter`` event into the event stream,
+#: so the trace shows request-budget burn-down over time.
+DEFAULT_COUNTER_WATCHES: dict[str, float] = {
+    "twitter.ratelimit.requests": 500.0,
+    "mastodon.api.requests": 500.0,
+}
 
 _LabelKey = tuple[tuple[str, str], ...]
 
@@ -39,19 +47,41 @@ def _label_key(labels: dict[str, object]) -> _LabelKey:
 
 
 class Counter:
-    """A monotonically increasing value."""
+    """A monotonically increasing value.
 
-    __slots__ = ("name", "labels", "value")
+    A counter can be *watched* (see ``MetricsRegistry.watch_counter``):
+    every time its value crosses the next multiple of the watch interval,
+    one ``counter`` event is emitted to the registry's event stream.  The
+    unwatched hot path pays a single ``is None`` test.
+    """
+
+    __slots__ = ("name", "labels", "value", "_events", "_every", "_next")
 
     def __init__(self, name: str, labels: dict[str, str]) -> None:
         self.name = name
         self.labels = labels
         self.value: float = 0
+        self._events: EventLog | None = None
+        self._every: float = 0.0
+        self._next: float = 0.0
+
+    def watch(self, events: EventLog, every: float) -> None:
+        """Emit one event to ``events`` per ``every``-sized value crossing."""
+        if every <= 0:
+            raise ValueError(f"watch interval must be positive, got {every}")
+        self._events = events
+        self._every = every
+        self._next = (self.value // every + 1) * every
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
         self.value += amount
+        if self._events is not None and self.value >= self._next:
+            threshold = self._next
+            while self.value >= self._next:
+                self._next += self._every
+            self._events.counter_event(self, threshold)
 
     def to_dict(self) -> dict:
         return {"name": self.name, "labels": dict(self.labels), "value": self.value}
@@ -143,9 +173,12 @@ class MetricsRegistry:
         self._counters: dict[tuple[str, _LabelKey], Counter] = {}
         self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+        self._watches: dict[str, float] = {}
+        self.events: EventLog = EventLog() if self.enabled else NULL_EVENTS
         self.tracer = Tracer(
             request_total=self._api_request_total,
             wait_total=self._wait_total,
+            events=self.events if self.enabled else None,
         )
 
     # -- instruments -------------------------------------------------------
@@ -155,6 +188,9 @@ class MetricsRegistry:
         counter = self._counters.get(key)
         if counter is None:
             counter = self._counters[key] = Counter(name, dict(key[1]))
+            every = self._watches.get(name)
+            if every is not None:
+                counter.watch(self.events, every)
         return counter
 
     def gauge(self, name: str, **labels: object) -> Gauge:
@@ -173,6 +209,40 @@ class MetricsRegistry:
 
     def span(self, name: str):
         return self.tracer.span(name)
+
+    # -- the profiling plane -----------------------------------------------
+
+    def heartbeat(self, name: str, **fields: object) -> None:
+        """Emit one timestamped progress event to the event stream."""
+        self.events.heartbeat(name, **fields)
+
+    def watch_counter(self, name: str, every: float) -> None:
+        """Emit a ``counter`` event each time ``name`` crosses a multiple of
+        ``every`` (applies to existing and future label sets alike)."""
+        if every <= 0:
+            raise ValueError(f"watch interval must be positive, got {every}")
+        self._watches[name] = every
+        for (counter_name, _), counter in self._counters.items():
+            if counter_name == name:
+                counter.watch(self.events, every)
+
+    def watch_default_counters(self) -> None:
+        """Arm the standard request-budget watches (see
+        :data:`DEFAULT_COUNTER_WATCHES`)."""
+        for name, every in DEFAULT_COUNTER_WATCHES.items():
+            self.watch_counter(name, every)
+
+    def enable_memory(self, rss: bool = True, trace_allocs: bool = False):
+        """Attach per-span memory accounting (see :mod:`repro.obs.memory`).
+
+        Returns the accountant so callers can ``close()`` it when done with
+        allocation tracing.
+        """
+        from repro.obs.memory import MemoryAccountant
+
+        accountant = MemoryAccountant(rss=rss, trace_allocs=trace_allocs)
+        self.tracer.memory = accountant
+        return accountant
 
     # -- queries -----------------------------------------------------------
 
@@ -218,6 +288,8 @@ class MetricsRegistry:
           would have left behind;
         - histograms **pool** their raw samples, so nearest-rank quantiles
           of the merged histogram are independent of merge order;
+        - event streams **concatenate** (exports re-sort on the monotonic
+          clock, so the merged stream is timeline-ordered regardless);
         - ``other``'s span roots are grafted under this registry's
           currently open span (shard spans fold into the stage span).
         """
@@ -238,6 +310,7 @@ class MetricsRegistry:
                     histogram.name, dict(histogram.labels)
                 )
             mine._values.extend(histogram._values)
+        self.events.extend(other.events)
         self.tracer.adopt(other.tracer.roots)
 
     def is_empty(self) -> bool:
@@ -254,6 +327,7 @@ class MetricsRegistry:
             "gauges": [g.to_dict() for g in self._gauges.values()],
             "histograms": [h.to_dict() for h in self._histograms.values()],
             "spans": self.tracer.to_list(),
+            "events": self.events.to_list(),
         }
 
 
@@ -303,6 +377,18 @@ class NullRegistry(MetricsRegistry):
 
     def span(self, name: str):
         return NULL_SPAN_CONTEXT
+
+    def heartbeat(self, name: str, **fields: object) -> None:
+        pass
+
+    def watch_counter(self, name: str, every: float) -> None:
+        pass
+
+    def watch_default_counters(self) -> None:
+        pass
+
+    def enable_memory(self, rss: bool = True, trace_allocs: bool = False):
+        return None
 
     def merge(self, other: MetricsRegistry) -> None:
         pass

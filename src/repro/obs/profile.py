@@ -1,0 +1,85 @@
+"""Opt-in per-span hotspot capture: a cProfile harness scoped to one span.
+
+``profile_span("world.simulate")`` arms the active registry so that the
+next time a span with that name opens, a :mod:`cProfile` profiler runs for
+exactly the span's extent; when the span seals, the top-N functions by
+cumulative time are attached to ``span.meta["profile"]`` (and therefore to
+the JSON export and the Perfetto trace's ``args``).
+
+Guarantees:
+
+- **No RNG perturbation.**  cProfile observes frame events only; it never
+  draws from or reseeds any generator, so a profiled run produces
+  byte-identical datasets (``tests/obs/test_determinism.py`` enforces this
+  for the whole profiling plane at once).
+- **No nesting surprises.**  cProfile cannot run two profilers at once; if
+  a profiled span opens inside another profiled span, the inner one is
+  skipped rather than crashing the run.
+- **Opt-in.**  Without an armed target, instrumented spans pay one dict
+  membership test.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import pstats
+from collections.abc import Iterator
+
+
+def profile_table(profiler, top: int = 20) -> dict:
+    """Summarise a finished profiler into a JSON-friendly top-N table.
+
+    Rows are ordered by cumulative time, the classic "where does the time
+    go" view for a hot loop like ``world.simulate``'s.
+    """
+    stats = pstats.Stats(profiler)
+    rows = []
+    for (filename, lineno, func), (cc, nc, tt, ct, _callers) in stats.stats.items():
+        rows.append(
+            {
+                "function": f"{filename}:{lineno}:{func}",
+                "calls": nc,
+                "primitive_calls": cc,
+                "tottime_seconds": round(tt, 6),
+                "cumtime_seconds": round(ct, 6),
+            }
+        )
+    rows.sort(key=lambda r: (-r["cumtime_seconds"], r["function"]))
+    return {
+        "functions_profiled": len(rows),
+        "total_calls": int(stats.total_calls),
+        "top": rows[:top],
+    }
+
+
+def attach_profile(span, profiler, top: int = 20) -> None:
+    """Seal a profiled span: put the top-N table into its meta."""
+    span.meta["profile"] = profile_table(profiler, top=top)
+
+
+@contextlib.contextmanager
+def profile_span(
+    name: str, top: int = 20, registry=None
+) -> Iterator[None]:
+    """Arm per-span profiling for ``name`` within the ``with`` block.
+
+    Every span named ``name`` that opens while armed is profiled (subject
+    to the no-nesting rule above).  ``registry`` defaults to the active
+    registry; arming the no-op registry is itself a no-op.
+    """
+    from repro import obs
+
+    target = registry if registry is not None else obs.current()
+    if not target.enabled:
+        yield
+        return
+    tracer = target.tracer
+    previous = tracer.profile_targets.get(name)
+    tracer.profile_targets[name] = top
+    try:
+        yield
+    finally:
+        if previous is None:
+            tracer.profile_targets.pop(name, None)
+        else:
+            tracer.profile_targets[name] = previous

@@ -15,6 +15,18 @@ from repro.obs.metrics import REQUEST_COUNTER_NAMES, WAIT_COUNTER_NAME, MetricsR
 from repro.obs.spans import Span
 
 
+def _span_suffix(span: Span) -> str:
+    """Failure and memory markers appended to a span's report line."""
+    parts = []
+    if span.error is not None:
+        parts.append(f"!error={span.error}")
+    if span.peak_rss_bytes is not None:
+        parts.append(f"rss {span.peak_rss_bytes / 1_048_576:.0f}MB")
+    if span.tracemalloc_peak_bytes is not None:
+        parts.append(f"alloc {span.tracemalloc_peak_bytes / 1_048_576:.1f}MB")
+    return ("  [" + ", ".join(parts) + "]") if parts else ""
+
+
 def format_span_tree(registry: MetricsRegistry) -> str:
     """The span hierarchy, one line per span, indented by depth."""
     lines = ["# span tree (wall s / api requests / simulated wait s)"]
@@ -23,6 +35,7 @@ def format_span_tree(registry: MetricsRegistry) -> str:
         lines.append(
             f"{indent}{span.name}: {span.wall_seconds:.3f}s wall, "
             f"{span.api_requests} req, {span.wait_seconds:.0f}s wait"
+            f"{_span_suffix(span)}"
         )
     if len(lines) == 1:
         lines.append("(no spans recorded)")
@@ -48,6 +61,7 @@ def format_crawl_report(registry: MetricsRegistry) -> str:
             sections.append(
                 f"{name:<{name_width}}  {span.wall_seconds:>8.3f}  "
                 f"{span.api_requests:>9}  {span.wait_seconds:>10.0f}"
+                f"{_span_suffix(span)}"
             )
 
     endpoint_lines = []

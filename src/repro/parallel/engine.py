@@ -166,6 +166,9 @@ class _Runtime:
     world: Any
     config: Any
     instrumented: bool
+    #: ``(rss, trace_allocs)`` when the parent registry accounts memory, so
+    #: shard registries mirror the parent's accounting mode; None otherwise.
+    memory: tuple[bool, bool] | None = None
 
 
 def _resolve(fn_path: str) -> Callable:
@@ -182,10 +185,20 @@ def _execute_shard(job: ShardJob) -> ShardResult:
         raise RuntimeError("no active shard runtime; use ShardEngine as a context manager")
     fn = _resolve(job.fn_path)
     registry = obs.MetricsRegistry() if runtime.instrumented else obs.NOOP
+    accountant = None
+    if runtime.instrumented:
+        registry.watch_default_counters()
+        if runtime.memory is not None:
+            rss, trace_allocs = runtime.memory
+            accountant = registry.enable_memory(rss=rss, trace_allocs=trace_allocs)
     accounting = ShardAccounting()
     with obs.use(registry):
         with registry.span(f"collect.{job.context.stage}.shard") as span:
-            span.annotate(shard=job.context.index, items=len(job.items))
+            span.annotate(
+                shard=job.context.index,
+                stage=job.context.stage,
+                items=len(job.items),
+            )
             payload = fn(
                 runtime.world,
                 runtime.config,
@@ -197,6 +210,8 @@ def _execute_shard(job: ShardJob) -> ShardResult:
                 virtual_seconds=accounting.virtual_seconds,
                 requests=accounting.requests,
             )
+    if accountant is not None:
+        accountant.close()
     return ShardResult(
         index=job.context.index,
         payload=payload,
@@ -260,10 +275,17 @@ class ShardEngine:
     def __enter__(self) -> "ShardEngine":
         global _RUNTIME
         self._previous_runtime = _RUNTIME
+        registry = obs.current()
+        accountant = registry.tracer.memory
         _RUNTIME = _Runtime(
             world=self.world,
             config=self.config,
-            instrumented=obs.current().enabled,
+            instrumented=registry.enabled,
+            memory=(
+                (accountant.rss, accountant.trace_allocs)
+                if accountant is not None
+                else None
+            ),
         )
         if self.backend == "multiprocessing" and self.workers > 1:
             context = multiprocessing.get_context("fork")

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import datetime as _dt
 import gc
+import time
 from collections import Counter
 
 import numpy as np
@@ -135,18 +136,60 @@ class World:
         batches; :func:`fast_shape_prod` short-circuits the shape
         arithmetic numpy re-dispatches on each of them (values and
         bitstream unchanged — see its docstring).
+
+        When the active registry is live, the hot loop emits per-tick
+        heartbeat events (tick index, adoptions, posts, ticks/s, ETA)
+        through the event stream — progress visibility into the ~85%-of-
+        wall-time phase.  The heartbeats only *read* simulation state and
+        wall clocks, never an RNG: the generated world is byte-identical
+        with the event stream on or off.
         """
         if self._simulated:
             raise RuntimeError("world already simulated")
+        from repro import obs
+
+        events = obs.current().events
         with fast_shape_prod():
             self._seed_pre_takeover_accounts()
-            for day in date_range(self.config.start, self.config.end):
+            days = list(date_range(self.config.start, self.config.end))
+            started = time.perf_counter()
+            for tick, day in enumerate(days):
+                migrated_before = len(self.migrated_ids)
                 self._run_migrations(day)
                 self._run_switches(day)
+                if events.enabled:
+                    self._dynamics_heartbeat(
+                        events, tick, len(days), day, migrated_before, started
+                    )
             self._materialise_content()
             self._inject_background_load()
             self._plant_crawl_failures()
         self._simulated = True
+
+    def _dynamics_heartbeat(
+        self,
+        events,
+        tick: int,
+        ticks: int,
+        day: _dt.date,
+        migrated_before: int,
+        started: float,
+    ) -> None:
+        """One progress event per simulated day of the dynamics loop."""
+        elapsed = time.perf_counter() - started
+        rate = (tick + 1) / elapsed if elapsed > 0 else 0.0
+        events.heartbeat(
+            "world.simulate",
+            phase="dynamics",
+            tick=tick,
+            ticks=ticks,
+            day=day.isoformat(),
+            adoptions=len(self.migrated_ids) - migrated_before,
+            migrated_total=len(self.migrated_ids),
+            posts_total=self.twitter_store.tweet_count,
+            ticks_per_s=round(rate, 3),
+            eta_seconds=round((ticks - tick - 1) / rate, 3) if rate > 0 else None,
+        )
 
     def twitter_api(self, faults=None, retry=None) -> TwitterAPI:
         """A fresh API client (own rate-limit state) over the world's Twitter.
@@ -416,7 +459,13 @@ class World:
 
     # -- phase 2: content materialisation ---------------------------------------------------
 
+    #: materialisation heartbeat cadence (one event per this many migrants)
+    _HEARTBEAT_EVERY = 256
+
     def _materialise_content(self) -> None:
+        from repro import obs
+
+        events = obs.current().events
         rng = self.rng.stream("content")
         # migration order, so boosters find their earlier-migrated followees'
         # statuses already materialised
@@ -425,8 +474,26 @@ class World:
             key=lambda uid: (self.agents[uid].migration_day, uid),
         )
         days = list(date_range(self.config.start, self.config.end))
-        for user_id in ordered:
+        started = time.perf_counter()
+        for done, user_id in enumerate(ordered, start=1):
             self._materialise_migrant(self.agents[user_id], rng, days)
+            if events.enabled and (
+                done % self._HEARTBEAT_EVERY == 0 or done == len(ordered)
+            ):
+                elapsed = time.perf_counter() - started
+                rate = done / elapsed if elapsed > 0 else 0.0
+                events.heartbeat(
+                    "world.simulate",
+                    phase="materialise",
+                    tick=done - 1,
+                    ticks=len(ordered),
+                    agents_done=done,
+                    posts_total=self.twitter_store.tweet_count,
+                    agents_per_s=round(rate, 3),
+                    eta_seconds=(
+                        round((len(ordered) - done) / rate, 3) if rate > 0 else None
+                    ),
+                )
         self._materialise_chatter(rng)
 
     def _materialise_migrant(

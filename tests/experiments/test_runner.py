@@ -80,7 +80,7 @@ class TestTelemetryFlags:
         )
         assert code == 0
         doc = json.loads(out.read_text())
-        assert set(doc) == {"counters", "gauges", "histograms", "spans"}
+        assert set(doc) == {"counters", "events", "gauges", "histograms", "spans"}
         names = {s["name"] for root in doc["spans"] for s in _walk(root)}
         assert {"experiments", "experiment.F5", "experiment.F9"} <= names
 

@@ -1,0 +1,141 @@
+"""Tests for repro.obs.bench_report: the cross-run perf trajectory."""
+
+import json
+
+from repro.obs.bench_report import (
+    append_history_row,
+    check_regressions,
+    format_history,
+    load_history,
+    main,
+)
+
+
+def _row(wall: float, scale: float = 0.01, rss: int = 100_000_000, **extra) -> dict:
+    return {
+        "recorded_at": extra.pop("recorded_at", "2026-08-01T00:00:00+00:00"),
+        "git_sha": extra.pop("git_sha", "abc123"),
+        "seed": 7,
+        "scale": scale,
+        "stages": {
+            "collect_dataset": {
+                "wall_seconds": wall,
+                "peak_rss_bytes": rss,
+            }
+        },
+        **extra,
+    }
+
+
+class TestHistoryFile:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history_row(path, _row(1.0))
+        append_history_row(path, _row(1.1))
+        rows = load_history(path)
+        assert len(rows) == 2
+        assert rows[0]["stages"]["collect_dataset"]["wall_seconds"] == 1.0
+        # one JSON object per line, append-only
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestCheckRegressions:
+    def test_steady_trajectory_passes(self):
+        rows = [_row(1.0), _row(1.05), _row(0.98), _row(1.1)]
+        assert check_regressions(rows) == []
+
+    def test_wall_regression_is_flagged(self):
+        rows = [_row(1.0), _row(1.0), _row(1.0), _row(1.6)]
+        findings = check_regressions(rows)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f["stage"] == "collect_dataset"
+        assert f["metric"] == "wall_seconds"
+        assert f["median"] == 1.0
+        assert f["ratio"] == 1.6
+
+    def test_memory_regression_uses_its_own_threshold(self):
+        rows = [_row(1.0, rss=100), _row(1.0, rss=100), _row(1.0, rss=140)]
+        # 1.4x memory growth is inside the 1.5x gate
+        assert check_regressions(rows) == []
+        rows.append(_row(1.0, rss=200))
+        findings = check_regressions(rows)
+        assert [f["metric"] for f in findings] == ["peak_rss_bytes"]
+
+    def test_median_is_over_same_scale_rows_only(self):
+        # a slow big-scale history must not mask a small-scale regression
+        rows = [
+            _row(50.0, scale=0.01),
+            _row(1.0, scale=0.002),
+            _row(1.0, scale=0.002),
+            _row(2.0, scale=0.002),
+        ]
+        findings = check_regressions(rows)
+        assert len(findings) == 1
+        assert findings[0]["median"] == 1.0
+
+    def test_first_row_at_a_new_scale_passes(self):
+        rows = [_row(1.0, scale=0.01), _row(99.0, scale=0.1)]
+        assert check_regressions(rows) == []
+
+    def test_single_row_passes(self):
+        assert check_regressions([_row(1.0)]) == []
+
+    def test_window_bounds_the_trailing_median(self):
+        # six old fast runs, then a slow regime the window has accepted
+        rows = [_row(1.0)] * 6 + [_row(10.0)] * 4 + [_row(11.0)]
+        # window=4 compares against the recent slow regime: 1.1x, passes
+        assert check_regressions(rows, window=4) == []
+        # a wide window reaches back to the fast era and flags the drift
+        findings = check_regressions(rows, window=10)
+        assert len(findings) == 1
+        assert findings[0]["median"] == 1.0
+
+    def test_custom_threshold(self):
+        rows = [_row(1.0), _row(1.0), _row(1.3)]
+        assert len(check_regressions(rows)) == 1  # 1.3x > default 1.25x
+        assert check_regressions(rows, wall_threshold=1.5) == []
+
+
+class TestRendering:
+    def test_format_history_lists_runs_per_scale(self):
+        rows = [_row(1.0, scale=0.002), _row(2.0, scale=0.01)]
+        text = format_history(rows)
+        assert "scale 0.002" in text
+        assert "scale 0.01" in text
+        assert "collect_dataset" in text
+        assert "abc123" in text
+
+    def test_format_empty_history(self):
+        assert "no bench history" in format_history([])
+
+
+class TestCli:
+    def test_check_passes_on_clean_history(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        for wall in (1.0, 1.02, 0.99):
+            append_history_row(path, _row(wall))
+        assert main(["--history", str(path), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "check ok" in out
+
+    def test_check_fails_on_regression(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        for wall in (1.0, 1.0, 5.0):
+            append_history_row(path, _row(wall))
+        assert main(["--history", str(path), "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+        assert "collect_dataset" in out
+
+    def test_render_without_check_always_passes(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        append_history_row(path, _row(1.0))
+        append_history_row(path, _row(99.0))
+        assert main(["--history", str(path)]) == 0
+        assert "bench trajectory" in capsys.readouterr().out

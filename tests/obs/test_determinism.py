@@ -19,10 +19,21 @@ class TestInstrumentationDeterminism:
     def test_instrumented_run_is_byte_identical(self, tmp_path):
         # Two identically-seeded worlds, because the trends service draws
         # from the world's RNG per call: each world may be collected once.
+        # The instrumented run turns on the ENTIRE profiling plane — span
+        # timestamps, the event stream, counter watches, memory accounting
+        # (with allocation tracing) and per-span cProfile — and must still
+        # produce the same bytes.
         plain = collect_dataset(build_world(seed=SEED, scale=SCALE))
         registry = obs.MetricsRegistry()
-        with obs.use(registry):
-            instrumented = collect_dataset(build_world(seed=SEED, scale=SCALE))
+        registry.watch_default_counters()
+        accountant = registry.enable_memory(rss=True, trace_allocs=True)
+        try:
+            with obs.use(registry), obs.profile_span(
+                "world.simulate", registry=registry
+            ):
+                instrumented = collect_dataset(build_world(seed=SEED, scale=SCALE))
+        finally:
+            accountant.close()
 
         plain_path = tmp_path / "plain.json"
         instrumented_path = tmp_path / "instrumented.json"
@@ -38,6 +49,12 @@ class TestInstrumentationDeterminism:
             assert f"collect.{stage}" in names
         assert registry.counter_total("twitter.ratelimit.requests") > 0
         assert registry.counter_total("mastodon.api.requests") > 0
+        # ... and the plane's new layers all recorded something
+        kinds = {e["kind"] for e in registry.events.events}
+        assert {"span_open", "span_close", "heartbeat"} <= kinds
+        simulate = registry.tracer.find("world.simulate")
+        assert simulate.tracemalloc_peak_bytes is not None
+        assert "profile" in simulate.meta
 
     def test_span_request_accounting_reconciles(self, small_world):
         registry = obs.MetricsRegistry()

@@ -1,0 +1,180 @@
+"""Tests for repro.obs.events: the timestamped event stream."""
+
+import pytest
+
+from repro.obs.events import EVENT_KINDS, NULL_EVENTS, EventLog, read_jsonl
+from repro.obs.metrics import NOOP, MetricsRegistry
+
+
+class TestEventLog:
+    def test_emit_stamps_both_clocks(self):
+        log = EventLog()
+        log.emit("heartbeat", "tick", n=1)
+        (event,) = log.events
+        assert event["kind"] == "heartbeat"
+        assert event["name"] == "tick"
+        assert event["fields"] == {"n": 1}
+        assert event["ts"] > 0 and event["mono"] > 0
+
+    def test_explicit_timestamps_are_kept(self):
+        log = EventLog()
+        log.emit("span_open", "s", ts=123.0, mono=4.5, depth=0)
+        assert log.events[0]["ts"] == 123.0
+        assert log.events[0]["mono"] == 4.5
+
+    def test_sorted_events_orders_by_monotonic_clock(self):
+        log = EventLog()
+        log.emit("heartbeat", "b", ts=2.0, mono=2.0)
+        log.emit("heartbeat", "a", ts=1.0, mono=1.0)
+        assert [e["name"] for e in log.sorted_events()] == ["a", "b"]
+        # the underlying list keeps append order (sort is non-destructive)
+        assert [e["name"] for e in log.events] == ["b", "a"]
+
+    def test_extend_concatenates(self):
+        a, b = EventLog(), EventLog()
+        a.emit("heartbeat", "main")
+        b.emit("heartbeat", "shard")
+        a.extend(b)
+        assert len(a) == 2
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        log = EventLog()
+        log.emit("heartbeat", "late", ts=9.0, mono=9.0, tick=3)
+        log.emit("heartbeat", "early", ts=1.0, mono=1.0, tick=0)
+        path = tmp_path / "events.jsonl"
+        assert log.write_jsonl(path) == 2
+        loaded = read_jsonl(path)
+        # written in timeline order, fields intact
+        assert [e["name"] for e in loaded] == ["early", "late"]
+        assert loaded == log.sorted_events()
+
+    def test_null_log_records_nothing(self):
+        NULL_EVENTS.emit("heartbeat", "x")
+        other = EventLog()
+        other.emit("heartbeat", "y")
+        NULL_EVENTS.extend(other)
+        assert len(NULL_EVENTS) == 0
+        assert NULL_EVENTS.enabled is False
+
+
+class TestRegistryIntegration:
+    def test_span_lifecycle_lands_in_stream(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        kinds = [(e["kind"], e["name"]) for e in registry.events.sorted_events()]
+        assert kinds == [
+            ("span_open", "outer"),
+            ("span_open", "inner"),
+            ("span_close", "inner"),
+            ("span_close", "outer"),
+        ]
+
+    def test_span_events_reuse_span_timestamps(self):
+        registry = MetricsRegistry()
+        with registry.span("work") as span:
+            pass
+        opened, closed = registry.events.sorted_events()
+        assert opened["ts"] == span.start_epoch
+        assert opened["mono"] == span.start_mono
+        assert closed["ts"] == span.end_epoch
+        assert closed["fields"]["wall_seconds"] == span.wall_seconds
+
+    def test_span_close_carries_error(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with registry.span("failing"):
+                raise ValueError("boom")
+        closed = [
+            e for e in registry.events.sorted_events() if e["kind"] == "span_close"
+        ]
+        assert closed[0]["fields"]["error"] == "ValueError"
+
+    def test_heartbeat_goes_through_registry(self):
+        registry = MetricsRegistry()
+        registry.heartbeat("world.simulate", tick=3, posts=120)
+        (event,) = registry.events.events
+        assert event["kind"] == "heartbeat"
+        assert event["fields"] == {"tick": 3, "posts": 120}
+
+    def test_event_kinds_is_exhaustive(self):
+        registry = MetricsRegistry()
+        registry.watch_counter("reqs", every=1)
+        with registry.span("s"):
+            registry.counter("reqs").inc()
+            registry.heartbeat("hb")
+        kinds = {e["kind"] for e in registry.events.events}
+        assert kinds == set(EVENT_KINDS)
+
+    def test_merge_folds_shard_events(self):
+        main, shard = MetricsRegistry(), MetricsRegistry()
+        shard.heartbeat("shard-beat", shard=0)
+        main.merge(shard)
+        assert [e["name"] for e in main.events.events] == ["shard-beat"]
+
+    def test_null_registry_heartbeat_is_noop(self):
+        NOOP.heartbeat("anything", n=1)
+        assert len(NOOP.events) == 0
+
+    def test_metrics_export_includes_events(self):
+        registry = MetricsRegistry()
+        registry.heartbeat("hb")
+        doc = registry.to_dict()
+        assert {"counters", "gauges", "histograms", "spans", "events"} == set(doc)
+        assert doc["events"][0]["name"] == "hb"
+
+
+class TestCounterWatches:
+    def test_crossing_emits_one_event_per_threshold(self):
+        registry = MetricsRegistry()
+        registry.watch_counter("reqs", every=10)
+        counter = registry.counter("reqs", endpoint="search")
+        for _ in range(25):
+            counter.inc()
+        events = [e for e in registry.events.events if e["kind"] == "counter"]
+        assert [e["fields"]["threshold"] for e in events] == [10.0, 20.0]
+        assert events[-1]["fields"]["value"] == 20
+        assert events[0]["fields"]["labels"] == {"endpoint": "search"}
+
+    def test_big_increment_crosses_once(self):
+        registry = MetricsRegistry()
+        registry.watch_counter("reqs", every=10)
+        registry.counter("reqs").inc(35)
+        events = [e for e in registry.events.events if e["kind"] == "counter"]
+        # one event per crossing *batch*, stamped with the first threshold
+        assert len(events) == 1
+        assert events[0]["fields"]["threshold"] == 10.0
+        registry.counter("reqs").inc(10)  # 45 -> next threshold is 40
+        events = [e for e in registry.events.events if e["kind"] == "counter"]
+        assert [e["fields"]["threshold"] for e in events] == [10.0, 40.0]
+
+    def test_watch_applies_to_existing_counters(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs")
+        counter.inc(7)
+        registry.watch_counter("reqs", every=10)
+        counter.inc(5)  # 12 crosses 10
+        events = [e for e in registry.events.events if e["kind"] == "counter"]
+        assert len(events) == 1
+
+    def test_default_watches_cover_request_counters(self):
+        registry = MetricsRegistry()
+        registry.watch_default_counters()
+        registry.counter("twitter.ratelimit.requests", endpoint="s").inc(500)
+        registry.counter("mastodon.api.requests", endpoint="a").inc(500)
+        events = [e for e in registry.events.events if e["kind"] == "counter"]
+        assert {e["name"] for e in events} == {
+            "twitter.ratelimit.requests",
+            "mastodon.api.requests",
+        }
+
+    def test_invalid_watch_interval_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.watch_counter("reqs", every=0)
+
+    def test_unwatched_counter_emits_nothing(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs").inc(10_000)
+        assert len(registry.events) == 0

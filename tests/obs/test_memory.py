@@ -1,0 +1,133 @@
+"""Tests for repro.obs.memory: per-span RSS and tracemalloc accounting."""
+
+import pytest
+
+from repro.obs.memory import MemoryAccountant, rss_snapshot, track_memory
+from repro.obs.metrics import NOOP, MetricsRegistry
+
+# a size large enough to dominate interpreter noise and too large for
+# CPython to constant-fold at compile time
+CHUNK = 4_000_000
+
+
+def _allocate(n: int = CHUNK) -> bytearray:
+    return bytearray(n)
+
+
+class TestRssSnapshot:
+    def test_returns_plausible_values_or_none(self):
+        current, peak = rss_snapshot()
+        # graceful-degradation contract: values are positive ints or None
+        if current is not None:
+            assert isinstance(current, int) and current > 0
+        if peak is not None:
+            assert isinstance(peak, int) and peak >= (current or 0)
+
+    def test_linux_proc_path(self):
+        import sys
+
+        if not sys.platform.startswith("linux"):
+            pytest.skip("reads /proc/self/status")
+        current, peak = rss_snapshot()
+        assert current is not None and peak is not None
+        # a Python process is comfortably over a megabyte resident
+        assert current > 1_000_000
+        assert peak >= current
+
+
+class TestRssAccounting:
+    def test_spans_record_peak_and_delta(self):
+        registry = MetricsRegistry()
+        registry.enable_memory(rss=True)
+        with registry.span("stage") as span:
+            _allocate()
+        if span.peak_rss_bytes is None:
+            pytest.skip("no RSS source on this platform")
+        assert span.peak_rss_bytes > 0
+        assert "peak_rss_bytes" in span.memory_fields()
+        assert span.to_dict()["peak_rss_bytes"] == span.peak_rss_bytes
+
+    def test_unaccounted_registry_leaves_fields_none(self):
+        registry = MetricsRegistry()
+        with registry.span("stage") as span:
+            _allocate()
+        assert span.memory_fields() == {}
+        assert "peak_rss_bytes" not in span.to_dict()
+
+
+class TestTracemallocAccounting:
+    def test_retained_allocation_shows_in_delta(self):
+        registry = MetricsRegistry()
+        with track_memory(registry, trace_allocs=True):
+            with registry.span("stage") as span:
+                retained = _allocate()
+        assert span.tracemalloc_delta_bytes >= CHUNK
+        assert span.tracemalloc_peak_bytes >= CHUNK
+        del retained
+
+    def test_released_allocation_peaks_without_retention(self):
+        registry = MetricsRegistry()
+        with track_memory(registry, trace_allocs=True):
+            with registry.span("stage") as span:
+                _allocate()  # dropped immediately
+        assert span.tracemalloc_peak_bytes >= CHUNK
+        assert span.tracemalloc_delta_bytes < CHUNK
+
+    def test_nested_spans_fold_child_peak_into_parent(self):
+        registry = MetricsRegistry()
+        with track_memory(registry, trace_allocs=True):
+            with registry.span("parent") as parent:
+                with registry.span("child") as child:
+                    _allocate()
+                with registry.span("sibling") as sibling:
+                    pass
+        assert child.tracemalloc_peak_bytes >= CHUNK
+        # nesting: pressure inside the child is pressure the parent saw
+        assert parent.tracemalloc_peak_bytes >= child.tracemalloc_peak_bytes
+        # the sibling opened after the child's memory was released and the
+        # peak counter reset, so it does not inherit the child's peak
+        assert sibling.tracemalloc_peak_bytes < CHUNK
+
+    def test_parent_own_allocation_after_child(self):
+        registry = MetricsRegistry()
+        with track_memory(registry, trace_allocs=True):
+            with registry.span("parent") as parent:
+                with registry.span("child"):
+                    pass
+                retained = _allocate()
+        assert parent.tracemalloc_peak_bytes >= CHUNK
+        del retained
+
+    def test_track_memory_restores_previous_accountant(self):
+        registry = MetricsRegistry()
+        first = registry.enable_memory(rss=False)
+        with track_memory(registry, trace_allocs=True) as inner:
+            assert registry.tracer.memory is inner
+        assert registry.tracer.memory is first
+
+    def test_track_memory_noop_on_null_registry(self):
+        with track_memory(NOOP, trace_allocs=True) as accountant:
+            assert accountant is None
+
+    def test_close_stops_only_own_tracing(self):
+        import tracemalloc
+
+        was_tracing = tracemalloc.is_tracing()
+        accountant = MemoryAccountant(rss=False, trace_allocs=True)
+        assert tracemalloc.is_tracing()
+        accountant.close()
+        assert tracemalloc.is_tracing() == was_tracing
+        # closing twice is fine
+        accountant.close()
+
+
+class TestNoPerturbation:
+    def test_accounting_does_not_touch_numpy_rng(self):
+        import numpy as np
+
+        draws_plain = np.random.default_rng(13).random(8)
+        registry = MetricsRegistry()
+        with track_memory(registry, trace_allocs=True):
+            with registry.span("stage"):
+                draws_tracked = np.random.default_rng(13).random(8)
+        assert (draws_plain == draws_tracked).all()

@@ -49,6 +49,7 @@ class TestNullRegistry:
         assert obs.NOOP.is_empty()
         assert obs.NOOP.to_dict() == {
             "counters": [], "gauges": [], "histograms": [], "spans": [],
+            "events": [],
         }
 
     def test_null_span_totals_stay_zero(self):

@@ -1,0 +1,113 @@
+"""Tests for repro.obs.profile: the opt-in per-span cProfile harness."""
+
+from repro.obs.metrics import NOOP, MetricsRegistry
+from repro.obs.profile import profile_span, profile_table
+
+
+def _busy_work() -> int:
+    return sum(_square(i) for i in range(500))
+
+
+def _square(i: int) -> int:
+    return i * i
+
+
+class TestProfileSpan:
+    def test_profiled_span_carries_top_table(self):
+        registry = MetricsRegistry()
+        with profile_span("hot", registry=registry):
+            with registry.span("cold"):
+                pass
+            with registry.span("hot") as span:
+                _busy_work()
+        table = span.meta["profile"]
+        assert table["functions_profiled"] > 0
+        assert table["total_calls"] > 500
+        functions = " ".join(row["function"] for row in table["top"])
+        assert "_square" in functions
+        # untargeted spans stay unprofiled
+        assert "profile" not in registry.tracer.find("cold").meta
+
+    def test_rows_ordered_by_cumulative_time(self):
+        registry = MetricsRegistry()
+        with profile_span("hot", registry=registry):
+            with registry.span("hot") as span:
+                _busy_work()
+        rows = span.meta["profile"]["top"]
+        cumtimes = [row["cumtime_seconds"] for row in rows]
+        assert cumtimes == sorted(cumtimes, reverse=True)
+
+    def test_top_n_truncation(self):
+        registry = MetricsRegistry()
+        with profile_span("hot", top=3, registry=registry):
+            with registry.span("hot") as span:
+                _busy_work()
+        table = span.meta["profile"]
+        assert len(table["top"]) == 3
+        assert table["functions_profiled"] >= 3
+
+    def test_nested_target_is_skipped_not_crashed(self):
+        registry = MetricsRegistry()
+        with profile_span("outer", registry=registry), profile_span(
+            "inner", registry=registry
+        ):
+            with registry.span("outer") as outer:
+                with registry.span("inner") as inner:
+                    _busy_work()
+        # cProfile cannot nest: the outer target wins, the inner is skipped
+        assert "profile" in outer.meta
+        assert "profile" not in inner.meta
+
+    def test_armed_name_applies_to_every_occurrence(self):
+        registry = MetricsRegistry()
+        with profile_span("hot", registry=registry):
+            for _ in range(2):
+                with registry.span("hot") as span:
+                    _busy_work()
+                assert "profile" in span.meta
+
+    def test_disarm_on_exit(self):
+        registry = MetricsRegistry()
+        with profile_span("hot", registry=registry):
+            pass
+        with registry.span("hot") as span:
+            _busy_work()
+        assert "profile" not in span.meta
+        assert registry.tracer.profile_targets == {}
+
+    def test_noop_registry_is_noop(self):
+        with profile_span("hot", registry=NOOP):
+            with NOOP.span("hot") as span:
+                _busy_work()
+        # the null span has no meta at all; nothing blew up — that's the test
+        assert not hasattr(span, "meta")
+
+
+class TestProfileTable:
+    def test_table_shape(self):
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        _busy_work()
+        profiler.disable()
+        table = profile_table(profiler, top=5)
+        assert set(table) == {"functions_profiled", "total_calls", "top"}
+        for row in table["top"]:
+            assert set(row) == {
+                "function",
+                "calls",
+                "primitive_calls",
+                "tottime_seconds",
+                "cumtime_seconds",
+            }
+
+    def test_no_rng_perturbation(self):
+        import numpy as np
+
+        draws_plain = np.random.default_rng(23).random(8)
+        registry = MetricsRegistry()
+        with profile_span("hot", registry=registry):
+            with registry.span("hot"):
+                draws_profiled = np.random.default_rng(23).random(8)
+        assert (draws_plain == draws_profiled).all()

@@ -71,7 +71,7 @@ class TestJsonExport:
         path = tmp_path / "metrics.json"
         obs.write_metrics_json(registry, path)
         doc = json.loads(path.read_text())
-        assert set(doc) == {"counters", "gauges", "histograms", "spans"}
+        assert set(doc) == {"counters", "gauges", "histograms", "spans", "events"}
         span_names = set()
 
         def walk(span):

@@ -103,5 +103,72 @@ class TestAccounting:
         assert doc["children"][0]["name"] == "child"
         assert set(doc) == {
             "name", "wall_seconds", "wait_seconds", "api_requests",
-            "meta", "children",
+            "start_epoch", "end_epoch", "meta", "children",
         }
+
+
+class TestTimestamps:
+    def test_epoch_and_monotonic_timestamps_are_recorded(self):
+        registry = MetricsRegistry()
+        with registry.span("outer") as outer:
+            with registry.span("inner") as inner:
+                sum(range(1000))
+        for span in (outer, inner):
+            assert span.start_epoch is not None and span.end_epoch is not None
+            assert span.end_epoch >= span.start_epoch
+            assert span.end_mono >= span.start_mono
+        # the child interval nests inside the parent's
+        assert outer.start_mono <= inner.start_mono
+        assert inner.end_mono <= outer.end_mono
+
+    def test_wall_matches_monotonic_interval(self):
+        registry = MetricsRegistry()
+        with registry.span("work") as span:
+            sum(range(1000))
+        assert span.wall_seconds == pytest.approx(
+            span.end_mono - span.start_mono, abs=1e-6
+        )
+
+
+class TestErrorAnnotation:
+    def test_exception_annotates_error_type(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            with registry.span("root"):
+                with registry.span("child"):
+                    raise ValueError("boom")
+        child = registry.tracer.find("child")
+        root = registry.tracer.find("root")
+        assert child.error == "ValueError"
+        assert child.meta["error"] == "ValueError"
+        # the exception propagates, so the parent is marked too
+        assert root.error == "ValueError"
+
+    def test_exception_exit_still_records_timestamps(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("failing"):
+                raise RuntimeError("boom")
+        span = registry.tracer.find("failing")
+        assert span.end_epoch is not None
+        assert span.end_mono >= span.start_mono
+        assert span.wall_seconds >= 0.0
+
+    def test_clean_exit_has_no_error(self):
+        registry = MetricsRegistry()
+        with registry.span("ok") as span:
+            pass
+        assert span.error is None
+        assert "error" not in span.meta
+        assert "error" not in span.to_dict()
+
+    def test_error_appears_in_to_dict_and_tree(self):
+        from repro.obs.report import format_span_tree
+
+        registry = MetricsRegistry()
+        with pytest.raises(KeyError):
+            with registry.span("lookup"):
+                raise KeyError("missing")
+        span = registry.tracer.find("lookup")
+        assert span.to_dict()["error"] == "KeyError"
+        assert "!error=KeyError" in format_span_tree(registry)
