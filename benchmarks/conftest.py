@@ -35,6 +35,7 @@ from repro.collection.dataset import MigrationDataset
 from repro.collection.pipeline import CollectionConfig, collect_dataset
 from repro.faults import FaultPlan
 from repro.obs.bench_report import append_history_row
+from repro.simulation.config import SimConfig
 from repro.simulation.world import World, build_world
 
 BENCH_SEED = 7
@@ -53,7 +54,7 @@ _session_registry.enable_memory(
 @pytest.fixture(scope="session")
 def bench_world() -> World:
     with obs.use(_session_registry):
-        return build_world(seed=BENCH_SEED, scale=BENCH_SCALE)
+        return build_world(SimConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
 
 
 @pytest.fixture(scope="session")

@@ -18,6 +18,7 @@ from repro.analysis.social_influence import followee_migration
 from repro.analysis.switching import switch_matrix
 from repro.collection.pipeline import collect_dataset
 from repro.errors import AnalysisError
+from repro.simulation.config import SimConfig
 from repro.simulation.world import build_world
 
 ABLATION_SEED = 17
@@ -26,12 +27,16 @@ ABLATION_SCALE = 0.004
 
 @pytest.fixture(scope="module")
 def baseline_dataset():
-    return collect_dataset(build_world(seed=ABLATION_SEED, scale=ABLATION_SCALE))
+    return collect_dataset(
+        build_world(SimConfig(seed=ABLATION_SEED, scale=ABLATION_SCALE))
+    )
 
 
 def _ablated_dataset(**overrides):
     return collect_dataset(
-        build_world(seed=ABLATION_SEED, scale=ABLATION_SCALE, **overrides)
+        build_world(
+            SimConfig(seed=ABLATION_SEED, scale=ABLATION_SCALE, **overrides)
+        )
     )
 
 

@@ -11,6 +11,7 @@ import pytest
 
 from repro.collection.pipeline import CollectionConfig, collect_dataset
 from repro.faults import FaultInjector, FaultPlan
+from repro.simulation.config import SimConfig
 from repro.simulation.world import build_world
 from repro.transport import ClientTransport, RetryPolicy
 
@@ -20,7 +21,7 @@ FAULTS_SCALE = 0.002
 
 @pytest.fixture(scope="module")
 def world():
-    return build_world(seed=FAULTS_SEED, scale=FAULTS_SCALE)
+    return build_world(SimConfig(seed=FAULTS_SEED, scale=FAULTS_SCALE))
 
 
 def test_bench_transport_overhead_fault_free(benchmark):

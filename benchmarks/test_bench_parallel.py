@@ -25,6 +25,7 @@ from conftest import BENCH_SCALE, BENCH_SEED, record_parallel
 from repro import obs
 from repro.collection.pipeline import CollectionConfig, collect_dataset
 from repro.parallel import fork_available
+from repro.simulation.config import SimConfig
 from repro.simulation.world import build_world
 
 WORKERS = 4
@@ -34,7 +35,7 @@ MIN_SPEEDUP = 1.8
 
 def _timed_run(workers: int, backend: str) -> tuple[dict, float]:
     """One instrumented collection; returns (virtual report, wall seconds)."""
-    world = build_world(seed=BENCH_SEED, scale=BENCH_SCALE)
+    world = build_world(SimConfig(seed=BENCH_SEED, scale=BENCH_SCALE))
     registry = obs.MetricsRegistry()
     config = CollectionConfig(workers=workers, backend=backend)
     started = time.perf_counter()

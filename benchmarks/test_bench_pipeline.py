@@ -15,6 +15,7 @@ from repro.collection.timelines import MastodonTimelineCrawler, TwitterTimelineC
 from repro.collection.tweet_search import TweetCollector
 from repro.collection.weekly_activity import WeeklyActivityCrawler
 from repro.fediverse.api import MastodonClient
+from repro.simulation.config import SimConfig
 from repro.simulation.world import build_world
 
 PIPELINE_SEED = 21
@@ -23,7 +24,7 @@ PIPELINE_SCALE = 0.002
 
 @pytest.fixture(scope="module")
 def world():
-    return build_world(seed=PIPELINE_SEED, scale=PIPELINE_SCALE)
+    return build_world(SimConfig(seed=PIPELINE_SEED, scale=PIPELINE_SCALE))
 
 
 @pytest.fixture(scope="module")

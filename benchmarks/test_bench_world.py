@@ -2,18 +2,21 @@
 
 The simulation is the substrate every experiment stands on; these benches
 track its cost at a small scale so regressions in the daily loop or the
-content materialiser show up.
+content materialiser show up.  The plan-mode bench tracks the columnar
+engine that the scale bench (``python -m repro.simulation.scalebench``)
+runs at paper scale.
 """
 
 import pytest
 
-from repro.simulation.config import WorldConfig
+from repro.simulation.config import SimConfig
+from repro.simulation.state import plan_world
 from repro.simulation.world import World, build_world
 
 
 def test_bench_world_build(benchmark):
     world = benchmark.pedantic(
-        lambda: build_world(seed=31, scale=0.001), rounds=3, iterations=1
+        lambda: build_world(SimConfig(seed=31, scale=0.001)), rounds=3, iterations=1
     )
     assert len(world.migrants) > 20
 
@@ -22,7 +25,7 @@ def test_bench_world_dynamics_only(benchmark):
     """The daily migration/switching loop without content materialisation."""
 
     def dynamics():
-        config = WorldConfig(seed=31, scale=0.001)
+        config = SimConfig(seed=31, scale=0.001)
         world = World(config)
         world._seed_pre_takeover_accounts()
         from repro.util.clock import date_range
@@ -34,3 +37,12 @@ def test_bench_world_dynamics_only(benchmark):
 
     world = benchmark.pedantic(dynamics, rounds=3, iterations=1)
     assert world.migrated_ids
+
+
+def test_bench_world_plan_mode(benchmark):
+    """The all-columns plan build at 10x the object-bench scale."""
+    plan = benchmark.pedantic(
+        lambda: plan_world(SimConfig(seed=31, scale=0.01)), rounds=3, iterations=1
+    )
+    assert plan.migrants > 200
+    assert plan.tweets_planned > plan.migrants

@@ -18,6 +18,7 @@ import tempfile
 from pathlib import Path
 
 from repro import MigrationDataset, build_world, collect_dataset
+from repro.simulation.config import SimConfig
 from repro.analysis.social_influence import followee_migration
 
 
@@ -28,11 +29,11 @@ def main() -> None:
     args = parser.parse_args()
 
     print("Building the baseline world...")
-    baseline = collect_dataset(build_world(seed=args.seed, scale=args.scale))
+    baseline = collect_dataset(build_world(SimConfig(seed=args.seed, scale=args.scale)))
 
     print("Building the no-contagion ablation (contagion_weight=0)...")
     ablated = collect_dataset(
-        build_world(seed=args.seed, scale=args.scale, contagion_weight=0.0)
+        build_world(SimConfig(seed=args.seed, scale=args.scale, contagion_weight=0.0))
     )
 
     base_result = followee_migration(baseline)

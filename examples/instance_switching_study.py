@@ -11,6 +11,7 @@ pattern directly.
 
 import argparse
 
+from repro.simulation.config import SimConfig
 from repro import build_world, collect_dataset
 from repro.analysis.switching import switch_matrix, switcher_influence
 from repro.experiments.registry import get_experiment
@@ -22,7 +23,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args()
 
-    world = build_world(seed=args.seed, scale=args.scale)
+    world = build_world(SimConfig(seed=args.seed, scale=args.scale))
     dataset = collect_dataset(world)
 
     for exp_id in ("F9", "F10"):

@@ -14,6 +14,7 @@ figures (7-8), printing each figure's rows and the scalar findings:
 
 import argparse
 
+from repro.simulation.config import SimConfig
 from repro import build_world, collect_dataset
 from repro.experiments.registry import get_experiment
 
@@ -24,7 +25,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args()
 
-    world = build_world(seed=args.seed, scale=args.scale)
+    world = build_world(SimConfig(seed=args.seed, scale=args.scale))
     dataset = collect_dataset(world)
 
     for exp_id in ("F4", "F5", "F6", "F7", "F8"):

@@ -15,6 +15,7 @@ anonymized copy and diffing it against the original.
 import argparse
 
 from repro import MigrationDataset, build_world, collect_dataset
+from repro.simulation.config import SimConfig
 from repro.analysis.report import headline_report
 from repro.collection.anonymize import Anonymizer
 
@@ -28,7 +29,7 @@ def main() -> None:
     args = parser.parse_args()
 
     print("Collecting the dataset...")
-    dataset = collect_dataset(build_world(seed=args.seed, scale=args.scale))
+    dataset = collect_dataset(build_world(SimConfig(seed=args.seed, scale=args.scale)))
     print(f"  {dataset.migrant_count} matched users, "
           f"{len(dataset.collected_tweets)} collected tweets")
 

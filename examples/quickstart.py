@@ -12,6 +12,7 @@ paper-vs-measured headline table.
 import argparse
 import time
 
+from repro.simulation.config import SimConfig
 from repro import build_world, collect_dataset
 from repro.analysis.report import format_report, headline_report
 from repro.simulation.validation import validate
@@ -26,7 +27,7 @@ def main() -> None:
 
     print(f"Simulating the migration event (scale={args.scale}, seed={args.seed})...")
     started = time.time()
-    world = build_world(seed=args.seed, scale=args.scale)
+    world = build_world(SimConfig(seed=args.seed, scale=args.scale))
     print(
         f"  world ready in {time.time() - started:.1f}s: "
         f"{len(world.migrants)} migrants, "

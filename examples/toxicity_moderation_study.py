@@ -13,6 +13,7 @@ decentralised-moderation discussion the paper closes with.
 
 import argparse
 
+from repro.simulation.config import SimConfig
 from repro import build_world, collect_dataset
 from repro.analysis.toxicity import toxicity_analysis
 from repro.experiments.registry import get_experiment
@@ -24,7 +25,7 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=7)
     args = parser.parse_args()
 
-    world = build_world(seed=args.seed, scale=args.scale)
+    world = build_world(SimConfig(seed=args.seed, scale=args.scale))
     dataset = collect_dataset(world)
 
     print(get_experiment("F16")(dataset).format())

@@ -23,20 +23,21 @@ The package is organised as a layered system:
 
 Quickstart::
 
-    from repro import build_world, collect_dataset
+    from repro import SimConfig, build_world, collect_dataset
     from repro.analysis import report
 
-    world = build_world(seed=7, scale=0.02)
+    world = build_world(SimConfig(seed=7, scale=0.02))
     dataset = collect_dataset(world)
     print(report.headline_report(dataset))
 """
 
 from repro._version import __version__
-from repro.simulation import WorldConfig, build_world
+from repro.simulation import SimConfig, WorldConfig, build_world
 from repro.collection import MigrationDataset, collect_dataset
 
 __all__ = [
     "__version__",
+    "SimConfig",
     "WorldConfig",
     "build_world",
     "MigrationDataset",

@@ -7,7 +7,8 @@ Usage::
                       [--faults SCENARIO] [--quiet] [--metrics out.json] \
                       [--trace[=trace.json]] [--events events.jsonl] \
                       [--memory] [--profile SPAN] \
-                      [--workers N] [--backend auto|serial|multiprocessing]
+                      [--workers N] [--backend auto|serial|multiprocessing] \
+                      [--world-<field> VALUE ...]
 
 ``--dataset`` loads a previously saved dataset (skipping the simulation);
 ``--save`` stores the collected dataset for later reuse; ``--report`` also
@@ -38,11 +39,21 @@ dataset format (:mod:`repro.collection.binfmt`) instead of JSON; the
 figures are identical either way.  ``--no-frames`` disables the shared
 columnar analysis frames (:mod:`repro.frames`) and recomputes every figure
 with the naive per-object loops — same output, mainly for benchmarking.
+
+Every behavioural knob of :class:`repro.simulation.SimConfig` is exposed
+as a ``--world-<field>`` flag (underscores become dashes, e.g.
+``--world-tweet-rate-mean 2.5``); the flags, their types and their help
+text are generated from the dataclass fields and their ``#:`` doc
+comments, so the config source stays the single place knobs are
+documented.  Overrides are validated together via
+:meth:`SimConfig.validate` before the world is built.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import datetime as _dt
 import logging
 import sys
 import time
@@ -55,21 +66,91 @@ from repro.errors import ConfigError
 from repro.experiments.registry import all_experiment_ids, get_experiment
 from repro.faults import FaultPlan, scenario_names
 from repro.parallel.engine import fork_available
+from repro.simulation.config import SimConfig, field_docs
 from repro.simulation.world import build_world
 
 _log = obs.get_logger("runner")
 
+#: SimConfig fields that already have dedicated top-level flags (seed,
+#: scale) or are not expressible as a single CLI value (extras).
+_WORLD_FLAG_SKIP = frozenset({"seed", "scale", "extras"})
+
+
+def add_world_flags(parser: argparse.ArgumentParser) -> None:
+    """Generate one ``--world-<field>`` flag per :class:`SimConfig` field.
+
+    Flag names, value types and help text all derive from the dataclass:
+    the type comes from each field's default value, the help line from the
+    ``#:`` doc comment above the field (:func:`repro.simulation.field_docs`).
+    Adding a knob to SimConfig therefore grows the CLI automatically.
+    """
+    group = parser.add_argument_group(
+        "world overrides",
+        "per-field SimConfig overrides; the defaults reproduce the paper's "
+        "aggregate statistics at any scale (see repro/simulation/config.py)",
+    )
+    docs = field_docs()
+    for spec in dataclasses.fields(SimConfig):
+        if spec.name in _WORLD_FLAG_SKIP:
+            continue
+        default = spec.default
+        if isinstance(default, bool):
+            value_type: object = lambda s: s.lower() in ("1", "true", "yes")
+            metavar = "BOOL"
+        elif isinstance(default, int):
+            value_type = int
+            metavar = "N"
+        elif isinstance(default, float):
+            value_type = float
+            metavar = "X"
+        elif isinstance(default, _dt.date):
+            value_type = _dt.date.fromisoformat
+            metavar = "YYYY-MM-DD"
+        else:  # pragma: no cover - no such fields today
+            continue
+        doc = docs.get(spec.name, "")
+        help_text = (doc + " " if doc else "") + f"[default: {default}]"
+        group.add_argument(
+            "--world-" + spec.name.replace("_", "-"),
+            dest="world_" + spec.name,
+            type=value_type,
+            default=None,
+            metavar=metavar,
+            # argparse formats help with %-interpolation; the doc comments
+            # quote paper percentages, so escape them
+            help=help_text.replace("%", "%%"),
+        )
+
+
+def world_overrides(args: argparse.Namespace) -> dict[str, object]:
+    """The ``--world-*`` values the user actually set, keyed by field name."""
+    overrides: dict[str, object] = {}
+    for spec in dataclasses.fields(SimConfig):
+        value = getattr(args, "world_" + spec.name, None)
+        if value is not None:
+            overrides[spec.name] = value
+    return overrides
+
 
 def build_dataset(
-    seed: int,
-    scale: float,
+    seed: int = 7,
+    scale: float = 0.01,
     verbose: bool = True,
     config: CollectionConfig | None = None,
+    *,
+    sim_config: SimConfig | None = None,
 ) -> MigrationDataset:
-    """Build a world and run the collection pipeline."""
+    """Build a world and run the collection pipeline.
+
+    ``sim_config`` carries the full world configuration; ``seed``/``scale``
+    remain as a convenience for callers that need nothing else (they are
+    ignored when ``sim_config`` is given).
+    """
     level = logging.INFO if verbose else logging.DEBUG
     started = time.time()
-    world = build_world(seed=seed, scale=scale)
+    if sim_config is None:
+        sim_config = SimConfig(seed=seed, scale=scale)
+    world = build_world(sim_config)
     _log.log(
         level,
         "world: %d migrants, %d tweets (%.1fs)",
@@ -135,10 +216,21 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("auto", "serial", "multiprocessing"),
                         help="shard execution backend (auto: multiprocessing "
                              "when --workers > 1 and fork is available)")
+    add_world_flags(parser)
     args = parser.parse_args(argv)
 
     if args.workers < 1:
         parser.error(f"--workers must be at least 1, got {args.workers}")
+
+    overrides = world_overrides(args)
+    if overrides and args.dataset:
+        parser.error("--world-* flags have no effect with --dataset "
+                     "(no simulation runs)")
+    try:
+        sim_config = SimConfig(seed=args.seed, scale=args.scale, **overrides)
+        sim_config.validate()
+    except ConfigError as err:
+        parser.error(str(err))
     backend = args.backend
     if backend == "auto":
         backend = (
@@ -188,7 +280,7 @@ def main(argv: list[str] | None = None) -> int:
                 dataset = MigrationDataset.load(args.dataset)
             else:
                 dataset = build_dataset(
-                    args.seed, args.scale, verbose=not args.quiet, config=config
+                    verbose=not args.quiet, config=config, sim_config=sim_config
                 )
             if args.save:
                 dataset.save(args.save)

@@ -18,6 +18,7 @@ from repro.fediverse.models import Account, InstanceInfo, Status, WeeklyActivity
 from repro.fediverse.policy import ContentPolicy
 from repro.util.clock import iso_week
 from repro.util.ids import SnowflakeGenerator
+from repro.util.text import extract_hashtags
 
 
 class MastodonInstance:
@@ -253,6 +254,70 @@ class MastodonInstance:
         self._week(when.date()).statuses += 1
         return status
 
+    def post_statuses(
+        self,
+        username: str,
+        rows: list[tuple],
+    ) -> list[Status]:
+        """Publish one local account's statuses in bulk.
+
+        ``rows`` are ``(when, text, application, reblog_of_id, hashtags,
+        tokens)`` in chronological order; ``hashtags`` may carry the
+        precomputed tag list (``None`` lets :class:`Status` derive it from
+        the text) and ``tokens``, when not ``None``, pre-seeds the lazy
+        ``Status.token_set`` cache (caller contract: it equals the regex
+        derivation over the text — the federation policy screen relies on
+        it).  The per-status state transitions are exactly
+        :meth:`post_status`'s — the account resolution and timeline/home
+        list lookups are hoisted out of the loop, which is what the
+        simulation's materialiser needs: it posts each migrant's whole
+        timeline per instance in one call.
+        """
+        account = self.get_account(username)
+        acct = account.acct
+        statuses_by_id = self._statuses
+        by_acct = self._statuses_by_account[acct]
+        originals = self._original_ids_by_account[acct]
+        local_timeline = self._local_timeline
+        home = self._home[acct]
+        follower_homes = list(self._follower_homes[acct].values())
+        next_id = self._ids.next_id
+        week = self._week
+        new_status = Status.__new__
+        status_cls = Status
+        out: list[Status] = []
+        for when, text, application, reblog_of_id, hashtags, tokens in rows:
+            # direct slot assignment replicating Status.__init__ +
+            # __post_init__ (dataclass construction is measurable at this
+            # volume): hashtags are extracted only for tagless originals
+            # whose text carries a '#', exactly as __post_init__ does
+            status = new_status(status_cls)
+            status.status_id = sid = next_id(when)
+            status.account_acct = acct
+            status.created_at = when
+            status.text = text
+            status.application = application
+            status.reblog_of_id = reblog_of_id
+            if hashtags:
+                status.hashtags = list(hashtags)
+            elif reblog_of_id is None and "#" in text:
+                status.hashtags = extract_hashtags(text)
+            else:
+                status.hashtags = []
+            status._token_set = tokens
+            statuses_by_id[sid] = status
+            by_acct.append(sid)
+            if reblog_of_id is None:
+                originals.append(sid)
+            account.last_status_at = when
+            local_timeline.append(sid)
+            home.append(sid)
+            for follower_home in follower_homes:
+                follower_home.append(sid)
+            week(when.date()).statuses += 1
+            out.append(status)
+        return out
+
     def receive_remote_status(self, status: Status) -> bool:
         """Accept a federated status pushed by a remote instance.
 
@@ -279,6 +344,36 @@ class MastodonInstance:
             for home in followers.values():
                 home.append(sid)
         return True
+
+    def receive_remote_statuses(self, author_acct: str, statuses: list[Status]) -> None:
+        """Accept a batch of one author's federated statuses, in order.
+
+        Equivalent to :meth:`receive_remote_status` per status with the
+        policy screen, follower lookup and timeline attribute hops hoisted
+        out of the loop (all statuses share ``author_acct``, so the local
+        follower set is the same for the whole batch).
+        """
+        policy = self.policy
+        if policy.blocked_domains or policy.blocked_keywords:
+            admitted = [s for s in statuses if policy.admits(s)]
+        else:
+            admitted = statuses
+        if not admitted:
+            return
+        remote = self._remote_statuses
+        sids = [s.status_id for s in admitted]
+        fresh = [sid for sid in sids if sid not in remote]
+        if fresh:
+            if len(fresh) == len(sids):
+                remote.update(zip(sids, admitted))
+            else:  # rare duplicate delivery: keep the first-seen object
+                for status in admitted:
+                    remote.setdefault(status.status_id, status)
+            self._federated_timeline.extend(fresh)
+        followers = self._followed_by_locals.get(author_acct)
+        if followers:
+            for home in followers.values():
+                home.extend(sids)
 
     def get_status(self, status_id: int) -> Status:
         status = self._statuses.get(status_id) or self._remote_statuses.get(status_id)

@@ -123,9 +123,11 @@ class FediverseNetwork:
         added = follower_instance.record_following(follower.acct, target.acct)
         if not added:
             return False
-        self._log(Follow(actor=follower.acct, published=when, target=target.acct))
+        if self._keep_log:  # skip the Activity construction too, not just the append
+            self._log(Follow(actor=follower.acct, published=when, target=target.acct))
         target_instance.record_follower(target.acct, follower.acct)
-        self._log(Accept(actor=target.acct, published=when, follower=follower.acct))
+        if self._keep_log:
+            self._log(Accept(actor=target.acct, published=when, follower=follower.acct))
         return True
 
     def unfollow(self, follower_acct: str, target_acct: str) -> None:
@@ -216,6 +218,25 @@ class FediverseNetwork:
             target_instance.drop_follower(target.acct, old_account.acct)
             old_instance.drop_following(old_account.acct, target.acct)
         return new_account
+
+    def federate_statuses(
+        self,
+        origin: MastodonInstance,
+        author_acct: str,
+        statuses: list[Status],
+    ) -> None:
+        """Push a batch of one author's statuses to every subscriber.
+
+        Equivalent to federating each status as it is posted: deliveries
+        are independent per subscriber instance, and each subscriber still
+        receives the author's statuses in chronological order — only the
+        subscriber lookup is hoisted out of the per-status loop.
+        """
+        instances = self._instances
+        for domain in origin._remote_domains[author_acct]:
+            subscriber = instances.get(domain)
+            if subscriber is not None:
+                subscriber.receive_remote_statuses(author_acct, statuses)
 
     # -- internals -------------------------------------------------------------
 

@@ -9,6 +9,8 @@ operate on the generated strings, not on hidden labels.
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 
 from repro.nlp.vocabulary import Topic, Vocabulary
@@ -21,6 +23,21 @@ from repro.util.rngcompat import (
 )
 
 _TAG_WEIGHT_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+#: the archive index's token alphabet (must match repro.twitter.index)
+_TOKEN_RE = re.compile(r"[a-z0-9']+")
+#: the hashtag alphabet (must match repro.util.text's extractor)
+_WORD_RE = re.compile(r"\w+")
+#: vocab word -> its lowered token tuple, so batch generation can hand the
+#: archive index exact token sets without re-running the regex per post
+_WORD_TOKEN_CACHE: dict[str, tuple[str, ...]] = {}
+
+
+def _word_tokens(word: str) -> tuple[str, ...]:
+    tokens = _WORD_TOKEN_CACHE.get(word)
+    if tokens is None:
+        tokens = _WORD_TOKEN_CACHE[word] = tuple(_TOKEN_RE.findall(word.lower()))
+    return tokens
 
 
 def _tag_weights(n: int) -> tuple[np.ndarray, np.ndarray]:
@@ -43,6 +60,30 @@ class PostGenerator:
         # hot-loop aliases (one attribute hop instead of two per post)
         self._filler = self._vocab.filler
         self._topics = self._vocab.topics
+        # Token fast path: when every pool word is its own (lowercase)
+        # index token and no word can collide with the URL guard, a post's
+        # token set is simply the set of its words plus lowered tags —
+        # checked once per vocabulary, not per post.
+        # word pools as object ndarrays: one fancy-index + ``.tolist()``
+        # per batch replaces a per-word Python indexing loop
+        self._filler_arr = np.array(self._vocab.filler, dtype=object)
+        self._topic_arrs: dict[str, tuple] = {}
+        token_exact = _TOKEN_RE.fullmatch
+        self._simple_vocab = all(
+            token_exact(w) and "http" not in w
+            for t in self._vocab.topics
+            for w in t.words
+        ) and all(
+            token_exact(w) and "http" not in w for w in self._vocab.filler
+        ) and all(
+            token_exact(w) and "http" not in w for w in self._toxic_words
+        ) and all(
+            _WORD_RE.fullmatch(tag)
+            and token_exact(tag.lower())
+            and "http" not in tag.lower()
+            for t in self._vocab.topics
+            for tag in t.hashtags
+        )
 
     @property
     def vocabulary(self) -> Vocabulary:
@@ -128,6 +169,206 @@ class PostGenerator:
         if tags:
             text = text + " " + " ".join("#" + t for t in tags)
         return text
+
+    def generate_batch(
+        self,
+        rng: np.random.Generator,
+        topic: Topic,
+        n: int,
+        toxic_mask: np.ndarray | None = None,
+        hashtag_prob: float = 0.45,
+        mention_migration: bool = False,
+        length_mean: float = 15.0,
+    ) -> tuple[list[str], list[frozenset | None], list[tuple]]:
+        """``n`` posts of one topic in one batched draw schedule.
+
+        Returns ``(texts, token_sets, tag_tuples)`` where ``token_sets[i]``
+        is exactly ``frozenset(re.findall(r"[a-z0-9']+", texts[i].lower()))``
+        (``None`` when the fast path cannot guarantee it) and
+        ``tag_tuples[i]`` are the case-preserved hashtags appended to the
+        text — everything the dataset boundary needs to build ``Tweet``
+        objects without re-scanning the text.
+
+        Draws batch per *column* (word counts, topic indices, filler
+        indices, toxic pairs, hashtag decisions) instead of per post, and
+        words keep their draw order instead of being shuffled: post texts
+        are bags of words to every consumer (token search, hashtag
+        extraction, bag-of-words similarity), so word order is not part of
+        the draw-order contract — see DESIGN.md §5.
+        """
+        if n <= 0:
+            return [], [], []
+        topic_words = topic.words
+        filler = self._filler
+        cached = self._topic_arrs.get(topic.name)
+        if cached is None or cached[0] is not topic_words or cached[2] is not topic.hashtags:
+            # per-tag precomputation: the text suffix, the lowered token
+            # tuple and the case-preserved tag tuple a row with that tag
+            # needs — all row-loop string work collapses to lookups
+            tag_pre = tuple(
+                (" #" + t, (t.lower(),), (t,)) for t in topic.hashtags
+            )
+            cached = (
+                topic_words,
+                np.array(topic_words, dtype=object),
+                topic.hashtags,
+                tag_pre,
+            )
+            self._topic_arrs[topic.name] = cached
+        topic_arr = cached[1]
+        tag_pre = cached[3]
+        n_words = np.maximum(4, rng.poisson(length_mean, size=n))
+        n_topic = np.maximum(2, np.rint(n_words * 0.55).astype(np.int64))
+        n_fill = n_words - n_topic
+        t_idx = rng.integers(0, len(topic_words), size=int(n_topic.sum()))
+        f_idx = rng.integers(0, len(filler), size=int(n_fill.sum()))
+        t_words_all: list[str] = topic_arr[t_idx].tolist()
+        f_words_all: list[str] = self._filler_arr[f_idx].tolist()
+        if toxic_mask is not None and toxic_mask.any():
+            toxic_rows = np.flatnonzero(toxic_mask)
+            pool = self._toxic_words
+            k = len(pool)
+            ti = rng.integers(0, k, size=len(toxic_rows))
+            tj = rng.integers(0, k - 1, size=len(toxic_rows))
+            tj = tj + (tj >= ti)  # distinct ordered pair, uniform
+            toxic_pairs = {
+                int(row): (pool[int(a)], pool[int(b)])
+                for row, a, b in zip(toxic_rows, ti, tj)
+            }
+        else:
+            toxic_pairs = {}
+
+        hashtags = topic.hashtags
+        # row -> (text suffix, lowered-token tuple, case-preserved tag tuple)
+        tags_by_row: dict[int, tuple[str, tuple, tuple]] = {}
+        if hashtags:
+            tagged = np.flatnonzero(rng.random(n) < hashtag_prob)
+            if len(tagged):
+                two = rng.random(len(tagged)) < 0.25
+                weights, tag_cdf = _tag_weights(len(hashtags))
+                singles = tagged[~two]
+                if len(singles):
+                    u = rng.random(len(singles))
+                    picks = np.minimum(
+                        tag_cdf.searchsorted(u, side="right"), len(tag_cdf) - 1
+                    )
+                    for row, pick in zip(singles.tolist(), picks.tolist()):
+                        tags_by_row[row] = tag_pre[pick]
+                doubles = tagged[two]
+                if len(doubles):
+                    if len(hashtags) < 2:
+                        only = tag_pre[0]
+                        for row in doubles.tolist():
+                            tags_by_row[row] = only
+                    else:
+                        # two weighted picks without replacement, batched:
+                        # rejection-resampling the second pick until it
+                        # differs is distribution-identical to drawing it
+                        # from the renormalised remainder (P = w_j/(1-w_i))
+                        top = len(tag_cdf) - 1
+                        first = np.minimum(
+                            tag_cdf.searchsorted(
+                                rng.random(len(doubles)), side="right"
+                            ),
+                            top,
+                        )
+                        second = np.minimum(
+                            tag_cdf.searchsorted(
+                                rng.random(len(doubles)), side="right"
+                            ),
+                            top,
+                        )
+                        clash = np.flatnonzero(second == first)
+                        while len(clash):
+                            second[clash] = np.minimum(
+                                tag_cdf.searchsorted(
+                                    rng.random(len(clash)), side="right"
+                                ),
+                                top,
+                            )
+                            clash = clash[second[clash] == first[clash]]
+                        for row, a, b in zip(
+                            doubles.tolist(), first.tolist(), second.tolist()
+                        ):
+                            pa = tag_pre[a]
+                            pb = tag_pre[b]
+                            tags_by_row[row] = (
+                                pa[0] + pb[0], pa[1] + pb[1], pa[2] + pb[2]
+                            )
+        if mention_migration:
+            migration_tags = self._vocab.topic("fediverse").hashtags
+            migration_pre = tuple(
+                (" #" + t, (t.lower(),), (t,)) for t in migration_tags
+            )
+            picks = rng.integers(0, len(migration_tags), size=n)
+            for row, pick in enumerate(picks.tolist()):
+                pm = migration_pre[pick]
+                prev = tags_by_row.get(row)
+                if prev is None:
+                    tags_by_row[row] = pm
+                else:
+                    tags_by_row[row] = (
+                        prev[0] + pm[0], prev[1] + pm[1], prev[2] + pm[2]
+                    )
+
+        texts: list[str] = []
+        token_sets: list[frozenset | None] = []
+        tag_tuples: list[tuple] = []
+        t_pos = 0
+        f_pos = 0
+        simple = self._simple_vocab
+        word_tokens = _word_tokens
+        tags_get = tags_by_row.get
+        toxic_get = toxic_pairs.get
+        n_topic_l = n_topic.tolist()
+        n_fill_l = n_fill.tolist()
+        for row in range(n):
+            nt = n_topic_l[row]
+            nf = n_fill_l[row]
+            words = t_words_all[t_pos:t_pos + nt] + f_words_all[f_pos:f_pos + nf]
+            t_pos += nt
+            f_pos += nf
+            pair = toxic_get(row)
+            if pair is not None:
+                words += pair
+            entry = tags_get(row)
+            if simple:
+                # every word is its own lowercase token, so the set IS the
+                # word bag (plus lowered tags) — no per-word regex walk.
+                # Words are all-lowercase, so capitalising the first word
+                # alone equals str.capitalize() on the joined text (which
+                # would lowercase the rest) without the second full copy.
+                tokens = frozenset(words)
+                words[0] = words[0].capitalize()
+                text = " ".join(words)
+                if entry is not None:
+                    text += entry[0]
+                    tokens = tokens.union(entry[1])
+                    tag_tuples.append(entry[2])
+                else:
+                    tag_tuples.append(())
+                token_sets.append(tokens)
+                texts.append(text)
+                continue
+            text = " ".join(words).capitalize()
+            acc: set[str] = set()
+            for word in words:
+                acc.update(word_tokens(word))
+            if entry is not None:
+                text += entry[0]
+                for tag in entry[2]:
+                    acc.update(word_tokens(tag))
+                tag_tuples.append(entry[2])
+            else:
+                tag_tuples.append(())
+            if "#" in text.partition(" #")[0] or "http" in text:
+                # a vocab word carries index-relevant punctuation: fall back
+                # to the regex derivation at the dataset boundary
+                token_sets.append(None)
+            else:
+                token_sets.append(frozenset(acc))
+            texts.append(text)
+        return texts, token_sets, tag_tuples
 
     def migration_announcement(self, mastodon_handle: str, style: str) -> str:
         """A tweet advertising a Mastodon account (the §3.1 discovery signal).

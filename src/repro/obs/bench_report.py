@@ -18,6 +18,11 @@ of that stage over the previous rows *at the same scale* (up to
 ``--window`` of them).  Stages with no same-scale history pass trivially —
 the first row of a new scale establishes its baseline.  Memory gates the
 same way, against ``peak_rss_bytes`` with its own (looser) threshold.
+
+Rows that carry ``memory_ceiling_bytes`` (the worldgen scale bench,
+:mod:`repro.simulation.scalebench`) additionally assert an *absolute*
+budget: ``--check`` fails when any such row's stage peaks above its own
+recorded ceiling, whatever the trailing median says.
 """
 
 from __future__ import annotations
@@ -118,6 +123,36 @@ def check_regressions(
     return findings
 
 
+def check_memory_ceilings(rows: list[dict]) -> list[dict]:
+    """Violations of the absolute per-row memory budget.
+
+    A row recorded with ``memory_ceiling_bytes`` asserts that every one of
+    its stages stayed under that peak-RSS budget.  Unlike the relative
+    trailing-median gates this is scale-local and history-free: the first
+    scale-1.0 row is already gated.
+    """
+    findings = []
+    for row in rows:
+        ceiling = row.get("memory_ceiling_bytes")
+        if ceiling is None:
+            continue
+        for stage, fields in row.get("stages", {}).items():
+            peak = fields.get("peak_rss_bytes")
+            if peak is not None and peak > ceiling:
+                findings.append(
+                    {
+                        "stage": stage,
+                        "metric": "memory_ceiling",
+                        "scale": row.get("scale"),
+                        "latest": peak,
+                        "median": ceiling,
+                        "ratio": peak / ceiling,
+                    }
+                )
+    findings.sort(key=lambda f: -f["ratio"])
+    return findings
+
+
 def _fmt_bytes(value: float | None) -> str:
     if value is None:
         return "-"
@@ -184,12 +219,20 @@ def main(argv: list[str] | None = None) -> int:
         memory_threshold=args.memory_threshold,
         window=args.window,
     )
+    findings += check_memory_ceilings(rows)
     if not findings:
         print(f"\ncheck ok: no stage regressed past {args.threshold:.2f}x "
-              f"(rows: {len(rows)})")
+              f"and every recorded memory ceiling holds (rows: {len(rows)})")
         return 0
     print("\nREGRESSIONS:")
     for f in findings:
+        if f["metric"] == "memory_ceiling":
+            print(
+                f"  {f['stage']} (scale {f['scale']}) memory ceiling: "
+                f"{f['latest']}B peak vs {f['median']}B budget "
+                f"({f['ratio']:.2f}x)"
+            )
+            continue
         unit = "s" if f["metric"] == "wall_seconds" else "B"
         print(
             f"  {f['stage']} {f['metric']}: {f['latest']:.3f}{unit} vs trailing "

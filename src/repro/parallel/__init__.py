@@ -10,7 +10,9 @@ the determinism unit and the worker a pure scheduling concern:
   per-shard seeds, and the round-robin makespan model;
 - :mod:`repro.parallel.engine` — the :class:`ShardEngine` that executes
   shard jobs on the ``serial`` (in-process) or ``multiprocessing``
-  (``fork`` pool) backend and performs the order-restoring merge.
+  (``fork`` pool) backend and performs the order-restoring merge, plus the
+  lightweight :class:`WorldShardRunner` the simulation's columnar world
+  generation stages run on (same seeds, same merge, no fault machinery).
 
 The merged :class:`~repro.collection.dataset.MigrationDataset` is
 byte-identical at any worker count on either backend — the contract
@@ -26,12 +28,15 @@ from repro.parallel.engine import (
     ShardJob,
     ShardResult,
     StageOutcome,
+    WorldShardContext,
+    WorldShardRunner,
     fork_available,
 )
 from repro.parallel.sharding import (
     SHARD_COUNT,
     derive_seed,
     partition,
+    partition_bounds,
     round_robin_assignment,
     round_robin_makespan,
 )
@@ -45,9 +50,12 @@ __all__ = [
     "ShardJob",
     "ShardResult",
     "StageOutcome",
+    "WorldShardContext",
+    "WorldShardRunner",
     "derive_seed",
     "fork_available",
     "partition",
+    "partition_bounds",
     "round_robin_assignment",
     "round_robin_makespan",
 ]

@@ -222,6 +222,135 @@ def _execute_shard(job: ShardJob) -> ShardResult:
     )
 
 
+# -- the world-generation shard runner ----------------------------------------
+
+#: The world-generation runtime (usually the :class:`World` being built).
+#: Like :data:`_RUNTIME` it is set in the parent before any shard executes
+#: and inherited copy-on-write by forked workers.
+_WORLD_RUNTIME: Any = None
+
+
+@dataclass(frozen=True)
+class WorldShardContext:
+    """One world-generation shard's coordinates and derived seed."""
+
+    stage: str
+    index: int
+    count: int
+    seed: int
+
+    def rng(self):
+        """A fresh generator seeded for exactly this (stage, shard)."""
+        import numpy as _np
+
+        return _np.random.default_rng(self.seed)
+
+
+@dataclass(frozen=True)
+class _WorldShardJob:
+    fn_path: str
+    context: WorldShardContext
+    items: tuple
+
+
+def _execute_world_shard(job: _WorldShardJob) -> Any:
+    runtime = _WORLD_RUNTIME
+    if runtime is None:
+        raise RuntimeError(
+            "no active world shard runtime; use WorldShardRunner as a context manager"
+        )
+    fn = _resolve(job.fn_path)
+    return fn(runtime, job.context, list(job.items))
+
+
+class WorldShardRunner:
+    """Deterministic sharded map for world-generation stages.
+
+    The lightweight sibling of :class:`ShardEngine`: no fault plans, retry
+    policies or per-shard metric registries — world generation needs only
+    the determinism contract.  Items are partitioned into contiguous
+    shards, shard ``i`` of stage ``s`` computes with the seed
+    ``derive_seed(seed, seed, s, i)``, and payloads come back in shard
+    order, so concatenating them restores item order.  A shard's payload
+    is a pure function of (runtime, stage, shard items, derived seed) —
+    shard functions MUST NOT mutate the runtime — which makes the merged
+    result independent of the worker count and backend, the property
+    ``tests/simulation/test_world_sharded.py`` proves byte-identically.
+    """
+
+    def __init__(
+        self,
+        runtime: Any,
+        *,
+        seed: int,
+        workers: int = 1,
+        backend: str = "serial",
+        shard_count: int = None,
+    ) -> None:
+        from repro.parallel.sharding import SHARD_COUNT
+
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown parallel backend {backend!r} (known: {', '.join(BACKENDS)})"
+            )
+        if workers < 1:
+            raise ConfigError(f"workers must be at least 1, got {workers}")
+        if backend == "multiprocessing" and not fork_available():
+            raise ConfigError(
+                "the multiprocessing backend needs the 'fork' start method; "
+                "use backend='serial' on this platform"
+            )
+        self.runtime = runtime
+        self.seed = seed
+        self.workers = workers
+        self.backend = backend
+        self.shard_count = shard_count if shard_count else SHARD_COUNT
+        self._pool = None
+        self._previous: Any = None
+
+    def __enter__(self) -> "WorldShardRunner":
+        global _WORLD_RUNTIME
+        self._previous = _WORLD_RUNTIME
+        _WORLD_RUNTIME = self.runtime
+        if self.backend == "multiprocessing" and self.workers > 1:
+            context = multiprocessing.get_context("fork")
+            # children fork now and inherit the runtime copy-on-write; the
+            # runtime must not change between here and the last map_stage
+            self._pool = context.Pool(processes=self.workers)
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        global _WORLD_RUNTIME
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        _WORLD_RUNTIME = self._previous
+        return False
+
+    def map_stage(self, stage: str, fn_path: str, items: Sequence) -> list:
+        """Payloads of ``fn_path`` over seeded shards of ``items``, in shard
+        order (empty shards are skipped; the derived seeds are positional,
+        so skipping cannot shift another shard's stream)."""
+        jobs = [
+            _WorldShardJob(
+                fn_path=fn_path,
+                context=WorldShardContext(
+                    stage=stage,
+                    index=index,
+                    count=self.shard_count,
+                    seed=derive_seed(self.seed, self.seed, stage, index),
+                ),
+                items=tuple(shard),
+            )
+            for index, shard in enumerate(partition(items, self.shard_count))
+            if shard
+        ]
+        if self._pool is not None:
+            return self._pool.map(_execute_world_shard, jobs)
+        return [_execute_world_shard(job) for job in jobs]
+
+
 # -- the engine ----------------------------------------------------------------
 
 
@@ -392,5 +521,7 @@ __all__ = [
     "ShardJob",
     "ShardResult",
     "StageOutcome",
+    "WorldShardContext",
+    "WorldShardRunner",
     "fork_available",
 ]

@@ -66,6 +66,27 @@ def partition(items: Sequence[T], shards: int) -> list[list[T]]:
     return out
 
 
+def partition_bounds(n: int, shards: int) -> list[tuple[int, int]]:
+    """``(start, stop)`` index bounds of :func:`partition` over ``range(n)``.
+
+    The array-state twin of :func:`partition`: columnar stages shard a row
+    range instead of an item list, and slicing columns by these bounds
+    yields exactly the rows ``partition`` would have put in each shard.
+    Empty trailing shards are omitted (their bounds would be zero-width).
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be at least 1, got {shards}")
+    base, extra = divmod(n, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        if size:
+            bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
 def round_robin_assignment(shards: int, workers: int) -> list[list[int]]:
     """Shard indices per worker under the round-robin schedule."""
     if workers < 1:
@@ -92,6 +113,7 @@ __all__ = [
     "SHARD_COUNT",
     "derive_seed",
     "partition",
+    "partition_bounds",
     "round_robin_assignment",
     "round_robin_makespan",
 ]

@@ -7,22 +7,45 @@ Section 3 of the paper measured the real one.
 
 Entry point::
 
-    from repro.simulation import build_world
-    world = build_world(seed=7, scale=0.01)
+    from repro.simulation import SimConfig, build_world
+    world = build_world(SimConfig(seed=7, scale=0.01))
+
+``build_world(seed=7, scale=0.01)`` (legacy keyword overrides) still works
+behind a deprecation shim and produces a byte-identical world.
 """
 
-from repro.simulation.config import WorldConfig
+from repro.simulation.config import SimConfig, WorldConfig, field_docs
+from repro.simulation.contagion import ContagionModel
 from repro.simulation.events import EventTimeline
+from repro.simulation.instance_choice import InstanceChooser
+from repro.simulation.population import InstanceSpec, SimUser
+from repro.simulation.state import AgentColumns, WorldPlan, plan_world
+from repro.simulation.switching import SwitchModel
 from repro.simulation.trends import TrendsService
 from repro.simulation.validation import ValidationReport, validate
 from repro.simulation.world import World, build_world
 
 __all__ = [
+    # configuration
+    "SimConfig",
     "WorldConfig",
-    "EventTimeline",
-    "TrendsService",
+    "field_docs",
+    # world construction
     "World",
     "build_world",
+    # columnar state / plan-mode scaling
+    "AgentColumns",
+    "WorldPlan",
+    "plan_world",
+    # component models
+    "ContagionModel",
+    "EventTimeline",
+    "InstanceChooser",
+    "InstanceSpec",
+    "SimUser",
+    "SwitchModel",
+    "TrendsService",
+    # validation
     "ValidationReport",
     "validate",
 ]

@@ -1,15 +1,21 @@
-"""World configuration.
+"""Simulation configuration.
 
 Every behavioural constant of the simulator lives here, annotated with the
 paper statistic it is calibrated against.  ``scale`` shrinks the population
 (1.0 would be the paper's 136,009 matched migrants); all *fractions* are
 scale-invariant, so the analyses reproduce the paper's shapes at any scale.
+
+:class:`SimConfig` is the one object ``build_world`` and the experiment
+runner accept; the ``#:`` doc comments above each field double as the
+runner's ``--world-<field>`` flag help (:func:`field_docs` parses them).
 """
 
 from __future__ import annotations
 
 import datetime as _dt
-from dataclasses import dataclass, field
+import inspect
+import re
+from dataclasses import dataclass, field, fields
 
 from repro.errors import ConfigError
 from repro.util.clock import SIM_END, SIM_START
@@ -19,7 +25,7 @@ PAPER_MIGRANTS = 136_009
 
 
 @dataclass(frozen=True)
-class WorldConfig:
+class SimConfig:
     """All knobs of the world generator.
 
     The defaults reproduce the paper's aggregate statistics at any ``scale``;
@@ -244,3 +250,39 @@ class WorldConfig:
             raise ConfigError("twitter_median_followees must be >= 1")
         if self.tweet_rate_mean < 0 or self.status_rate_mean < 0:
             raise ConfigError("posting rates must be non-negative")
+
+
+#: Deprecated alias for :class:`SimConfig` (the pre-redesign name).
+WorldConfig = SimConfig
+
+_FIELD_DOC_CACHE: dict[str, str] | None = None
+
+
+def field_docs() -> dict[str, str]:
+    """Field name -> one-line description, parsed from the ``#:`` comments.
+
+    Fields without a doc comment map to an empty string.  The runner uses
+    this to generate ``--world-<field>`` flag help, so the config source is
+    the single place behavioural knobs are documented.
+    """
+    global _FIELD_DOC_CACHE
+    if _FIELD_DOC_CACHE is None:
+        docs: dict[str, str] = {}
+        pending: list[str] = []
+        assign = re.compile(r"^(\w+)\s*(?::[^=]+)?=")
+        for raw in inspect.getsource(SimConfig).splitlines():
+            line = raw.strip()
+            if line.startswith("#:"):
+                pending.append(line[2:].strip())
+            elif line.startswith("#") or not line:
+                continue
+            else:
+                match = assign.match(line)
+                if match and pending:
+                    text = " ".join(pending)
+                    docs[match.group(1)] = re.sub(r"\s+", " ", text)
+                pending = []
+        _FIELD_DOC_CACHE = {
+            f.name: docs.get(f.name, "") for f in fields(SimConfig)
+        }
+    return _FIELD_DOC_CACHE

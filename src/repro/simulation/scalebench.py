@@ -1,0 +1,216 @@
+"""Worldgen scaling bench: plan-mode builds at paper-sized scales.
+
+The object world tops out around scale 0.05 on a laptop; the columnar
+plan mode (:func:`repro.simulation.plan_world`) runs the same contagion
+draw schedule on arrays only, which is what lets the engine's scaling
+envelope be *measured* at scale 1.0 (the paper's 136,009 matched
+migrants) instead of extrapolated.
+
+Usage::
+
+    python -m repro.simulation.scalebench                 # 0.1 and 1.0
+    python -m repro.simulation.scalebench --scales 0.02,0.1,1.0
+    python -m repro.simulation.scalebench --no-record     # print only
+
+Each scale contributes one row to the ``worldgen_scale`` section of
+``BENCH_pipeline.json`` and one ``worldgen.plan`` row per scale to
+``BENCH_history.jsonl`` — the same trajectory ``python -m
+repro.obs.bench_report --check`` gates.  Every recorded row carries the
+**memory ceiling** it was recorded under (``--memory-ceiling-mb``,
+default 512): the bench exits non-zero if a run's peak RSS crosses it,
+and ``bench_report --check`` re-validates the recorded rows, so a
+memory regression at scale 1.0 fails CI even though CI never runs the
+object world at that scale.
+
+Peak RSS is read from ``VmHWM`` after resetting the kernel's high-water
+mark before each scale (``/proc/self/clear_refs``), so each row is a
+faithful per-scale peak even inside an already-large process.  Where the
+reset is unavailable the reading falls back to ``ru_maxrss`` (process
+lifetime), which is why scales still run in ascending order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.bench_report import append_history_row, default_history_path
+from repro.simulation.config import SimConfig
+from repro.simulation.state import plan_world
+
+DEFAULT_SCALES = (0.1, 1.0)
+#: Recorded plan-mode memory budget; scale 1.0 measures ~230MB, so 512MB
+#: flags a ~2x blow-up while staying robust to allocator noise.
+DEFAULT_CEILING_MB = 512
+
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+PIPELINE_ARTIFACT = _REPO_ROOT / "BENCH_pipeline.json"
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def _reset_peak_rss() -> None:
+    """Reset the kernel's per-process RSS high-water mark (Linux).
+
+    Writing ``5`` to ``/proc/self/clear_refs`` zeroes ``VmHWM``, so the
+    next reading reflects the peak *since this call* rather than the
+    process lifetime — which is what makes the ceiling meaningful when
+    the bench runs inside an already-large process (a test session, a
+    notebook).  Silently a no-op where the file doesn't exist.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+    except OSError:
+        pass
+
+
+def _peak_rss_bytes() -> int:
+    # Prefer VmHWM (resettable via _reset_peak_rss) over ru_maxrss
+    # (process-lifetime only).
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS
+    return usage if sys.platform == "darwin" else usage * 1024
+
+
+def run_scale(seed: int, scale: float, shard_count: int | None = None) -> dict:
+    """One plan-mode build; returns the row recorded for this scale."""
+    kwargs = {} if shard_count is None else {"shard_count": shard_count}
+    _reset_peak_rss()
+    started = time.perf_counter()
+    plan = plan_world(SimConfig(seed=seed, scale=scale), **kwargs)
+    wall = time.perf_counter() - started
+    return {
+        "scale": scale,
+        "seed": seed,
+        "wall_seconds": round(wall, 4),
+        "peak_rss_bytes": _peak_rss_bytes(),
+        "agents": plan.agents,
+        "migrants": plan.migrants,
+        "tweets_planned": plan.tweets_planned,
+        "statuses_planned": plan.statuses_planned,
+        "column_bytes": plan.column_bytes,
+    }
+
+
+def record_pipeline_section(rows: list[dict], ceiling_bytes: int,
+                            path: Path = PIPELINE_ARTIFACT) -> None:
+    """Merge the rows into BENCH_pipeline.json's ``worldgen_scale`` key."""
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["worldgen_scale"] = {
+        "memory_ceiling_bytes": ceiling_bytes,
+        "mode": "plan",
+        "rows": rows,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def record_history_rows(rows: list[dict], ceiling_bytes: int,
+                        path: str | Path) -> None:
+    """One ``worldgen.plan`` trajectory row per scale.
+
+    The rows carry ``memory_ceiling_bytes`` so ``bench_report --check``
+    can enforce the absolute budget in addition to its relative
+    trailing-median gates.
+    """
+    now = _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds")
+    sha = _git_sha()
+    for row in rows:
+        append_history_row(path, {
+            "recorded_at": now,
+            "git_sha": sha,
+            "seed": row["seed"],
+            "scale": row["scale"],
+            "memory_ceiling_bytes": ceiling_bytes,
+            "stages": {
+                "worldgen.plan": {
+                    "wall_seconds": row["wall_seconds"],
+                    "peak_rss_bytes": row["peak_rss_bytes"],
+                },
+            },
+        })
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scales", type=str, default=",".join(
+        str(s) for s in DEFAULT_SCALES))
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard count for the per-(stage, shard) seed "
+                             "derivation (default: the engine's)")
+    parser.add_argument("--memory-ceiling-mb", type=float,
+                        default=DEFAULT_CEILING_MB,
+                        help="absolute peak-RSS budget recorded with each "
+                             "row; the bench fails if a run crosses it "
+                             "(default %(default)s)")
+    parser.add_argument("--no-record", action="store_true",
+                        help="print the rows without touching "
+                             "BENCH_pipeline.json / BENCH_history.jsonl")
+    parser.add_argument("--history", type=str,
+                        default=str(default_history_path()))
+    args = parser.parse_args(argv)
+
+    try:
+        scales = sorted(float(s) for s in args.scales.split(",") if s.strip())
+    except ValueError:
+        parser.error(f"--scales must be comma-separated floats, got "
+                     f"{args.scales!r}")
+    if not scales:
+        parser.error("--scales is empty")
+    ceiling_bytes = int(args.memory_ceiling_mb * 1_048_576)
+
+    rows = []
+    for scale in scales:
+        row = run_scale(args.seed, scale, shard_count=args.shards)
+        rows.append(row)
+        print(f"scale {scale:g}: {row['wall_seconds']:.2f}s  "
+              f"rss {row['peak_rss_bytes'] / 1_048_576:.0f}MB  "
+              f"agents {row['agents']}  migrants {row['migrants']}  "
+              f"tweets {row['tweets_planned']}  "
+              f"statuses {row['statuses_planned']}")
+
+    if not args.no_record:
+        record_pipeline_section(rows, ceiling_bytes)
+        record_history_rows(rows, ceiling_bytes, args.history)
+        print(f"recorded {len(rows)} row(s) to {PIPELINE_ARTIFACT.name} "
+              f"and {Path(args.history).name}")
+
+    over = [r for r in rows if r["peak_rss_bytes"] > ceiling_bytes]
+    if over:
+        for row in over:
+            print(f"MEMORY CEILING EXCEEDED at scale {row['scale']:g}: "
+                  f"{row['peak_rss_bytes'] / 1_048_576:.0f}MB > "
+                  f"{ceiling_bytes / 1_048_576:.0f}MB", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

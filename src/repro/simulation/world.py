@@ -6,15 +6,19 @@
    decides who migrates; migrators pick an instance (possibly self-hosting),
    activate or create their Mastodon account, and wire up follows with
    already-migrated neighbours; migrated users may later switch instance
-   under social pull.
+   under social pull.  The per-candidate hazard test is columnar: agent
+   state lives in :class:`repro.simulation.state.AgentColumns` and each
+   tick draws one uniform batch per shard (per-(stage, shard) seeds from
+   :func:`repro.parallel.derive_seed`) against a vectorised hazard, with
+   only the *hits* walking the object-graph migration path.
 
-2. **Content materialisation** (after the dynamics): timelines are generated
-   retroactively for every migrant — tweets across the whole window,
-   announcement tweets on migration day, statuses after migration,
-   cross-posted mirrors and paraphrases — plus keyword chatter from
-   non-migrating users and aggregate background load on every instance.
-   Nothing in the dynamics depends on post *content*, so deferring content
-   keeps the daily loop linear in the number of agents.
+2. **Content materialisation** (after the dynamics): planned on
+   :class:`repro.parallel.WorldShardRunner` shards as post accumulator
+   columns (:mod:`repro.simulation.materialise`), then applied serially at
+   the dataset boundary — the only place ``Tweet``/``Status`` objects are
+   created.  Nothing in the dynamics depends on post *content*, and a
+   shard's plan is a pure function of the frozen dynamics state, which is
+   what makes the generated dataset byte-identical at any worker count.
 
 Finally, crawl-time failure states are planted: suspended / deactivated /
 protected Twitter accounts and downed instances, with the paper's rates.
@@ -25,21 +29,15 @@ from __future__ import annotations
 import datetime as _dt
 import gc
 import time
+import warnings
 from collections import Counter
 
 import numpy as np
 
 from repro.fediverse.directory import InstanceDirectory
-from repro.fediverse.errors import DuplicateAccountError
 from repro.fediverse.network import FediverseNetwork
 from repro.nlp.generator import PostGenerator
-from repro.simulation.behavior import (
-    chatter_volume_multiplier,
-    crossposter_active,
-    mastodon_topic_mixture,
-    paraphrase,
-)
-from repro.simulation.config import WorldConfig
+from repro.simulation.config import SimConfig, WorldConfig
 from repro.simulation.contagion import ContagionModel
 from repro.simulation.events import EventTimeline
 from repro.simulation.instance_choice import InstanceChooser
@@ -47,45 +45,40 @@ from repro.simulation.population import PopulationBuilder, SimUser, generate_ins
 from repro.simulation.trends import TrendsService
 from repro.twitter.api import TwitterAPI
 from repro.twitter.graph import FollowGraph
-from repro.twitter.models import AccountState, Tweet
+from repro.twitter.models import AccountState
 from repro.twitter.store import TwitterStore
+from repro.parallel.sharding import SHARD_COUNT, derive_seed, partition_bounds
 from repro.util.clock import TAKEOVER_DATE, date_range
 from repro.util.ids import SnowflakeGenerator
 from repro.util.rng import RngTree
-from repro.util.rngcompat import build_cdf, fast_shape_prod, poisson_batch
+from repro.util.rngcompat import fast_shape_prod, poisson_batch
 
 from repro.simulation.switching import SwitchModel
 
-#: posting-time anchors; the offsets below recur for every generated post,
-#: so the (tiny, bounded) timedelta objects are memoised instead of rebuilt
-_TIME_8 = _dt.time(8, 0)
-_TIME_9 = _dt.time(9, 0)
-_TWEET_OFFSETS: dict[int, _dt.timedelta] = {}
-_STATUS_OFFSETS: dict[int, _dt.timedelta] = {}
-
-
-def _tweet_offset(minutes: int, seconds: int) -> _dt.timedelta:
-    key = minutes * 50 + seconds
-    delta = _TWEET_OFFSETS.get(key)
-    if delta is None:
-        delta = _TWEET_OFFSETS[key] = _dt.timedelta(minutes=minutes, seconds=seconds)
-    return delta
-
-
-def _status_offset(seq: int) -> _dt.timedelta:
-    delta = _STATUS_OFFSETS.get(seq)
-    if delta is None:
-        delta = _STATUS_OFFSETS[seq] = _dt.timedelta(minutes=11 * seq)
-    return delta
-
 
 class World:
-    """A fully-built synthetic world ready for collection."""
+    """A fully-built synthetic world ready for collection.
 
-    def __init__(self, config: WorldConfig) -> None:
+    ``workers``/``backend`` configure the materialisation planning stages
+    (:class:`repro.parallel.WorldShardRunner`); the generated world is
+    byte-identical for any setting — parallelism is purely a scheduling
+    concern, exactly as in the collection engine.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        *,
+        workers: int = 1,
+        backend: str = "serial",
+        shard_count: int | None = None,
+    ) -> None:
         config.validate()
         self.config = config
         self.rng = RngTree(config.seed)
+        self._workers = workers
+        self._backend = backend
+        self._shard_count = shard_count if shard_count is not None else SHARD_COUNT
 
         self.twitter_store = TwitterStore()
         self.twitter_graph = FollowGraph()
@@ -125,6 +118,12 @@ class World:
         #: per-agent migrated-followee lists for the boost picker; valid only
         #: during materialisation, when the migrated set is frozen
         self._boost_followees: dict[int, list[SimUser]] = {}
+        #: columnar dynamics state (built lazily on the first tick)
+        self._columns = None
+        self._dyn_bounds: list[tuple[int, int]] | None = None
+        self._dyn_rngs: list[np.random.Generator] | None = None
+        #: migrant handles for the chatter stage (frozen before sharding)
+        self._migrant_handles: list[str] = []
         self._simulated = False
 
     # -- public API ---------------------------------------------------------------
@@ -139,10 +138,9 @@ class World:
 
         When the active registry is live, the hot loop emits per-tick
         heartbeat events (tick index, adoptions, posts, ticks/s, ETA)
-        through the event stream — progress visibility into the ~85%-of-
-        wall-time phase.  The heartbeats only *read* simulation state and
-        wall clocks, never an RNG: the generated world is byte-identical
-        with the event stream on or off.
+        through the event stream — the heartbeats only *read* simulation
+        state and wall clocks, never an RNG: the generated world is
+        byte-identical with the event stream on or off.
         """
         if self._simulated:
             raise RuntimeError("world already simulated")
@@ -268,16 +266,57 @@ class World:
 
     # -- phase 1: daily dynamics ----------------------------------------------------------
 
+    def _dynamics_state(self):
+        """The columnar agent state (built on first use).
+
+        Row order is candidate order; the shard bounds and the per-shard
+        generators (seeded ``derive_seed(seed, seed, "world.contagion",
+        shard)``) persist across ticks, so each shard consumes one named
+        stream for the whole window — the same schedule a sharded dynamics
+        worker would see, which keeps the contagion draws worker-count
+        invariant by construction.
+        """
+        if self._columns is None:
+            from repro.simulation.state import AgentColumns
+
+            self._columns = AgentColumns.from_world(self)
+            self._dyn_bounds = partition_bounds(self._columns.n, self._shard_count)
+            seed = self.config.seed
+            self._dyn_rngs = [
+                np.random.default_rng(
+                    derive_seed(seed, seed, "world.contagion", index)
+                )
+                for index in range(len(self._dyn_bounds))
+            ]
+        return self._columns
+
     def _run_migrations(self, day: _dt.date) -> None:
-        for user_id in self.candidate_ids:
-            agent = self.agents[user_id]
-            if agent.migrated:
+        """One tick of the contagion: batched hazard test, object migration.
+
+        The hazard is computed once per tick from start-of-tick
+        migrated-followee fractions (synchronous update — DESIGN.md §5);
+        each shard then draws one uniform batch over its still-unmigrated
+        rows from its own persistent stream, and only the hits run the
+        object-path migration (instance choice, registration, rewiring) in
+        ascending row order.
+        """
+        cols = self._dynamics_state()
+        hazard = self._contagion.hazard_batch(
+            cols.ideology, cols.fraction_migrated_followees, day
+        )
+        agents = self.agents
+        uids = cols.uids
+        migrated = cols.migrated
+        for shard_rng, (lo, hi) in zip(self._dyn_rngs, self._dyn_bounds):
+            alive = np.flatnonzero(~migrated[lo:hi]) + lo
+            if not len(alive):
                 continue
-            fraction = self._contagion_fraction(user_id)
-            hazard = self._contagion.hazard_given_fraction(agent, day, fraction)
-            if self._contagion_rng.random() >= hazard:
-                continue
-            self._migrate(agent, day)
+            u = shard_rng.random(len(alive))
+            for row in alive[u < hazard[alive]]:
+                agent = agents[int(uids[row])]
+                self._migrate(agent, day)
+                if agent.migrated:  # username collision can abort the move
+                    migrated[row] = True
 
     @property
     def _contagion_rng(self) -> np.random.Generator:
@@ -410,22 +449,38 @@ class World:
     def _notify_followers(self, agent: SimUser) -> None:
         """Update incremental contagion state after ``agent`` migrated."""
         domain = agent.current_instance
+        cols = self._columns
+        agents = self.agents
+        followee_count = self._migrated_followee_count
+        followee_instances = self._followee_instances
         for follower_id in self.twitter_graph.followers_of(agent.user_id):
-            if follower_id in self.agents and self.agents[follower_id].role == "candidate":
-                self._migrated_followee_count[follower_id] = (
-                    self._migrated_followee_count.get(follower_id, 0) + 1
-                )
-                self._followee_instances.setdefault(follower_id, Counter())[domain] += 1
+            follower = agents.get(follower_id)
+            if follower is not None and follower.role == "candidate":
+                followee_count[follower_id] = followee_count.get(follower_id, 0) + 1
+                counts = followee_instances.get(follower_id)
+                if counts is None:
+                    counts = Counter()
+                    followee_instances[follower_id] = counts
+                counts[domain] += 1
+                if cols is not None:
+                    cols.migrated_followees[cols.row_of(follower_id)] += 1
 
     # -- switching ------------------------------------------------------------------------
 
     def _run_switches(self, day: _dt.date) -> None:
+        # agents with no migrated followees (or who already switched) cannot
+        # draw from the switch RNG — ``propose_switch`` returns before its
+        # random draw for both — so skipping them here is bitstream-neutral
+        followee_instances = self._followee_instances
+        propose = self._switcher.propose_switch
         for user_id in sorted(self.migrated_ids):
             agent = self.agents[user_id]
             if agent.switch_day is not None or agent.migration_day == day:
                 continue
-            counts = self._followee_instances.get(user_id, Counter())
-            target = self._switcher.propose_switch(agent, counts)
+            counts = followee_instances.get(user_id)
+            if not counts:
+                continue
+            target = propose(agent, counts)
             if target is not None:
                 self._switch(agent, target, day)
 
@@ -459,179 +514,60 @@ class World:
 
     # -- phase 2: content materialisation ---------------------------------------------------
 
-    #: materialisation heartbeat cadence (one event per this many migrants)
-    _HEARTBEAT_EVERY = 256
-
     def _materialise_content(self) -> None:
+        """Plan timelines on shards, then apply them at the dataset boundary.
+
+        Stage A (``world.materialise`` / ``world.chatter``) runs on the
+        :class:`~repro.parallel.WorldShardRunner`: migrants in migration
+        order and chatterers in id order, partitioned into contiguous
+        shards, each planning its agents' full timelines as post
+        accumulator columns with a per-(stage, shard) derived seed.  Stage
+        B (:func:`repro.simulation.materialise.apply_plans`) walks the
+        payloads serially in shard order — the canonical agent order — so
+        id assignment, timeline insertion and boost resolution happen
+        exactly once, in one order, regardless of worker count.
+        """
         from repro import obs
+        from repro.parallel import WorldShardRunner
+        from repro.simulation.materialise import apply_plans
 
         events = obs.current().events
-        rng = self.rng.stream("content")
+        # frozen before the runner forks: shard payloads may read it
+        self._migrant_handles = [
+            a.first_acct for a in self.migrants if a.first_acct is not None
+        ]
         # migration order, so boosters find their earlier-migrated followees'
-        # statuses already materialised
+        # statuses already materialised when plans are applied
         ordered = sorted(
             self.migrated_ids,
             key=lambda uid: (self.agents[uid].migration_day, uid),
         )
-        days = list(date_range(self.config.start, self.config.end))
-        started = time.perf_counter()
-        for done, user_id in enumerate(ordered, start=1):
-            self._materialise_migrant(self.agents[user_id], rng, days)
-            if events.enabled and (
-                done % self._HEARTBEAT_EVERY == 0 or done == len(ordered)
-            ):
-                elapsed = time.perf_counter() - started
-                rate = done / elapsed if elapsed > 0 else 0.0
-                events.heartbeat(
-                    "world.simulate",
-                    phase="materialise",
-                    tick=done - 1,
-                    ticks=len(ordered),
-                    agents_done=done,
-                    posts_total=self.twitter_store.tweet_count,
-                    agents_per_s=round(rate, 3),
-                    eta_seconds=(
-                        round((len(ordered) - done) / rate, 3) if rate > 0 else None
-                    ),
-                )
-        self._materialise_chatter(rng)
-
-    def _materialise_migrant(
-        self, agent: SimUser, rng: np.random.Generator, days: list[_dt.date]
-    ) -> None:
-        """Generate one migrant's full two-platform timeline."""
-        generator = self._generator
-        recent_tweets: list[str] = []
-        # the twitter-side mixture is constant per agent: build its cdf once
-        twitter_cdf = build_cdf(agent.topic_mixture)
-        # per-day rates, unrolled from twitter_daily_rate / mastodon_daily_rate
-        # (agent.migrated is True for everyone materialised here); the draws
-        # themselves stay scalar and in day order — only the float arithmetic
-        # feeding them is hoisted
-        mig_day = agent.migration_day
-        tweet_rate = agent.tweet_rate
-        tweet_rate_after = tweet_rate * 0.9
-        status_rate = agent.status_rate
-        # the fediverse spike bottoms out at its 0.15 floor three weeks in
-        # (0.65 * 0.93**d < 0.15 for d >= 21), making the mixture constant
-        steady_mixture: tuple[np.ndarray, np.ndarray] | None = None
-        for day in days:
-            tw_rate = (
-                tweet_rate if mig_day is None or day < mig_day else tweet_rate_after
+        with WorldShardRunner(
+            self,
+            seed=self.config.seed,
+            workers=self._workers,
+            backend=self._backend,
+            shard_count=self._shard_count,
+        ) as runner:
+            payloads = runner.map_stage(
+                "world.materialise", "repro.simulation.materialise:plan_shard", ordered
             )
-            n_tweets = int(rng.poisson(tw_rate))
-            day_tweets: list[str] = []
-            for k in range(n_tweets):
-                # make_post("twitter"), unrolled: topic draw, then toxicity
-                # draw, then the text draws — same order, one call fewer
-                text = generator.generate(
-                    generator.pick_topic_from_cdf(twitter_cdf),
-                    toxic=rng.random() < agent.toxicity_twitter,
-                    hashtag_prob=0.45,
-                )
-                source = agent.preferred_source
-                # bridges existed (quietly) before the takeover: long-time
-                # fediverse users mirrored the odd post, which is the small
-                # pre-takeover baseline Figure 12's growth factors divide by
-                if (
-                    agent.crossposter is not None
-                    and agent.pre_takeover_account
-                    and (agent.migration_day is None or day < agent.migration_day)
-                    and rng.random() < 0.05
-                ):
-                    source = agent.crossposter
-                self._add_tweet(agent, day, text, source=source, seq=k)
-                day_tweets.append(text)
-            if agent.migration_day == day and agent.announce_via == "tweet":
-                self._announce_by_tweet(agent, day)
-            elif agent.migration_day == day and rng.random() < 0.8:
-                self._announce_by_tweet(agent, day)  # bio users usually tweet too
-
-            if mig_day is None or day < mig_day or status_rate <= 0.0:
-                ms_rate = 0.0
-            else:
-                days_in = (day - mig_day).days
-                ramp = 0.45 + 0.11 * days_in
-                ms_rate = status_rate * (ramp if ramp < 1.0 else 1.0)
-            n_statuses = int(rng.poisson(ms_rate))
-            if n_statuses and agent.mastodon_acct is not None:
-                days_in = (day - mig_day).days if mig_day else 0
-                if days_in >= 21:
-                    if steady_mixture is None:
-                        mixture = mastodon_topic_mixture(agent, days_in)
-                        steady_mixture = (mixture, build_cdf(mixture))
-                    mixture, mixture_cdf = steady_mixture
-                else:
-                    mixture = mastodon_topic_mixture(agent, days_in)
-                    mixture_cdf = build_cdf(mixture)
-                active_day = agent.switch_day is None or day < agent.switch_day
-                acct = agent.first_acct if active_day else agent.mastodon_acct
-                assert acct is not None
-                self.network.record_login(acct, day)
-                for k in range(n_statuses):
-                    self._add_status(
-                        agent, acct, day, k, mixture, mixture_cdf, recent_tweets, rng
-                    )
-            recent_tweets.extend(day_tweets)
-            if len(recent_tweets) > 30:
-                del recent_tweets[:-30]
-        if agent.migration_day is not None and agent.announce_via == "bio":
-            self._announce_in_bio(agent)
-
-    def _add_status(
-        self,
-        agent: SimUser,
-        acct: str,
-        day: _dt.date,
-        seq: int,
-        mixture: np.ndarray,
-        mixture_cdf: np.ndarray,
-        recent_tweets: list[str],
-        rng: np.random.Generator,
-    ) -> None:
-        config = self.config
-        when = _dt.datetime.combine(day, _TIME_9) + _status_offset(seq)
-        crosspost = (
-            agent.crossposter is not None
-            and rng.random() < config.crosspost_mirror_rate
-            and crossposter_active(rng, day)
-        )
-        if crosspost:
-            generator = self._generator
-            text = generator.generate(
-                generator.pick_topic_from_cdf(mixture_cdf),
-                toxic=rng.random() < agent.toxicity_mastodon,
-                hashtag_prob=0.62,
+            chatter_payloads = runner.map_stage(
+                "world.chatter",
+                "repro.simulation.materialise:chatter_shard",
+                list(self.chatter_ids),
             )
-            self.network.post_status(acct, text, when, application=agent.crossposter)
-            # the bridge mirrors the status to Twitter verbatim
-            self._add_tweet(agent, day, text, source=agent.crossposter, seq=100 + seq)
-            return
-        if rng.random() < config.boost_rate:
-            boosted = self._boost_candidate(agent, rng)
-            if boosted is not None:
-                self.network.boost(acct, boosted, when)
-                return
-        if recent_tweets and agent.mirror_rate > 0 and rng.random() < agent.mirror_rate:
-            original = recent_tweets[int(rng.integers(0, len(recent_tweets)))]
-            text = paraphrase(rng, original, self._generator.vocabulary)
-        else:
-            generator = self._generator
-            text = generator.generate(
-                generator.pick_topic_from_cdf(mixture_cdf),
-                toxic=rng.random() < agent.toxicity_mastodon,
-                hashtag_prob=0.62,
-            )
-        self.network.post_status(acct, text, when, application="Web")
+        apply_plans(self, payloads, chatter_payloads, events)
 
     def _boost_candidate(self, agent: SimUser, rng: np.random.Generator):
         """A recent status by a migrated followee, if any exists yet.
 
         Content is materialised in migration order, so earlier migrants'
         statuses already exist when later migrants boost.  The migrated set
-        is frozen by then, so the followee list is computed once per agent
-        and copied before the shuffle (the pre-shuffle order must be the
-        same on every call, exactly as a fresh rebuild would produce).
+        is frozen by then, so the followee list is computed once per agent;
+        the five candidates are an ordered uniform draw without replacement
+        — the same distribution as shuffling the whole list and taking its
+        first five, without permuting hub-sized followee lists per boost.
         """
         cached = self._boost_followees.get(agent.user_id)
         if cached is None:
@@ -641,9 +577,28 @@ class World:
                 if f in self.agents and self.agents[f].migrated
             ]
             self._boost_followees[agent.user_id] = cached
-        followees = cached.copy()
-        rng.shuffle(followees)
-        for other in followees[:5]:
+        n = len(cached)
+        if n == 0:
+            return None
+        if n == 1:
+            picks = (0,)
+        else:
+            # Partial Fisher-Yates over a virtual index array: the first k
+            # swap targets are an ordered uniform k-sample without
+            # replacement, identical in distribution to rng.choice(...,
+            # replace=False) but needing only one batched uniform draw.
+            k = 5 if n > 5 else n
+            draws = rng.random(k)
+            mapping: dict[int, int] = {}
+            picks = []
+            for i in range(k):
+                j = i + int(draws[i] * (n - i))
+                if j >= n:  # guard against float rounding at draws[i] ~ 1.0
+                    j = n - 1
+                picks.append(mapping.get(j, j))
+                mapping[j] = mapping.get(i, i)
+        for idx in picks:
+            other = cached[int(idx)]
             if other.first_instance is None:
                 continue
             instance = self.network.get_instance(other.first_instance)
@@ -654,68 +609,6 @@ class World:
             if originals:
                 return originals[int(rng.integers(0, len(originals)))]
         return None
-
-    def _add_tweet(
-        self, agent: SimUser, day: _dt.date, text: str, source: str, seq: int
-    ) -> Tweet:
-        when = _dt.datetime.combine(day, _TIME_8) + _tweet_offset(
-            min(13 * seq, 900), agent.user_id % 50
-        )
-        tweet = Tweet(
-            tweet_id=self._tweet_ids.next_id(when),
-            author_id=agent.user_id,
-            created_at=when,
-            text=text,
-            source=source,
-        )
-        self.twitter_store.add_tweet(tweet)
-        return tweet
-
-    def _announce_by_tweet(self, agent: SimUser, day: _dt.date) -> None:
-        handle = agent.first_acct
-        if handle is None:
-            return
-        text = self._generator.migration_announcement(handle, agent.announce_style)
-        self._add_tweet(agent, day, text, source=agent.preferred_source, seq=90)
-
-    def _announce_in_bio(self, agent: SimUser) -> None:
-        handle = agent.first_acct
-        if handle is None:
-            return
-        user = self.twitter_store.get_user(agent.user_id)
-        topic = self._generator.vocabulary.topic(agent.main_topic)
-        user.description = self._generator.profile_bio(topic, mastodon_handle=handle)
-
-    def _materialise_chatter(self, rng: np.random.Generator) -> None:
-        """Keyword tweets from users who never migrate (collection noise)."""
-        generator = self._generator
-        fediverse_topic = generator.vocabulary.topic("fediverse")
-        migrant_handles = [
-            a.first_acct for a in self.migrants if a.first_acct is not None
-        ]
-        for user_id in self.chatter_ids:
-            agent = self.agents[user_id]
-            n_posts = 1 + int(rng.poisson(1.0))
-            for k in range(n_posts):
-                offset = int(rng.integers(0, (self.config.end - self.config.start).days + 1))
-                day = self.config.start + _dt.timedelta(days=offset)
-                if rng.random() > chatter_volume_multiplier(day):
-                    continue
-                roll = rng.random()
-                if roll < 0.75 or not migrant_handles:
-                    text = generator.generate(
-                        fediverse_topic, hashtag_prob=0.85, mention_migration=True
-                    )
-                elif roll < 0.9:
-                    # link an instance root URL (no username -> unmatchable)
-                    spec = self.instance_specs[int(rng.integers(0, len(self.instance_specs)))]
-                    text = f"Everyone seems to be joining https://{spec.domain} these days"
-                else:
-                    # mention someone ELSE's handle (matcher must reject it)
-                    handle = migrant_handles[int(rng.integers(0, len(migrant_handles)))]
-                    username, domain = handle.split("@", 1)
-                    text = f"You should all follow @{username}@{domain} over on mastodon"
-                self._add_tweet(agent, day, text, source=agent.preferred_source, seq=k)
 
     # -- phase 3: background load and failure injection ------------------------------------
 
@@ -794,14 +687,53 @@ class World:
             downed_users += populations[domain]
 
 
-def build_world(seed: int = 7, scale: float = 0.01, **overrides) -> World:
+_LEGACY_KWARGS_WARNED = False
+
+
+def build_world(
+    config: SimConfig | None = None,
+    *,
+    workers: int = 1,
+    backend: str = "serial",
+    shard_count: int | None = None,
+    **legacy,
+) -> World:
     """Build and simulate a world in one call.
 
-    ``overrides`` are :class:`WorldConfig` field overrides, e.g.
-    ``build_world(seed=1, scale=0.005, contagion_weight=0.0)`` for the
-    no-contagion ablation.
+    The supported form takes a validated :class:`SimConfig`::
+
+        build_world(SimConfig(seed=1, scale=0.005, contagion_weight=0.0))
+
+    ``workers``/``backend`` configure the sharded materialisation planner;
+    the dataset is byte-identical for any setting.
+
+    The legacy keyword form — ``build_world(seed=1, scale=0.005, ...)`` —
+    still works: the kwargs are mapped onto a :class:`SimConfig`
+    field-for-field (one :class:`DeprecationWarning` per process).  Both
+    call forms produce byte-identical datasets, which
+    ``tests/simulation/test_simconfig_api.py`` pins.
     """
     from repro import obs
+
+    global _LEGACY_KWARGS_WARNED
+    if config is not None and legacy:
+        raise TypeError(
+            "pass either a SimConfig or legacy keyword overrides, not both"
+        )
+    if config is None:
+        if legacy and not _LEGACY_KWARGS_WARNED:
+            warnings.warn(
+                "build_world(seed=..., scale=..., **overrides) is deprecated; "
+                "pass build_world(SimConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            _LEGACY_KWARGS_WARNED = True
+        config = SimConfig(**legacy)
+    elif not isinstance(config, WorldConfig):
+        raise TypeError(
+            f"build_world expects a SimConfig, got {type(config).__name__}"
+        )
 
     registry = obs.current()
     # The build allocates millions of small, acyclic objects (tweets,
@@ -814,13 +746,17 @@ def build_world(seed: int = 7, scale: float = 0.01, **overrides) -> World:
     try:
         with registry.span("build_world") as span:
             with registry.span("world.init"):
-                config = WorldConfig(seed=seed, scale=scale, **overrides)
-                world = World(config)
+                world = World(
+                    config,
+                    workers=workers,
+                    backend=backend,
+                    shard_count=shard_count,
+                )
             with registry.span("world.simulate"):
                 world.simulate()
             span.annotate(
-                seed=seed,
-                scale=scale,
+                seed=config.seed,
+                scale=config.scale,
                 agents=len(world.agents),
                 migrants=len(world.migrants),
                 tweets=world.twitter_store.tweet_count,

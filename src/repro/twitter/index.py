@@ -32,10 +32,12 @@ A phrase with no tokens at all (pure punctuation) is unindexable: the
 planner refuses and the API falls back to the linear scan, as it does for
 pure date-window queries.
 
-Postings lists are append-mostly: ids arrive from the simulator in
-near-chronological order, so each list keeps an *appended-run* invariant —
-out-of-order appends mark the key dirty and the list is re-sorted lazily
-on first lookup (amortised O(n log n) instead of insertion sorts).
+Postings lists are append-only during the build and consulted only once
+writes stop (collection time): the write path just appends, and each list
+is re-sorted lazily on its first lookup after any write (a per-key
+*clean* set, wiped on every version bump, remembers which lists are
+already sorted — ids arrive near-chronologically, so most of those sorts
+are timsort's O(n) already-sorted fast path).
 """
 
 from __future__ import annotations
@@ -58,15 +60,26 @@ class TweetIndex:
         self._tags: dict[str, list[int]] = {}
         self._domains: dict[str, list[int]] = {}
         self._tokens: dict[str, list[int]] = {}
-        self._dirty_tags: set[str] = set()
-        self._dirty_domains: set[str] = set()
-        self._dirty_tokens: set[str] = set()
+        # keys whose postings list is known sorted at the current version;
+        # wiped on every version bump so lookups re-sort lazily after writes
+        self._clean_tags: set[str] = set()
+        self._clean_domains: set[str] = set()
+        self._clean_tokens: set[str] = set()
         #: bumped on every add; invalidates cached query plans
         self._version = 0
         self._plan_cache: dict[SearchQuery, list[int] | None] = {}
         self._plan_cache_version = -1
 
     # -- maintenance -------------------------------------------------------
+
+    def _bump_version(self) -> None:
+        self._version += 1
+        if self._clean_tokens:
+            self._clean_tokens.clear()
+        if self._clean_tags:
+            self._clean_tags.clear()
+        if self._clean_domains:
+            self._clean_domains.clear()
 
     def add(self, tweet: Tweet) -> None:
         """Index one tweet (called by ``TwitterStore.add_tweet``).
@@ -76,14 +89,14 @@ class TweetIndex:
         hottest write path.
         """
         tweet_id = tweet.tweet_id
-        groups: list[tuple[dict[str, list[int]], set[str], frozenset[str] | set[str]]] = [
-            (self._tokens, self._dirty_tokens, set(_findall(tweet.text_lower)))
+        groups: list[tuple[dict[str, list[int]], frozenset[str] | set[str]]] = [
+            (self._tokens, set(_findall(tweet.text_lower)))
         ]
         if tweet.tags_normalized:
-            groups.append((self._tags, self._dirty_tags, tweet.tags_normalized))
+            groups.append((self._tags, tweet.tags_normalized))
         if tweet.domain_keys:
-            groups.append((self._domains, self._dirty_domains, tweet.domain_keys))
-        for postings, dirty, keys in groups:
+            groups.append((self._domains, tweet.domain_keys))
+        for postings, keys in groups:
             get = postings.get
             for key in keys:
                 ids = get(key)
@@ -91,19 +104,92 @@ class TweetIndex:
                     postings[key] = [tweet_id]
                 else:
                     ids.append(tweet_id)
-                    if ids[-2] > tweet_id:  # appended out of order: re-sort lazily
-                        dirty.add(key)
-        self._version += 1
+        self._bump_version()
+
+    def add_precomputed(self, tweet: Tweet, tokens: frozenset[str]) -> None:
+        """Index one tweet whose token set the caller already holds.
+
+        Caller contract: ``tokens`` equals
+        ``set(_TOKEN_RE.findall(tweet.text_lower))`` exactly — the batched
+        generator derives it from the same alphabet while building the
+        text, and falls back to :meth:`add` when it cannot guarantee the
+        equality.  Anything looser would break the planner's
+        no-false-negatives contract.
+        """
+        tweet_id = tweet.tweet_id
+        groups: list[tuple[dict[str, list[int]], frozenset[str]]] = [
+            (self._tokens, tokens)
+        ]
+        if tweet.tags_normalized:
+            groups.append((self._tags, tweet.tags_normalized))
+        if tweet.domain_keys:
+            groups.append((self._domains, tweet.domain_keys))
+        for postings, keys in groups:
+            get = postings.get
+            for key in keys:
+                ids = get(key)
+                if ids is None:
+                    postings[key] = [tweet_id]
+                else:
+                    ids.append(tweet_id)
+        self._bump_version()
+
+    def add_many(
+        self,
+        tweets: list[Tweet],
+        token_sets: list[frozenset[str] | None] | None,
+    ) -> None:
+        """Index a batch of tweets in order (the bulk write path).
+
+        ``token_sets[i]``, when not ``None``, carries
+        :meth:`add_precomputed`'s exactness contract; ``None`` entries (or
+        ``token_sets is None``) take the regex derivation.  State after the
+        call matches per-tweet :meth:`add` calls except that the plan-cache
+        version advances once per batch — the cache only distinguishes
+        stale from fresh, so batch granularity is equivalent.
+        """
+        tokens_postings = self._tokens
+        tags_postings = self._tags
+        domains_postings = self._domains
+        # EAFP postings insert: the miss (KeyError) happens once per distinct
+        # key, the hit path is a plain subscript + append — measurably
+        # cheaper than a .get call per (tweet, key) pair at archive scale
+        for i, tweet in enumerate(tweets):
+            tweet_id = tweet.tweet_id
+            keys = token_sets[i] if token_sets is not None else None
+            if keys is None:
+                keys = set(_findall(tweet.text_lower))
+            for key in keys:
+                try:
+                    tokens_postings[key].append(tweet_id)
+                except KeyError:
+                    tokens_postings[key] = [tweet_id]
+            if tweet.tags_normalized:
+                for key in tweet.tags_normalized:
+                    try:
+                        tags_postings[key].append(tweet_id)
+                    except KeyError:
+                        tags_postings[key] = [tweet_id]
+            if tweet.domain_keys:
+                for key in tweet.domain_keys:
+                    try:
+                        domains_postings[key].append(tweet_id)
+                    except KeyError:
+                        domains_postings[key] = [tweet_id]
+        self._bump_version()
 
     def _postings(
-        self, postings: dict[str, list[int]], dirty: set[str], key: str
+        self, postings: dict[str, list[int]], clean: set[str], key: str
     ) -> list[int]:
         ids = postings.get(key)
         if ids is None:
             return _EMPTY
-        if key in dirty:
+        if key not in clean:
+            # first lookup since the last write: restore the sorted-order
+            # invariant (near-chronological appends make this mostly a
+            # no-op pass for timsort)
             ids.sort()
-            dirty.discard(key)
+            clean.add(key)
         return ids
 
     # -- planning ----------------------------------------------------------
@@ -130,9 +216,9 @@ class TweetIndex:
     def _plan(self, query: SearchQuery) -> list[int] | None:
         lists: list[list[int]] = []
         for tag in query._tag_set:
-            lists.append(self._postings(self._tags, self._dirty_tags, tag))
+            lists.append(self._postings(self._tags, self._clean_tags, tag))
         for domain in query._domain_set:
-            lists.append(self._postings(self._domains, self._dirty_domains, domain))
+            lists.append(self._postings(self._domains, self._clean_domains, domain))
         for phrase in query._lowered_phrases:
             phrase_lists = self._phrase_postings(phrase)
             if phrase_lists is None:
@@ -153,7 +239,7 @@ class TweetIndex:
             # any internal token must appear verbatim; pick the rarest
             best = min(
                 (
-                    self._postings(self._tokens, self._dirty_tokens, m.group())
+                    self._postings(self._tokens, self._clean_tokens, m.group())
                     for m in internal
                 ),
                 key=len,
@@ -176,7 +262,7 @@ class TweetIndex:
     def _vocabulary_scan(self, predicate) -> list[list[int]]:
         """Postings of every distinct archive token matching ``predicate``."""
         return [
-            self._postings(self._tokens, self._dirty_tokens, token)
+            self._postings(self._tokens, self._clean_tokens, token)
             for token in self._tokens
             if predicate(token)
         ]

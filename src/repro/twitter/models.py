@@ -153,6 +153,48 @@ class Tweet:
             self.url_hosts = ()
             self.domain_keys = _NO_TAGS
 
+    @classmethod
+    def from_precomputed(
+        cls,
+        tweet_id: int,
+        author_id: int,
+        created_at: _dt.datetime,
+        text: str,
+        source: str,
+        hashtags: list[str],
+        tags_normalized: frozenset[str] | None = None,
+    ) -> "Tweet":
+        """Construct a tweet whose derived fields the caller already knows.
+
+        The simulation's batched materialiser generates text and hashtags
+        together, so re-scanning the text here would redo work per tweet on
+        the archive's hottest write path.  Caller contract: ``text``
+        contains no URLs, ``hashtags`` equals what ``extract_hashtags(text)``
+        would return (the materialiser falls back to the plain constructor
+        whenever it cannot guarantee that), and ``tags_normalized``, when
+        given, equals ``frozenset(map(str.lower, hashtags))`` — callers that
+        emit the same tag combination many times memoize that frozenset.
+        """
+        tweet = object.__new__(cls)
+        tweet.tweet_id = tweet_id
+        tweet.author_id = author_id
+        tweet.created_at = created_at
+        tweet.text = text
+        tweet.source = source
+        tweet.is_retweet = False
+        tweet.hashtags = hashtags
+        tweet.urls = []
+        tweet.text_lower = text.lower()
+        if tags_normalized is not None:
+            tweet.tags_normalized = tags_normalized
+        else:
+            tweet.tags_normalized = (
+                frozenset(map(str.lower, hashtags)) if hashtags else _NO_TAGS
+            )
+        tweet.url_hosts = ()
+        tweet.domain_keys = _NO_TAGS
+        return tweet
+
     @property
     def created_date(self) -> _dt.date:
         return self.created_at.date()

@@ -127,3 +127,42 @@ class TwitterStore:
         once afterwards rather than per tweet."""
         for tweet in tweets:
             self.add_tweet(tweet)
+
+    def add_author_tweets(
+        self,
+        author_id: int,
+        tweets: list[Tweet],
+        token_sets: list[frozenset[str] | None] | None = None,
+    ) -> None:
+        """Bulk-insert one author's tweets (the materialiser's write path).
+
+        Validates the author once and hoists the per-tweet attribute hops
+        of :meth:`add_tweet`; state after the call is identical to adding
+        each tweet individually.  ``token_sets[i]``, when not ``None``, is
+        the precomputed token set handed to
+        :meth:`TweetIndex.add_precomputed` (same exactness contract);
+        ``None`` entries take the regex path.
+        """
+        if author_id not in self._users_by_id:
+            raise NotFoundError(f"tweet author {author_id} is not a known user")
+        by_id = self._tweets_by_id
+        ids_append = self._tweet_ids.append
+        by_author = self._tweets_by_author.setdefault(author_id, [])
+        author_append = by_author.append
+        last = by_author[-1] if by_author else -1
+        for tweet in tweets:
+            tweet_id = tweet.tweet_id
+            if tweet_id in by_id:
+                raise ValueError(f"duplicate tweet id {tweet_id}")
+            by_id[tweet_id] = tweet
+            ids_append(tweet_id)
+            if tweet_id > last:
+                author_append(tweet_id)
+                last = tweet_id
+            else:
+                bisect.insort(by_author, tweet_id)
+        if tweets:
+            # over-marking is safe: the lazy sort of an already-sorted id
+            # list is timsort's O(n) fast path
+            self._tweet_ids_dirty = True
+        self._index.add_many(tweets, token_sets)

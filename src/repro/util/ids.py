@@ -51,6 +51,28 @@ class SnowflakeGenerator:
         self._seq_by_millis[millis] = seq + 1
         return (millis << _TIMESTAMP_SHIFT) | (self._shard << _SHARD_SHIFT) | seq
 
+    def next_ids(self, millis_list: list[int]) -> list[int]:
+        """Ids for a batch of precomputed epoch-millisecond timestamps.
+
+        ``millis_list`` holds ``floor((when - SNOWFLAKE_EPOCH) / 1ms)`` per
+        id, in ascending order (callers derive it vectorised from the same
+        timestamps they pass :meth:`next_id` one at a time — the sequence
+        bookkeeping and the resulting ids are identical, call for call).
+        """
+        if millis_list and millis_list[0] < 0:
+            raise ValueError("timestamp precedes the snowflake epoch")
+        seqs = self._seq_by_millis
+        shard_bits = self._shard << _SHARD_SHIFT
+        out: list[int] = []
+        append = out.append
+        for millis in millis_list:
+            seq = seqs[millis]
+            if seq > _SEQUENCE_MASK:
+                raise OverflowError(f"sequence exhausted for millisecond {millis}")
+            seqs[millis] = seq + 1
+            append((millis << _TIMESTAMP_SHIFT) | shard_bits | seq)
+        return out
+
 
 def snowflake_time(snowflake: int) -> _dt.datetime:
     """Recover the creation datetime embedded in a snowflake id."""

@@ -17,6 +17,15 @@ call-ordered stream per client to one derived stream per (stage, shard) —
 a deliberate semantic change that re-recorded the *faulted* digests at
 both scales.  The *plain* digests were reproduced unchanged, which is the
 proof that sharding itself never perturbs the collected bytes.
+
+Second re-record: the columnar world generator (DESIGN.md §5) batches the
+simulation's draw schedule per (stage, shard) column instead of per agent
+per day, which deliberately bends the draw-order contract (word order
+within posts, per-tick contagion synchronisation, boost-candidate
+sampling via partial Fisher-Yates).  Both digests were re-recorded at
+both scales; the replacement equivalence proof is worker-count
+invariance — serial, 2-worker and 4-worker builds reproduce these exact
+bytes (``tests/simulation/test_world_sharded.py``).
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ import pytest
 
 from repro.collection.pipeline import CollectionConfig, collect_dataset
 from repro.faults import FaultPlan
+from repro.simulation.config import SimConfig
 from repro.simulation.world import build_world
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_datasets.json"
@@ -39,7 +49,7 @@ SEED = 7
 
 
 def _digests(scale: float) -> tuple[str, str, int, int]:
-    world = build_world(seed=SEED, scale=scale)
+    world = build_world(SimConfig(seed=SEED, scale=scale))
     plain = collect_dataset(world)
     plain_sha = hashlib.sha256(plain.to_json().encode()).hexdigest()
     faulted = collect_dataset(

@@ -17,6 +17,7 @@ from repro import obs
 from repro.collection.dataset import CrawlCoverage, MigrationDataset
 from repro.collection.pipeline import CollectionConfig, collect_dataset
 from repro.faults import FaultPlan
+from repro.simulation.config import SimConfig
 from repro.simulation.world import build_world
 
 PAPER_DOWN_FRACTION = 0.1158
@@ -32,7 +33,7 @@ def paper_config(seed=3):
 def faulted_run():
     """One calibrated faulted run at a scale large enough to measure §3.2."""
     registry = obs.MetricsRegistry()
-    world = build_world(seed=7, scale=0.008)
+    world = build_world(SimConfig(seed=7, scale=0.008))
     with obs.use(registry):
         dataset = collect_dataset(world, paper_config(seed=7))
     return dataset, registry
@@ -40,9 +41,9 @@ def faulted_run():
 
 class TestFaultFreeIdentity:
     def test_default_config_is_byte_identical_to_explicit_none(self):
-        baseline = collect_dataset(build_world(seed=11, scale=0.002))
+        baseline = collect_dataset(build_world(SimConfig(seed=11, scale=0.002)))
         explicit = collect_dataset(
-            build_world(seed=11, scale=0.002),
+            build_world(SimConfig(seed=11, scale=0.002)),
             CollectionConfig(fault_plan=FaultPlan.none()),
         )
         assert baseline.to_json() == explicit.to_json()
@@ -51,19 +52,19 @@ class TestFaultFreeIdentity:
 class TestFaultedDeterminism:
     def test_same_scenario_seed_gives_byte_identical_datasets(self):
         first = collect_dataset(
-            build_world(seed=11, scale=0.002), paper_config(seed=3)
+            build_world(SimConfig(seed=11, scale=0.002)), paper_config(seed=3)
         )
         second = collect_dataset(
-            build_world(seed=11, scale=0.002), paper_config(seed=3)
+            build_world(SimConfig(seed=11, scale=0.002)), paper_config(seed=3)
         )
         assert first.to_json() == second.to_json()
 
     def test_different_fault_seed_changes_the_run(self):
         first = collect_dataset(
-            build_world(seed=11, scale=0.002), paper_config(seed=3)
+            build_world(SimConfig(seed=11, scale=0.002)), paper_config(seed=3)
         )
         second = collect_dataset(
-            build_world(seed=11, scale=0.002), paper_config(seed=4)
+            build_world(SimConfig(seed=11, scale=0.002)), paper_config(seed=4)
         )
         # Different chaos, same world: the telemetry-free dataset may or may
         # not differ in content, but the coverage accounting must still

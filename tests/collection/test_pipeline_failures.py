@@ -3,12 +3,13 @@
 import pytest
 
 from repro.collection.pipeline import collect_dataset
+from repro.simulation.config import SimConfig
 from repro.simulation.world import build_world
 
 
 @pytest.fixture(scope="module")
 def world():
-    return build_world(seed=23, scale=0.0008)
+    return build_world(SimConfig(seed=23, scale=0.0008))
 
 
 class TestTotalDowntime:

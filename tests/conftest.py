@@ -25,6 +25,7 @@ from repro.collection.dataset import (
 )
 from repro.collection.pipeline import collect_dataset
 from repro.fediverse.models import Status
+from repro.simulation.config import SimConfig
 from repro.simulation.world import World, build_world
 from repro.twitter.models import Tweet
 
@@ -35,7 +36,7 @@ SMALL_SCALE = 0.002
 @pytest.fixture(scope="session")
 def small_world() -> World:
     """A fully simulated world at the smallest useful scale."""
-    return build_world(seed=SMALL_SEED, scale=SMALL_SCALE)
+    return build_world(SimConfig(seed=SMALL_SEED, scale=SMALL_SCALE))
 
 
 @pytest.fixture(scope="session")

@@ -18,9 +18,10 @@ def saved_dataset(small_dataset_path):
 def small_dataset_path(tmp_path_factory):
     # reuse the session dataset through a fresh save to avoid a second build
     from repro.collection.pipeline import collect_dataset
+    from repro.simulation import SimConfig
     from repro.simulation.world import build_world
 
-    dataset = collect_dataset(build_world(seed=11, scale=0.002))
+    dataset = collect_dataset(build_world(SimConfig(seed=11, scale=0.002)))
     path = tmp_path_factory.mktemp("runner") / "dataset.json"
     dataset.save(path)
     return str(path)
@@ -114,6 +115,46 @@ class TestTelemetryFlags:
         assert any(m.startswith("collect:") for m in messages)
         # nothing goes to raw stderr any more
         assert capsys.readouterr().err == ""
+
+
+class TestWorldFlags:
+    """The ``--world-<field>`` surface generated from SimConfig."""
+
+    def test_every_simconfig_field_has_a_flag(self, capsys):
+        import dataclasses
+
+        from repro.simulation.config import SimConfig
+
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for spec in dataclasses.fields(SimConfig):
+            if spec.name in ("seed", "scale", "extras"):
+                continue
+            assert "--world-" + spec.name.replace("_", "-") in out
+
+    def test_help_carries_the_field_doc(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        # the #: doc comment on lurker_fraction, via field_docs()
+        assert "never post a status" in out
+
+    def test_invalid_override_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--world-lurker-fraction", "1.5", "--only", "F5"])
+        assert "lurker_fraction" in capsys.readouterr().err
+
+    def test_inconsistent_window_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--world-start", "2022-12-01", "--world-end", "2022-11-01"])
+        assert "precedes" in capsys.readouterr().err
+
+    def test_world_flags_with_dataset_are_rejected(self, saved_dataset, capsys):
+        with pytest.raises(SystemExit):
+            main(["--dataset", saved_dataset,
+                  "--world-tweet-rate-mean", "2.5"])
+        assert "--world-" in capsys.readouterr().err
 
 
 class TestFaultsFlag:

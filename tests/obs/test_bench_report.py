@@ -4,6 +4,7 @@ import json
 
 from repro.obs.bench_report import (
     append_history_row,
+    check_memory_ceilings,
     check_regressions,
     format_history,
     load_history,
@@ -100,6 +101,50 @@ class TestCheckRegressions:
         rows = [_row(1.0), _row(1.0), _row(1.3)]
         assert len(check_regressions(rows)) == 1  # 1.3x > default 1.25x
         assert check_regressions(rows, wall_threshold=1.5) == []
+
+
+class TestMemoryCeilings:
+    """The absolute budget recorded by the worldgen scale bench."""
+
+    def test_rows_without_ceiling_are_ignored(self):
+        assert check_memory_ceilings([_row(1.0, rss=10**12)]) == []
+
+    def test_row_under_its_ceiling_passes(self):
+        rows = [_row(1.0, rss=100, memory_ceiling_bytes=200)]
+        assert check_memory_ceilings(rows) == []
+
+    def test_row_over_its_ceiling_is_flagged_without_history(self):
+        # unlike the relative gates, the very first row is already gated
+        rows = [_row(1.0, scale=1.0, rss=300, memory_ceiling_bytes=200)]
+        findings = check_memory_ceilings(rows)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f["metric"] == "memory_ceiling"
+        assert f["scale"] == 1.0
+        assert f["latest"] == 300
+        assert f["median"] == 200
+
+    def test_every_violating_row_is_reported(self):
+        rows = [
+            _row(1.0, scale=0.1, rss=300, memory_ceiling_bytes=200),
+            _row(1.0, scale=1.0, rss=100, memory_ceiling_bytes=200),
+            _row(1.0, scale=1.0, rss=500, memory_ceiling_bytes=200),
+        ]
+        findings = check_memory_ceilings(rows)
+        assert len(findings) == 2
+        # sorted worst first
+        assert findings[0]["latest"] == 500
+
+    def test_cli_check_enforces_the_ceiling(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        append_history_row(
+            path, _row(1.0, scale=1.0, rss=300, memory_ceiling_bytes=200)
+        )
+        append_history_row(
+            path, _row(1.0, scale=1.0, rss=150, memory_ceiling_bytes=200)
+        )
+        assert main(["--history", str(path), "--check"]) == 1
+        assert "memory ceiling" in capsys.readouterr().out
 
 
 class TestRendering:

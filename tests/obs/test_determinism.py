@@ -9,6 +9,7 @@ writes, no ordering changes).
 
 from repro import obs
 from repro.collection.pipeline import PIPELINE_STAGES, collect_dataset
+from repro.simulation.config import SimConfig
 from repro.simulation.world import build_world
 
 SEED = 19
@@ -23,7 +24,7 @@ class TestInstrumentationDeterminism:
         # timestamps, the event stream, counter watches, memory accounting
         # (with allocation tracing) and per-span cProfile — and must still
         # produce the same bytes.
-        plain = collect_dataset(build_world(seed=SEED, scale=SCALE))
+        plain = collect_dataset(build_world(SimConfig(seed=SEED, scale=SCALE)))
         registry = obs.MetricsRegistry()
         registry.watch_default_counters()
         accountant = registry.enable_memory(rss=True, trace_allocs=True)
@@ -31,7 +32,7 @@ class TestInstrumentationDeterminism:
             with obs.use(registry), obs.profile_span(
                 "world.simulate", registry=registry
             ):
-                instrumented = collect_dataset(build_world(seed=SEED, scale=SCALE))
+                instrumented = collect_dataset(build_world(SimConfig(seed=SEED, scale=SCALE)))
         finally:
             accountant.close()
 

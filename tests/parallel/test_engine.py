@@ -20,6 +20,7 @@ from repro.collection.pipeline import (
 )
 from repro.errors import ConfigError
 from repro.parallel import ShardEngine, fork_available
+from repro.simulation.config import SimConfig
 from repro.simulation.world import build_world
 
 SEED = 7
@@ -58,7 +59,7 @@ def telemetry():
         pytest.skip("fork start method unavailable")
     registries = {}
     for backend, workers in (("serial", 1), ("multiprocessing", 4)):
-        world = build_world(seed=SEED, scale=SCALE)
+        world = build_world(SimConfig(seed=SEED, scale=SCALE))
         registry = obs.MetricsRegistry()
         with obs.use(registry):
             collect_dataset(

@@ -24,6 +24,7 @@ import pytest
 from repro.collection.pipeline import CollectionConfig, collect_dataset
 from repro.faults import FaultPlan
 from repro.parallel import fork_available
+from repro.simulation.config import SimConfig
 from repro.simulation.world import build_world
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_datasets.json"
@@ -50,7 +51,7 @@ def _sha256(dataset) -> str:
 def test_dataset_bytes_identical_to_serial(backend, workers):
     if backend == "multiprocessing" and not fork_available():
         pytest.skip("fork start method unavailable")
-    world = build_world(seed=SEED, scale=SCALE)
+    world = build_world(SimConfig(seed=SEED, scale=SCALE))
     plain = collect_dataset(
         world, CollectionConfig(workers=workers, backend=backend)
     )

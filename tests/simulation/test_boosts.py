@@ -58,9 +58,10 @@ class TestBoosts:
         raise AssertionError("no boost found")
 
     def test_boost_rate_zero_disables(self):
+        from repro.simulation.config import SimConfig
         from repro.simulation.world import build_world
 
-        world = build_world(seed=3, scale=0.0008, boost_rate=0.0)
+        world = build_world(SimConfig(seed=3, scale=0.0008, boost_rate=0.0))
         for instance in world.network.instances():
             for account in instance.accounts():
                 assert not any(

@@ -5,6 +5,7 @@ from collections import Counter
 
 import pytest
 
+from repro.simulation.config import SimConfig
 from repro.simulation.world import World, build_world
 from repro.twitter.models import AccountState
 from repro.util.clock import TAKEOVER_DATE
@@ -16,16 +17,16 @@ class TestSimulationLifecycle:
             small_world.simulate()
 
     def test_build_world_is_deterministic(self):
-        w1 = build_world(seed=123, scale=0.0005)
-        w2 = build_world(seed=123, scale=0.0005)
+        w1 = build_world(SimConfig(seed=123, scale=0.0005))
+        w2 = build_world(SimConfig(seed=123, scale=0.0005))
         m1 = sorted(a.user_id for a in w1.migrants)
         m2 = sorted(a.user_id for a in w2.migrants)
         assert m1 == m2
         assert w1.twitter_store.tweet_count == w2.twitter_store.tweet_count
 
     def test_different_seeds_differ(self):
-        w1 = build_world(seed=1, scale=0.0005)
-        w2 = build_world(seed=2, scale=0.0005)
+        w1 = build_world(SimConfig(seed=1, scale=0.0005))
+        w2 = build_world(SimConfig(seed=2, scale=0.0005))
         assert sorted(a.user_id for a in w1.migrants) != sorted(
             a.user_id for a in w2.migrants
         )

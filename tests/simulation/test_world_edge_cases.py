@@ -5,7 +5,7 @@ import datetime as dt
 import numpy as np
 import pytest
 
-from repro.simulation.config import WorldConfig
+from repro.simulation.config import SimConfig, WorldConfig
 from repro.simulation.world import World, build_world
 
 
@@ -13,7 +13,7 @@ class TestScaleFloor:
     def test_minimum_viable_world(self):
         """Even an absurdly small scale produces a working world (the
         config clamps the population floor)."""
-        world = build_world(seed=5, scale=1e-6)
+        world = build_world(SimConfig(seed=5, scale=1e-6))
         assert len(world.migrants) > 5
         assert world.network.instance_count >= 60
 
@@ -33,7 +33,7 @@ class TestScaleFloor:
 
 class TestUsernameCollisions:
     def test_mastodon_username_fallbacks(self):
-        world = build_world(seed=9, scale=0.0005)
+        world = build_world(SimConfig(seed=9, scale=0.0005))
         agent = world.migrants[0]
         instance = world.network.get_instance(agent.first_instance)
         # exhaust the preferred name on a fresh candidate pointing at the
@@ -47,7 +47,7 @@ class TestUsernameCollisions:
         switch registers a suffixed account instead of failing."""
         import datetime as dt_
 
-        world = build_world(seed=9, scale=0.0005)
+        world = build_world(SimConfig(seed=9, scale=0.0005))
         agent = next(a for a in world.migrants if a.switch_day is None)
         target_domain = next(
             d
@@ -67,15 +67,15 @@ class TestUsernameCollisions:
 
 class TestConfigVariants:
     def test_no_lurkers(self):
-        world = build_world(seed=5, scale=0.0005, lurker_fraction=0.0)
+        world = build_world(SimConfig(seed=5, scale=0.0005, lurker_fraction=0.0))
         assert not any(a.is_lurker for a in world.migrants)
 
     def test_no_crossposters(self):
-        world = build_world(seed=5, scale=0.0005, crossposter_fraction=0.0)
+        world = build_world(SimConfig(seed=5, scale=0.0005, crossposter_fraction=0.0))
         assert not any(a.crossposter for a in world.agents.values())
 
     def test_all_instances_moderated(self):
-        world = build_world(seed=5, scale=0.0005, moderated_instance_fraction=1.0)
+        world = build_world(SimConfig(seed=5, scale=0.0005, moderated_instance_fraction=1.0))
         # self-hosted instances spin up after setup and stay open (their
         # single user is the admin); every directory instance is moderated
         directory = {s.domain for s in world.instance_specs}
@@ -84,21 +84,21 @@ class TestConfigVariants:
         )
 
     def test_no_self_hosting(self):
-        world = build_world(seed=5, scale=0.0005, self_host_probability=0.0)
+        world = build_world(SimConfig(seed=5, scale=0.0005, self_host_probability=0.0))
         assert not any(a.self_hosted for a in world.migrants)
         directory = {s.domain for s in world.instance_specs}
         for agent in world.migrants:
             assert agent.first_instance in directory
 
     def test_zero_pre_takeover_accounts(self):
-        world = build_world(seed=5, scale=0.0005, pre_takeover_account_fraction=0.0)
+        world = build_world(SimConfig(seed=5, scale=0.0005, pre_takeover_account_fraction=0.0))
         assert not any(a.pre_takeover_account for a in world.migrants)
 
 
 class TestDeterminismAcrossComponents:
     def test_tweet_ids_deterministic(self):
-        w1 = build_world(seed=77, scale=0.0004)
-        w2 = build_world(seed=77, scale=0.0004)
+        w1 = build_world(SimConfig(seed=77, scale=0.0004))
+        w2 = build_world(SimConfig(seed=77, scale=0.0004))
         assert w1.twitter_store.tweet_ids_sorted == w2.twitter_store.tweet_ids_sorted
 
     def test_weekly_activity_deterministic(self):
@@ -108,6 +108,6 @@ class TestDeterminismAcrossComponents:
                 for i in world.network.instances()
             )
 
-        assert totals(build_world(seed=77, scale=0.0004)) == totals(
-            build_world(seed=77, scale=0.0004)
+        assert totals(build_world(SimConfig(seed=77, scale=0.0004))) == totals(
+            build_world(SimConfig(seed=77, scale=0.0004))
         )
