@@ -213,6 +213,37 @@ def record_parallel(section: dict) -> None:
     BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
 
 
+def record_serving(section: dict) -> None:
+    """Write the serving bench into the artifact's ``serving`` key.
+
+    ``test_bench_serving.py`` calls this with the cold/warm/open replay
+    numbers from :func:`repro.serving.bench.run_serving_bench`; a
+    ``kind: "serving"`` summary row (per-endpoint p50/p99 as wall
+    seconds) is also appended to the bench trajectory, where
+    ``bench_report --check`` gates it against its own trailing median —
+    independently of the pipeline rows.  The base artifact must exist
+    first (depend on ``bench_dataset``).
+    """
+    from repro.serving.bench import history_stages
+
+    payload = json.loads(BENCH_ARTIFACT.read_text())
+    payload["serving"] = section
+    BENCH_ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    if os.environ.get("REPRO_BENCH_NO_HISTORY") == "1":
+        return
+    row = {
+        "recorded_at": _dt.datetime.now(_dt.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "git_sha": _git_sha(),
+        "seed": section.get("seed", BENCH_SEED),
+        "scale": BENCH_SCALE,
+        "kind": "serving",
+        "stages": history_stages(section),
+    }
+    append_history_row(BENCH_HISTORY, row)
+
+
 def session_span_seconds(name: str) -> float | None:
     """Wall seconds of a named span from the session registry, if present."""
     for span in _session_registry.tracer.walk():

@@ -1,0 +1,73 @@
+"""Benchmark of the serving layer: cold/warm latency, burst replay, cold start.
+
+Drives :func:`repro.serving.bench.run_serving_bench` against the shared
+benchmark dataset: one deterministic Zipf/burst trace replayed against a
+cache-free app (cold — the honest compute cost) and twice against a
+cached app (warm — result cache + payload LRU hot), plus an open-loop
+replay on the trace's burst arrival schedule and a lazy-vs-eager
+``.npz`` cold-start measurement.
+
+Gates (the acceptance criteria of the serving PR):
+
+- warm cached p50 must beat cold uncached p50 by ``MIN_WARM_SPEEDUP`` on
+  the search and timeline endpoints;
+- the warm payload-LRU hit rate must clear ``MIN_HIT_RATE`` (the Zipf
+  head is the workload's whole point);
+- replay must be error-free — every generated target answers 200.
+
+The measured section lands under ``serving`` in ``BENCH_pipeline.json``
+and one ``kind: "serving"`` row (per-endpoint p50/p99 as wall seconds)
+is appended to ``BENCH_history.jsonl``, where ``bench_report --check``
+gates it against its own trailing median.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, record_serving
+
+from repro.serving.bench import run_serving_bench
+from repro.serving.loadgen import LoadgenConfig
+
+#: Warm/cold p50 ratio the caches must deliver on the hot endpoints.
+MIN_WARM_SPEEDUP = 5.0
+#: Payload-LRU hit-rate floor over the measured (second) warm replay.
+MIN_HIT_RATE = 0.5
+
+
+def test_bench_serving(bench_dataset, tmp_path):
+    npz_path = tmp_path / "bench_serving.npz"
+    bench_dataset.save(npz_path)
+
+    section = run_serving_bench(
+        bench_dataset,
+        LoadgenConfig(seed=7, requests=2000),
+        npz_path=npz_path,
+        scale=BENCH_SCALE,
+    )
+    record_serving(section)
+
+    assert section["cold"]["errors"] == 0
+    assert section["warm"]["errors"] == 0
+
+    for endpoint in ("search", "timeline"):
+        speedup = section["speedup_p50"].get(endpoint, 0.0)
+        assert speedup >= MIN_WARM_SPEEDUP, (
+            f"warm {endpoint} p50 speedup {speedup:.2f}x below the "
+            f"{MIN_WARM_SPEEDUP}x gate "
+            f"(cold {section['cold']['endpoints'][endpoint]['p50_ms']:.4f}ms "
+            f"vs warm {section['warm']['endpoints'][endpoint]['p50_ms']:.4f}ms)"
+        )
+
+    hit_rate = section["caches"]["payload"]["hit_rate"]
+    assert hit_rate >= MIN_HIT_RATE, (
+        f"payload LRU hit rate {hit_rate:.2%} below the {MIN_HIT_RATE:.0%} floor"
+    )
+
+    cold_start = section["cold_start"]
+    assert cold_start["healthz_ok"]
+    # the lazy load must answer its first health check before the eager
+    # load even finishes parsing the corpora
+    assert cold_start["time_to_first_response_s"] < cold_start["eager_load_s"]
+    assert cold_start["lazy_pending_after_healthz"], (
+        "healthz forced corpus materialisation; lazy cold start is broken"
+    )

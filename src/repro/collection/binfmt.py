@@ -274,27 +274,132 @@ def _regroup(uids: list[int], counts: list[int], items: list) -> dict[int, list]
     return timelines
 
 
-def load_npz(path: str | Path):
-    """Read a dataset written by :func:`save_npz`."""
-    from repro.collection.dataset import (
-        CrawlCoverage,
-        FolloweeRecord,
-        MigrationDataset,
-        _account_from,
-        _matched_from,
-    )
+#: Dataset fields whose columns dominate the archive; lazy loads defer them.
+LAZY_FIELDS = ("collected_tweets", "twitter_timelines", "mastodon_timelines")
 
+
+def _lazy_field(name: str):
+    """A data-descriptor field that materialises from the archive on first read.
+
+    The value lives under a private slot in the instance dict; explicit
+    assignment (including the dataclass-generated ``__init__`` defaults)
+    removes the field from the pending set, so a field is only ever
+    materialised while it still holds nothing but its placeholder default.
+    """
+    store = "_lazy_value_" + name
+
+    def getter(self):
+        pending = getattr(self, "_lazy_pending", None)
+        if pending and name in pending:
+            self._materialize(name)
+        return getattr(self, store)
+
+    def setter(self, value) -> None:
+        pending = getattr(self, "_lazy_pending", None)
+        if pending is not None:
+            pending.discard(name)
+        setattr(self, store, value)
+
+    return property(getter, setter)
+
+
+def _load_prefixed(path: Path, prefixes: tuple[str, ...]) -> dict:
+    """Read only the arrays under the given name prefixes from the archive."""
     with np.load(path) as archive:
-        data = {name: archive[name] for name in archive.files}
-    header = json.loads(bytes(data["header"]).decode("utf-8"))
+        return {
+            name: archive[name]
+            for name in archive.files
+            if name.startswith(prefixes)
+        }
+
+
+def _make_lazy_class():
+    from repro.collection.dataset import MigrationDataset
+
+    class LazyNpzDataset(MigrationDataset):
+        """A dataset whose three big corpora load from disk on first access.
+
+        Everything header-sized (matched users, accounts, coverage,
+        weekly activity, trends) is eager; ``collected_tweets`` and both
+        timeline dicts materialise from the ``.npz`` archive the first
+        time anything reads them.  This is the serving cold-start path: a
+        server answers ``/healthz``, ``/v1/instances`` and ``/v1/trends``
+        before a single timeline column has been read.
+
+        Materialised (or assigned) fields are indistinguishable from an
+        eager load; note the dataclass ``__eq__`` checks exact class
+        identity, so compare lazy and eager datasets via ``to_json()``.
+        """
+
+        collected_tweets = _lazy_field("collected_tweets")
+        twitter_timelines = _lazy_field("twitter_timelines")
+        mastodon_timelines = _lazy_field("mastodon_timelines")
+
+        def _attach(self, path: Path, header: dict) -> None:
+            self._lazy_path = path
+            self._lazy_header = header
+            self._lazy_pending = set(LAZY_FIELDS)
+
+        @property
+        def lazy_pending(self) -> tuple[str, ...]:
+            """Still-unmaterialised fields (introspection for tests/metrics)."""
+            return tuple(sorted(getattr(self, "_lazy_pending", ())))
+
+        def _materialize(self, name: str) -> None:
+            header = self._lazy_header
+            if name == "collected_tweets":
+                data = _load_prefixed(self._lazy_path, ("ct_",))
+                value = _read_tweets(data, "ct", header["ct_labels"])
+            elif name == "twitter_timelines":
+                data = _load_prefixed(self._lazy_path, ("tw_",))
+                value = _regroup(
+                    data["tw_uids"].tolist(),
+                    data["tw_counts"].tolist(),
+                    _read_tweets(data, "tw", header["tw_labels"]),
+                )
+            else:
+                data = _load_prefixed(self._lazy_path, ("ma_",))
+                value = _regroup(
+                    data["ma_uids"].tolist(),
+                    data["ma_counts"].tolist(),
+                    _read_statuses(data, "ma", header["ma_labels"], header["ma_accts"]),
+                )
+            setattr(self, name, value)  # the setter clears the pending mark
+
+    return LazyNpzDataset
+
+
+_LazyNpzDataset = None
+
+
+def lazy_dataset_class():
+    """The (memoized) lazy dataset class; built on first use to avoid an
+    import cycle with :mod:`repro.collection.dataset`."""
+    global _LazyNpzDataset
+    if _LazyNpzDataset is None:
+        _LazyNpzDataset = _make_lazy_class()
+    return _LazyNpzDataset
+
+
+def _read_header(path: Path) -> dict:
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
     if header.get("format_version") != FORMAT_VERSION:
         raise ValueError(
             f"unsupported binary dataset format {header.get('format_version')!r}"
         )
+    return header
 
-    dataset = MigrationDataset()
+
+def _fill_header_fields(dataset, header: dict) -> None:
+    from repro.collection.dataset import (
+        CrawlCoverage,
+        FolloweeRecord,
+        _account_from,
+        _matched_from,
+    )
+
     dataset.instance_domains = list(header["instance_domains"])
-    dataset.collected_tweets = _read_tweets(data, "ct", header["ct_labels"])
     dataset.collected_user_count = int(header["collected_user_count"])
     dataset.matched = {
         int(uid): _matched_from(d) for uid, d in header["matched"].items()
@@ -302,16 +407,6 @@ def load_npz(path: str | Path):
     dataset.accounts = {
         int(uid): _account_from(d) for uid, d in header["accounts"].items()
     }
-    dataset.twitter_timelines = _regroup(
-        data["tw_uids"].tolist(),
-        data["tw_counts"].tolist(),
-        _read_tweets(data, "tw", header["tw_labels"]),
-    )
-    dataset.mastodon_timelines = _regroup(
-        data["ma_uids"].tolist(),
-        data["ma_counts"].tolist(),
-        _read_statuses(data, "ma", header["ma_labels"], header["ma_accts"]),
-    )
     dataset.twitter_coverage = CrawlCoverage(**header["twitter_coverage"])
     dataset.mastodon_coverage = CrawlCoverage(**header["mastodon_coverage"])
     dataset.followee_sample = {
@@ -329,4 +424,45 @@ def load_npz(path: str | Path):
         term: [(day, int(v)) for day, v in series]
         for term, series in header["trends"].items()
     }
+
+
+def load_npz(path: str | Path, lazy: bool = False):
+    """Read a dataset written by :func:`save_npz`.
+
+    With ``lazy=True`` only the JSON header is read now; the three big
+    corpora (``collected_tweets`` and both timeline dicts) materialise
+    from the archive on first access.  The loaded contents are identical
+    either way — laziness only moves *when* the columns are decoded.
+    """
+    from repro.collection.dataset import MigrationDataset
+
+    path = Path(path)
+    if lazy:
+        header = _read_header(path)
+        dataset = lazy_dataset_class()()
+        dataset._attach(path, header)
+        _fill_header_fields(dataset, header)
+        return dataset
+
+    with np.load(path) as archive:
+        data = {name: archive[name] for name in archive.files}
+    header = json.loads(bytes(data["header"]).decode("utf-8"))
+    if header.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported binary dataset format {header.get('format_version')!r}"
+        )
+
+    dataset = MigrationDataset()
+    _fill_header_fields(dataset, header)
+    dataset.collected_tweets = _read_tweets(data, "ct", header["ct_labels"])
+    dataset.twitter_timelines = _regroup(
+        data["tw_uids"].tolist(),
+        data["tw_counts"].tolist(),
+        _read_tweets(data, "tw", header["tw_labels"]),
+    )
+    dataset.mastodon_timelines = _regroup(
+        data["ma_uids"].tolist(),
+        data["ma_counts"].tolist(),
+        _read_statuses(data, "ma", header["ma_labels"], header["ma_accts"]),
+    )
     return dataset

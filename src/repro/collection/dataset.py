@@ -227,13 +227,20 @@ class MigrationDataset:
         return cls._from_doc(json.loads(text))
 
     @classmethod
-    def load(cls, path: str | Path) -> "MigrationDataset":
-        """Read a dataset saved by :meth:`save`, either format."""
+    def load(cls, path: str | Path, lazy: bool = False) -> "MigrationDataset":
+        """Read a dataset saved by :meth:`save`, either format.
+
+        ``lazy=True`` (``.npz`` only) defers the three big corpora —
+        ``collected_tweets`` and both timeline dicts — until first
+        access, so a serving process answers header-only endpoints
+        before decoding a single timeline column.  Contents are
+        identical either way; JSON loads ignore the flag.
+        """
         path = Path(path)
         if path.suffix == ".npz":
             from repro.collection.binfmt import load_npz
 
-            return load_npz(path)
+            return load_npz(path, lazy=lazy)
         return cls.from_json(path.read_text())
 
     def _to_doc(self) -> dict:

@@ -205,6 +205,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", type=str, default="", metavar="SPAN",
                         help="attach a cProfile top-N hotspot table to the "
                              "named span (e.g. world.simulate)")
+    parser.add_argument("--serve", type=str, default="", metavar="HOST:PORT",
+                        help="after building/loading the dataset, serve it "
+                             "over HTTP instead of running experiments "
+                             "(python -m repro.serving has the full serving "
+                             "CLI, including the load generator)")
     parser.add_argument("--no-frames", action="store_true",
                         help="disable the columnar analysis frames and run "
                              "every figure on the naive per-object loops "
@@ -284,6 +289,23 @@ def main(argv: list[str] | None = None) -> int:
                 )
             if args.save:
                 dataset.save(args.save)
+
+            if args.serve:
+                from repro.serving.app import ServingApp
+                from repro.serving.server import run as run_server
+
+                host, _, port_text = args.serve.rpartition(":")
+                try:
+                    port = int(port_text)
+                except ValueError:
+                    parser.error(
+                        f"--serve expects HOST:PORT, got {args.serve!r}"
+                    )
+                app = ServingApp(dataset)
+                _log.info("warming serving read models ...")
+                app.warm()
+                run_server(app, host or "127.0.0.1", port)
+                return 0
 
             ids = [x.strip().upper() for x in args.only.split(",") if x.strip()]
             ids = ids or all_experiment_ids(include_extensions=args.extensions)

@@ -37,6 +37,7 @@ from repro.frames.tables import (
     build_profile_table,
     build_timeline_table,
     build_token_table,
+    iso_day_strings,
 )
 from repro.nlp.embeddings import HashingSentenceEncoder
 from repro.nlp.toxicity import PerspectiveScorer
@@ -95,6 +96,10 @@ class DatasetFrames:
         self._dataset = dataset
         self._products: dict[str, Any] = {}
         self._results: dict[Any, Any] = {}
+        # local result-cache accounting (mirrored to the active obs registry
+        # by ``result``; kept here too so the counts survive registry swaps)
+        self._result_hits = 0
+        self._result_misses = 0
         # Default operators; analyses invoked with custom ones skip frames.
         self._scorer = PerspectiveScorer()
         self._encoder = HashingSentenceEncoder()
@@ -119,8 +124,13 @@ class DatasetFrames:
         """
         found = self._results.get(key)
         if found is None:
+            self._result_misses += 1
+            obs.current().counter("frames.result_cache", outcome="miss").inc()
             found = builder()
             self._results[key] = found
+        else:
+            self._result_hits += 1
+            obs.current().counter("frames.result_cache", outcome="hit").inc()
         return found
 
     # -- column tables ---------------------------------------------------------
@@ -155,6 +165,37 @@ class DatasetFrames:
                 ],
                 dtype=np.int64,
             ),
+        )
+
+    @property
+    def timeline_offsets(self) -> dict[str, dict[int, tuple[int, int]]]:
+        """Per-platform ``uid -> (start, stop)`` timeline row ranges.
+
+        The serving layer's per-account CSR map: a timeline request is one
+        dict lookup plus an array slice, no per-post objects touched.
+        """
+        return self._product(
+            "timeline_offsets",
+            lambda: {
+                "twitter": self.tweet_table.slices,
+                "mastodon": self.status_table.slices,
+            },
+        )
+
+    @property
+    def tweet_day_iso(self) -> list[str]:
+        """ISO day string per tweet-table row (serving payload column)."""
+        return self._product(
+            "tweet_day_iso",
+            lambda: iso_day_strings(self.tweet_table.day_ordinals),
+        )
+
+    @property
+    def status_day_iso(self) -> list[str]:
+        """ISO day string per status-table row (serving payload column)."""
+        return self._product(
+            "status_day_iso",
+            lambda: iso_day_strings(self.status_table.day_ordinals),
         )
 
     @property
@@ -290,6 +331,17 @@ class DatasetFrames:
     def build_stats(self) -> dict[str, bool]:
         """Which products have been materialized (for tests/telemetry)."""
         return {name: True for name in sorted(self._products)}
+
+    def cache_stats(self) -> dict:
+        """Result-cache accounting (rendered by serving ``/metrics`` and bench)."""
+        lookups = self._result_hits + self._result_misses
+        return {
+            "entries": len(self._results),
+            "hits": self._result_hits,
+            "misses": self._result_misses,
+            "hit_rate": round(self._result_hits / lookups, 4) if lookups else 0.0,
+            "products_built": len(self._products),
+        }
 
 
 def frames_of(dataset) -> DatasetFrames:

@@ -90,6 +90,11 @@ class TimelineTable:
         """Row range of ``uid``'s timeline, or None if it was not crawled."""
         return self._slices.get(uid)
 
+    @property
+    def slices(self) -> dict[int, tuple[int, int]]:
+        """``uid -> (start, stop)`` row ranges (per-account CSR offsets)."""
+        return self._slices
+
     def iter_slices(self):
         """``(uid, start, stop)`` in dataset dict order (empty ones included)."""
         bounds = self.bounds
@@ -306,6 +311,23 @@ def build_edge_table(dataset) -> EdgeTable:
 def day_from_ordinal(ordinal: int) -> _dt.date:
     """Inverse of ``date.toordinal`` (exact; proleptic Gregorian)."""
     return _dt.date.fromordinal(ordinal)
+
+
+def iso_day_strings(day_ordinals: np.ndarray) -> list[str]:
+    """ISO ``YYYY-MM-DD`` string per day ordinal, memoized per distinct day.
+
+    The corpora span a few hundred distinct days across millions of rows,
+    so formatting each distinct ordinal once makes this a dict lookup per
+    row — cheap enough to build eagerly as a frames product for serving.
+    """
+    memo: dict[int, str] = {}
+    out: list[str] = []
+    for ordinal in day_ordinals.tolist():
+        found = memo.get(ordinal)
+        if found is None:
+            found = memo[ordinal] = _dt.date.fromordinal(ordinal).isoformat()
+        out.append(found)
+    return out
 
 
 def ordinal_counts(day_ordinals: np.ndarray) -> list[tuple[_dt.date, int]]:

@@ -83,42 +83,53 @@ def check_regressions(
     memory_threshold: float = MEMORY_THRESHOLD,
     window: int = 8,
 ) -> list[dict]:
-    """Regressions of the latest row against its same-scale trailing median.
+    """Regressions of each kind's latest row against its trailing median.
+
+    Rows carry an optional ``kind`` (default ``"pipeline"``) so independent
+    trajectories — the batch pipeline and the serving latency rows — can
+    interleave in one history file: the latest row *of each kind* is gated
+    against the trailing same-(kind, scale) median, so appending a serving
+    row never un-gates the pipeline row (and vice versa).
 
     Returns one record per offending (stage, metric):
-    ``{"stage", "metric", "latest", "median", "ratio"}``.
+    ``{"kind", "stage", "metric", "latest", "median", "ratio"}``.
     """
-    if len(rows) < 2:
-        return []
-    latest = rows[-1]
-    history = rows[:-1]
-    scale = latest.get("scale")
+    by_kind: dict[str, list[dict]] = {}
+    for row in rows:
+        by_kind.setdefault(str(row.get("kind", "pipeline")), []).append(row)
     findings = []
-    for metric, threshold in (
-        ("wall_seconds", wall_threshold),
-        ("peak_rss_bytes", memory_threshold),
-    ):
-        for stage, fields in latest.get("stages", {}).items():
-            value = fields.get(metric)
-            if value is None:
-                continue
-            trailing = _trailing(history, stage, metric, scale, window)
-            if not trailing:
-                continue
-            median = statistics.median(trailing)
-            if median <= 0:
-                continue
-            ratio = value / median
-            if ratio > threshold:
-                findings.append(
-                    {
-                        "stage": stage,
-                        "metric": metric,
-                        "latest": value,
-                        "median": median,
-                        "ratio": ratio,
-                    }
-                )
+    for kind, kind_rows in by_kind.items():
+        if len(kind_rows) < 2:
+            continue
+        latest = kind_rows[-1]
+        history = kind_rows[:-1]
+        scale = latest.get("scale")
+        for metric, threshold in (
+            ("wall_seconds", wall_threshold),
+            ("peak_rss_bytes", memory_threshold),
+        ):
+            for stage, fields in latest.get("stages", {}).items():
+                value = fields.get(metric)
+                if value is None:
+                    continue
+                trailing = _trailing(history, stage, metric, scale, window)
+                if not trailing:
+                    continue
+                median = statistics.median(trailing)
+                if median <= 0:
+                    continue
+                ratio = value / median
+                if ratio > threshold:
+                    findings.append(
+                        {
+                            "kind": kind,
+                            "stage": stage,
+                            "metric": metric,
+                            "latest": value,
+                            "median": median,
+                            "ratio": ratio,
+                        }
+                    )
     findings.sort(key=lambda f: -f["ratio"])
     return findings
 
@@ -172,7 +183,9 @@ def format_history(rows: list[dict], window: int = 8) -> str:
         for row in scoped[-window:]:
             sha = str(row.get("git_sha", "unknown"))[:10]
             when = str(row.get("recorded_at", ""))[:19]
-            lines.append(f"{when}  {sha}  seed={row.get('seed')}")
+            kind = str(row.get("kind", "pipeline"))
+            suffix = "" if kind == "pipeline" else f"  [{kind}]"
+            lines.append(f"{when}  {sha}  seed={row.get('seed')}{suffix}")
             for stage in stages:
                 fields = row.get("stages", {}).get(stage)
                 if fields is None:

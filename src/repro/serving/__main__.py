@@ -1,0 +1,123 @@
+"""Serving CLI: serve a dataset, replay a workload, run the bench.
+
+Usage::
+
+    python -m repro.serving serve   DATASET [--host H] [--port P] [--lazy]
+    python -m repro.serving loadgen DATASET [--requests N] [--seed S]
+                                    [--mode closed|open] [--workers W]
+                                    [--no-caches] [--trace-out PATH]
+    python -m repro.serving bench   DATASET [--requests N] [--seed S]
+                                    [--out PATH]
+
+``DATASET`` is a path saved by the runner's ``--save`` (``.npz`` or
+JSON).  ``serve --lazy`` starts answering header-only endpoints before
+the timeline columns are decoded (``.npz`` only).  ``loadgen`` builds
+the seed-deterministic trace, replays it in-process and prints the
+per-endpoint latency report.  ``bench`` runs the full cold/warm serving
+benchmark and prints (or writes) the artifact section.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro import obs
+from repro.collection.dataset import MigrationDataset
+from repro.serving.app import ServingApp
+from repro.serving.bench import run_serving_bench
+from repro.serving.loadgen import (
+    LoadgenConfig,
+    build_trace,
+    replay_closed,
+    replay_open,
+    trace_bytes,
+)
+from repro.serving.server import run as run_server
+
+
+def _add_dataset_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("dataset", type=str, help="dataset path (.npz or JSON)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.serving", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve_cmd = commands.add_parser("serve", help="serve a dataset over HTTP")
+    _add_dataset_arg(serve_cmd)
+    serve_cmd.add_argument("--host", type=str, default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8752)
+    serve_cmd.add_argument(
+        "--lazy", action="store_true",
+        help="lazy-load the .npz corpora; header endpoints answer immediately",
+    )
+    serve_cmd.add_argument(
+        "--no-warm", action="store_true",
+        help="skip the read-model warmup (models build on first use)",
+    )
+
+    load_cmd = commands.add_parser("loadgen", help="replay a workload in-process")
+    _add_dataset_arg(load_cmd)
+    load_cmd.add_argument("--requests", type=int, default=2000)
+    load_cmd.add_argument("--seed", type=int, default=7)
+    load_cmd.add_argument("--mode", choices=("closed", "open"), default="closed")
+    load_cmd.add_argument("--workers", type=int, default=1)
+    load_cmd.add_argument(
+        "--no-caches", action="store_true", help="disable both cache tiers"
+    )
+    load_cmd.add_argument(
+        "--trace-out", type=str, default="",
+        help="also write the generated request trace (JSONL) to this path",
+    )
+
+    bench_cmd = commands.add_parser("bench", help="run the serving benchmark")
+    _add_dataset_arg(bench_cmd)
+    bench_cmd.add_argument("--requests", type=int, default=2000)
+    bench_cmd.add_argument("--seed", type=int, default=7)
+    bench_cmd.add_argument(
+        "--out", type=str, default="",
+        help="write the serving section (JSON) here instead of stdout",
+    )
+
+    args = parser.parse_args(argv)
+    obs.configure_logging()
+
+    if args.command == "serve":
+        dataset = MigrationDataset.load(args.dataset, lazy=args.lazy)
+        app = ServingApp(dataset)
+        if not args.no_warm:
+            app.warm()
+        run_server(app, args.host, args.port)
+        return 0
+
+    dataset = MigrationDataset.load(args.dataset)
+    config = LoadgenConfig(seed=args.seed, requests=args.requests)
+
+    if args.command == "loadgen":
+        trace = build_trace(dataset, config)
+        if args.trace_out:
+            with open(args.trace_out, "wb") as handle:
+                handle.write(trace_bytes(trace))
+        app = ServingApp(dataset, caches=not args.no_caches)
+        app.warm()
+        replay = replay_closed if args.mode == "closed" else replay_open
+        report = replay(app, trace, workers=args.workers)
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+
+    # bench
+    npz_path = args.dataset if args.dataset.endswith(".npz") else None
+    section = run_serving_bench(dataset, config, npz_path=npz_path)
+    rendered = json.dumps(section, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered + "\n")
+    else:
+        print(rendered)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""The serving benchmark driver: cold/warm passes and the bench row.
+
+Produces the ``serving`` section of ``BENCH_pipeline.json`` and the
+``kind: "serving"`` row of ``BENCH_history.jsonl``:
+
+- **cold** — columnar read models warm, request caches *disabled*: the
+  steady-state cost of computing every answer (the honest baseline the
+  ≥5× warm-speedup gate compares against);
+- **warm** — caches enabled, measured on the second replay of the same
+  trace, when the result cache and payload LRU are hot;
+- **open** — the warm app driven on the trace's burst arrival schedule
+  through a small worker pool, so queueing delay shows up in p99;
+- **cold start** — when an ``.npz`` path is given: lazy-load the
+  dataset and time the first health check, first header-only query and
+  first search (the request that forces the corpus columns in), against
+  the eager full-load time.
+
+``history_stages`` flattens the warm per-endpoint p50/p99 into
+bench-history stage entries (latency expressed as ``wall_seconds``), so
+``bench_report --check`` gates serving latency with the same trailing-
+median machinery that gates pipeline stage walls.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro import obs
+from repro.serving.app import ServingApp
+from repro.serving.loadgen import (
+    LoadgenConfig,
+    build_trace,
+    endpoint_counts,
+    replay_closed,
+    replay_open,
+)
+
+#: The search request used to time "first corpus-backed answer" at cold start.
+_COLD_SEARCH_TARGET = "/v1/search?hashtag=twittermigration&limit=20"
+
+
+def measure_cold_start(npz_path: str | Path) -> dict:
+    """Time-to-first-response of a lazily-loaded server, vs an eager load."""
+    from repro.collection.dataset import MigrationDataset
+
+    npz_path = Path(npz_path)
+    started = time.perf_counter()
+    dataset = MigrationDataset.load(npz_path, lazy=True)
+    lazy_load_s = time.perf_counter() - started
+    app = ServingApp(dataset)
+
+    def timed(target: str) -> tuple[int, float]:
+        t0 = time.perf_counter()
+        status, _ = app.get(target)
+        return status, time.perf_counter() - t0
+
+    healthz_status, healthz_s = timed("/healthz")
+    pending_after_healthz = list(getattr(dataset, "lazy_pending", ()))
+    _, instances_s = timed("/v1/instances?limit=20")
+    _, search_s = timed(_COLD_SEARCH_TARGET)
+
+    started = time.perf_counter()
+    MigrationDataset.load(npz_path)
+    eager_load_s = time.perf_counter() - started
+    return {
+        "lazy_load_s": round(lazy_load_s, 6),
+        "first_healthz_s": round(healthz_s, 6),
+        "first_instances_s": round(instances_s, 6),
+        "first_search_s": round(search_s, 6),
+        "eager_load_s": round(eager_load_s, 6),
+        "time_to_first_response_s": round(lazy_load_s + healthz_s, 6),
+        "healthz_ok": healthz_status == 200,
+        "lazy_pending_after_healthz": pending_after_healthz,
+    }
+
+
+def run_serving_bench(
+    dataset,
+    config: LoadgenConfig | None = None,
+    *,
+    npz_path: str | Path | None = None,
+    scale: float | None = None,
+    open_workers: int = 2,
+) -> dict:
+    """Run the full serving benchmark; returns the artifact section."""
+    config = config or LoadgenConfig()
+    registry = obs.current()
+    with registry.span("serving.bench.trace"):
+        trace = build_trace(dataset, config)
+
+    # cold: read models warm, request caches off — pure compute cost
+    cold_app = ServingApp(dataset, caches=False)
+    with registry.span("serving.bench.warmup"):
+        warmup_seconds = cold_app.warm()
+    with registry.span("serving.bench.cold"):
+        cold = replay_closed(cold_app, trace)
+
+    # warm: caches on; replay once to fill, measure the second pass
+    warm_app = ServingApp(dataset, caches=True)
+    warm_app.warm()
+    with registry.span("serving.bench.fill"):
+        replay_closed(warm_app, trace)
+    with registry.span("serving.bench.warm"):
+        warm = replay_closed(warm_app, trace)
+    with registry.span("serving.bench.open"):
+        open_report = replay_open(warm_app, trace, workers=open_workers)
+
+    speedups = {}
+    for name, warm_report in warm.endpoints.items():
+        cold_report = cold.endpoints.get(name)
+        if cold_report and warm_report.p50_ms > 0:
+            speedups[name] = round(cold_report.p50_ms / warm_report.p50_ms, 2)
+
+    section: dict = {
+        "seed": config.seed,
+        "requests": config.requests,
+        "config": config.to_dict(),
+        "endpoint_requests": endpoint_counts(trace),
+        "warmup_seconds": {k: round(v, 6) for k, v in warmup_seconds.items()},
+        "cold": cold.to_dict(),
+        "warm": warm.to_dict(),
+        "open": open_report.to_dict(),
+        "speedup_p50": dict(sorted(speedups.items())),
+        "caches": warm_app.cache_stats(),
+    }
+    if scale is not None:
+        section["scale"] = scale
+    if npz_path is not None:
+        with registry.span("serving.bench.cold_start"):
+            section["cold_start"] = measure_cold_start(npz_path)
+    return section
+
+
+def history_stages(section: dict) -> dict[str, dict]:
+    """Bench-history stage entries for one serving section.
+
+    Latencies become ``wall_seconds`` so ``bench_report --check`` gates
+    them with its standard trailing-median machinery; throughput is
+    folded in as seconds-per-request (lower is better, like any wall).
+    """
+    stages: dict[str, dict] = {}
+    for name, report in section["warm"]["endpoints"].items():
+        stages[f"serving.{name}.p50"] = {
+            "wall_seconds": round(report["p50_ms"] / 1e3, 9)
+        }
+        stages[f"serving.{name}.p99"] = {
+            "wall_seconds": round(report["p99_ms"] / 1e3, 9)
+        }
+    throughput = section["warm"]["throughput_rps"]
+    if throughput:
+        stages["serving.seconds_per_request"] = {
+            "wall_seconds": round(1.0 / throughput, 9)
+        }
+    cold_start = section.get("cold_start")
+    if cold_start:
+        stages["serving.cold_start"] = {
+            "wall_seconds": cold_start["time_to_first_response_s"]
+        }
+    return stages

@@ -1,0 +1,127 @@
+"""The serving layer's two caches: computed results and rendered payloads.
+
+Both caches follow the frames discipline (DESIGN.md §5): a cache key is
+the *normalized* request — two raw requests that normalize identically
+must, by construction, produce identical payloads — so a cache can only
+ever change *when* bytes are computed, never *which* bytes come back.
+``tests/serving/test_cache.py`` pins that contract by diffing every
+endpoint's payload with caches enabled against a cache-free app.
+
+Two tiers, mirroring what a request actually costs:
+
+- :class:`ResultCache` memoizes the computed (pre-render) result object
+  under its ``(endpoint, params)`` key — unbounded, like the frames
+  ``(analysis, params)`` result cache it imitates, because the normalized
+  parameter space over a fixed dataset is small;
+- :class:`PayloadLru` holds the *rendered JSON bytes* of the hottest keys
+  in a bounded LRU — a hit skips both compute and render and returns a
+  shared immutable ``bytes`` object.
+
+Hit/miss counts are kept locally (deterministic, always on) and mirrored
+to the active :mod:`repro.obs` registry (``serving.result_cache`` /
+``serving.payload_cache`` counters with an ``outcome`` label).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro import obs
+
+
+class CacheStats:
+    """Local hit/miss accounting shared by both cache tiers."""
+
+    __slots__ = ("hits", "misses")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction in [0, 1]; 0.0 before the first lookup."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ResultCache:
+    """Unbounded ``(endpoint, params) -> result`` memo (frames discipline)."""
+
+    def __init__(self, counter_name: str = "serving.result_cache") -> None:
+        self._entries: dict[Any, Any] = {}
+        self._counter_name = counter_name
+        self.stats = CacheStats()
+
+    def get_or_build(self, key: Any, builder: Callable[[], Any]) -> Any:
+        found = self._entries.get(key)
+        if found is not None:
+            self.stats.hits += 1
+            obs.current().counter(self._counter_name, outcome="hit").inc()
+            return found
+        self.stats.misses += 1
+        obs.current().counter(self._counter_name, outcome="miss").inc()
+        built = self._entries[key] = builder()
+        return built
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class PayloadLru:
+    """Bounded LRU of rendered payload bytes for hot keys."""
+
+    def __init__(
+        self, capacity: int, counter_name: str = "serving.payload_cache"
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"LRU capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Any, bytes]" = OrderedDict()
+        self._counter_name = counter_name
+        self.stats = CacheStats()
+        self.evictions = 0
+
+    def get(self, key: Any) -> bytes | None:
+        found = self._entries.get(key)
+        if found is None:
+            self.stats.misses += 1
+            obs.current().counter(self._counter_name, outcome="miss").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        obs.current().counter(self._counter_name, outcome="hit").inc()
+        return found
+
+    def put(self, key: Any, payload: bytes) -> None:
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            entries[key] = payload
+            return
+        entries[key] = payload
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,145 @@
+"""A minimal asyncio HTTP/1.1 server for the ASGI serving app.
+
+Stdlib-only (no new dependencies): an ``asyncio.start_server`` loop that
+parses just enough HTTP/1.1 to drive GET requests — request line, headers
+(to honour ``Connection``), no body handling beyond draining
+``Content-Length`` — and adapts each request to one ASGI ``http`` scope.
+This is the process-boundary deployment path; benchmarks and tests use
+the in-process ASGI interface directly so socket overhead never pollutes
+the latency gates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from urllib.parse import unquote
+
+_MAX_REQUEST_LINE = 16 * 1024
+_MAX_HEADER_BYTES = 64 * 1024
+
+
+async def _read_headers(reader: asyncio.StreamReader) -> list[tuple[str, str]]:
+    headers: list[tuple[str, str]] = []
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > _MAX_HEADER_BYTES:
+            raise ValueError("header block too large")
+        if line in (b"\r\n", b"\n", b""):
+            return headers
+        name, _, value = line.decode("latin-1").partition(":")
+        headers.append((name.strip().lower(), value.strip()))
+
+
+async def _handle_connection(
+    app, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+) -> None:
+    try:
+        while True:
+            request_line = await reader.readline()
+            if not request_line:
+                return
+            if len(request_line) > _MAX_REQUEST_LINE:
+                writer.write(b"HTTP/1.1 414 URI Too Long\r\n\r\n")
+                return
+            try:
+                method, target, version = (
+                    request_line.decode("latin-1").strip().split(" ", 2)
+                )
+            except ValueError:
+                writer.write(b"HTTP/1.1 400 Bad Request\r\n\r\n")
+                return
+            headers = await _read_headers(reader)
+            length = next(
+                (int(v) for k, v in headers if k == "content-length"), 0
+            )
+            if length:
+                await reader.readexactly(length)  # drain; GET bodies ignored
+            raw_path, _, query = target.partition("?")
+            scope = {
+                "type": "http",
+                "asgi": {"version": "3.0"},
+                "http_version": version.rsplit("/", 1)[-1],
+                "method": method.upper(),
+                "path": unquote(raw_path),
+                "query_string": query.encode("latin-1"),
+                "headers": [
+                    (k.encode("latin-1"), v.encode("latin-1"))
+                    for k, v in headers
+                ],
+            }
+            response: dict = {}
+
+            async def receive() -> dict:
+                return {"type": "http.request", "body": b"", "more_body": False}
+
+            async def send(message: dict) -> None:
+                if message["type"] == "http.response.start":
+                    response["status"] = message["status"]
+                    response["headers"] = message.get("headers", [])
+                elif message["type"] == "http.response.body":
+                    response.setdefault("body", b"")
+                    response["body"] += message.get("body", b"")
+
+            await app(scope, receive, send)
+            status = response.get("status", 500)
+            body = response.get("body", b"")
+            head = [f"HTTP/1.1 {status} {_reason(status)}".encode("latin-1")]
+            for name, value in response.get("headers", []):
+                head.append(name + b": " + value)
+            head.append(b"connection: keep-alive")
+            writer.write(b"\r\n".join(head) + b"\r\n\r\n" + body)
+            await writer.drain()
+            wants_close = any(
+                k == "connection" and v.lower() == "close" for k, v in headers
+            )
+            if wants_close or version == "HTTP/1.0":
+                return
+    except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+        pass
+    except asyncio.CancelledError:
+        # loop teardown while parked on readline (idle keep-alive peer):
+        # finish quietly so stream callbacks don't log the cancellation
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - peer already gone
+            pass
+
+
+def _reason(status: int) -> str:
+    return {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        500: "Internal Server Error",
+    }.get(status, "Unknown")
+
+
+async def serve(app, host: str = "127.0.0.1", port: int = 8752):
+    """Start serving ``app``; returns the listening ``asyncio.Server``."""
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(app, r, w), host, port
+    )
+
+
+def run(app, host: str = "127.0.0.1", port: int = 8752) -> None:
+    """Blocking entry point: serve until interrupted."""
+
+    async def main() -> None:
+        server = await serve(app, host, port)
+        addresses = ", ".join(
+            str(sock.getsockname()) for sock in server.sockets or ()
+        )
+        print(f"serving on {addresses}")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass

@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import re
 
+from repro import obs
 from repro.twitter.models import Tweet
 from repro.twitter.search import SearchQuery
 
@@ -69,6 +70,9 @@ class TweetIndex:
         self._version = 0
         self._plan_cache: dict[SearchQuery, list[int] | None] = {}
         self._plan_cache_version = -1
+        # local plan-cache accounting, mirrored to the active obs registry
+        self._plan_hits = 0
+        self._plan_misses = 0
 
     # -- maintenance -------------------------------------------------------
 
@@ -208,7 +212,11 @@ class TweetIndex:
             self._plan_cache.clear()
             self._plan_cache_version = self._version
         if query in self._plan_cache:
+            self._plan_hits += 1
+            obs.current().counter("twitter.index.plan_cache", outcome="hit").inc()
             return self._plan_cache[query]
+        self._plan_misses += 1
+        obs.current().counter("twitter.index.plan_cache", outcome="miss").inc()
         plan = self._plan(query)
         self._plan_cache[query] = plan
         return plan
@@ -271,10 +279,13 @@ class TweetIndex:
 
     @property
     def stats(self) -> dict[str, int]:
-        """Index sizes (for observability and the benchmarks)."""
+        """Index sizes and plan-cache accounting (observability + benchmarks)."""
         return {
             "tags": len(self._tags),
             "domains": len(self._domains),
             "tokens": len(self._tokens),
             "version": self._version,
+            "plan_entries": len(self._plan_cache),
+            "plan_hits": self._plan_hits,
+            "plan_misses": self._plan_misses,
         }

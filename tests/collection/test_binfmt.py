@@ -141,3 +141,76 @@ class TestRoundTrip:
         ds.save(js)
         assert zipfile.is_zipfile(npz)  # npz files are zip archives
         assert js.read_text().startswith("{")
+
+
+class TestLazyLoading:
+    def test_lazy_defers_the_three_corpora(self, tiny_dataset, tmp_path):
+        ds = fill(tiny_dataset)
+        path = tmp_path / "dataset.npz"
+        ds.save(path)
+        lazy = MigrationDataset.load(path, lazy=True)
+        assert lazy.lazy_pending == (
+            "collected_tweets",
+            "mastodon_timelines",
+            "twitter_timelines",
+        )
+
+    def test_header_fields_available_before_materialising(
+        self, tiny_dataset, tmp_path
+    ):
+        ds = fill(tiny_dataset)
+        path = tmp_path / "dataset.npz"
+        ds.save(path)
+        lazy = MigrationDataset.load(path, lazy=True)
+        assert lazy.matched.keys() == ds.matched.keys()
+        assert lazy.instance_domains == ds.instance_domains
+        assert lazy.trends == ds.trends
+        assert len(lazy.lazy_pending) == 3  # nothing forced yet
+
+    def test_fields_materialise_independently_on_access(
+        self, tiny_dataset, tmp_path
+    ):
+        ds = fill(tiny_dataset)
+        path = tmp_path / "dataset.npz"
+        ds.save(path)
+        lazy = MigrationDataset.load(path, lazy=True)
+        assert len(lazy.collected_tweets) == len(ds.collected_tweets)
+        assert lazy.lazy_pending == ("mastodon_timelines", "twitter_timelines")
+        assert list(lazy.twitter_timelines) == list(ds.twitter_timelines)
+        assert lazy.lazy_pending == ("mastodon_timelines",)
+
+    def test_lazy_equals_eager_content(self, tiny_dataset, tmp_path):
+        ds = fill(tiny_dataset)
+        path = tmp_path / "dataset.npz"
+        ds.save(path)
+        lazy = MigrationDataset.load(path, lazy=True)
+        eager = MigrationDataset.load(path)
+        # dataclass __eq__ requires identical classes; content compares
+        # through the canonical JSON form
+        assert lazy.to_json() == eager.to_json()
+        assert lazy.lazy_pending == ()
+
+    def test_assignment_cancels_laziness(self, tiny_dataset, tmp_path):
+        ds = fill(tiny_dataset)
+        path = tmp_path / "dataset.npz"
+        ds.save(path)
+        lazy = MigrationDataset.load(path, lazy=True)
+        lazy.collected_tweets = []
+        assert "collected_tweets" not in lazy.lazy_pending
+        assert lazy.collected_tweets == []
+
+    def test_lazy_is_a_migration_dataset(self, tiny_dataset, tmp_path):
+        ds = fill(tiny_dataset)
+        path = tmp_path / "dataset.npz"
+        ds.save(path)
+        lazy = MigrationDataset.load(path, lazy=True)
+        assert isinstance(lazy, MigrationDataset)
+        # derived products still work (and force materialisation)
+        assert lazy.instance_populations() == ds.instance_populations()
+
+    def test_json_load_ignores_lazy_flag(self, tiny_dataset, tmp_path):
+        ds = fill(tiny_dataset)
+        path = tmp_path / "dataset.json"
+        ds.save(path)
+        loaded = MigrationDataset.load(path, lazy=True)
+        assert loaded == ds

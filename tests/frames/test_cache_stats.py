@@ -1,0 +1,66 @@
+"""Tests for the frames cache accounting and serving-facing products."""
+
+import datetime as dt
+
+import numpy as np
+
+from repro import obs
+from repro.frames.core import DatasetFrames
+from repro.frames.tables import iso_day_strings
+from tests.conftest import make_tweet
+
+
+class TestResultCacheStats:
+    def test_counts_hits_and_misses(self, tiny_dataset):
+        frames = DatasetFrames(tiny_dataset)
+        frames.result(("k", 1), lambda: "a")
+        frames.result(("k", 1), lambda: "a")
+        frames.result(("k", 2), lambda: "b")
+        stats = frames.cache_stats()
+        assert stats["entries"] == 2
+        assert (stats["hits"], stats["misses"]) == (1, 2)
+        assert stats["hit_rate"] == round(1 / 3, 4)
+
+    def test_products_built_counted(self, tiny_dataset):
+        frames = DatasetFrames(tiny_dataset)
+        assert frames.cache_stats()["products_built"] == 0
+        frames.tweet_table
+        assert frames.cache_stats()["products_built"] == 1
+
+    def test_counts_mirror_to_obs(self, tiny_dataset):
+        with obs.use(obs.MetricsRegistry()) as registry:
+            frames = DatasetFrames(tiny_dataset)
+            frames.result(("k",), lambda: 1)
+            frames.result(("k",), lambda: 1)
+            outcomes = registry.counters_by_label("frames.result_cache", "outcome")
+        assert outcomes == {"hit": 1, "miss": 1}
+
+
+class TestServingProducts:
+    def test_timeline_offsets_match_table_slices(self, tiny_dataset):
+        day = dt.date(2022, 11, 1)
+        tiny_dataset.twitter_timelines = {
+            1: [make_tweet(1, 1, day, "a"), make_tweet(2, 1, day, "b")],
+            2: [make_tweet(3, 2, day, "c")],
+        }
+        frames = DatasetFrames(tiny_dataset)
+        offsets = frames.timeline_offsets
+        assert offsets["twitter"] == {1: (0, 2), 2: (2, 3)}
+        assert offsets["mastodon"] == frames.status_table.slices
+
+    def test_day_iso_columns_align(self, tiny_dataset):
+        day = dt.date(2022, 11, 5)
+        tiny_dataset.twitter_timelines = {1: [make_tweet(1, 1, day, "a")]}
+        frames = DatasetFrames(tiny_dataset)
+        assert frames.tweet_day_iso == ["2022-11-05"]
+        assert len(frames.status_day_iso) == len(frames.status_table.texts)
+
+
+class TestIsoDayStrings:
+    def test_matches_fromordinal(self):
+        days = [dt.date(2022, 10, 27), dt.date(2022, 11, 5), dt.date(2022, 10, 27)]
+        ordinals = np.asarray([d.toordinal() for d in days])
+        assert iso_day_strings(ordinals) == [d.isoformat() for d in days]
+
+    def test_empty(self):
+        assert iso_day_strings(np.asarray([], dtype=np.int64)) == []

@@ -184,3 +184,62 @@ class TestCli:
         append_history_row(path, _row(99.0))
         assert main(["--history", str(path)]) == 0
         assert "bench trajectory" in capsys.readouterr().out
+
+
+def _serving_row(p50: float, scale: float = 0.01, **extra) -> dict:
+    return {
+        "recorded_at": extra.pop("recorded_at", "2026-08-01T00:00:00+00:00"),
+        "git_sha": extra.pop("git_sha", "abc123"),
+        "seed": 7,
+        "scale": scale,
+        "kind": "serving",
+        "stages": {"serving.search.p50": {"wall_seconds": p50}},
+        **extra,
+    }
+
+
+class TestKindScopedGating:
+    def test_kinds_are_gated_independently(self):
+        # serving rows interleave with pipeline rows; each kind gates its own
+        # latest row against its own trailing median
+        rows = [
+            _row(1.0),
+            _serving_row(0.001),
+            _row(1.0),
+            _serving_row(0.001),
+            _row(1.02),
+            _serving_row(0.0011),
+        ]
+        assert check_regressions(rows) == []
+
+    def test_appending_a_serving_row_keeps_the_pipeline_gated(self):
+        rows = [_row(1.0), _row(1.0), _row(1.6), _serving_row(0.001)]
+        findings = check_regressions(rows)
+        assert [(f["kind"], f["stage"]) for f in findings] == [
+            ("pipeline", "collect_dataset")
+        ]
+
+    def test_serving_regression_is_flagged_with_its_kind(self):
+        rows = [
+            _serving_row(0.001),
+            _serving_row(0.001),
+            _serving_row(0.005),
+            _row(1.0),
+        ]
+        findings = check_regressions(rows)
+        assert len(findings) == 1
+        assert findings[0]["kind"] == "serving"
+        assert findings[0]["stage"] == "serving.search.p50"
+
+    def test_rows_without_kind_are_pipeline(self):
+        rows = [_row(1.0), _row(1.0, kind="pipeline"), _row(1.6)]
+        findings = check_regressions(rows)
+        assert [f["kind"] for f in findings] == ["pipeline"]
+
+    def test_single_row_per_kind_passes(self):
+        assert check_regressions([_row(1.0), _serving_row(0.001)]) == []
+
+    def test_format_history_marks_non_pipeline_rows(self):
+        text = format_history([_row(1.0), _serving_row(0.001)])
+        assert "[serving]" in text
+        assert "serving.search.p50" in text

@@ -1,0 +1,87 @@
+"""Tests for repro.serving.cache: the result cache and payload LRU."""
+
+import pytest
+
+from repro import obs
+from repro.serving.cache import CacheStats, PayloadLru, ResultCache
+
+
+class TestCacheStats:
+    def test_empty(self):
+        stats = CacheStats()
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = CacheStats()
+        stats.hits, stats.misses = 3, 1
+        assert stats.lookups == 4
+        assert stats.hit_rate == 0.75
+        assert stats.to_dict() == {"hits": 3, "misses": 1, "hit_rate": 0.75}
+
+
+class TestResultCache:
+    def test_builds_once_per_key(self):
+        cache = ResultCache()
+        calls = []
+        build = lambda: calls.append(1) or {"n": len(calls)}
+        first = cache.get_or_build("k", build)
+        second = cache.get_or_build("k", build)
+        assert first is second
+        assert calls == [1]
+        assert len(cache) == 1
+        assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+
+    def test_distinct_keys_build_separately(self):
+        cache = ResultCache()
+        assert cache.get_or_build("a", lambda: 1) == 1
+        assert cache.get_or_build("b", lambda: 2) == 2
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = ResultCache()
+        cache.get_or_build("a", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_counts_flow_to_obs(self):
+        with obs.use(obs.MetricsRegistry()) as registry:
+            cache = ResultCache()
+            cache.get_or_build("a", lambda: 1)
+            cache.get_or_build("a", lambda: 1)
+            hits = registry.counter("serving.result_cache", outcome="hit")
+            misses = registry.counter("serving.result_cache", outcome="miss")
+            assert (hits.value, misses.value) == (1, 1)
+
+
+class TestPayloadLru:
+    def test_get_put_roundtrip(self):
+        lru = PayloadLru(capacity=4)
+        assert lru.get("k") is None
+        lru.put("k", b"payload")
+        assert lru.get("k") == b"payload"
+        assert (lru.stats.hits, lru.stats.misses) == (1, 1)
+
+    def test_eviction_is_least_recently_used(self):
+        lru = PayloadLru(capacity=2)
+        lru.put("a", b"a")
+        lru.put("b", b"b")
+        assert lru.get("a") == b"a"  # refresh a; b is now LRU
+        lru.put("c", b"c")
+        assert lru.get("b") is None
+        assert lru.get("a") == b"a"
+        assert lru.get("c") == b"c"
+        assert lru.evictions == 1
+        assert len(lru) == 2
+
+    def test_overwrite_does_not_evict(self):
+        lru = PayloadLru(capacity=2)
+        lru.put("a", b"1")
+        lru.put("a", b"2")
+        lru.put("b", b"b")
+        assert lru.get("a") == b"2"
+        assert lru.evictions == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PayloadLru(capacity=0)

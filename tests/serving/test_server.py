@@ -1,0 +1,121 @@
+"""Tests for repro.serving.server: the asyncio HTTP/1.1 front end.
+
+Each test runs a real server on an ephemeral port inside one event loop
+and speaks raw HTTP/1.1 at it through asyncio streams — the same code
+path ``python -m repro.serving serve`` deploys.
+"""
+
+import asyncio
+import json
+
+from repro.serving.server import serve
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _request(
+    port: int, target: str, *, close: bool = False, raw: bytes | None = None
+) -> tuple[int, dict[str, str], bytes]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        if raw is None:
+            connection = "close" if close else "keep-alive"
+            raw = (
+                f"GET {target} HTTP/1.1\r\nhost: t\r\n"
+                f"connection: {connection}\r\n\r\n"
+            ).encode()
+        writer.write(raw)
+        await writer.drain()
+        return await _read_response(reader)
+    finally:
+        writer.close()
+
+
+async def _read_response(reader) -> tuple[int, dict[str, str], bytes]:
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    body = await reader.readexactly(int(headers["content-length"]))
+    return status, headers, body
+
+
+async def _with_server(app, fn):
+    server = await serve(app, "127.0.0.1", 0)
+    port = server.sockets[0].getsockname()[1]
+    try:
+        return await fn(port)
+    finally:
+        server.close()
+        await server.wait_closed()
+
+
+class TestHttpServer:
+    def test_healthz_over_a_socket(self, serving_app):
+        async def scenario(port):
+            status, headers, body = await _request(port, "/healthz")
+            assert status == 200
+            assert headers["content-type"] == "application/json"
+            assert json.loads(body)["status"] == "ok"
+
+        _run(_with_server(serving_app, scenario))
+
+    def test_socket_bytes_match_in_process_bytes(self, serving_app):
+        target = "/v1/search?hashtag=twittermigration&limit=5"
+
+        async def scenario(port):
+            _, _, body = await _request(port, target)
+            return body
+
+        body = _run(_with_server(serving_app, scenario))
+        assert body == serving_app.get(target)[1]
+
+    def test_keep_alive_serves_multiple_requests(self, serving_app):
+        async def scenario(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                for _ in range(3):
+                    writer.write(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+                    await writer.drain()
+                    status, _, body = await _read_response(reader)
+                    assert status == 200
+                    assert json.loads(body)["status"] == "ok"
+            finally:
+                writer.close()
+
+        _run(_with_server(serving_app, scenario))
+
+    def test_errors_surface_as_http_statuses(self, serving_app):
+        async def scenario(port):
+            status, _, _ = await _request(port, "/no-such-path")
+            assert status == 404
+            status, _, _ = await _request(port, "/v1/search?limit=1")
+            assert status == 400
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                writer.write(b"POST /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+                await writer.drain()
+                status, _, _ = await _read_response(reader)
+                assert status == 405
+            finally:
+                writer.close()
+
+        _run(_with_server(serving_app, scenario))
+
+    def test_percent_encoded_targets_decode(self, serving_app):
+        target = "/v1/search?q=bye%20bye%20twitter&limit=5"
+
+        async def scenario(port):
+            status, _, body = await _request(port, target)
+            assert status == 200
+            return body
+
+        body = _run(_with_server(serving_app, scenario))
+        assert body == serving_app.get(target)[1]

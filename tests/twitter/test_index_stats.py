@@ -1,0 +1,64 @@
+"""Tests for the TweetIndex plan-cache accounting (serving satellite)."""
+
+import datetime as dt
+
+from repro import obs
+from repro.twitter.index import TweetIndex
+from repro.twitter.models import Tweet
+from repro.twitter.search import SearchQuery
+
+
+def _tweet(tweet_id: int, text: str) -> Tweet:
+    return Tweet(
+        tweet_id=tweet_id,
+        author_id=1,
+        created_at=dt.datetime(2022, 11, 1, 12, 0),
+        text=text,
+        source="Twitter Web App",
+    )
+
+
+def _index() -> TweetIndex:
+    index = TweetIndex()
+    index.add(_tweet(1, "bye bye twitter #TwitterMigration"))
+    index.add(_tweet(2, "loving mastodon.social so far"))
+    return index
+
+
+class TestPlanCacheStats:
+    def test_repeat_plans_hit(self):
+        index = _index()
+        query = SearchQuery(hashtags=("TwitterMigration",))
+        first = index.candidates(query)
+        second = index.candidates(query)
+        assert first == second == [1]
+        assert index.stats["plan_hits"] == 1
+        assert index.stats["plan_misses"] == 1
+        assert index.stats["plan_entries"] == 1
+
+    def test_mutation_invalidates_but_keeps_counts(self):
+        index = _index()
+        query = SearchQuery(hashtags=("TwitterMigration",))
+        index.candidates(query)
+        index.add(_tweet(3, "another #TwitterMigration post"))
+        assert index.candidates(query) == [1, 3]
+        # both lookups were misses: the add() cleared the plan cache
+        assert index.stats["plan_misses"] == 2
+        assert index.stats["plan_hits"] == 0
+
+    def test_unindexable_query_not_counted(self):
+        index = _index()
+        # author-only query: no content terms, answered by scan, not planned
+        assert index.candidates(SearchQuery(from_user_id=1)) is None
+        assert index.stats["plan_misses"] == 0
+
+    def test_counts_mirror_to_obs(self):
+        with obs.use(obs.MetricsRegistry()) as registry:
+            index = _index()
+            query = SearchQuery(phrases=("bye bye",))
+            index.candidates(query)
+            index.candidates(query)
+            outcomes = registry.counters_by_label(
+                "twitter.index.plan_cache", "outcome"
+            )
+        assert outcomes == {"hit": 1, "miss": 1}
