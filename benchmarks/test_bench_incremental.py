@@ -1,0 +1,125 @@
+"""Benchmark of the incremental plane: pay only for the delta.
+
+Builds a clocked snapshot one day before the benchmark clock, warms its
+frames with the rolling analysis suite (the steady state of a daily
+tracking crawl), then measures the two ways of producing the next day:
+
+- **incremental** — :func:`repro.incremental.advance` (delta crawl only),
+  :meth:`~repro.frames.DatasetFrames.rebase` (splice columnar products,
+  carry results whose inputs did not change), and the analysis suite over
+  the rebased frames;
+- **full** — a from-scratch clocked collection at the new day plus the
+  same suite over cold frames.
+
+Gates (the acceptance criteria of the incremental PR):
+
+- the advanced snapshot must be **byte-identical** to the from-scratch
+  one (sha256 over the canonical JSON bytes) and the analysis outputs
+  equal — speed that changes answers is a bug, not a feature;
+- the incremental path must beat the rebuild by ``MIN_DELTA_SPEEDUP``.
+
+Each leg is timed as the best of ``REPEATS`` runs so the recorded
+speedup reflects the code, not scheduler noise.  The measured section
+lands under ``incremental`` in ``BENCH_pipeline.json`` and one
+``kind: "incremental"`` row is appended to ``BENCH_history.jsonl``,
+where ``bench_report --check`` gates it against its own trailing median.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import time
+
+from conftest import BENCH_SEED, record_incremental
+
+from repro.collection.pipeline import CollectionConfig
+from repro.frames.core import frames_of
+from repro.incremental import (
+    advance,
+    collect_with_cursor,
+    dataset_sha256,
+    run_series_analyses,
+)
+
+#: Clock pair: the steady-state snapshot and the day the crawl advances to.
+FROM_CLOCK = dt.date(2022, 11, 24)
+TO_CLOCK = dt.date(2022, 11, 25)
+
+#: Incremental/full wall-time ratio the delta path must deliver.
+MIN_DELTA_SPEEDUP = 5.0
+
+#: Best-of repeats per leg (the legs are pure functions of their inputs).
+REPEATS = 3
+
+
+def test_bench_incremental(bench_world, bench_dataset):
+    # steady state: yesterday's snapshot with frames + results warm
+    base, cursor = collect_with_cursor(
+        bench_world, CollectionConfig(clock=FROM_CLOCK)
+    )
+    run_series_analyses(base)  # warm frames + result cache
+
+    adv_s = rebase_s = reanalyse_s = float("inf")
+    new_ds = delta = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        new_ds, _new_cursor, delta = advance(
+            bench_world, base, cursor, TO_CLOCK
+        )
+        t1 = time.perf_counter()
+        frames_of(base).rebase(new_ds, delta)
+        t2 = time.perf_counter()
+        inc_analyses = run_series_analyses(new_ds)
+        t3 = time.perf_counter()
+        adv_s = min(adv_s, t1 - t0)
+        rebase_s = min(rebase_s, t2 - t1)
+        reanalyse_s = min(reanalyse_s, t3 - t2)
+
+    collect_s = analyse_s = float("inf")
+    full_ds = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        full_ds, _ = collect_with_cursor(
+            bench_world, CollectionConfig(clock=TO_CLOCK)
+        )
+        t1 = time.perf_counter()
+        full_analyses = run_series_analyses(full_ds)
+        t2 = time.perf_counter()
+        collect_s = min(collect_s, t1 - t0)
+        analyse_s = min(analyse_s, t2 - t1)
+
+    inc_total = adv_s + rebase_s + reanalyse_s
+    full_total = collect_s + analyse_s
+    speedup = full_total / inc_total
+    identical = dataset_sha256(new_ds) == dataset_sha256(full_ds)
+
+    section = {
+        "seed": BENCH_SEED,
+        "from_clock": FROM_CLOCK.isoformat(),
+        "to_clock": TO_CLOCK.isoformat(),
+        "incremental": {
+            "advance_s": round(adv_s, 4),
+            "rebase_s": round(rebase_s, 4),
+            "reanalyse_s": round(reanalyse_s, 4),
+            "total_s": round(inc_total, 4),
+        },
+        "full": {
+            "collect_s": round(collect_s, 4),
+            "analyse_s": round(analyse_s, 4),
+            "total_s": round(full_total, 4),
+        },
+        "speedup": round(speedup, 2),
+        "identical": identical,
+        "delta": delta.summary(),
+    }
+    record_incremental(section)
+
+    assert identical, (
+        f"advance to {TO_CLOCK} diverged from the from-scratch collection"
+    )
+    assert inc_analyses == full_analyses
+    assert speedup >= MIN_DELTA_SPEEDUP, (
+        f"incremental step only {speedup:.2f}x faster than rebuild "
+        f"(incremental {inc_total:.3f}s vs full {full_total:.3f}s); "
+        f"the gate is {MIN_DELTA_SPEEDUP}x"
+    )

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.collection.dataset import MigrationDataset
 from repro.errors import AnalysisError
+from repro.frames import AUTO, resolve_frames
 from repro.nlp.toxicity import PerspectiveScorer
 from repro.util.stats import percent
 
@@ -48,10 +49,18 @@ def moderation_load(
     threshold: float = 0.5,
     small_cutoff: int = 5,
     scorer: PerspectiveScorer | None = None,
+    frames=AUTO,
 ) -> ModerationResult:
     """Toxic-status volume per instance (admin's-eye view)."""
     if not dataset.mastodon_timelines:
         raise AnalysisError("no Mastodon timelines in dataset")
+    # A custom scorer invalidates the frames' cached score vector.
+    fr = resolve_frames(dataset, frames) if scorer is None else None
+    if fr is not None:
+        return fr.result(
+            ("moderation_load", threshold, small_cutoff),
+            lambda: _moderation_frames(fr, threshold, small_cutoff),
+        )
     scorer = scorer if scorer is not None else PerspectiveScorer()
     per_instance: dict[str, dict[str, int]] = {}
     for uid, statuses in dataset.mastodon_timelines.items():
@@ -66,6 +75,43 @@ def moderation_load(
             bucket["statuses"] += 1
             if scorer.score(status.text) > threshold:
                 bucket["toxic"] += 1
+    return _build_result(dataset, per_instance, small_cutoff)
+
+
+def _moderation_frames(
+    fr, threshold: float, small_cutoff: int
+) -> ModerationResult:
+    """Same walk, but toxicity comes from the cached per-row score vector.
+
+    The per-status instance attribution (``account_acct``'s domain) is not
+    a table column, so the loop still touches the status objects — but the
+    scorer, by far the dominant cost, is replaced by an indexed read of
+    ``fr.status_toxicity`` (bit-identical to ``scorer.score`` per row).
+    """
+    dataset = fr.dataset
+    scores = fr.status_toxicity
+    table = fr.status_table
+    per_instance: dict[str, dict[str, int]] = {}
+    for uid, statuses in dataset.mastodon_timelines.items():
+        if dataset.matched.get(uid) is None:
+            continue
+        start, _ = table.slice_of(uid)
+        for i, status in enumerate(statuses):
+            domain = status.account_acct.split("@", 1)[1]
+            bucket = per_instance.setdefault(
+                domain, {"users": 0, "statuses": 0, "toxic": 0}
+            )
+            bucket["statuses"] += 1
+            if scores[start + i] > threshold:
+                bucket["toxic"] += 1
+    return _build_result(dataset, per_instance, small_cutoff)
+
+
+def _build_result(
+    dataset: MigrationDataset,
+    per_instance: dict[str, dict[str, int]],
+    small_cutoff: int,
+) -> ModerationResult:
     populations = dataset.instance_populations()
     for domain, bucket in per_instance.items():
         bucket["users"] = populations.get(domain, 0)

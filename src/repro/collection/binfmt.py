@@ -178,6 +178,13 @@ def save_npz(dataset, path: str | Path) -> None:
         "format_version": FORMAT_VERSION,
         "version": 1,
         "instance_domains": dataset.instance_domains,
+    }
+    manifest = dataset.manifest()
+    if manifest is not None:
+        # clocked snapshots carry the incremental-plane stamp; unclocked
+        # ones keep the pre-manifest header bytes
+        header["manifest"] = manifest
+    header |= {
         "collected_user_count": dataset.collected_user_count,
         "matched": {
             str(uid): _matched_doc(m) for uid, m in dataset.matched.items()
@@ -400,6 +407,11 @@ def _fill_header_fields(dataset, header: dict) -> None:
     )
 
     dataset.instance_domains = list(header["instance_domains"])
+    manifest = header.get("manifest")
+    if manifest is not None:
+        dataset.dataset_version = int(manifest["dataset_version"])
+        if manifest.get("clock"):
+            dataset.clock = _dt.date.fromisoformat(manifest["clock"])
     dataset.collected_user_count = int(header["collected_user_count"])
     dataset.matched = {
         int(uid): _matched_from(d) for uid, d in header["matched"].items()

@@ -168,6 +168,11 @@ class MigrationDataset:
     weekly_activity: dict[str, list[dict]] = field(default_factory=dict)
     #: search-interest series per term (Figure 1 inputs)
     trends: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+    #: incremental-plane manifest: monotonic snapshot version plus the
+    #: observer-clock high-water mark that produced it.  ``None`` on
+    #: unclocked (one-shot) collections, whose bytes predate the manifest.
+    dataset_version: int | None = None
+    clock: _dt.date | None = None
 
     # -- convenience views -------------------------------------------------------
 
@@ -243,9 +248,27 @@ class MigrationDataset:
             return load_npz(path, lazy=lazy)
         return cls.from_json(path.read_text())
 
-    def _to_doc(self) -> dict:
+    def manifest(self) -> dict | None:
+        """The version/clock stamp, or None for unclocked snapshots."""
+        if self.dataset_version is None:
+            return None
         return {
-            "version": 1,
+            "dataset_version": self.dataset_version,
+            "clock": self.clock.isoformat() if self.clock is not None else None,
+        }
+
+    def _to_doc(self) -> dict:
+        doc: dict = {"version": 1}
+        manifest = self.manifest()
+        if manifest is not None:
+            # only clocked snapshots carry the stamp, so unclocked datasets
+            # keep their pre-manifest golden bytes
+            doc["manifest"] = manifest
+        doc.update(self._body_doc())
+        return doc
+
+    def _body_doc(self) -> dict:
+        return {
             "instance_domains": self.instance_domains,
             "collected_tweets": [_tweet_doc(t) for t in self.collected_tweets],
             "collected_user_count": self.collected_user_count,
@@ -281,6 +304,11 @@ class MigrationDataset:
         if doc.get("version") != 1:
             raise ValueError(f"unsupported dataset version {doc.get('version')!r}")
         dataset = cls()
+        manifest = doc.get("manifest")
+        if manifest is not None:
+            dataset.dataset_version = int(manifest["dataset_version"])
+            if manifest.get("clock"):
+                dataset.clock = _dt.date.fromisoformat(manifest["clock"])
         dataset.instance_domains = list(doc["instance_domains"])
         dataset.collected_tweets = [_tweet_from(d) for d in doc["collected_tweets"]]
         dataset.collected_user_count = int(doc["collected_user_count"])

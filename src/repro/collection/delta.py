@@ -1,0 +1,110 @@
+"""What changed between two dataset snapshots (the advance's receipt).
+
+:class:`DatasetDelta` is computed by :func:`repro.incremental.advance`
+while it merges a delta crawl into an existing snapshot, and is consumed
+downstream to keep work proportional to the change:
+
+- :meth:`repro.frames.DatasetFrames.rebase` uses the per-user *kept-row*
+  counts to splice cached columnar/NLP rows instead of recomputing them;
+- the frames result cache drops only entries whose input domains appear in
+  :meth:`DatasetDelta.domains_changed`;
+- :meth:`repro.serving.app.ServingApp.swap_dataset` evicts only the
+  payload-cache entries the changed domains (and changed user ids) can
+  reach.
+
+Kept counts are *verified prefixes*: the advance checks that the old rows
+really are a prefix of the merged rows (ids compared) and records the
+common prefix length otherwise, so a consumer can always trust
+``new_rows[:kept] == old_rows[:kept]`` element-for-element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DatasetDelta:
+    """Row-level change summary of one clock advance."""
+
+    #: rows of the old §3.1 corpus that survived as a prefix of the new one
+    corpus_prefix: int = 0
+    #: rows appended to the corpus past the prefix
+    corpus_appended: int = 0
+    #: per Twitter uid with a changed/new Twitter timeline: old rows kept
+    twitter_changed: dict[int, int] = field(default_factory=dict)
+    #: per Twitter uid with a changed/new Mastodon timeline: old rows kept
+    mastodon_changed: dict[int, int] = field(default_factory=dict)
+    #: the matched-user table gained rows (it is monotone in the clock)
+    matched_changed: bool = False
+    #: the Mastodon account-record table changed
+    accounts_changed: bool = False
+    #: the followee sample gained records
+    followees_changed: bool = False
+    #: per-instance weekly-activity rows changed
+    weekly_changed: bool = False
+    #: the trends series changed (re-normalisation makes this almost always
+    #: true once the clock moves)
+    trends_changed: bool = False
+    #: the instance index changed (never, today: the directory is static)
+    instances_changed: bool = False
+
+    @property
+    def corpus_changed(self) -> bool:
+        return self.corpus_appended > 0
+
+    def domains_changed(self) -> set[str]:
+        """The result-cache input domains this delta touches.
+
+        Domain names match the vocabulary of
+        :data:`repro.frames.core.RESULT_DEPS`.
+        """
+        domains: set[str] = set()
+        if self.corpus_changed:
+            domains.add("corpus")
+        if self.twitter_changed:
+            domains.add("twitter_timelines")
+        if self.mastodon_changed:
+            domains.add("mastodon_timelines")
+        if self.matched_changed:
+            domains.add("matched")
+        if self.accounts_changed:
+            domains.add("accounts")
+        if self.followees_changed:
+            domains.add("followees")
+        if self.weekly_changed:
+            domains.add("weekly")
+        if self.trends_changed:
+            domains.add("trends")
+        if self.instances_changed:
+            domains.add("instances")
+        return domains
+
+    def summary(self) -> str:
+        """One human line for logs and CLI output."""
+        return (
+            f"corpus +{self.corpus_appended}, "
+            f"twitter Δ{len(self.twitter_changed)} users, "
+            f"mastodon Δ{len(self.mastodon_changed)} users, "
+            f"domains {sorted(self.domains_changed())}"
+        )
+
+
+def kept_prefix(old_ids, new_ids) -> int:
+    """Length of the longest common prefix of two id sequences.
+
+    The advance composes timelines as a sorted merge; when ids are
+    time-monotone (they are, in this world) the old rows form a full
+    prefix and this returns ``len(old_ids)`` after one vector compare.
+    The element-wise fallback only runs on the (theoretical) non-monotone
+    case, so consumers never need to re-verify the prefix.
+    """
+    n = min(len(old_ids), len(new_ids))
+    if n == 0:
+        return 0
+    if list(old_ids[:n]) == list(new_ids[:n]):
+        return n
+    k = 0
+    while k < n and old_ids[k] == new_ids[k]:
+        k += 1
+    return k

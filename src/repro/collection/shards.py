@@ -43,9 +43,8 @@ def tweet_search_shard(
     at merge time, so the duplicate total matches the serial walk.
     """
     api = ctx.twitter_api(world)
-    collector = TweetCollector(
-        api, since=config.tweet_window_start, until=config.tweet_window_end
-    )
+    since, until = config.effective_tweet_window()
+    collector = TweetCollector(api, since=since, until=until)
     part = CollectedTweets()
     seen: set[int] = set()
     for query in items:
@@ -56,71 +55,81 @@ def tweet_search_shard(
 
 def twitter_timelines_shard(
     world, config, ctx: ShardContext, items: list, accounting: ShardAccounting
-) -> tuple[dict[int, list[Tweet]], CrawlCoverage]:
-    """Crawl one shard's slice of migrants' Twitter timelines."""
+) -> tuple[dict[int, list[Tweet]], CrawlCoverage, dict[int, str]]:
+    """Crawl one shard's slice of migrants' Twitter timelines.
+
+    The per-user ``buckets`` map is the crawl cursor's raw material: an
+    incremental advance needs to know each user's outcome (not just the
+    aggregate coverage) to decide who gets a delta request.
+    """
     api = ctx.twitter_api(world)
-    crawler = TwitterTimelineCrawler(
-        api,
-        since=config.timeline_window_start,
-        until=config.timeline_window_end,
-    )
+    since, until = config.effective_timeline_window()
+    crawler = TwitterTimelineCrawler(api, since=since, until=until)
     timelines: dict[int, list[Tweet]] = {}
     coverage = CrawlCoverage()
+    buckets: dict[int, str] = {}
     for user in items:
         bucket, tweets = crawler.crawl_one(user)
         coverage.record(bucket)
+        buckets[user.twitter_user_id] = bucket
         if tweets is not None:
             timelines[user.twitter_user_id] = tweets
     accounting.absorb_twitter(api)
-    return timelines, coverage
+    return timelines, coverage, buckets
 
 
 def mastodon_timelines_shard(
     world, config, ctx: ShardContext, items: list, accounting: ShardAccounting
 ) -> tuple[
-    dict[int, MastodonAccountRecord], dict[int, list[Status]], CrawlCoverage
+    dict[int, MastodonAccountRecord],
+    dict[int, list[Status]],
+    CrawlCoverage,
+    dict[int, str],
 ]:
     """Resolve and crawl one shard's slice of Mastodon accounts."""
     client = ctx.mastodon_client(world)
-    crawler = MastodonTimelineCrawler(
-        client,
-        since=config.timeline_window_start,
-        until=config.timeline_window_end,
-    )
+    since, until = config.effective_timeline_window()
+    crawler = MastodonTimelineCrawler(client, since=since, until=until)
     accounts: dict[int, MastodonAccountRecord] = {}
     timelines: dict[int, list[Status]] = {}
     coverage = CrawlCoverage()
+    buckets: dict[int, str] = {}
     for user in items:
         bucket, record, statuses = crawler.crawl_one(user)
         coverage.record(bucket)
+        buckets[user.twitter_user_id] = bucket
         if record is not None:
             accounts[user.twitter_user_id] = record
         if statuses is not None:
             timelines[user.twitter_user_id] = statuses
     accounting.absorb_mastodon(client)
-    return accounts, timelines, coverage
+    return accounts, timelines, coverage, buckets
 
 
 def followees_shard(
     world, config, ctx: ShardContext, items: list, accounting: ShardAccounting
-) -> dict[int, FolloweeRecord]:
+) -> tuple[dict[int, FolloweeRecord], list[int]]:
     """Crawl one shard's slice of the stratified followee sample.
 
     ``items`` are ``(MatchedUser, current_acct)`` pairs — the pipeline
     resolves post-move accounts before sharding, so the shard needs no
-    view of the accounts table.
+    view of the accounts table.  ``attempted`` lists every uid the shard
+    tried (crawl failures are dropped from ``records`` but still count as
+    attempted, so an incremental advance never re-crawls them).
     """
     api = ctx.twitter_api(world)
     client = ctx.mastodon_client(world)
     crawler = FolloweeCrawler(api, client)
     records: dict[int, FolloweeRecord] = {}
+    attempted: list[int] = []
     for user, acct in items:
+        attempted.append(user.twitter_user_id)
         record = crawler.crawl_one(user, acct)
         if record is not None:
             records[user.twitter_user_id] = record
     accounting.absorb_twitter(api)
     accounting.absorb_mastodon(client)
-    return records
+    return records, attempted
 
 
 def weekly_activity_shard(

@@ -198,7 +198,7 @@ class MastodonTimelineCrawler:
         else:
             assert record is not None
             try:
-                statuses = self._crawl_statuses(record)
+                statuses = self.crawl_statuses(record)
             except (InstanceDownError, InstanceNotFoundError, AccountNotFoundError):
                 bucket = "instance_down"
             except (TransientError, RateLimitExceeded):
@@ -243,8 +243,12 @@ class MastodonTimelineCrawler:
         finalize_timeline_metrics("mastodon", coverage)
         return accounts, timelines, coverage
 
-    def _crawl_statuses(self, record: MastodonAccountRecord) -> list[Status]:
+    def crawl_statuses(self, record: MastodonAccountRecord) -> list[Status]:
         """All statuses of the first (and successor) account in the window.
+
+        Public because the incremental advance reuses it directly: a
+        delta crawl already holds the (clock-independent) account record
+        and only needs the new window's statuses, skipping re-resolution.
 
         Raises whatever the client raises; the caller maps instance-down
         and transient outcomes onto the coverage buckets.

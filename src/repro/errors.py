@@ -44,6 +44,17 @@ class CollectionError(ReproError):
     """The data-collection pipeline failed in an unrecoverable way."""
 
 
+class ResumeError(CollectionError):
+    """A resume/advance was refused before touching any data.
+
+    Raised when a crawl cursor or checkpoint does not match the snapshot it
+    is asked to extend: format-version or world-stamp mismatch, a config
+    digest that differs in a determinism-relevant knob, a clock that does
+    not move forward, or an active fault plan on the incremental path.
+    Refusing loudly beats silently appending onto the wrong dataset.
+    """
+
+
 class AnalysisError(ReproError):
     """An analysis was asked to operate on unusable inputs."""
 
@@ -172,6 +183,7 @@ __all__ = [
     "ConfigError",
     "SimulationError",
     "CollectionError",
+    "ResumeError",
     "AnalysisError",
     "TransientError",
     "RequestTimeout",

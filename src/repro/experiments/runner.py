@@ -139,12 +139,18 @@ def build_dataset(
     config: CollectionConfig | None = None,
     *,
     sim_config: SimConfig | None = None,
+    checkpoint: str = "",
+    advance_days: int = 0,
 ) -> MigrationDataset:
     """Build a world and run the collection pipeline.
 
     ``sim_config`` carries the full world configuration; ``seed``/``scale``
     remain as a convenience for callers that need nothing else (they are
-    ignored when ``sim_config`` is given).
+    ignored when ``sim_config`` is given).  ``checkpoint`` makes the
+    collection resumable (cursor + snapshot persisted there; an interrupted
+    run picks up at the last completed stage).  ``advance_days`` moves the
+    observer clock forward that many days incrementally after the clocked
+    collection (requires ``config.clock``).
     """
     level = logging.INFO if verbose else logging.DEBUG
     started = time.time()
@@ -159,13 +165,37 @@ def build_dataset(
         time.time() - started,
     )
     started = time.time()
-    dataset = collect_dataset(world, config)
+    if checkpoint or advance_days:
+        from repro.collection.pipeline import run_pipeline
+
+        dataset, cursor = run_pipeline(
+            world,
+            config,
+            capture_state=True,
+            checkpoint_path=checkpoint or None,
+        )
+    else:
+        dataset = collect_dataset(world, config)
     _log.log(
         level,
         "collect: %d matched users (%.1fs)",
         dataset.migrant_count,
         time.time() - started,
     )
+    for _ in range(advance_days):
+        from repro.incremental import advance
+
+        assert cursor is not None and cursor.clock is not None
+        started = time.time()
+        new_clock = cursor.clock + _dt.timedelta(days=1)
+        dataset, cursor, delta = advance(world, dataset, cursor, new_clock, config)
+        _log.log(
+            level,
+            "advance -> %s: %s (%.1fs)",
+            new_clock.isoformat(),
+            delta.summary(),
+            time.time() - started,
+        )
     return dataset
 
 
@@ -217,6 +247,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker count for the sharded crawl stages; the "
                              "dataset is byte-identical at any value")
+    parser.add_argument("--clock", type=_dt.date.fromisoformat, default=None,
+                        metavar="DATE",
+                        help="observer-clock collection: gather only what a "
+                             "crawler would have seen by this ISO date")
+    parser.add_argument("--resume-from", type=str, default="", metavar="PATH",
+                        help="persist the crawl cursor + snapshot at PATH and "
+                             "resume an interrupted collection from it")
+    parser.add_argument("--advance-days", type=int, default=0, metavar="N",
+                        help="after the clocked collection, advance the clock "
+                             "N days incrementally (delta crawls; requires "
+                             "--clock)")
     parser.add_argument("--backend", type=str, default="auto",
                         choices=("auto", "serial", "multiprocessing"),
                         help="shard execution backend (auto: multiprocessing "
@@ -244,6 +285,18 @@ def main(argv: list[str] | None = None) -> int:
             else "serial"
         )
 
+    if args.advance_days:
+        if args.advance_days < 0:
+            parser.error(f"--advance-days must be >= 0, got {args.advance_days}")
+        if args.clock is None:
+            parser.error("--advance-days requires --clock (the starting snapshot)")
+        if args.faults:
+            parser.error("--advance-days refuses fault injection (delta crawls "
+                         "are fault-free by contract)")
+    if (args.clock or args.resume_from) and args.dataset:
+        parser.error("--clock/--resume-from have no effect with --dataset "
+                     "(no collection runs)")
+
     config: CollectionConfig | None = None
     if args.faults:
         if args.dataset:
@@ -257,6 +310,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     elif args.workers > 1 or backend != "serial":
         config = CollectionConfig(workers=args.workers, backend=backend)
+    if args.clock is not None:
+        try:
+            config = dataclasses.replace(
+                config or CollectionConfig(), clock=args.clock
+            )
+        except ConfigError as err:
+            parser.error(str(err))
 
     obs.configure_logging(quiet=args.quiet)
     instrumented = (
@@ -285,7 +345,8 @@ def main(argv: list[str] | None = None) -> int:
                 dataset = MigrationDataset.load(args.dataset)
             else:
                 dataset = build_dataset(
-                    verbose=not args.quiet, config=config, sim_config=sim_config
+                    verbose=not args.quiet, config=config, sim_config=sim_config,
+                    checkpoint=args.resume_from, advance_days=args.advance_days,
                 )
             if args.save:
                 dataset.save(args.save)

@@ -157,15 +157,22 @@ class MastodonClient:
         since: _dt.date | None = None,
         until: _dt.date | None = None,
     ) -> list[Status]:
-        """Every status of an account inside the window, oldest first."""
-        collected = list(self.iter_account_statuses(acct))
-        collected.reverse()  # back to chronological order
-        return [
-            s
-            for s in collected
-            if (since is None or s.created_date >= since)
-            and (until is None or s.created_date <= until)
-        ]
+        """Every status of an account inside the window, oldest first.
+
+        Pages arrive newest-first in strict id (= chronological) order, so
+        the drain stops at the first status older than ``since`` — a
+        suffix crawl costs pages proportional to the suffix, not the full
+        history (the cost model a real crawler gets from ``min_id``).
+        """
+        out: list[Status] = []
+        for s in self.iter_account_statuses(acct):
+            if since is not None and s.created_date < since:
+                break
+            if until is not None and s.created_date > until:
+                continue
+            out.append(s)
+        out.reverse()
+        return out
 
     def account_following(self, acct: str) -> list[str]:
         """The accts an account follows (paginated endpoint, drained)."""

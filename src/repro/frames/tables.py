@@ -32,6 +32,14 @@ class Interner:
         self.vocab: list[str] = []
         self._ids: dict[str, int] = {}
 
+    @classmethod
+    def from_vocab(cls, vocab: list[str]) -> "Interner":
+        """An interner pre-seeded with an existing vocabulary (ids stable)."""
+        interner = cls()
+        interner.vocab = list(vocab)
+        interner._ids = {value: i for i, value in enumerate(interner.vocab)}
+        return interner
+
     def intern(self, value: str) -> int:
         ids = self._ids
         found = ids.get(value)
@@ -151,6 +159,217 @@ def build_timeline_table(
 
 
 @dataclass(slots=True)
+class RowMap:
+    """How new table rows relate to old ones after an incremental rebase.
+
+    ``runs`` lists maximal copied stretches as ``(new_start, old_start,
+    count)`` triples — for every run, new rows ``new_start:new_start+count``
+    are byte-for-byte the old rows ``old_start:old_start+count``.  ``fresh``
+    are the new-row indices that did not exist before (sorted ascending).
+    Consumers splice any *row-pure* per-row product (token rows, toxicity
+    scores, embedding rows) by copying the runs and computing only the
+    fresh rows.
+    """
+
+    runs: list[tuple[int, int, int]]
+    fresh: np.ndarray  # int64
+    row_count: int
+
+    @property
+    def copied_count(self) -> int:
+        return sum(count for _, _, count in self.runs)
+
+
+def rebase_timeline_table(
+    old: TimelineTable,
+    timelines: dict[int, list],
+    label_attr: str,
+    flag_attr: str,
+    kept: dict[int, int],
+) -> tuple[TimelineTable, RowMap]:
+    """Rebuild a timeline table by splicing old rows with fresh posts.
+
+    ``kept`` maps each *changed* uid to how many of its old rows survive as
+    a prefix of its new timeline (0 for newly-appeared uids); uids absent
+    from ``kept`` are unchanged and their whole old slice is copied.  The
+    result is bit-identical to ``build_timeline_table(timelines, ...)``:
+    label and tag vocabularies are re-interned in new first-occurrence
+    order (old ids are remapped per copied segment), because interner order
+    is observable downstream (e.g. ``Counter.most_common`` tie-breaks).
+    """
+    labels = Interner()
+    tags = Interner()
+    old_label_map = np.full(len(old.labels), -1, dtype=np.int32)
+    old_tag_map = np.full(len(old.tags), -1, dtype=np.int32)
+    old_tag_rows = old.tag_rows
+
+    uids: list[int] = []
+    bounds = [0]
+    day_parts: list[np.ndarray] = []
+    label_parts: list[np.ndarray] = []
+    flag_parts: list[np.ndarray] = []
+    texts: list[str] = []
+    tag_row_parts: list[np.ndarray] = []
+    tag_id_parts: list[np.ndarray] = []
+    runs: list[tuple[int, int, int]] = []
+    fresh: list[int] = []
+    # per-segment fresh-row scratch, flushed into the part lists
+    f_days: list[int] = []
+    f_labels: list[int] = []
+    f_flags: list[bool] = []
+    f_tag_rows: list[int] = []
+    f_tag_ids: list[int] = []
+
+    def flush_fresh() -> None:
+        if f_days:
+            day_parts.append(np.asarray(f_days, dtype=np.int64))
+            label_parts.append(np.asarray(f_labels, dtype=np.int32))
+            flag_parts.append(np.asarray(f_flags, dtype=bool))
+            f_days.clear()
+            f_labels.clear()
+            f_flags.clear()
+        if f_tag_rows:
+            tag_row_parts.append(np.asarray(f_tag_rows, dtype=np.int64))
+            tag_id_parts.append(np.asarray(f_tag_ids, dtype=np.int32))
+            f_tag_rows.clear()
+            f_tag_ids.clear()
+
+    def remap(segment: np.ndarray, id_map: np.ndarray, old_vocab, interner):
+        """Remap one copied id segment, interning in first-occurrence order."""
+        mapped = id_map[segment]
+        if mapped.min(initial=0) >= 0:
+            return mapped  # every id already assigned: pure gather
+        unique, first_pos = np.unique(segment, return_index=True)
+        for oid in unique[np.argsort(first_pos, kind="stable")]:
+            if id_map[oid] < 0:
+                id_map[oid] = interner.intern(old_vocab[oid])
+        return id_map[segment]
+
+    row = 0
+    # consecutive unchanged uids occupy contiguous old rows; coalescing
+    # their slices into one block turns thousands of per-uid numpy calls
+    # into a handful of block copies (interning order is unaffected:
+    # first-occurrence order over a merged segment equals sequential
+    # first-occurrence order over its sub-segments)
+    pend_old = pend_stop = pend_new = -1
+
+    def flush_pending() -> None:
+        nonlocal pend_old, pend_stop, pend_new
+        if pend_old < 0:
+            return
+        start, stop, new_start = pend_old, pend_stop, pend_new
+        pend_old = pend_stop = pend_new = -1
+        day_parts.append(old.day_ordinals[start:stop])
+        flag_parts.append(old.flags[start:stop])
+        label_parts.append(
+            remap(old.label_ids[start:stop], old_label_map, old.labels, labels)
+        )
+        texts.extend(old.texts[start:stop])
+        lo = int(np.searchsorted(old_tag_rows, start, side="left"))
+        hi = int(np.searchsorted(old_tag_rows, stop, side="left"))
+        if hi > lo:
+            tag_id_parts.append(
+                remap(old.tag_ids[lo:hi], old_tag_map, old.tags, tags)
+            )
+            tag_row_parts.append(old_tag_rows[lo:hi] - start + new_start)
+        runs.append((new_start, start, stop - start))
+
+    for uid, posts in timelines.items():
+        uids.append(uid)
+        span = old.slice_of(uid)
+        if (
+            uid not in kept
+            and span is not None
+            and span[1] - span[0] == len(posts)
+        ):
+            # unchanged uid: whole old slice copies verbatim
+            if pend_stop == span[0]:
+                pend_stop = span[1]
+            else:
+                flush_pending()
+                flush_fresh()
+                pend_old, pend_stop, pend_new = span[0], span[1], row
+            row += span[1] - span[0]
+            bounds.append(row)
+            continue
+        flush_pending()
+        default_kept = (span[1] - span[0]) if span is not None else 0
+        k = kept.get(uid, default_kept)
+        if k:
+            start = span[0]
+            flush_fresh()
+            day_parts.append(old.day_ordinals[start : start + k])
+            flag_parts.append(old.flags[start : start + k])
+            label_parts.append(
+                remap(
+                    old.label_ids[start : start + k],
+                    old_label_map,
+                    old.labels,
+                    labels,
+                )
+            )
+            texts.extend(old.texts[start : start + k])
+            lo = int(np.searchsorted(old_tag_rows, start, side="left"))
+            hi = int(np.searchsorted(old_tag_rows, start + k, side="left"))
+            if hi > lo:
+                tag_id_parts.append(
+                    remap(old.tag_ids[lo:hi], old_tag_map, old.tags, tags)
+                )
+                tag_row_parts.append(old_tag_rows[lo:hi] - start + row)
+            runs.append((row, start, k))
+            row += k
+        for post in posts[k:]:
+            f_days.append(post.created_date.toordinal())
+            f_labels.append(labels.intern(getattr(post, label_attr)))
+            f_flags.append(getattr(post, flag_attr))
+            texts.append(post.text)
+            for tag in post.hashtags:
+                f_tag_rows.append(row)
+                f_tag_ids.append(tags.intern(normalize_hashtag(tag)))
+            fresh.append(row)
+            row += 1
+        bounds.append(row)
+    flush_pending()
+    flush_fresh()
+
+    bounds_arr = np.asarray(bounds, dtype=np.int64)
+    counts = np.diff(bounds_arr)
+    empty64 = np.empty(0, dtype=np.int64)
+    empty32 = np.empty(0, dtype=np.int32)
+    table = TimelineTable(
+        uids=uids,
+        bounds=bounds_arr,
+        day_ordinals=(
+            np.concatenate(day_parts) if day_parts else empty64
+        ),
+        row_uids=np.repeat(np.asarray(uids, dtype=np.int64), counts),
+        label_ids=(
+            np.concatenate(label_parts) if label_parts else empty32
+        ),
+        labels=labels.vocab,
+        flags=(
+            np.concatenate(flag_parts)
+            if flag_parts
+            else np.empty(0, dtype=bool)
+        ),
+        texts=texts,
+        tag_rows=(
+            np.concatenate(tag_row_parts) if tag_row_parts else empty64
+        ),
+        tag_ids=(
+            np.concatenate(tag_id_parts) if tag_id_parts else empty32
+        ),
+        tags=tags.vocab,
+    )
+    rowmap = RowMap(
+        runs=runs,
+        fresh=np.asarray(fresh, dtype=np.int64),
+        row_count=row,
+    )
+    return table, rowmap
+
+
+@dataclass(slots=True)
 class TokenTable:
     """Interned word tokens of a text corpus, flattened.
 
@@ -184,6 +403,44 @@ def build_token_table(texts: list[str]) -> TokenTable:
         offsets=np.asarray(offsets, dtype=np.int64),
         vocab=interner.vocab,
     )
+
+
+def rebase_token_table(
+    old: TokenTable, rowmap: RowMap, texts: list[str]
+) -> TokenTable:
+    """Splice a token table along a :class:`RowMap`.
+
+    Copied rows keep their old token ids; only fresh rows are tokenized,
+    extending the old vocabulary append-only.  The resulting vocab *order*
+    can differ from a cold ``build_token_table`` — that is fine because
+    token-id order is not observable downstream: the only consumers
+    (``score_tokenized`` / ``encode_tokenized``) are row-pure functions of
+    the token *strings* via the vocab lookup.
+    """
+    interner = Interner.from_vocab(old.vocab)
+    lengths = np.zeros(rowmap.row_count, dtype=np.int64)
+    old_lengths = np.diff(old.offsets)
+    for new_start, old_start, count in rowmap.runs:
+        lengths[new_start : new_start + count] = old_lengths[
+            old_start : old_start + count
+        ]
+    fresh_tokens: dict[int, list[int]] = {}
+    for r in rowmap.fresh.tolist():
+        ids = [interner.intern(token) for token in tokenize(texts[r])]
+        fresh_tokens[r] = ids
+        lengths[r] = len(ids)
+    offsets = np.empty(rowmap.row_count + 1, dtype=np.int64)
+    offsets[0] = 0
+    np.cumsum(lengths, out=offsets[1:])
+    flat = np.empty(int(offsets[-1]), dtype=np.int32)
+    old_offsets = old.offsets
+    for new_start, old_start, count in rowmap.runs:
+        flat[offsets[new_start] : offsets[new_start + count]] = old.flat[
+            old_offsets[old_start] : old_offsets[old_start + count]
+        ]
+    for r, ids in fresh_tokens.items():
+        flat[offsets[r] : offsets[r + 1]] = ids
+    return TokenTable(flat=flat, offsets=offsets, vocab=interner.vocab)
 
 
 @dataclass(slots=True)

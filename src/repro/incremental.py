@@ -1,0 +1,545 @@
+"""The incremental plane: advance the observer clock, pay only for the delta.
+
+A clocked collection (``CollectionConfig.clock``) is a snapshot of what a
+crawler observing the simulated world would have gathered *by* that day.
+:func:`advance` takes such a snapshot plus its crawl cursor and moves the
+clock forward by crawling only what the extra days added — the delta
+window of the §3.1 tweet search, per-user timeline suffixes, followee
+records for newly sampled users — then splices the results into a new
+snapshot.
+
+The contract, enforced by golden tests and the ``incremental`` benchmark
+section: **an advance is byte-identical to a from-scratch clocked
+collection at the new clock**, while doing asymptotically less crawl work.
+The same holds transitively for the analysis layer via
+:meth:`repro.frames.DatasetFrames.rebase` and for the serving layer via
+:meth:`repro.serving.app.ServingApp.swap_dataset`, both driven by the
+:class:`~repro.collection.delta.DatasetDelta` this module computes.
+
+Delta crawls run serially in-process: they touch a small fraction of the
+data, and a fault-free serial crawl is worker-invariant by construction,
+so the advance needs no shard engine.  :func:`advance` refuses to run
+under an active fault plan (:class:`~repro.errors.ResumeError`).
+
+``python -m repro.incremental`` drives a rolling daily series: build the
+day-one snapshot, then advance one day at a time, re-running the analysis
+suite on rebased frames after every step.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.collection.cursor import (
+    CollectionState,
+    CrawlCursor,
+    config_digest,
+    dataset_version_for,
+    shard_seed_digests,
+    validate_for_advance,
+)
+from repro.collection.dataset import (
+    CrawlCoverage,
+    MatchedUser,
+    MigrationDataset,
+)
+from repro.collection.delta import DatasetDelta, kept_prefix
+from repro.collection.followees import (
+    FolloweeCrawler,
+    budgeted_fraction,
+    stratified_sample,
+)
+from repro.collection.handle_matching import HandleMatcher
+from repro.collection.pipeline import (
+    PIPELINE_STAGES,
+    CollectionConfig,
+    run_pipeline,
+)
+from repro.collection.timelines import (
+    MastodonTimelineCrawler,
+    TwitterTimelineCrawler,
+    finalize_timeline_metrics,
+)
+from repro.collection.tweet_search import (
+    CollectedTweets,
+    TweetCollector,
+    merge_collected,
+)
+from repro.collection.weekly_activity import WeeklyActivityCrawler
+from repro.fediverse.api import MastodonClient
+from repro.simulation.world import World
+from repro.util.clock import week_label_start
+
+_ONE_DAY = _dt.timedelta(days=1)
+
+
+def collect_with_cursor(
+    world: World, config: CollectionConfig
+) -> tuple[MigrationDataset, CrawlCursor]:
+    """A full clocked collection that also returns its crawl cursor."""
+    dataset, cursor = run_pipeline(world, config, capture_state=True)
+    assert cursor is not None
+    return dataset, cursor
+
+
+def advance(
+    world: World,
+    dataset: MigrationDataset,
+    cursor: CrawlCursor,
+    new_clock: _dt.date,
+    config: CollectionConfig | None = None,
+) -> tuple[MigrationDataset, CrawlCursor, DatasetDelta]:
+    """Move a snapshot's observer clock forward by crawling only the delta.
+
+    ``config`` carries the non-clock collection knobs and must match the
+    cursor's digest (its ``clock`` field is ignored and replaced by
+    ``new_clock``).  Returns the new snapshot, its cursor, and the
+    :class:`DatasetDelta` describing exactly what changed.
+    """
+    base = config if config is not None else CollectionConfig()
+    cfg = replace(base, clock=new_clock)
+    validate_for_advance(cursor, dataset, world, cfg, new_clock)
+
+    registry = obs.current()
+    old_clock = cursor.clock
+    assert old_clock is not None
+    delta = DatasetDelta()
+    new_ds = MigrationDataset()
+
+    # Serial, fault-free clients: the delta is small by construction.
+    api = world.twitter_api(faults=cfg.fault_plan, retry=cfg.retry_policy)
+    client = MastodonClient(world.network)
+
+    tl_start, new_tl_end = cfg.effective_timeline_window()
+    old_tl_end = min(cfg.timeline_window_end, old_clock)
+    tweet_start, new_tweet_end = cfg.effective_tweet_window()
+    old_tweet_end = min(cfg.tweet_window_end, old_clock)
+
+    with registry.span("incremental.advance") as span:
+        span.annotate(
+            from_clock=old_clock.isoformat(), to_clock=new_clock.isoformat()
+        )
+
+        # 1+2. corpus delta: the §3.1 search over only the new days
+        users = dict(cursor.state.users)
+        tweets = list(dataset.collected_tweets)
+        old_ids = [t.tweet_id for t in tweets]
+        if new_tweet_end > old_tweet_end:
+            with registry.span("incremental.tweet_search"):
+                collector = TweetCollector(
+                    api, since=old_tweet_end + _ONE_DAY, until=new_tweet_end
+                )
+                queries = collector.build_queries(dataset.instance_domains)
+                part = CollectedTweets()
+                seen: set[int] = set()
+                for query in queries:
+                    collector.drain_query(query, part, seen)
+                fresh = merge_collected([part])
+            if fresh.tweets:
+                tweets = sorted(tweets + fresh.tweets, key=lambda t: t.tweet_id)
+                users.update(fresh.users)
+        delta.corpus_prefix = kept_prefix(old_ids, [t.tweet_id for t in tweets])
+        delta.corpus_appended = len(tweets) - delta.corpus_prefix
+        new_ds.instance_domains = list(dataset.instance_domains)
+        new_ds.collected_tweets = tweets
+        new_ds.collected_user_count = len(users)
+
+        # 3. re-match over the merged corpus (pure function of the corpus;
+        # matching is monotone in the clock so old matches never disappear).
+        # An unchanged corpus matches identically — carry the old dict.
+        if delta.corpus_appended == 0 and delta.corpus_prefix == len(old_ids):
+            new_ds.matched = dict(dataset.matched)
+        else:
+            corpus = CollectedTweets(tweets=tweets, users=users)
+            matcher = HandleMatcher(frozenset(dataset.instance_domains))
+            matches = matcher.match_all(users, corpus.tweets_by_author())
+            for user_id, match in sorted(matches.items()):
+                user = users[user_id]
+                new_ds.matched[user_id] = MatchedUser(
+                    twitter_user_id=user_id,
+                    twitter_username=user.username,
+                    mastodon_acct=match.mastodon_acct,
+                    matched_via=match.matched_via,
+                    verified=user.verified,
+                    twitter_created_at=user.created_at,
+                    twitter_followers=user.followers_count,
+                    twitter_following=user.following_count,
+                )
+        delta.matched_changed = set(new_ds.matched) != set(dataset.matched)
+        matched_list = new_ds.matched_users()
+
+        # 4a. Twitter timelines: full crawl for newly matched users, a
+        # suffix crawl for previously-ok users, recorded outcome otherwise
+        # (account states are end-state, so failure buckets are static)
+        with registry.span("incremental.timelines.twitter"):
+            full = TwitterTimelineCrawler(api, since=tl_start, until=new_tl_end)
+            suffix = TwitterTimelineCrawler(
+                api, since=old_tl_end + _ONE_DAY, until=new_tl_end
+            )
+            tw_buckets: dict[int, str] = {}
+            tw_cov = CrawlCoverage()
+            for user in matched_list:
+                uid = user.twitter_user_id
+                old_bucket = cursor.state.twitter_buckets.get(uid)
+                if old_bucket is None:
+                    bucket, timeline = full.crawl_one(user)
+                    if timeline is not None:
+                        new_ds.twitter_timelines[uid] = timeline
+                        delta.twitter_changed[uid] = 0
+                elif old_bucket == "ok":
+                    old_timeline = dataset.twitter_timelines.get(uid, [])
+                    if new_tl_end > old_tl_end:
+                        bucket, fresh_rows = suffix.crawl_one(user)
+                    else:
+                        bucket, fresh_rows = "ok", []
+                    if fresh_rows:
+                        # suffix rows are strictly newer (ids sort
+                        # chronologically and the suffix window starts
+                        # past the old end), so append preserves order
+                        new_ds.twitter_timelines[uid] = (
+                            old_timeline + fresh_rows
+                        )
+                        delta.twitter_changed[uid] = len(old_timeline)
+                    elif fresh_rows is not None:
+                        new_ds.twitter_timelines[uid] = old_timeline
+                else:
+                    bucket = old_bucket
+                tw_buckets[uid] = bucket
+                tw_cov.record(bucket)
+            new_ds.twitter_coverage = tw_cov
+            finalize_timeline_metrics("twitter", tw_cov)
+
+        # 4b. Mastodon: account records are clock-independent, so
+        # previously-resolved users skip re-resolution and only crawl the
+        # status suffix; the ok/no_statuses split is recomputed from the
+        # merged timeline's emptiness, other buckets are static
+        with registry.span("incremental.timelines.mastodon"):
+            ms_full = MastodonTimelineCrawler(
+                client, since=tl_start, until=new_tl_end
+            )
+            ms_suffix = MastodonTimelineCrawler(
+                client, since=old_tl_end + _ONE_DAY, until=new_tl_end
+            )
+            ms_buckets: dict[int, str] = {}
+            ms_cov = CrawlCoverage()
+            for user in matched_list:
+                uid = user.twitter_user_id
+                old_bucket = cursor.state.mastodon_buckets.get(uid)
+                if old_bucket is None:
+                    bucket, record, statuses = ms_full.crawl_one(user)
+                    if record is not None:
+                        new_ds.accounts[uid] = record
+                    if statuses is not None:
+                        new_ds.mastodon_timelines[uid] = statuses
+                        delta.mastodon_changed[uid] = 0
+                elif old_bucket in ("ok", "no_statuses"):
+                    record = dataset.accounts[uid]
+                    old_statuses = dataset.mastodon_timelines.get(uid, [])
+                    if new_tl_end > old_tl_end:
+                        fresh_statuses = ms_suffix.crawl_statuses(record)
+                    else:
+                        fresh_statuses = []
+                    if fresh_statuses:
+                        # same append-only argument as the twitter side
+                        merged = old_statuses + fresh_statuses
+                        delta.mastodon_changed[uid] = len(old_statuses)
+                    else:
+                        merged = old_statuses
+                    new_ds.accounts[uid] = record
+                    if merged:
+                        new_ds.mastodon_timelines[uid] = merged
+                        bucket = "ok"
+                    else:
+                        bucket = "no_statuses"
+                else:
+                    bucket = old_bucket
+                    if uid in dataset.accounts:
+                        new_ds.accounts[uid] = dataset.accounts[uid]
+                ms_buckets[uid] = bucket
+                ms_cov.record(bucket)
+            new_ds.mastodon_coverage = ms_cov
+            finalize_timeline_metrics("mastodon", ms_cov)
+        delta.accounts_changed = set(new_ds.accounts) != set(dataset.accounts)
+
+        # 5. followees: re-derive the stratified sample over the grown
+        # matched list (pure arithmetic), reuse every already-attempted
+        # record, and crawl only the never-attempted members
+        with registry.span("incremental.followees"):
+            fraction = budgeted_fraction(
+                api, len(matched_list), default=cfg.followee_sample_fraction
+            )
+            rng = np.random.default_rng(cfg.sampler_seed)
+            sample = stratified_sample(matched_list, fraction, rng)
+            sampled_ids = {u.twitter_user_id for u in sample}
+            for uid in new_ds.switchers():
+                if uid not in sampled_ids and uid in new_ds.matched:
+                    sample.append(new_ds.matched[uid])
+            sample.sort(key=lambda u: u.twitter_user_id)
+            current_accts = {
+                uid: record.moved_to
+                for uid, record in new_ds.accounts.items()
+                if record.moved_to is not None
+            }
+            crawler = FolloweeCrawler(api, client)
+            attempted = set(cursor.state.followee_attempted)
+            for user in sample:
+                uid = user.twitter_user_id
+                if uid in dataset.followee_sample:
+                    # record already held and clock-independent: reuse.
+                    # (A uid that was sampled, dropped when the sample was
+                    # re-derived over a grown population, then re-sampled
+                    # has no record in the old snapshot — it is re-crawled
+                    # below, which is also how known failures stay
+                    # failures: their re-crawl deterministically fails.)
+                    new_ds.followee_sample[uid] = dataset.followee_sample[uid]
+                    attempted.add(uid)
+                    continue
+                record = crawler.crawl_one(
+                    user, current_accts.get(uid, user.mastodon_acct)
+                )
+                attempted.add(uid)
+                if record is not None:
+                    new_ds.followee_sample[uid] = record
+        delta.followees_changed = set(new_ds.followee_sample) != set(
+            dataset.followee_sample
+        )
+
+        # 6. weekly activity: a cheap full re-pull (static per-instance
+        # aggregates), clipped to fully-elapsed weeks like the pipeline
+        with registry.span("incremental.weekly_activity"):
+            domains = sorted(
+                {u.mastodon_domain for u in matched_list}
+                | {
+                    record.second_domain
+                    for record in new_ds.accounts.values()
+                    if record.second_domain is not None
+                }
+            )
+            wcrawler = WeeklyActivityCrawler(client)
+            horizon = new_clock - _dt.timedelta(days=6)
+            for domain in domains:
+                rows = wcrawler.crawl_one(domain)
+                if rows is not None:
+                    new_ds.weekly_activity[domain] = [
+                        row
+                        for row in rows
+                        if week_label_start(row["week"]) <= horizon
+                    ]
+        delta.weekly_changed = new_ds.weekly_activity != dataset.weekly_activity
+
+        # 7. trends: rewind the noise stream and re-pull (peak
+        # re-normalisation makes the whole series clock-dependent)
+        with registry.span("incremental.trends"):
+            world.trends.reset()
+            for term in world.trends.supported_terms():
+                series = world.trends.interest_over_time(
+                    term, _dt.date(2022, 9, 1), new_tl_end
+                )
+                new_ds.trends[term] = [
+                    (day.isoformat(), value) for day, value in series
+                ]
+        delta.trends_changed = new_ds.trends != dataset.trends
+
+        new_ds.dataset_version = dataset_version_for(new_clock)
+        new_ds.clock = new_clock
+        span.annotate(
+            corpus_appended=delta.corpus_appended,
+            twitter_changed=len(delta.twitter_changed),
+            mastodon_changed=len(delta.mastodon_changed),
+            matched=new_ds.migrant_count,
+        )
+
+    tweet_hw = new_tweet_end.isoformat()
+    timeline_hw = new_tl_end.isoformat()
+    new_cursor = CrawlCursor(
+        world_seed=cursor.world_seed,
+        world_scale=cursor.world_scale,
+        config_digest=config_digest(cfg),
+        clock=new_clock,
+        dataset_version=new_ds.dataset_version,
+        completed_stages=list(PIPELINE_STAGES),
+        high_water={
+            "instance_list": timeline_hw,
+            "tweet_search": tweet_hw,
+            "handle_matching": tweet_hw,
+            "timelines": timeline_hw,
+            "followees": timeline_hw,
+            "weekly_activity": timeline_hw,
+            "trends": timeline_hw,
+        },
+        shard_seeds=shard_seed_digests(cfg),
+        state=CollectionState(
+            users=users,
+            twitter_buckets=tw_buckets,
+            mastodon_buckets=ms_buckets,
+            followee_attempted=attempted,
+        ),
+    )
+    return new_ds, new_cursor, delta
+
+
+# -- the rolling daily series --------------------------------------------------
+
+
+def dataset_sha256(dataset: MigrationDataset) -> str:
+    """The canonical content digest (over the dataset's JSON bytes)."""
+    import hashlib
+
+    return hashlib.sha256(dataset.to_json().encode()).hexdigest()
+
+
+#: The per-day analysis suite of :func:`rolling_series` — cheap enough to
+#: run daily at smoke scales, broad enough to touch every frames domain.
+SERIES_ANALYSES: tuple[str, ...] = (
+    "daily_volume",
+    "top_hashtags",
+    "toxicity_analysis",
+    "moderation_load",
+)
+
+
+def run_series_analyses(dataset: MigrationDataset) -> dict[str, object]:
+    """One day's analysis pass; ``AnalysisError`` means "not yet observable"."""
+    from repro.analysis.activity import daily_volume
+    from repro.analysis.hashtags import top_hashtags
+    from repro.analysis.moderation import moderation_load
+    from repro.analysis.toxicity import toxicity_analysis
+    from repro.errors import AnalysisError
+
+    suite = {
+        "daily_volume": lambda: daily_volume(dataset).total_statuses,
+        "top_hashtags": lambda: top_hashtags(dataset, k=5).rows[0].hashtag,
+        "toxicity_analysis": lambda: round(
+            toxicity_analysis(dataset).pct_statuses_toxic, 4
+        ),
+        "moderation_load": lambda: len(moderation_load(dataset).rows),
+    }
+    out: dict[str, object] = {}
+    for name in SERIES_ANALYSES:
+        try:
+            out[name] = suite[name]()
+        except AnalysisError as exc:
+            out[name] = f"n/a ({exc})"
+    return out
+
+
+def rolling_series(
+    world: World,
+    start_clock: _dt.date,
+    days: int,
+    config: CollectionConfig | None = None,
+    *,
+    serve: bool = False,
+    run_analyses: bool = True,
+) -> list[dict]:
+    """Collect at ``start_clock`` then advance one day at a time.
+
+    Each step re-runs the analysis suite on *rebased* frames (PR 10's
+    streaming re-analysis path) and, with ``serve``, hot-swaps a warm
+    :class:`~repro.serving.app.ServingApp` in place at every step
+    (exercising PR 8's payload-LRU survival).  Returns one report dict
+    per day: clock, dataset version, content sha256, delta summary,
+    frames cache stats and the analysis outputs.
+    """
+    from repro.frames.core import frames_of
+
+    base = config if config is not None else CollectionConfig()
+    dataset, cursor = collect_with_cursor(
+        world, replace(base, clock=start_clock)
+    )
+    app = None
+    if serve:
+        from repro.serving.app import ServingApp
+
+        app = ServingApp(dataset)
+        app.warm()
+    reports: list[dict] = []
+
+    def report(day: _dt.date, delta: DatasetDelta | None) -> dict:
+        frames = frames_of(dataset)
+        entry: dict = {
+            "clock": day.isoformat(),
+            "dataset_version": dataset.dataset_version,
+            "sha256": dataset_sha256(dataset),
+            "delta": delta.summary() if delta is not None else None,
+        }
+        if run_analyses:
+            entry["analyses"] = run_series_analyses(dataset)
+            entry["result_cache"] = frames.cache_stats()
+        return entry
+
+    reports.append(report(start_clock, None))
+    clock = start_clock
+    for _ in range(days):
+        clock = clock + _ONE_DAY
+        new_ds, cursor, delta = advance(world, dataset, cursor, clock, base)
+        if app is not None:
+            swap = app.swap_dataset(new_ds, delta)
+        else:
+            frames_of(dataset).rebase(new_ds, delta)
+            swap = None
+        dataset = new_ds
+        entry = report(clock, delta)
+        if swap is not None:
+            entry["swap"] = {k: swap[k] for k in ("result_evicted", "payload_evicted")}
+            entry["healthz"] = app.get("/healthz")[0]
+        reports.append(entry)
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.incremental`` — drive a rolling daily series."""
+    import argparse
+    import json as _json
+
+    from repro.simulation.config import SimConfig
+    from repro.simulation.world import build_world
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=float, default=0.002)
+    parser.add_argument(
+        "--start", type=_dt.date.fromisoformat, default=_dt.date(2022, 11, 1),
+        help="observer clock of the initial snapshot (ISO date)")
+    parser.add_argument(
+        "--days", type=int, default=7,
+        help="number of one-day advances to run after the initial snapshot")
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="hot-swap a warm ServingApp at every step (exercises PR 8)")
+    parser.add_argument(
+        "--no-analyses", action="store_true",
+        help="skip the per-day analysis suite (collection timing only)")
+    parser.add_argument(
+        "--json", type=str, default="", metavar="PATH",
+        help="also write the per-day reports as JSON")
+    args = parser.parse_args(argv)
+    if args.days < 1:
+        parser.error(f"--days must be at least 1, got {args.days}")
+
+    world = build_world(SimConfig(seed=args.seed, scale=args.scale))
+    reports = rolling_series(
+        world, args.start, args.days,
+        serve=args.serve, run_analyses=not args.no_analyses,
+    )
+    for entry in reports:
+        line = f"{entry['clock']}  v{entry['dataset_version']}  {entry['sha256'][:12]}"
+        if entry["delta"]:
+            line += f"  {entry['delta']}"
+        print(line)
+        if "analyses" in entry:
+            for name, value in entry["analyses"].items():
+                print(f"    {name}: {value}")
+    if args.json:
+        Path(args.json).write_text(_json.dumps(reports, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    raise SystemExit(main())

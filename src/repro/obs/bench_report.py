@@ -18,6 +18,12 @@ of that stage over the previous rows *at the same scale* (up to
 ``--window`` of them).  Stages with no same-scale history pass trivially —
 the first row of a new scale establishes its baseline.  Memory gates the
 same way, against ``peak_rss_bytes`` with its own (looser) threshold.
+Wall values where both the latest and the median sit under
+``WALL_NOISE_FLOOR_SECONDS`` are never gated: at that magnitude (the
+serving rows record warm cached quantiles of a few *microseconds*) the
+ratio measures scheduler jitter, not code — a real regression that
+pushes a micro-latency past the floor is still caught, because the
+floor must clear on *both* sides to skip.
 
 Rows that carry ``memory_ceiling_bytes`` (the worldgen scale bench,
 :mod:`repro.simulation.scalebench`) additionally assert an *absolute*
@@ -37,6 +43,11 @@ from pathlib import Path
 #: peak RSS is noisier across machines, so its default gate is 50%.
 WALL_THRESHOLD = 1.25
 MEMORY_THRESHOLD = 1.50
+#: wall values below this are scheduler jitter, not signal: relative
+#: gating only applies once the latest value or the trailing median
+#: clears it (sub-100µs warm-cache quantiles swing 2x run to run on an
+#: idle box without a single instruction changing).
+WALL_NOISE_FLOOR_SECONDS = 1e-4
 HISTORY_FILENAME = "BENCH_history.jsonl"
 
 
@@ -117,6 +128,12 @@ def check_regressions(
                     continue
                 median = statistics.median(trailing)
                 if median <= 0:
+                    continue
+                if (
+                    metric == "wall_seconds"
+                    and value < WALL_NOISE_FLOOR_SECONDS
+                    and median < WALL_NOISE_FLOOR_SECONDS
+                ):
                     continue
                 ratio = value / median
                 if ratio > threshold:

@@ -48,6 +48,40 @@ def render(obj) -> bytes:
     return json.dumps(obj, indent=None, separators=(",", ":")).encode("utf-8")
 
 
+def _stale_key_predicate(delta):
+    """Key predicate for cache eviction under a dataset delta.
+
+    A cache key is ``(endpoint, sorted(normalized.items()))``; an entry is
+    stale exactly when a dataset domain its endpoint reads changed — and
+    for timelines, only when *that user's* timeline changed.  Unknown
+    endpoints are treated as stale (safe default for future routes).
+    """
+    changed = delta.domains_changed()
+    twitter_uids = delta.twitter_changed
+    mastodon_uids = delta.mastodon_changed
+
+    def stale(key) -> bool:
+        endpoint, items = key
+        params = dict(items)
+        if endpoint == "search":
+            if params.get("platform") == "twitter":
+                return delta.corpus_changed
+            return "mastodon_timelines" in changed
+        if endpoint == "timeline":
+            if params.get("platform") == "twitter":
+                return params.get("uid") in twitter_uids
+            return params.get("uid") in mastodon_uids
+        if endpoint == "instances":
+            return bool({"matched", "accounts"} & changed)
+        if endpoint == "instance":
+            return bool({"matched", "accounts", "weekly"} & changed)
+        if endpoint == "trends":
+            return "trends" in changed
+        return True
+
+    return stale
+
+
 class ServingApp:
     """Read-only query API over one dataset (sync core + ASGI adapter)."""
 
@@ -77,6 +111,57 @@ class ServingApp:
             with obs.current().span("serving.warm"):
                 self.warm_seconds = self.views.warm()
         return self.warm_seconds
+
+    def swap_dataset(self, dataset, delta=None) -> dict:
+        """Point the live app at an advanced dataset snapshot.
+
+        With a ``delta`` (the receipt from :func:`repro.incremental.advance`,
+        whose old snapshot must be the app's current dataset) the swap is
+        surgical: frames are rebased instead of rebuilt, read models whose
+        input domains are untouched are carried over, and only the cache
+        entries the delta can reach are evicted — a payload-LRU entry for an
+        unchanged timeline survives and keeps serving the same bytes.
+        Without a delta every derived structure is dropped (full reload
+        semantics).  Returns eviction/carry accounting.
+        """
+        with obs.current().span("serving.swap") as span:
+            old_dataset = self.dataset
+            self.dataset = dataset
+            if delta is None or not self.columnar:
+                result_evicted = len(self.result_cache)
+                payload_evicted = len(self.payload_cache)
+                self.result_cache.clear()
+                self.payload_cache.clear()
+                self.views = (
+                    ColumnarViews(dataset) if self.columnar else NaiveViews(dataset)
+                )
+                out = {
+                    "mode": "full",
+                    "result_evicted": result_evicted,
+                    "payload_evicted": payload_evicted,
+                    "models": {},
+                }
+                span.annotate(**{k: v for k, v in out.items() if k != "models"})
+                return out
+            from repro.frames.core import frames_of
+
+            frames = frames_of(old_dataset).rebase(dataset, delta)
+            models = self.views.swap(dataset, delta, frames)
+            stale = _stale_key_predicate(delta)
+            out = {
+                "mode": "delta",
+                "result_evicted": self.result_cache.evict_if(stale),
+                "payload_evicted": self.payload_cache.evict_if(stale),
+                "models": models,
+            }
+            span.annotate(
+                mode="delta",
+                result_evicted=out["result_evicted"],
+                payload_evicted=out["payload_evicted"],
+                result_kept=len(self.result_cache),
+                payload_kept=len(self.payload_cache),
+            )
+            return out
 
     # -- the sync request core -------------------------------------------------
 

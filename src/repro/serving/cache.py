@@ -83,6 +83,17 @@ class ResultCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def evict_if(self, predicate: Callable[[Any], bool]) -> int:
+        """Drop entries whose *key* satisfies ``predicate``; returns count.
+
+        The hot-swap path (:meth:`repro.serving.app.ServingApp.swap_dataset`)
+        uses this to invalidate only the entries a dataset delta can reach.
+        """
+        stale = [key for key in self._entries if predicate(key)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
 
 class PayloadLru:
     """Bounded LRU of rendered payload bytes for hot keys."""
@@ -125,3 +136,14 @@ class PayloadLru:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    def evict_if(self, predicate: Callable[[Any], bool]) -> int:
+        """Drop entries whose *key* satisfies ``predicate``; returns count.
+
+        Recency order of the surviving entries is preserved.  Not counted
+        in ``evictions`` (which tracks capacity pressure only).
+        """
+        stale = [key for key in self._entries if predicate(key)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)

@@ -166,6 +166,32 @@ class TweetSearchColumns:
         self.index = TweetIndex()
         self.index.add_many(tweets, None)
 
+    def extend(self, dataset, frames) -> None:
+        """Append corpus rows past the already-indexed prefix.
+
+        Valid only when the existing rows are a verified prefix of the
+        advanced corpus (``delta.corpus_prefix == len(self.ids)``): the
+        columns grow in place and the inverted index absorbs just the
+        fresh tweets.
+        """
+        tweets = dataset.collected_tweets
+        start = len(self.ids)
+        fresh = tweets[start:]
+        if not fresh:
+            return
+        for pos, t in enumerate(fresh, start):
+            self.ids.append(t.tweet_id)
+            self.row_of[t.tweet_id] = pos
+            self.authors.append(t.author_id)
+            self.texts.append(t.text)
+            self.texts_lower.append(t.text_lower)
+            self.sources.append(t.source)
+            self.retweets.append(t.is_retweet)
+        ordinals = frames.collected_day_ordinals
+        self.days.extend(ordinals[start:].tolist())
+        self.day_iso.extend(iso_day_strings(ordinals[start:]))
+        self.index.add_many(fresh, None)
+
     def matching_positions(
         self, query: SearchQuery, kind: str, term: str, lo: int, hi: int
     ) -> Iterator[int]:
@@ -316,6 +342,51 @@ class ColumnarViews:
             build()
             timings[name] = time.perf_counter() - started
         return timings
+
+    def swap(self, dataset, delta, frames) -> dict[str, str]:
+        """Point at an advanced dataset, carrying still-valid read models.
+
+        ``frames`` is the rebased :class:`DatasetFrames` of ``dataset``;
+        ``delta`` the advance's change receipt.  A read model survives
+        exactly when every dataset domain it reads is untouched; the
+        tweet-search block additionally grows in place on a pure corpus
+        append.  Returns ``model -> "kept" | "extended" | "dropped"``.
+        """
+        from repro.frames.core import PRODUCT_DEPS
+
+        old_models = self._models
+        self.dataset = dataset
+        self.frames = frames
+        self._models = {}
+        changed = delta.domains_changed()
+        outcome: dict[str, str] = {}
+
+        def carry(name: str, domains: set[str]) -> None:
+            model = old_models.get(name)
+            if model is None:
+                return
+            if domains & changed:
+                outcome[name] = "dropped"
+                return
+            self._models[name] = model
+            outcome[name] = "kept"
+
+        corpus = old_models.get("tweet_search")
+        if corpus is not None:
+            if "corpus" not in changed:
+                self._models["tweet_search"] = corpus
+                outcome["tweet_search"] = "kept"
+            elif delta.corpus_prefix == len(corpus.ids):
+                corpus.extend(dataset, frames)
+                self._models["tweet_search"] = corpus
+                outcome["tweet_search"] = "extended"
+            else:
+                outcome["tweet_search"] = "dropped"
+        carry("twitter_timeline", {"twitter_timelines"})
+        carry("mastodon_timeline", {"mastodon_timelines"})
+        carry("status_search", {"mastodon_timelines"})
+        carry("directory", set(PRODUCT_DEPS["instance_populations"]))
+        return outcome
 
     # -- endpoints -------------------------------------------------------------
 

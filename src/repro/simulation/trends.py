@@ -45,6 +45,21 @@ class TrendsService:
         self._timeline = timeline
         self._rng = rng
         self._terms = dict(DEFAULT_TERMS if terms is None else terms)
+        # Captured before any draw: ``reset`` rewinds to exactly here, so a
+        # clocked re-pull reproduces the same noise regardless of how many
+        # earlier collections consumed the stream.
+        self._initial_state = rng.bit_generator.state
+
+    def reset(self) -> None:
+        """Rewind the noise stream to its never-drawn-from state.
+
+        Clocked collections (``CollectionConfig.clock``) call this before
+        pulling series so that an incremental re-pull at a later clock is
+        byte-identical to a from-scratch pull at that clock.  Unclocked
+        collections never call it — their stream stays cumulative across
+        collections, which the fault-scenario golden digests pin.
+        """
+        self._rng.bit_generator.state = self._initial_state
 
     def supported_terms(self) -> list[str]:
         return sorted(self._terms)

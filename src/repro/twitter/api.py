@@ -239,11 +239,7 @@ class TwitterAPI:
         if user.state is AccountState.PROTECTED:
             self._count_error("timeline", "protected")
             raise ProtectedAccountError(f"user {user_id} protects their tweets")
-        return [
-            tweet
-            for tweet in self._store.tweets_by_author(user_id)
-            if since <= tweet.created_date <= until
-        ]
+        return self._store.tweets_by_author_window(user_id, since, until)
 
     # -- follows ------------------------------------------------------------
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import bisect
+import datetime as _dt
 from collections.abc import Iterable, Iterator
 
 from repro.twitter.errors import NotFoundError
@@ -113,6 +114,22 @@ class TwitterStore:
         """An author's tweets in chronological order."""
         ids = self._tweets_by_author.get(author_id, [])
         return [self._tweets_by_id[i] for i in ids]
+
+    def tweets_by_author_window(
+        self, author_id: int, since: _dt.date, until: _dt.date
+    ) -> list[Tweet]:
+        """An author's tweets with ``since <= created_date <= until``.
+
+        Ids sort chronologically (the snowflake contract), so the
+        id-sorted per-author list is also date-sorted and the inclusive
+        window bisects to a slice — the timeline API answers a one-day
+        suffix window without materialising the author's full history.
+        """
+        ids = self._tweets_by_author.get(author_id, [])
+        key = lambda i: self._tweets_by_id[i].created_date  # noqa: E731
+        lo = bisect.bisect_left(ids, since, key=key)
+        hi = bisect.bisect_right(ids, until, key=key)
+        return [self._tweets_by_id[i] for i in ids[lo:hi]]
 
     def author_tweet_ids(self, author_id: int) -> list[int]:
         """An author's tweet ids in chronological order (a copy)."""

@@ -76,6 +76,12 @@ def week_start(day: _dt.date) -> _dt.date:
     return day - _dt.timedelta(days=day.isoweekday() - 1)
 
 
+def week_label_start(label: str) -> _dt.date:
+    """The Monday of an ISO week label like ``'2022-W43'``."""
+    year, _, week = label.partition("-W")
+    return _dt.date.fromisocalendar(int(year), int(week), 1)
+
+
 class SimClock:
     """A day-resolution simulation clock.
 

@@ -102,6 +102,24 @@ class TestCheckRegressions:
         assert len(check_regressions(rows)) == 1  # 1.3x > default 1.25x
         assert check_regressions(rows, wall_threshold=1.5) == []
 
+    def test_micro_latency_jitter_is_below_the_noise_floor(self):
+        # warm-cache quantiles are a few µs; a 2x swing there is
+        # scheduler jitter, not a regression
+        rows = [_row(18e-6), _row(18e-6), _row(40e-6)]
+        assert check_regressions(rows) == []
+
+    def test_regression_past_the_noise_floor_still_fires(self):
+        # ...but a real blowup that crosses the floor is caught
+        rows = [_row(18e-6), _row(18e-6), _row(5e-4)]
+        findings = check_regressions(rows)
+        assert len(findings) == 1
+        assert findings[0]["metric"] == "wall_seconds"
+
+    def test_noise_floor_does_not_shield_memory(self):
+        rows = [_row(18e-6, rss=100_000_000), _row(18e-6, rss=200_000_000)]
+        findings = check_regressions(rows)
+        assert [f["metric"] for f in findings] == ["peak_rss_bytes"]
+
 
 class TestMemoryCeilings:
     """The absolute budget recorded by the worldgen scale bench."""

@@ -1,0 +1,178 @@
+"""``ServingApp.swap_dataset``: hot-swap an advanced snapshot in place.
+
+The swap must be transparent: after swapping in the day-N+1 dataset, a
+warm app answers every endpoint with exactly the bytes a cold app built
+over a from-scratch day-N+1 collection produces — while evicting *only*
+the cache entries the delta can reach.  Payload-LRU entries for
+unchanged keys survive as the same ``bytes`` objects (no recompute, no
+re-render); entries for changed uids are gone before anything re-asks.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.collection.pipeline import CollectionConfig
+from repro.incremental import advance, collect_with_cursor
+from repro.serving.app import ServingApp
+from repro.simulation.config import SimConfig
+from repro.simulation.world import build_world
+
+SEED = 7
+SCALE = 0.002
+FROM_CLOCK = dt.date(2022, 11, 24)
+TO_CLOCK = dt.date(2022, 11, 25)
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    world = build_world(SimConfig(seed=SEED, scale=SCALE))
+    base, cursor = collect_with_cursor(
+        world, CollectionConfig(clock=FROM_CLOCK)
+    )
+    new_ds, _, delta = advance(world, base, cursor, TO_CLOCK)
+    cold_ds, _ = collect_with_cursor(world, CollectionConfig(clock=TO_CLOCK))
+    return base, new_ds, delta, cold_ds
+
+
+@pytest.fixture(scope="module")
+def uids(snapshots):
+    """One changed and one unchanged uid per platform."""
+    base, _, delta, _ = snapshots
+    return {
+        "tw_changed": next(iter(delta.twitter_changed)),
+        "tw_same": next(
+            u
+            for u in base.twitter_timelines
+            if u not in delta.twitter_changed
+        ),
+        "ms_changed": next(iter(delta.mastodon_changed)),
+        "ms_same": next(
+            u
+            for u in base.mastodon_timelines
+            if u not in delta.mastodon_changed
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def targets(snapshots, uids):
+    base = snapshots[0]
+    domain = next(iter(base.weekly_activity))
+    return [
+        "/healthz",
+        "/v1/search?platform=twitter&q=mastodon",
+        "/v1/search?platform=mastodon&q=the",
+        f"/v1/timeline/{uids['tw_changed']}?platform=twitter",
+        f"/v1/timeline/{uids['tw_same']}?platform=twitter",
+        f"/v1/timeline/{uids['ms_changed']}?platform=mastodon",
+        f"/v1/timeline/{uids['ms_same']}?platform=mastodon",
+        "/v1/instances",
+        f"/v1/instances/{domain}",
+        "/v1/trends",
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference(snapshots, targets):
+    """Cold app over the from-scratch day-N+1 dataset: the truth bytes."""
+    ref = ServingApp(snapshots[3])
+    ref.warm()
+    return {t: ref.get(t) for t in targets}
+
+
+@pytest.fixture(scope="module")
+def swapped(snapshots, targets):
+    """A warm app after a delta swap, plus its pre/post swap observations."""
+    base, new_ds, delta, _ = snapshots
+    app = ServingApp(base)
+    app.warm()
+    before = {t: app.get(t) for t in targets}
+    lru_before = dict(app.payload_cache._entries)
+    outcome = app.swap_dataset(new_ds, delta)
+    lru_after = dict(app.payload_cache._entries)
+    return app, before, lru_before, lru_after, outcome
+
+
+def _timeline_keys(entries, uid, platform):
+    return [
+        key
+        for key in entries
+        if key[0] == "timeline"
+        and dict(key[1]).get("uid") == uid
+        and dict(key[1]).get("platform") == platform
+    ]
+
+
+def test_warm_app_serves_everything(swapped):
+    _, before, _, _, _ = swapped
+    assert all(status == 200 for status, _ in before.values())
+
+
+def test_delta_swap_reports_surgical_eviction(swapped):
+    outcome = swapped[4]
+    assert outcome["mode"] == "delta"
+    assert outcome["payload_evicted"] > 0
+    # at least one read model survived the swap un-rebuilt
+    assert any(v in ("kept", "extended") for v in outcome["models"].values())
+
+
+def test_changed_uids_evicted_before_reuse(swapped, uids):
+    _, _, _, lru_after, _ = swapped
+    for uid, platform in (
+        (uids["tw_changed"], "twitter"),
+        (uids["ms_changed"], "mastodon"),
+    ):
+        assert not _timeline_keys(lru_after, uid, platform), (
+            f"stale timeline payload for changed {platform} uid {uid} "
+            "survived the swap"
+        )
+
+
+def test_unchanged_uid_payloads_survive_as_same_objects(swapped, uids):
+    _, _, lru_before, lru_after, _ = swapped
+    for uid, platform in (
+        (uids["tw_same"], "twitter"),
+        (uids["ms_same"], "mastodon"),
+    ):
+        keys = _timeline_keys(lru_after, uid, platform)
+        assert keys, f"unchanged {platform} uid {uid} was evicted"
+        for key in keys:
+            assert lru_after[key] is lru_before[key], (
+                "unchanged-key payload was re-rendered instead of kept"
+            )
+
+
+def test_swapped_bytes_match_cold_rebuild(swapped, reference, targets):
+    app = swapped[0]
+    for target in targets:
+        assert app.get(target) == reference[target], (
+            f"{target} diverged from the from-scratch day-N+1 app"
+        )
+
+
+def test_healthz_reflects_new_snapshot(swapped, reference, snapshots):
+    app = swapped[0]
+    status, body = app.get("/healthz")
+    assert status == 200
+    assert json.loads(body) == json.loads(reference["/healthz"][1])
+    new_ds = snapshots[1]
+    assert json.loads(body)["migrants"] == len(new_ds.matched)
+
+
+def test_full_swap_without_delta_resets_and_matches(
+    snapshots, targets, reference
+):
+    base, new_ds, _, _ = snapshots
+    app = ServingApp(base)
+    app.warm()
+    for target in targets:
+        app.get(target)
+    outcome = app.swap_dataset(new_ds)
+    assert outcome["mode"] == "full"
+    assert len(app.payload_cache) == 0
+    for target in targets:
+        assert app.get(target) == reference[target]
